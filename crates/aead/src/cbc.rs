@@ -1,0 +1,102 @@
+//! Cipher Block Chaining mode — privacy-only, **no integrity**.
+//!
+//! Used by the legacy "encrypt message + hash checksum" construction
+//! that §II of the paper debunks (An–Bellare, EUROCRYPT 2001: encryption
+//! with redundancy does not provide authenticity). The encrypted-MPI
+//! data path never uses CBC.
+
+use crate::aes::{BlockDecrypt, BlockEncrypt, SoftAes};
+use crate::ecb::{pad, unpad};
+use crate::error::{Error, Result};
+
+/// CBC cipher with explicit random IV (PKCS#7 padded).
+pub struct CbcCipher {
+    aes: SoftAes,
+}
+
+impl CbcCipher {
+    /// Build from a 16- or 32-byte key.
+    pub fn new(key: &[u8]) -> Result<Self> {
+        Ok(CbcCipher {
+            aes: SoftAes::new(key)?,
+        })
+    }
+
+    /// Encrypt; output is `iv ‖ ciphertext`.
+    pub fn encrypt(&self, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
+        let padded = pad(plaintext);
+        let mut out = Vec::with_capacity(16 + padded.len());
+        out.extend_from_slice(iv);
+        let mut prev = *iv;
+        for chunk in padded.chunks_exact(16) {
+            let mut block = [0u8; 16];
+            for i in 0..16 {
+                block[i] = chunk[i] ^ prev[i];
+            }
+            self.aes.encrypt_block(&mut block);
+            out.extend_from_slice(&block);
+            prev = block;
+        }
+        out
+    }
+
+    /// Decrypt `iv ‖ ciphertext`, stripping padding.
+    pub fn decrypt(&self, iv_and_ct: &[u8]) -> Result<Vec<u8>> {
+        if iv_and_ct.len() < 32 || iv_and_ct.len() % 16 != 0 {
+            return Err(Error::NotBlockAligned {
+                got: iv_and_ct.len(),
+            });
+        }
+        let (iv, ct) = iv_and_ct.split_at(16);
+        let mut prev: [u8; 16] = iv.try_into().unwrap();
+        let mut out = Vec::with_capacity(ct.len());
+        for chunk in ct.chunks_exact(16) {
+            let mut block: [u8; 16] = chunk.try_into().unwrap();
+            self.aes.decrypt_block(&mut block);
+            for i in 0..16 {
+                block[i] ^= prev[i];
+            }
+            out.extend_from_slice(&block);
+            prev = chunk.try_into().unwrap();
+        }
+        unpad(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let cbc = CbcCipher::new(&[9u8; 32]).unwrap();
+        let iv = [0x11u8; 16];
+        for len in [0usize, 1, 16, 31, 32, 255] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ct = cbc.encrypt(&iv, &pt);
+            assert_eq!(cbc.decrypt(&ct).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn iv_randomization_hides_equality() {
+        // Unlike ECB, the same plaintext under different IVs differs.
+        let cbc = CbcCipher::new(&[9u8; 16]).unwrap();
+        let a = cbc.encrypt(&[1u8; 16], b"same message!!");
+        let b = cbc.encrypt(&[2u8; 16], b"same message!!");
+        assert_ne!(&a[16..], &b[16..]);
+    }
+
+    #[test]
+    fn bit_flip_in_iv_flips_first_plaintext_block() {
+        // The classic CBC malleability: flipping IV bit i flips plaintext
+        // bit i of block 0 — decryption succeeds, data silently changed.
+        let cbc = CbcCipher::new(&[9u8; 16]).unwrap();
+        let pt = b"exact sixteen by"; // 16 bytes -> 1 data block + pad block
+        let mut ct = cbc.encrypt(&[0u8; 16], pt);
+        ct[0] ^= 0x80;
+        let out = cbc.decrypt(&ct).unwrap();
+        assert_eq!(out[0], pt[0] ^ 0x80, "silent controlled corruption");
+        assert_eq!(&out[1..], &pt[1..]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Counter mode — privacy-only stream encryption (NIST SP 800-38A).
+//!
+//! CTR underlies GCM's confidentiality; exposed separately so the tests
+//! and the legacy demos can show that privacy without integrity is not
+//! enough (a CTR ciphertext is trivially malleable).
+
+use crate::aes::{BlockEncrypt, SoftAes};
+use crate::error::Result;
+
+#[cfg(target_arch = "x86_64")]
+use crate::aes::AesNiPipelined;
+
+/// CTR-mode cipher (picks AES-NI when available).
+pub struct CtrCipher {
+    aes: Box<dyn BlockEncrypt>,
+}
+
+impl CtrCipher {
+    /// Build from a 16- or 32-byte key.
+    pub fn new(key: &[u8]) -> Result<Self> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::aes::hardware_acceleration_available() {
+                return Ok(CtrCipher {
+                    aes: Box::new(AesNiPipelined::new(key)?),
+                });
+            }
+        }
+        Ok(CtrCipher {
+            aes: Box::new(SoftAes::new(key)?),
+        })
+    }
+
+    /// Encrypt or decrypt (CTR is an involution) in place, with the
+    /// keystream starting at `nonce ‖ 1` exactly like GCM's payload
+    /// counter.
+    pub fn apply(&self, nonce: &[u8; 12], buf: &mut [u8]) {
+        let mut ctr = [0u8; 16];
+        ctr[..12].copy_from_slice(nonce);
+        ctr[15] = 2; // GCM payload counter starts at 2 (1 is the tag mask)
+        self.aes.ctr_apply(&ctr, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involution() {
+        let ctr = CtrCipher::new(&[5u8; 32]).unwrap();
+        let nonce = [1u8; 12];
+        let orig: Vec<u8> = (0..100).collect();
+        let mut buf = orig.clone();
+        ctr.apply(&nonce, &mut buf);
+        assert_ne!(buf, orig);
+        ctr.apply(&nonce, &mut buf);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn matches_gcm_confidentiality() {
+        // GCM's ciphertext body equals CTR with the same key/nonce —
+        // the modes share the keystream by construction.
+        let key = [0xCDu8; 16];
+        let nonce = [7u8; 12];
+        let gcm = crate::gcm::AesGcm::new(&key).unwrap();
+        let ctr = CtrCipher::new(&key).unwrap();
+        let pt = b"forty-two bytes of very important data!!!";
+        let sealed = gcm.seal(&nonce, b"", pt);
+        let mut buf = pt.to_vec();
+        ctr.apply(&nonce, &mut buf);
+        assert_eq!(&sealed[..pt.len()], &buf[..]);
+    }
+
+    #[test]
+    fn malleable_without_integrity() {
+        // Flipping ciphertext bit i flips plaintext bit i undetected —
+        // why the paper insists on GCM rather than CTR.
+        let ctr = CtrCipher::new(&[5u8; 16]).unwrap();
+        let nonce = [3u8; 12];
+        let mut buf = b"pay Bob $100".to_vec();
+        ctr.apply(&nonce, &mut buf);
+        // Attacker flips '1' (0x31) to '9' (0x39) at position 9.
+        buf[9] ^= 0x31 ^ 0x39;
+        ctr.apply(&nonce, &mut buf);
+        assert_eq!(&buf, b"pay Bob $900");
+    }
+}

@@ -1,0 +1,132 @@
+//! Electronic Codebook mode — **insecure**, provided only to demonstrate
+//! why ES-MPICH2-style encrypted MPI (the first system surveyed in §II of
+//! the paper) is broken: equal plaintext blocks map to equal ciphertext
+//! blocks, leaking message structure, and the mode provides no integrity
+//! whatsoever.
+//!
+//! Nothing in the encrypted-MPI data path uses this module; it exists for
+//! the `insecure` legacy demos and their tests.
+
+use crate::aes::{BlockDecrypt, BlockEncrypt, SoftAes};
+use crate::error::{Error, Result};
+
+/// ECB cipher (PKCS#7 padded). Deliberately named `InsecureEcb`.
+pub struct InsecureEcb {
+    aes: SoftAes,
+}
+
+impl InsecureEcb {
+    /// Build from a 16- or 32-byte key.
+    pub fn new(key: &[u8]) -> Result<Self> {
+        Ok(InsecureEcb {
+            aes: SoftAes::new(key)?,
+        })
+    }
+
+    /// Encrypt with PKCS#7 padding (output is a whole number of blocks).
+    pub fn encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
+        let mut buf = pad(plaintext);
+        for chunk in buf.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().unwrap();
+            self.aes.encrypt_block(block);
+        }
+        buf
+    }
+
+    /// Decrypt and strip PKCS#7 padding.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>> {
+        if ciphertext.is_empty() || ciphertext.len() % 16 != 0 {
+            return Err(Error::NotBlockAligned {
+                got: ciphertext.len(),
+            });
+        }
+        let mut buf = ciphertext.to_vec();
+        for chunk in buf.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().unwrap();
+            self.aes.decrypt_block(block);
+        }
+        unpad(buf)
+    }
+}
+
+/// PKCS#7 pad to a whole number of 16-byte blocks (always adds ≥1 byte).
+pub(crate) fn pad(data: &[u8]) -> Vec<u8> {
+    let pad_len = 16 - data.len() % 16;
+    let mut out = Vec::with_capacity(data.len() + pad_len);
+    out.extend_from_slice(data);
+    out.extend(std::iter::repeat(pad_len as u8).take(pad_len));
+    out
+}
+
+/// Strip PKCS#7 padding.
+pub(crate) fn unpad(mut data: Vec<u8>) -> Result<Vec<u8>> {
+    let n = *data.last().ok_or(Error::BadPadding)? as usize;
+    if n == 0 || n > 16 || n > data.len() {
+        return Err(Error::BadPadding);
+    }
+    if data[data.len() - n..].iter().any(|&b| b as usize != n) {
+        return Err(Error::BadPadding);
+    }
+    data.truncate(data.len() - n);
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let ecb = InsecureEcb::new(&[1u8; 16]).unwrap();
+        for len in [0usize, 1, 15, 16, 17, 100] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = ecb.encrypt(&pt);
+            assert_eq!(ct.len() % 16, 0);
+            assert_eq!(ecb.decrypt(&ct).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn leaks_equal_blocks() {
+        // The defining ECB weakness: identical plaintext blocks produce
+        // identical ciphertext blocks.
+        let ecb = InsecureEcb::new(&[7u8; 32]).unwrap();
+        let pt = [0xABu8; 48]; // three identical blocks
+        let ct = ecb.encrypt(&pt);
+        assert_eq!(&ct[0..16], &ct[16..32]);
+        assert_eq!(&ct[16..32], &ct[32..48]);
+    }
+
+    #[test]
+    fn no_integrity() {
+        // Swapping ciphertext blocks decrypts "successfully" to a
+        // permuted plaintext — ECB detects nothing.
+        let ecb = InsecureEcb::new(&[7u8; 16]).unwrap();
+        let mut pt = vec![0u8; 32];
+        pt[0] = 1;
+        pt[16] = 2;
+        let mut ct = ecb.encrypt(&pt);
+        ct.swap(0, 16);
+        ct.swap(1, 17);
+        // (swap whole blocks)
+        let ct2: Vec<u8> = {
+            let mut v = ecb.encrypt(&pt);
+            let (a, rest) = v.split_at_mut(16);
+            let (b, _) = rest.split_at_mut(16);
+            a.swap_with_slice(b);
+            v
+        };
+        let out = ecb.decrypt(&ct2).unwrap();
+        assert_eq!(out[0], 2, "blocks silently permuted");
+        assert_eq!(out[16], 1);
+    }
+
+    #[test]
+    fn bad_padding_rejected() {
+        let ecb = InsecureEcb::new(&[7u8; 16]).unwrap();
+        assert!(ecb.decrypt(&[0u8; 8]).is_err());
+        assert!(unpad(vec![1, 2, 3, 0]).is_err());
+        assert!(unpad(vec![5, 5, 5, 5]).is_err()); // says 5, only 4 bytes
+        assert!(unpad(vec![2, 3]).is_err());
+    }
+}

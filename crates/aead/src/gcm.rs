@@ -1,0 +1,407 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! The mode is generic over a block-cipher engine and a GHASH engine so
+//! the four library profiles of the paper can mix and match:
+//!
+//! | profile | AES engine | GHASH engine |
+//! |---|---|---|
+//! | OpenSSL / BoringSSL | 8-block AES-NI pipeline | PCLMUL, 4-block aggregated |
+//! | Libsodium | single-block AES-NI | PCLMUL |
+//! | CryptoPP (gcc build) | software T-tables | Shoup 4-bit tables |
+//!
+//! Only 96-bit nonces are supported (the only length the paper — and
+//! every sane protocol — uses); each ciphertext carries a 128-bit tag.
+
+use crate::aes::{inc32, BlockEncrypt, SoftAes};
+use crate::ct::ct_eq;
+use crate::error::{Error, Result};
+use crate::ghash::{GhashImpl, GhashSoft};
+use crate::{NONCE_LEN, TAG_LEN};
+
+#[cfg(target_arch = "x86_64")]
+use crate::aes::{AesNi, AesNiPipelined};
+#[cfg(target_arch = "x86_64")]
+use crate::ghash::GhashClmul;
+
+/// Which AES engine to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesEngineKind {
+    /// Portable T-table software AES.
+    Soft,
+    /// AES-NI, one block at a time.
+    Ni,
+    /// AES-NI, eight interleaved blocks.
+    NiPipelined,
+}
+
+/// Which GHASH engine to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GhashEngineKind {
+    /// Shoup 4-bit tables.
+    Soft,
+    /// PCLMULQDQ with 4-block aggregation.
+    Clmul,
+}
+
+enum AesEngine {
+    Soft(SoftAes),
+    #[cfg(target_arch = "x86_64")]
+    Ni(AesNi),
+    #[cfg(target_arch = "x86_64")]
+    NiPipelined(AesNiPipelined),
+}
+
+impl AesEngine {
+    #[inline]
+    fn encrypt_block(&self, block: &mut [u8; 16]) {
+        match self {
+            AesEngine::Soft(a) => a.encrypt_block(block),
+            #[cfg(target_arch = "x86_64")]
+            AesEngine::Ni(a) => a.encrypt_block(block),
+            #[cfg(target_arch = "x86_64")]
+            AesEngine::NiPipelined(a) => a.encrypt_block(block),
+        }
+    }
+
+    #[inline]
+    fn ctr_apply(&self, ctr: &[u8; 16], buf: &mut [u8]) {
+        match self {
+            AesEngine::Soft(a) => a.ctr_apply(ctr, buf),
+            #[cfg(target_arch = "x86_64")]
+            AesEngine::Ni(a) => a.ctr_apply(ctr, buf),
+            #[cfg(target_arch = "x86_64")]
+            AesEngine::NiPipelined(a) => a.ctr_apply(ctr, buf),
+        }
+    }
+}
+
+enum GhashEngine {
+    Soft(GhashSoft),
+    #[cfg(target_arch = "x86_64")]
+    Clmul(GhashClmul),
+}
+
+impl GhashEngine {
+    #[inline]
+    fn ghash(&self, aad: &[u8], data: &[u8]) -> [u8; 16] {
+        match self {
+            GhashEngine::Soft(g) => g.ghash(aad, data),
+            #[cfg(target_arch = "x86_64")]
+            GhashEngine::Clmul(g) => g.ghash(aad, data),
+        }
+    }
+}
+
+/// An AES-GCM cipher bound to one key and one engine combination.
+///
+/// The `Debug` impl deliberately prints no key material.
+pub struct AesGcm {
+    aes: AesEngine,
+    ghash: GhashEngine,
+    key_bits: usize,
+}
+
+impl std::fmt::Debug for AesGcm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AesGcm")
+            .field("key_bits", &self.key_bits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AesGcm {
+    /// Build with the fastest engines the CPU supports.
+    pub fn new(key: &[u8]) -> Result<Self> {
+        if crate::aes::hardware_acceleration_available() {
+            Self::with_engines(AesEngineKind::NiPipelined, GhashEngineKind::Clmul, key)
+        } else {
+            Self::with_engines(AesEngineKind::Soft, GhashEngineKind::Soft, key)
+        }
+    }
+
+    /// Build with an explicit engine combination.
+    ///
+    /// Returns [`Error::HardwareUnavailable`] if a hardware engine is
+    /// requested on a CPU without AES-NI/PCLMULQDQ.
+    pub fn with_engines(
+        aes_kind: AesEngineKind,
+        ghash_kind: GhashEngineKind,
+        key: &[u8],
+    ) -> Result<Self> {
+        let aes = match aes_kind {
+            AesEngineKind::Soft => AesEngine::Soft(SoftAes::new(key)?),
+            #[cfg(target_arch = "x86_64")]
+            AesEngineKind::Ni => AesEngine::Ni(AesNi::new(key)?),
+            #[cfg(target_arch = "x86_64")]
+            AesEngineKind::NiPipelined => AesEngine::NiPipelined(AesNiPipelined::new(key)?),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => return Err(Error::HardwareUnavailable),
+        };
+        // H = E(K, 0^128).
+        let mut h_block = [0u8; 16];
+        aes.encrypt_block(&mut h_block);
+        let h = u128::from_be_bytes(h_block);
+        let ghash = match ghash_kind {
+            GhashEngineKind::Soft => GhashEngine::Soft(GhashSoft::new(h)),
+            #[cfg(target_arch = "x86_64")]
+            GhashEngineKind::Clmul => {
+                if !crate::aes::hardware_acceleration_available() {
+                    return Err(Error::HardwareUnavailable);
+                }
+                GhashEngine::Clmul(GhashClmul::new(h))
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            GhashEngineKind::Clmul => return Err(Error::HardwareUnavailable),
+        };
+        Ok(AesGcm {
+            aes,
+            ghash,
+            key_bits: key.len() * 8,
+        })
+    }
+
+    /// Key size in bits (128 or 256).
+    pub fn key_bits(&self) -> usize {
+        self.key_bits
+    }
+
+    #[inline]
+    fn counter_blocks(nonce: &[u8; NONCE_LEN]) -> ([u8; 16], [u8; 16]) {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        let mut ctr1 = j0;
+        inc32(&mut ctr1);
+        (j0, ctr1)
+    }
+
+    #[inline]
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let s = self.ghash.ghash(aad, ct);
+        let mut ek_j0 = *j0;
+        self.aes.encrypt_block(&mut ek_j0);
+        let mut tag = [0u8; 16];
+        for i in 0..16 {
+            tag[i] = s[i] ^ ek_j0[i];
+        }
+        tag
+    }
+
+    /// Encrypt `buf` in place and return the authentication tag.
+    pub fn seal_detached(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], buf: &mut [u8]) -> [u8; 16] {
+        let (j0, ctr1) = Self::counter_blocks(nonce);
+        self.aes.ctr_apply(&ctr1, buf);
+        self.tag(&j0, aad, buf)
+    }
+
+    /// Verify `tag` over the ciphertext in `buf`, then decrypt in place.
+    ///
+    /// On failure the buffer is left untouched (still ciphertext) and
+    /// [`Error::AuthFailure`] is returned.
+    pub fn open_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<()> {
+        let (j0, ctr1) = Self::counter_blocks(nonce);
+        let expect = self.tag(&j0, aad, buf);
+        if !ct_eq(&expect, tag) {
+            return Err(Error::AuthFailure);
+        }
+        self.aes.ctr_apply(&ctr1, buf);
+        Ok(())
+    }
+
+    /// Encrypt `plaintext`, returning `ciphertext ‖ tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        let tag = self.seal_detached(nonce, aad, &mut out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypt `ciphertext ‖ tag`, returning the plaintext.
+    pub fn open(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct_and_tag: &[u8]) -> Result<Vec<u8>> {
+        if ct_and_tag.len() < TAG_LEN {
+            return Err(Error::CiphertextTooShort {
+                got: ct_and_tag.len(),
+            });
+        }
+        let split = ct_and_tag.len() - TAG_LEN;
+        let mut buf = ct_and_tag[..split].to_vec();
+        let mut tag = [0u8; TAG_LEN];
+        tag.copy_from_slice(&ct_and_tag[split..]);
+        self.open_detached(nonce, aad, &mut buf, &tag)?;
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn engine_combos() -> Vec<(AesEngineKind, GhashEngineKind)> {
+        let mut v = vec![(AesEngineKind::Soft, GhashEngineKind::Soft)];
+        if crate::aes::hardware_acceleration_available() {
+            v.push((AesEngineKind::Ni, GhashEngineKind::Clmul));
+            v.push((AesEngineKind::NiPipelined, GhashEngineKind::Clmul));
+            v.push((AesEngineKind::NiPipelined, GhashEngineKind::Soft));
+            v.push((AesEngineKind::Soft, GhashEngineKind::Clmul));
+        }
+        v
+    }
+
+    struct Kat {
+        key: &'static str,
+        iv: &'static str,
+        pt: &'static str,
+        aad: &'static str,
+        ct: &'static str,
+        tag: &'static str,
+    }
+
+    /// McGrew–Viega GCM spec test cases 1–4 (AES-128) and 14/16-style
+    /// AES-256 cases.
+    const KATS: &[Kat] = &[
+        Kat {
+            key: "00000000000000000000000000000000",
+            iv: "000000000000000000000000",
+            pt: "",
+            aad: "",
+            ct: "",
+            tag: "58e2fccefa7e3061367f1d57a4e7455a",
+        },
+        Kat {
+            key: "00000000000000000000000000000000",
+            iv: "000000000000000000000000",
+            pt: "00000000000000000000000000000000",
+            aad: "",
+            ct: "0388dace60b6a392f328c2b971b2fe78",
+            tag: "ab6e47d42cec13bdf53a67b21257bddf",
+        },
+        Kat {
+            key: "feffe9928665731c6d6a8f9467308308",
+            iv: "cafebabefacedbaddecaf888",
+            pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+                 1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+            aad: "",
+            ct: "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+            tag: "4d5c2af327cd64a62cf35abd2ba6fab4",
+        },
+        Kat {
+            key: "feffe9928665731c6d6a8f9467308308",
+            iv: "cafebabefacedbaddecaf888",
+            pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+                 1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+            aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+            ct: "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+            tag: "5bc94fbc3221a5db94fae95ae7121a47",
+        },
+        Kat {
+            key: "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+            iv: "cafebabefacedbaddecaf888",
+            pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+                 1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+            aad: "",
+            ct: "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa\
+                 8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662898015ad",
+            tag: "b094dac5d93471bdec1a502270e3cc6c",
+        },
+    ];
+
+    #[test]
+    fn nist_vectors_all_engines() {
+        for (ai, gi) in engine_combos() {
+            for (i, kat) in KATS.iter().enumerate() {
+                let cipher =
+                    AesGcm::with_engines(ai, gi, &hex(kat.key)).unwrap();
+                let mut nonce = [0u8; 12];
+                nonce.copy_from_slice(&hex(kat.iv));
+                let pt = hex(&kat.pt.replace(char::is_whitespace, ""));
+                let aad = hex(kat.aad);
+                let out = cipher.seal(&nonce, &aad, &pt);
+                let expect_ct = hex(&kat.ct.replace(char::is_whitespace, ""));
+                let expect_tag = hex(kat.tag);
+                assert_eq!(&out[..pt.len()], &expect_ct[..], "KAT {i} ct ({ai:?},{gi:?})");
+                assert_eq!(&out[pt.len()..], &expect_tag[..], "KAT {i} tag ({ai:?},{gi:?})");
+                let back = cipher.open(&nonce, &aad, &out).unwrap();
+                assert_eq!(back, pt, "KAT {i} roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn tamper_detection_everywhere() {
+        let cipher = AesGcm::new(&[0x11u8; 32]).unwrap();
+        let nonce = [9u8; 12];
+        let aad = b"header";
+        let out = cipher.seal(&nonce, aad, b"the quick brown fox jumps");
+        // Flip each byte of the ciphertext+tag in turn.
+        for i in 0..out.len() {
+            let mut bad = out.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                cipher.open(&nonce, aad, &bad),
+                Err(Error::AuthFailure),
+                "byte {i}"
+            );
+        }
+        // Wrong AAD.
+        assert_eq!(cipher.open(&nonce, b"headeR", &out), Err(Error::AuthFailure));
+        // Wrong nonce.
+        let nonce2 = [8u8; 12];
+        assert_eq!(cipher.open(&nonce2, aad, &out), Err(Error::AuthFailure));
+    }
+
+    #[test]
+    fn open_detached_leaves_buffer_on_failure() {
+        let cipher = AesGcm::new(&[3u8; 16]).unwrap();
+        let nonce = [1u8; 12];
+        let mut buf = *b"sixteen byte msg";
+        let _good = cipher.seal_detached(&nonce, b"", &mut buf);
+        let snapshot = buf;
+        let bad_tag = [0u8; 16];
+        assert!(cipher.open_detached(&nonce, b"", &mut buf, &bad_tag).is_err());
+        assert_eq!(buf, snapshot, "failed open must not decrypt");
+    }
+
+    #[test]
+    fn short_ciphertext_rejected() {
+        let cipher = AesGcm::new(&[3u8; 16]).unwrap();
+        let nonce = [1u8; 12];
+        assert!(matches!(
+            cipher.open(&nonce, b"", &[0u8; 15]),
+            Err(Error::CiphertextTooShort { got: 15 })
+        ));
+    }
+
+    #[test]
+    fn cross_engine_interop() {
+        // A ciphertext produced by one engine combo must decrypt under
+        // every other combo — they all implement the same AES-GCM.
+        let key = [0x5au8; 32];
+        let nonce = [0x42u8; 12];
+        let msg: Vec<u8> = (0..777).map(|i| (i % 251) as u8).collect();
+        let combos = engine_combos();
+        let reference = AesGcm::with_engines(combos[0].0, combos[0].1, &key)
+            .unwrap()
+            .seal(&nonce, b"aad", &msg);
+        for (ai, gi) in combos {
+            let c = AesGcm::with_engines(ai, gi, &key).unwrap();
+            assert_eq!(c.seal(&nonce, b"aad", &msg), reference, "({ai:?},{gi:?})");
+            assert_eq!(c.open(&nonce, b"aad", &reference).unwrap(), msg);
+        }
+    }
+}

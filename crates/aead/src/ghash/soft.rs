@@ -1,0 +1,103 @@
+//! Shoup's 4-bit table GHASH (the classic software method, as used by
+//! mbedTLS and the table-driven paths of CryptoPP).
+//!
+//! A 16-entry table of `i · H` for all 4-bit polynomials `i` is
+//! precomputed; each input byte then costs two table lookups and two
+//! 4-bit reductions via the `LAST4` constant table.
+
+use super::{GhashImpl, R};
+
+/// Reduction constants for shifting 4 bits out of the field element:
+/// `LAST4[rem] = rem · (x⁻⁴ mod g)` packed into the top 16 bits.
+const LAST4: [u16; 16] = [
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0, 0xe100, 0xfd20, 0xd940,
+    0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+];
+
+/// Software GHASH engine keyed with hash subkey `H`.
+pub struct GhashSoft {
+    table: [u128; 16],
+}
+
+impl GhashSoft {
+    /// Precompute the 16-entry nibble table for `h`.
+    pub fn new(h: u128) -> Self {
+        let mut table = [0u128; 16];
+        table[8] = h;
+        let mut v = h;
+        for i in [4usize, 2, 1] {
+            v = mul_x(v);
+            table[i] = v;
+        }
+        for i in [2usize, 4, 8] {
+            for j in 1..i {
+                table[i + j] = table[i] ^ table[j];
+            }
+        }
+        GhashSoft { table }
+    }
+}
+
+/// Divide by x in the reflected representation (shift right, reduce).
+#[inline]
+fn mul_x(v: u128) -> u128 {
+    let lsb = v & 1;
+    let mut out = v >> 1;
+    if lsb == 1 {
+        out ^= R;
+    }
+    out
+}
+
+impl GhashImpl for GhashSoft {
+    fn mult(&self, x: u128) -> u128 {
+        let b = x.to_be_bytes();
+        let mut z = self.table[(b[15] & 0x0f) as usize];
+        for i in (0..16).rev() {
+            let lo = (b[i] & 0x0f) as usize;
+            let hi = (b[i] >> 4) as usize;
+            if i != 15 {
+                let rem = (z & 0x0f) as usize;
+                z >>= 4;
+                z ^= (LAST4[rem] as u128) << 112;
+                z ^= self.table[lo];
+            }
+            let rem = (z & 0x0f) as usize;
+            z >>= 4;
+            z ^= (LAST4[rem] as u128) << 112;
+            z ^= self.table[hi];
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ghash::gmul_bitwise;
+
+    #[test]
+    fn table_entries_are_nibble_multiples() {
+        let h = 0x123456789abcdef0fedcba9876543210u128;
+        let g = GhashSoft::new(h);
+        // table[i] must equal (nibble polynomial i placed at x^124..x^127
+        // reflected position) · H. In the reflected u128 representation a
+        // 4-bit polynomial i sits in the low nibble as bits of x^124..x^127
+        // ... easiest check: table[1] = H / x^3? Instead verify through
+        // the multiplicative identity used to build the table:
+        // table[8] = H, table[4] = table[8]/x, etc.
+        assert_eq!(g.table[8], h);
+        assert_eq!(g.table[4], mul_x(h));
+        assert_eq!(g.table[12], g.table[8] ^ g.table[4]);
+        assert_eq!(g.table[0], 0);
+    }
+
+    #[test]
+    fn mult_edge_values() {
+        let h = 0xe1000000000000000000000000000000u128;
+        let g = GhashSoft::new(h);
+        for x in [0u128, 1, u128::MAX, 1 << 127, 0xf, 0xf0] {
+            assert_eq!(g.mult(x), gmul_bitwise(x, h), "x={x:032x}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion bench: AES engine ablation — software T-tables vs AES-NI
+//! single-block vs the 8-block interleaved pipeline. The single-vs-
+//! pipelined gap *is* the Libsodium-vs-OpenSSL gap of Fig. 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use empi_aead::aes::{hardware_acceleration_available, BlockEncrypt, SoftAes};
+
+fn bench_ctr_engines(c: &mut Criterion) {
+    let key = [0x42u8; 32];
+    let ctr = [5u8; 16];
+    let mut group = c.benchmark_group("aes_ctr_engines");
+    for &size in &[4usize << 10, 256 << 10] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let mut buf = vec![0u8; size];
+        let soft = SoftAes::new(&key).unwrap();
+        group.bench_with_input(BenchmarkId::new("soft_ttable", size), &size, |b, _| {
+            b.iter(|| soft.ctr_apply(&ctr, &mut buf))
+        });
+        #[cfg(target_arch = "x86_64")]
+        if hardware_acceleration_available() {
+            let ni = empi_aead::aes::AesNi::new(&key).unwrap();
+            group.bench_with_input(BenchmarkId::new("aesni_1block", size), &size, |b, _| {
+                b.iter(|| ni.ctr_apply(&ctr, &mut buf))
+            });
+            let pipe = empi_aead::aes::AesNiPipelined::new(&key).unwrap();
+            group.bench_with_input(BenchmarkId::new("aesni_8block", size), &size, |b, _| {
+                b.iter(|| pipe.ctr_apply(&ctr, &mut buf))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_single_block(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let mut group = c.benchmark_group("aes_single_block");
+    let soft = SoftAes::new(&key).unwrap();
+    let mut block = [7u8; 16];
+    group.bench_function("soft", |b| b.iter(|| soft.encrypt_block(&mut block)));
+    #[cfg(target_arch = "x86_64")]
+    if hardware_acceleration_available() {
+        let ni = empi_aead::aes::AesNi::new(&key).unwrap();
+        group.bench_function("aesni", |b| b.iter(|| ni.encrypt_block(&mut block)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_ctr_engines, bench_single_block
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion bench: collective-algorithm ablations in *virtual time* —
+//! Bruck vs pairwise alltoall and the eager/rendezvous threshold
+//! (DESIGN.md §7). Criterion measures host time; since the simulated
+//! cluster is deterministic, we additionally print the virtual-time
+//! outcomes once per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use empi_mpi::World;
+use empi_netsim::{NetModel, Topology};
+
+fn virtual_alltoall_us(block: usize, force_pairwise: bool) -> f64 {
+    let w = World::new(NetModel::ethernet_10g(), Topology::block(16, 4));
+    let out = w.run(|c| {
+        let n = c.size();
+        let send = vec![0u8; block * n];
+        if force_pairwise {
+            // Pairwise via explicit sendrecv rounds.
+            let me = c.rank();
+            for i in 1..n {
+                let dst = (me + i) % n;
+                let src = (me + n - i) % n;
+                let _ = c.sendrecv(
+                    &send[dst * block..(dst + 1) * block],
+                    dst,
+                    7,
+                    empi_mpi::Src::Is(src),
+                    empi_mpi::TagSel::Is(7),
+                );
+            }
+        } else {
+            let _ = c.alltoall(&send, block); // Bruck for small blocks
+        }
+        c.now().as_micros_f64()
+    });
+    out.results.iter().cloned().fold(0.0, f64::max)
+}
+
+fn bench_alltoall_algorithms(c: &mut Criterion) {
+    // Print the virtual-time ablation once (the scientifically
+    // interesting number), then let criterion measure host cost.
+    for block in [1usize, 64, 256] {
+        let bruck = virtual_alltoall_us(block, false);
+        let pairwise = virtual_alltoall_us(block, true);
+        println!(
+            "virtual-time ablation: alltoall {block}B blocks, 16 ranks: \
+             bruck={bruck:.1}us pairwise={pairwise:.1}us"
+        );
+    }
+    let mut group = c.benchmark_group("alltoall_host_cost");
+    group.sample_size(10);
+    group.bench_function("bruck_small_blocks", |b| {
+        b.iter(|| virtual_alltoall_us(16, false))
+    });
+    group.bench_function("pairwise_small_blocks", |b| {
+        b.iter(|| virtual_alltoall_us(16, true))
+    });
+    group.finish();
+}
+
+fn bench_eager_threshold(c: &mut Criterion) {
+    // Virtual-time effect of the rendezvous switch: a message right at
+    // the threshold vs right above it.
+    let model = NetModel::ethernet_10g();
+    let thr = model.eager_threshold;
+    for size in [thr, thr + 1] {
+        let w = World::flat(model.clone(), 2);
+        let out = w.run(move |c| {
+            if c.rank() == 0 {
+                c.send(&vec![0u8; size], 1, 0);
+            } else {
+                let _ = c.recv(empi_mpi::Src::Is(0), empi_mpi::TagSel::Is(0));
+            }
+            c.now().as_micros_f64()
+        });
+        println!(
+            "virtual-time ablation: {}B one-way ({}): {:.1}us",
+            size,
+            if size <= thr { "eager" } else { "rendezvous" },
+            out.results[1]
+        );
+    }
+    let mut group = c.benchmark_group("eager_threshold_host_cost");
+    group.sample_size(10);
+    group.bench_function("eager_send", |b| {
+        b.iter(|| {
+            let w = World::flat(NetModel::ethernet_10g(), 2);
+            w.run(|c| {
+                if c.rank() == 0 {
+                    c.send(&vec![0u8; 1024], 1, 0);
+                } else {
+                    let _ = c.recv(empi_mpi::Src::Is(0), empi_mpi::TagSel::Is(0));
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_alltoall_algorithms, bench_eager_threshold
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: the Fig. 2 primitive — AES-GCM seal/open per library
+//! profile across message sizes, plus the nonce-policy ablation
+//! (random vs counter nonces, DESIGN.md §7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use empi_aead::nonce::{NoncePolicy, NonceSource};
+use empi_aead::profile::{CryptoLibrary, KeySize, REPORTED_LIBRARIES};
+
+fn bench_seal_open(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes_gcm_encdec");
+    let key = [0x42u8; 32];
+    let nonce = [7u8; 12];
+    for &size in &[256usize, 4 << 10, 64 << 10, 1 << 20] {
+        group.throughput(Throughput::Bytes(2 * size as u64)); // enc + dec
+        for lib in REPORTED_LIBRARIES {
+            let cipher = lib.instantiate(KeySize::Aes256, &key).unwrap();
+            let mut buf = vec![0xABu8; size];
+            group.bench_with_input(
+                BenchmarkId::new(lib.name(), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        let tag = cipher.seal_detached(&nonce, b"", &mut buf);
+                        cipher
+                            .open_detached(&nonce, b"", &mut buf, &tag)
+                            .expect("authentic");
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_key_sizes(c: &mut Criterion) {
+    // AES-128 vs AES-256: the paper's "longer key, slower speed" point.
+    let mut group = c.benchmark_group("key_size");
+    let size = 64 << 10;
+    group.throughput(Throughput::Bytes(size as u64));
+    for (label, key_size, key_len) in
+        [("aes128", KeySize::Aes128, 16usize), ("aes256", KeySize::Aes256, 32)]
+    {
+        let key = vec![0x11u8; key_len];
+        let cipher = CryptoLibrary::BoringSsl.instantiate(key_size, &key).unwrap();
+        let mut buf = vec![0u8; size];
+        let nonce = [1u8; 12];
+        group.bench_function(label, |b| {
+            b.iter(|| cipher.seal_detached(&nonce, b"", &mut buf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nonce_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonce_policy");
+    for (label, policy) in [
+        ("random", NoncePolicy::Random),
+        ("counter", NoncePolicy::Counter { sender_id: 1 }),
+    ] {
+        let mut src = NonceSource::new(policy);
+        group.bench_function(label, |b| b.iter(|| src.next_nonce()));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_seal_open, bench_key_sizes, bench_nonce_policies
+}
+criterion_main!(benches);

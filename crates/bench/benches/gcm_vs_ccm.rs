@@ -1,0 +1,33 @@
+//! Criterion bench: GCM vs CCM — §III-A of the paper: "only GCM and CCM
+//! satisfy both privacy and integrity, but GCM is the faster one."
+//! CCM pays two AES passes (CBC-MAC + CTR); GCM pays one plus GHASH.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use empi_aead::ccm::AesCcm;
+use empi_aead::gcm::AesGcm;
+
+fn bench_gcm_vs_ccm(c: &mut Criterion) {
+    let key = [0x42u8; 32];
+    let nonce = [7u8; 12];
+    let mut group = c.benchmark_group("gcm_vs_ccm_seal");
+    for &size in &[1usize << 10, 64 << 10, 1 << 20] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let msg = vec![0xABu8; size];
+        let gcm = AesGcm::new(&key).unwrap();
+        group.bench_with_input(BenchmarkId::new("aes_gcm", size), &size, |b, _| {
+            b.iter(|| gcm.seal(&nonce, b"", &msg))
+        });
+        let ccm = AesCcm::new_default(&key).unwrap();
+        group.bench_with_input(BenchmarkId::new("aes_ccm", size), &size, |b, _| {
+            b.iter(|| ccm.seal(&nonce, b"", &msg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gcm_vs_ccm
+}
+criterion_main!(benches);

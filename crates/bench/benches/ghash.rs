@@ -1,0 +1,51 @@
+//! Criterion bench: GHASH engine ablation — Shoup 4-bit tables vs
+//! PCLMULQDQ with 4-block aggregation (the OpenSSL-vs-CryptoPP gap on
+//! the authentication side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use empi_aead::aes::hardware_acceleration_available;
+use empi_aead::ghash::{GhashImpl, GhashSoft};
+
+fn bench_ghash(c: &mut Criterion) {
+    let h = 0x66e94bd4ef8a2c3b884cfa59ca342b2eu128;
+    let mut group = c.benchmark_group("ghash");
+    for &size in &[4usize << 10, 64 << 10] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        let soft = GhashSoft::new(h);
+        group.bench_with_input(BenchmarkId::new("soft_4bit_tables", size), &size, |b, _| {
+            b.iter(|| soft.ghash(b"", &data))
+        });
+        #[cfg(target_arch = "x86_64")]
+        if hardware_acceleration_available() {
+            let clmul = empi_aead::ghash::GhashClmul::new(h);
+            group.bench_with_input(
+                BenchmarkId::new("pclmul_aggregated", size),
+                &size,
+                |b, _| b.iter(|| clmul.ghash(b"", &data)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_single_mult(c: &mut Criterion) {
+    let h = 0xdeadbeefcafebabe1122334455667788u128;
+    let x = 0x0123456789abcdef0fedcba987654321u128;
+    let mut group = c.benchmark_group("gf128_mult");
+    let soft = GhashSoft::new(h);
+    group.bench_function("soft", |b| b.iter(|| soft.mult(std::hint::black_box(x))));
+    #[cfg(target_arch = "x86_64")]
+    if hardware_acceleration_available() {
+        let clmul = empi_aead::ghash::GhashClmul::new(h);
+        group.bench_function("pclmul", |b| b.iter(|| clmul.mult(std::hint::black_box(x))));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_ghash, bench_single_mult
+}
+criterion_main!(benches);

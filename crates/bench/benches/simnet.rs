@@ -1,0 +1,68 @@
+//! Criterion bench: simulator overhead — real host cost per simulated
+//! message and per scheduler yield. Keeps the engine honest: the paper's
+//! benchmarks push hundreds of thousands of messages through it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use empi_mpi::{Src, TagSel, World};
+use empi_netsim::{Engine, NetModel, VDur};
+
+fn bench_yield(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("yields_1rank_x1000", |b| {
+        b.iter(|| {
+            Engine::new(1).run(|h| {
+                for _ in 0..1000 {
+                    h.advance(VDur(10));
+                }
+            })
+        })
+    });
+    group.bench_function("yields_4ranks_x250", |b| {
+        b.iter(|| {
+            Engine::new(4).run(|h| {
+                for _ in 0..250 {
+                    h.advance(VDur(10));
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_message_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_messages");
+    group.throughput(Throughput::Elements(200));
+    group.bench_function("pingpong_x200", |b| {
+        b.iter(|| {
+            let w = World::flat(NetModel::instant(), 2);
+            w.run(|c| {
+                if c.rank() == 0 {
+                    for _ in 0..200 {
+                        c.send(b"x", 1, 0);
+                        let _ = c.recv(Src::Is(1), TagSel::Is(0));
+                    }
+                } else {
+                    for _ in 0..200 {
+                        let (_, m) = c.recv(Src::Is(0), TagSel::Is(0));
+                        c.send(&m, 0, 0);
+                    }
+                }
+            })
+        })
+    });
+    group.bench_function("world_startup_16ranks", |b| {
+        b.iter(|| {
+            let w = World::flat(NetModel::instant(), 16);
+            w.run(|c| c.rank())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_yield, bench_message_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Reproduce every table and figure of the paper in one run.
+use empi_bench::collectives::CollOp;
+use empi_bench::{collectives, emit, encdec, extensions, multipair, nasbench, pingpong, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    let out = &opts.out_dir;
+    println!("# empi full reproduction run (quick={})\n", opts.quick);
+    emit(&encdec::run(&opts), out);
+    for net in opts.nets.clone() {
+        emit(&pingpong::run_net(net, &opts), out);
+        emit(&multipair::run_net(net, &opts), out);
+        for op in [CollOp::Bcast, CollOp::Alltoall] {
+            emit(&collectives::run_net(net, op, &opts), out);
+        }
+        emit(&nasbench::run_net(net, &opts), out);
+        emit(&[extensions::keysize_table(net, &opts)], out);
+        if !opts.quick {
+            emit(&[extensions::scale_table(net, &opts)], out);
+        }
+    }
+    println!("CSV results written to {}", out.display());
+}

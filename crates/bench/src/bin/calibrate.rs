@@ -1,0 +1,60 @@
+//! Calibration helper for the NAS compute models (DESIGN.md §5).
+//!
+//! For each kernel it separates the baseline into communication and
+//! compute (by re-running with doubled compute constants), measures the
+//! encrypted delta under BoringSSL, and prints the `ns_per_unit` scale
+//! that would land the overhead on the paper's Table IV value.
+use empi_aead::profile::CryptoLibrary;
+use empi_bench::common::Net;
+use empi_bench::nasbench::nas_seconds;
+use empi_nas::{Class, Kernel};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only: Option<&str> = args.first().map(|s| s.as_str());
+    // BoringSSL per-kernel overheads from Table IV (Ethernet).
+    let paper_oh = [0.2197, 0.0640, 0.1804, 0.0560, 0.2002, 0.1123, 0.1133];
+    println!("kernel  base_s  comm_s  comp_s  enc_s  oh_now%  oh_paper%  suggested_scale  wall_s");
+    for (i, k) in Kernel::ALL.iter().enumerate() {
+        if let Some(o) = only {
+            if !k.name().eq_ignore_ascii_case(o) {
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        std::env::remove_var("EMPI_NAS_NS_SCALE");
+        let (base1, ok1) = nas_seconds(Net::Ethernet, None, *k, Class::MiniC, 64, 8);
+        std::env::set_var("EMPI_NAS_NS_SCALE", "2.0");
+        let (base2, _) = nas_seconds(Net::Ethernet, None, *k, Class::MiniC, 64, 8);
+        std::env::remove_var("EMPI_NAS_NS_SCALE");
+        let (enc, ok2) = nas_seconds(
+            Net::Ethernet,
+            Some(CryptoLibrary::BoringSsl),
+            *k,
+            Class::MiniC,
+            64,
+            8,
+        );
+        let compute = base2 - base1;
+        let comm = base1 - compute;
+        let delta = enc - base1;
+        let oh_now = delta / base1 * 100.0;
+        let base_req = delta / paper_oh[i];
+        let scale = ((base_req - comm) / compute).max(0.05);
+        println!(
+            "{:<6}  {:6.3}  {:6.3}  {:6.3}  {:6.3}  {:6.1}  {:8.1}  {:14.2}  {:5.1} v={}{}",
+            k.name(),
+            base1,
+            comm,
+            compute,
+            enc,
+            oh_now,
+            paper_oh[i] * 100.0,
+            scale,
+            t0.elapsed().as_secs_f64(),
+            ok1,
+            ok2
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! TAB-2/3/6/7 and FIG-7/8/14/15: Encrypted_Bcast / Encrypted_Alltoall.
+use empi_bench::collectives::CollOp;
+use empi_bench::{collectives, emit, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        for op in [CollOp::Bcast, CollOp::Alltoall] {
+            emit(&collectives::run_net(net, op, &opts), &opts.out_dir);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! FIG-2 / FIG-9: AES-GCM enc-dec throughput curves.
+use empi_bench::{emit, encdec, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    emit(&encdec::run(&opts), &opts.out_dir);
+}

@@ -1,0 +1,9 @@
+//! FIG-4/5/6 and FIG-11/12/13: OSU multi-pair bandwidth.
+use empi_bench::{emit, multipair, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&multipair::run_net(net, &opts), &opts.out_dir);
+    }
+}

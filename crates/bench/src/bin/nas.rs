@@ -1,0 +1,9 @@
+//! TAB-4 / TAB-8: NAS parallel benchmarks, plain vs encrypted MPI.
+use empi_bench::{emit, nasbench, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&nasbench::run_net(net, &opts), &opts.out_dir);
+    }
+}

@@ -1,0 +1,9 @@
+//! TAB-1 / FIG-3 / TAB-5 / FIG-10: ping-pong throughput.
+use empi_bench::{emit, pingpong, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&pingpong::run_net(net, &opts), &opts.out_dir);
+    }
+}

@@ -1,0 +1,39 @@
+//! Render harness CSVs as terminal charts — the "figures" of the paper.
+//!
+//! ```bash
+//! cargo run --release -p empi-bench --bin plot results/fig-3.csv
+//! cargo run --release -p empi-bench --bin plot            # all figures
+//! ```
+use empi_bench::plot::{render, series_from_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<String> = if args.is_empty() {
+        let mut v: Vec<String> = std::fs::read_dir("results")
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.path().display().to_string())
+                    .filter(|p| p.ends_with(".csv") && p.contains("fig-"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort();
+        v
+    } else {
+        args
+    };
+    if files.is_empty() {
+        eprintln!("no figure CSVs found; run the harnesses first");
+        std::process::exit(1);
+    }
+    for f in files {
+        match std::fs::read_to_string(&f) {
+            Ok(csv) => {
+                let (title, series) = series_from_csv(&csv);
+                let log_y = title.contains("overhead") || title.contains("throughput");
+                println!("{}", render(&title, &series, 64, 16, log_y));
+            }
+            Err(e) => eprintln!("{f}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! EXT tables: NAS scalability + key-size parity, per network.
+use empi_bench::{emit, extensions, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&[extensions::scale_table(net, &opts)], &opts.out_dir);
+        emit(&[extensions::keysize_table(net, &opts)], &opts.out_dir);
+    }
+}

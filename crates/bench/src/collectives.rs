@@ -1,0 +1,284 @@
+//! Collective benchmarks — Encrypted_Bcast (TAB-2 / TAB-6, FIG-7 /
+//! FIG-14) and Encrypted_Alltoall (TAB-3 / TAB-7, FIG-8 / FIG-15) at the
+//! paper's 64-rank / 8-node setting.
+//!
+//! For alltoall blocks above 64 KB the harness switches to a streaming
+//! pairwise exchange (one sealed block in flight per round) instead of
+//! materializing all 63 encrypted blocks per rank — byte- and
+//! crypto-identical traffic, bounded memory (DESIGN.md §2; the simulated
+//! cluster shares one address space, unlike the paper's 8 real nodes).
+
+use empi_aead::profile::CryptoLibrary;
+use empi_core::SecureComm;
+use empi_mpi::{Comm, Src, TagSel, World};
+use empi_netsim::Topology;
+
+use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net};
+use crate::stats::{measure_until_stable, overhead_percent};
+use crate::table::{fmt_value, size_label, Table};
+
+/// The paper's collective geometry.
+pub const RANKS: usize = 64;
+/// Nodes hosting those ranks.
+pub const NODES: usize = 8;
+/// Table II/III/VI/VII message sizes.
+pub const TABLE_SIZES: [usize; 3] = [1, 16 << 10, 4 << 20];
+/// Extra sweep points for the overhead figures.
+pub const FIGURE_SIZES: [usize; 5] = [1, 1 << 10, 16 << 10, 256 << 10, 4 << 20];
+
+/// Which collective to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollOp {
+    /// `Encrypted_Bcast`.
+    Bcast,
+    /// `Encrypted_Alltoall`.
+    Alltoall,
+}
+
+impl CollOp {
+    /// Name for titles.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::Bcast => "Encrypted_Bcast",
+            CollOp::Alltoall => "Encrypted_Alltoall",
+        }
+    }
+}
+
+/// Blocks larger than this use the streaming pairwise alltoall.
+const STREAM_THRESHOLD: usize = 64 << 10;
+
+fn plain_alltoall_streaming(c: &Comm, size: usize) {
+    let n = c.size();
+    let me = c.rank();
+    let buf = vec![0xA5u8; size];
+    for i in 1..n {
+        let dst = (me + i) % n;
+        let src = (me + n - i) % n;
+        let _ = c.sendrecv(&buf, dst, 2, Src::Is(src), TagSel::Is(2));
+    }
+}
+
+fn secure_alltoall_streaming(sc: &SecureComm, size: usize) {
+    let n = sc.size();
+    let me = sc.rank();
+    let buf = vec![0xA5u8; size];
+    for i in 1..n {
+        let dst = (me + i) % n;
+        let src = (me + n - i) % n;
+        let _ = sc.sendrecv(&buf, dst, 2, Src::Is(src), TagSel::Is(2)).unwrap();
+    }
+}
+
+/// One collective measurement: mean time per operation in µs.
+pub fn collective_us(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    op: CollOp,
+    size: usize,
+    ranks: usize,
+    nodes: usize,
+    iters: usize,
+) -> f64 {
+    let world = World::new(net.model(), Topology::block(ranks, nodes));
+    let out = world.run(|c| {
+        let sc = lib.map(|l| SecureComm::new(c, security_config(l, net)).unwrap());
+        c.barrier();
+        let t0 = c.now();
+        for _ in 0..iters {
+            match (op, &sc) {
+                (CollOp::Bcast, None) => {
+                    let mut buf = vec![1u8; size];
+                    c.bcast(&mut buf, 0);
+                }
+                (CollOp::Bcast, Some(sc)) => {
+                    let mut buf = vec![1u8; size];
+                    sc.bcast(&mut buf, 0).unwrap();
+                }
+                (CollOp::Alltoall, None) => {
+                    if size > STREAM_THRESHOLD {
+                        plain_alltoall_streaming(c, size);
+                    } else {
+                        let send = vec![0xA5u8; size * c.size()];
+                        let _ = c.alltoall(&send, size);
+                    }
+                }
+                (CollOp::Alltoall, Some(sc)) => {
+                    if size > STREAM_THRESHOLD {
+                        secure_alltoall_streaming(sc, size);
+                    } else {
+                        let send = vec![0xA5u8; size * c.size()];
+                        let _ = sc.alltoall(&send, size).unwrap();
+                    }
+                }
+            }
+        }
+        c.barrier();
+        (c.now() - t0).as_micros_f64()
+    });
+    out.results[0] / iters as f64
+}
+
+fn iters_for(op: CollOp, size: usize, quick: bool) -> usize {
+    let base = match (op, size) {
+        (_, s) if s >= 1 << 20 => 1,
+        (CollOp::Alltoall, _) => 3,
+        (CollOp::Bcast, _) => 10,
+    };
+    if quick {
+        base.min(2)
+    } else {
+        base
+    }
+}
+
+/// Build the timing table (TAB-2/3/6/7) and the overhead-figure table
+/// (FIG-7/8/14/15) for one network and collective.
+pub fn run_net(net: Net, op: CollOp, opts: &BenchOpts) -> Vec<Table> {
+    let (tab_id, fig_id) = match (net, op) {
+        (Net::Ethernet, CollOp::Bcast) => ("TAB-2", "FIG-7"),
+        (Net::Ethernet, CollOp::Alltoall) => ("TAB-3", "FIG-8"),
+        (Net::Infiniband, CollOp::Bcast) => ("TAB-6", "FIG-14"),
+        (Net::Infiniband, CollOp::Alltoall) => ("TAB-7", "FIG-15"),
+    };
+    // In quick mode cap the sweep at 256 KB (the 4 MB alltoall runs
+    // gigabytes of real crypto through the slow software backends).
+    let cap = if opts.quick { 256 << 10 } else { usize::MAX };
+    let table_sizes: Vec<usize> = TABLE_SIZES.iter().copied().filter(|&s| s <= cap).collect();
+    // The 256 KB alltoall sweep point alone moves ~4 GB of real crypto
+    // through the software backend; the bcast sweep keeps it.
+    let figure_sizes: Vec<usize> = FIGURE_SIZES
+        .iter()
+        .copied()
+        .filter(|&s| s <= cap && (op == CollOp::Bcast || s != 256 << 10))
+        .collect();
+    let (ranks, nodes) = if opts.quick { (16, 4) } else { (RANKS, NODES) };
+
+    let mut measured: Vec<(Option<CryptoLibrary>, Vec<f64>)> = Vec::new();
+    let all_sizes: Vec<usize> = {
+        let mut v = table_sizes.clone();
+        for s in &figure_sizes {
+            if !v.contains(s) {
+                v.push(*s);
+            }
+        }
+        v.sort_unstable();
+        v
+    };
+    for lib in reported_rows() {
+        let times: Vec<f64> = all_sizes
+            .iter()
+            .map(|&s| {
+                let iters = iters_for(op, s, opts.quick);
+                // ≥1 MB points move gigabytes of real crypto through the
+                // software backends; the calibrated simulation is
+                // deterministic, so one run suffices there.
+                let reps_min = if s >= 1 << 20 { 1 } else { opts.reps_min };
+                measure_until_stable(reps_min, opts.reps_max.max(reps_min), || {
+                    collective_us(net, lib, op, s, ranks, nodes, iters)
+                })
+                .mean
+            })
+            .collect();
+        measured.push((lib, times));
+    }
+    let col = |s: usize| all_sizes.iter().position(|&x| x == s).unwrap();
+
+    let mut tab = Table::new(
+        format!(
+            "{tab_id}: avg timing of {} (us), 256-bit key, {} ({} ranks / {} nodes)",
+            op.name(),
+            net.name(),
+            ranks,
+            nodes
+        ),
+        "",
+        table_sizes.iter().map(|&s| size_label(s)).collect(),
+    );
+    for (lib, times) in &measured {
+        tab.push_row(
+            row_label(*lib),
+            table_sizes.iter().map(|&s| fmt_value(times[col(s)])).collect(),
+        );
+    }
+
+    let mut fig = Table::new(
+        format!(
+            "{fig_id}: encryption overhead (%) of {} vs message size, {}",
+            op.name(),
+            net.name()
+        ),
+        "",
+        figure_sizes.iter().map(|&s| size_label(s)).collect(),
+    );
+    let baseline = measured[0].1.clone();
+    for (lib, times) in measured.iter().skip(1) {
+        fig.push_row(
+            row_label(*lib),
+            figure_sizes
+                .iter()
+                .map(|&s| format!("{:.1}", overhead_percent(baseline[col(s)], times[col(s)])))
+                .collect(),
+        );
+    }
+    vec![tab, fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcast_overhead_ranking_holds() {
+        // 16-rank / 4-node keeps the test fast; the ranking claim is
+        // scale-free: BoringSSL < Libsodium < CryptoPP overhead at 16KB+.
+        let size = 16 << 10;
+        let base = collective_us(Net::Ethernet, None, CollOp::Bcast, size, 16, 4, 3);
+        let b = collective_us(
+            Net::Ethernet,
+            Some(CryptoLibrary::BoringSsl),
+            CollOp::Bcast,
+            size,
+            16,
+            4,
+            3,
+        );
+        let l = collective_us(
+            Net::Ethernet,
+            Some(CryptoLibrary::Libsodium),
+            CollOp::Bcast,
+            size,
+            16,
+            4,
+            3,
+        );
+        let p = collective_us(
+            Net::Ethernet,
+            Some(CryptoLibrary::CryptoPp),
+            CollOp::Bcast,
+            size,
+            16,
+            4,
+            3,
+        );
+        assert!(base < b && b < l && l < p, "{base} {b} {l} {p}");
+    }
+
+    #[test]
+    fn streaming_alltoall_equivalent_time_shape() {
+        // The streaming path must cost at least as much as the
+        // regular path's wire time and preserve the encrypted ranking.
+        let base =
+            collective_us(Net::Infiniband, None, CollOp::Alltoall, 128 << 10, 8, 4, 1);
+        let enc = collective_us(
+            Net::Infiniband,
+            Some(CryptoLibrary::BoringSsl),
+            CollOp::Alltoall,
+            128 << 10,
+            8,
+            4,
+            1,
+        );
+        assert!(enc > base, "enc {enc} vs base {base}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared harness plumbing: network selection, library rows, options.
+
+use std::path::PathBuf;
+
+use empi_aead::profile::CryptoLibrary;
+use empi_core::{SecurityConfig, TimingMode};
+use empi_netsim::NetModel;
+
+/// The two interconnects of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Net {
+    /// 10 GbE + MPICH-3.2.1 (§V-A).
+    Ethernet,
+    /// 40 Gb IB QDR + MVAPICH2-2.3 (§V-B).
+    Infiniband,
+}
+
+impl Net {
+    /// Fabric model.
+    pub fn model(self) -> NetModel {
+        match self {
+            Net::Ethernet => NetModel::ethernet_10g(),
+            Net::Infiniband => NetModel::infiniband_40g(),
+        }
+    }
+
+    /// Display name used in table titles.
+    pub fn name(self) -> &'static str {
+        match self {
+            Net::Ethernet => "Ethernet",
+            Net::Infiniband => "Infiniband",
+        }
+    }
+
+    /// Both networks.
+    pub const BOTH: [Net; 2] = [Net::Ethernet, Net::Infiniband];
+}
+
+/// The rows of every paper table: baseline plus the three reported
+/// libraries (OpenSSL ≈ BoringSSL, so the paper prints BoringSSL only).
+pub fn reported_rows() -> Vec<Option<CryptoLibrary>> {
+    vec![
+        None,
+        Some(CryptoLibrary::BoringSsl),
+        Some(CryptoLibrary::Libsodium),
+        Some(CryptoLibrary::CryptoPp),
+    ]
+}
+
+/// Table row label for a configuration.
+pub fn row_label(lib: Option<CryptoLibrary>) -> String {
+    match lib {
+        None => "Unencrypted".to_string(),
+        Some(l) => l.name().to_string(),
+    }
+}
+
+/// The paper's security configuration for `lib` on `net` (256-bit key,
+/// random nonces, timing calibrated to the matching compiler build).
+pub fn security_config(lib: CryptoLibrary, net: Net) -> SecurityConfig {
+    SecurityConfig::new(lib).with_timing(TimingMode::calibrated_for(&net.model()))
+}
+
+/// Harness options shared by all binaries.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Fewer sizes / iterations for a fast smoke run.
+    pub quick: bool,
+    /// Networks to run.
+    pub nets: Vec<Net>,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+    /// Minimum repetitions per measurement.
+    pub reps_min: usize,
+    /// Maximum repetitions before the CI criterion takes over.
+    pub reps_max: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            quick: false,
+            nets: Net::BOTH.to_vec(),
+            out_dir: PathBuf::from("results"),
+            reps_min: 2,
+            reps_max: 5,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parse the common flags: `--quick`, `--net ethernet|infiniband|both`,
+    /// `--out DIR`, `--reps MIN,MAX`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = BenchOpts::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--net" => {
+                    let v = args.next().expect("--net needs a value");
+                    opts.nets = match v.as_str() {
+                        "ethernet" => vec![Net::Ethernet],
+                        "infiniband" => vec![Net::Infiniband],
+                        "both" => Net::BOTH.to_vec(),
+                        other => panic!("unknown network '{other}'"),
+                    };
+                }
+                "--out" => {
+                    opts.out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+                }
+                "--reps" => {
+                    let v = args.next().expect("--reps needs MIN,MAX");
+                    let (lo, hi) = v.split_once(',').expect("--reps MIN,MAX");
+                    opts.reps_min = lo.parse().expect("reps min");
+                    opts.reps_max = hi.parse().expect("reps max");
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --quick  --net ethernet|infiniband|both  --out DIR  --reps MIN,MAX"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag '{other}' (try --help)"),
+            }
+        }
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags() {
+        let o = BenchOpts::parse(
+            ["--quick", "--net", "ethernet", "--out", "/tmp/r", "--reps", "3,7"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(o.quick);
+        assert_eq!(o.nets, vec![Net::Ethernet]);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/r"));
+        assert_eq!((o.reps_min, o.reps_max), (3, 7));
+    }
+
+    #[test]
+    fn rows_match_paper() {
+        let rows: Vec<String> = reported_rows().into_iter().map(row_label).collect();
+        assert_eq!(rows, ["Unencrypted", "BoringSSL", "Libsodium", "CryptoPP"]);
+    }
+
+    #[test]
+    fn security_config_uses_matching_build() {
+        use empi_aead::profile::CompilerBuild;
+        let eth = security_config(CryptoLibrary::BoringSsl, Net::Ethernet);
+        assert_eq!(eth.timing, TimingMode::Calibrated(CompilerBuild::Gcc485));
+        let ib = security_config(CryptoLibrary::BoringSsl, Net::Infiniband);
+        assert_eq!(ib.timing, TimingMode::Calibrated(CompilerBuild::Mvapich23));
+    }
+}

@@ -1,0 +1,53 @@
+//! # empi-bench — harnesses reproducing every table and figure of the
+//! CLUSTER'19 encrypted-MPI study
+//!
+//! One module per experiment family; one binary per module plus `all`.
+//! The per-experiment index (which module regenerates which paper
+//! artifact) lives in DESIGN.md §4; measured-vs-paper comparisons live
+//! in EXPERIMENTS.md.
+//!
+//! | module | paper artifacts |
+//! |---|---|
+//! | [`encdec`] | Fig. 2, Fig. 9 |
+//! | [`pingpong`] | Table I, Fig. 3, Table V, Fig. 10 |
+//! | [`multipair`] | Figs. 4–6, Figs. 11–13 |
+//! | [`collectives`] | Tables II/III/VI/VII, Figs. 7/8/14/15 |
+//! | [`nasbench`] | Table IV, Table VIII |
+//!
+//! [`stats`] implements the paper's repeat-until-stable methodology and
+//! Fleming–Wallace overhead aggregation; [`table`] renders paper-style
+//! tables and CSV files.
+
+pub mod collectives;
+pub mod common;
+pub mod encdec;
+pub mod extensions;
+pub mod multipair;
+pub mod nasbench;
+pub mod pingpong;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+use std::path::Path;
+
+pub use common::{BenchOpts, Net};
+pub use table::Table;
+
+/// Print tables and persist them as CSV under `out_dir`.
+pub fn emit(tables: &[Table], out_dir: &Path) {
+    for t in tables {
+        t.print();
+        let file = t
+            .title
+            .split(':')
+            .next()
+            .unwrap_or("table")
+            .trim()
+            .to_lowercase()
+            .replace([' ', '/'], "_");
+        if let Err(e) = t.write_csv(out_dir.join(format!("{file}.csv"))) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+}

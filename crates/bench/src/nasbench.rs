@@ -1,0 +1,172 @@
+//! NAS parallel benchmarks on plain vs encrypted MPI — TAB-4 (Ethernet)
+//! and TAB-8 (InfiniBand), class "MiniC", 64 ranks / 8 nodes.
+//!
+//! The aggregate overhead row is derived from totals (ratio of summed
+//! run times), following the Fleming–Wallace recommendation the paper
+//! adopts in its footnote 2.
+
+use empi_aead::profile::CryptoLibrary;
+use empi_mpi::World;
+use empi_nas::adi::{self, AdiKind};
+use empi_nas::{cg, ft, is, lu, mg, Class, CommLayer, Kernel, PlainLayer, SecureLayer};
+use empi_netsim::Topology;
+
+use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net};
+use crate::stats::overhead_percent_of_totals;
+use crate::table::{fmt_value, Table};
+
+/// One NAS kernel measurement: (virtual seconds, verified).
+pub fn nas_seconds(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    kernel: Kernel,
+    class: Class,
+    ranks: usize,
+    nodes: usize,
+) -> (f64, bool) {
+    let world = World::new(net.model(), Topology::block(ranks, nodes));
+    let out = world.run(|c| {
+        let plain;
+        let secure;
+        let layer: &dyn CommLayer = match lib {
+            None => {
+                plain = PlainLayer::new(c);
+                &plain
+            }
+            Some(l) => {
+                secure = SecureLayer::new(c, security_config(l, net));
+                &secure
+            }
+        };
+        c.barrier();
+        let t0 = c.now();
+        let report = match kernel {
+            Kernel::CG => cg::run(&layer, class),
+            Kernel::FT => ft::run(&layer, class),
+            Kernel::MG => mg::run(&layer, class),
+            Kernel::LU => lu::run(&layer, class),
+            Kernel::BT => adi::run(&layer, class, AdiKind::Bt),
+            Kernel::SP => adi::run(&layer, class, AdiKind::Sp),
+            Kernel::IS => is::run(&layer, class),
+        };
+        c.barrier();
+        ((c.now() - t0).as_secs_f64(), report.verified)
+    });
+    let time = out
+        .results
+        .iter()
+        .map(|(t, _)| *t)
+        .fold(0.0f64, f64::max);
+    let verified = out.results.iter().all(|(_, v)| *v);
+    (time, verified)
+}
+
+/// Build TAB-4 or TAB-8 for one network.
+pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
+    let tab_id = if net == Net::Ethernet { "TAB-4" } else { "TAB-8" };
+    let class = if opts.quick { Class::S } else { Class::MiniC };
+    let (ranks, nodes) = if opts.quick { (8, 4) } else { (64, 8) };
+
+    let mut columns: Vec<String> = Kernel::ALL.iter().map(|k| k.name().to_string()).collect();
+    columns.push("total".into());
+    columns.push("overhead%".into());
+    let mut t = Table::new(
+        format!(
+            "{tab_id}: NAS parallel benchmarks avg running time (s), class {:?}, {} ranks / {} nodes, {}",
+            class,
+            ranks,
+            nodes,
+            net.name()
+        ),
+        "",
+        columns,
+    );
+
+    let mut baseline_times: Vec<f64> = Vec::new();
+    for lib in reported_rows() {
+        let mut times = Vec::new();
+        for k in Kernel::ALL {
+            let (secs, ok) = nas_seconds(net, lib, k, class, ranks, nodes);
+            assert!(ok, "{} failed verification under {:?} on {}", k.name(), lib, net.name());
+            times.push(secs);
+        }
+        let total: f64 = times.iter().sum();
+        let overhead = if lib.is_none() {
+            baseline_times = times.clone();
+            "-".to_string()
+        } else {
+            format!("{:.2}", overhead_percent_of_totals(&baseline_times, &times))
+        };
+        let mut cells: Vec<String> = times.iter().map(|&x| fmt_value(x)).collect();
+        cells.push(fmt_value(total));
+        cells.push(overhead);
+        t.push_row(row_label(lib), cells);
+    }
+    vec![t]
+}
+
+/// Scalability extension: total NAS time (baseline vs BoringSSL) across
+/// the paper's smaller rank/node settings. (The fourth setting, 64/8,
+/// is the main Tables IV/VIII geometry and needs mini-class grids; the
+/// class-S grids used here divide evenly only up to 16 ranks.)
+pub fn scalability(net: Net, class: Class) -> Table {
+    let settings = [(4usize, 4usize), (16, 4), (16, 8)];
+    let mut t = Table::new(
+        format!(
+            "EXT-SCALE-{1}: NAS total time (s) across rank/node settings, class {0:?}",
+            class,
+            net.name()
+        ),
+        "",
+        settings
+            .iter()
+            .map(|(r, n)| format!("{r}r/{n}n"))
+            .collect(),
+    );
+    for lib in [None, Some(CryptoLibrary::BoringSsl)] {
+        let cells: Vec<String> = settings
+            .iter()
+            .map(|&(r, n)| {
+                let total: f64 = Kernel::ALL
+                    .iter()
+                    .map(|&k| nas_seconds(net, lib, k, class, r, n).0)
+                    .sum();
+                fmt_value(total)
+            })
+            .collect();
+        t.push_row(row_label(lib), cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_verify_small_both_layers() {
+        for lib in [None, Some(CryptoLibrary::BoringSsl)] {
+            for k in Kernel::ALL {
+                let (secs, ok) = nas_seconds(Net::Ethernet, lib, k, Class::S, 4, 2);
+                assert!(ok, "{} under {:?}", k.name(), lib);
+                assert!(secs > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn encryption_adds_overhead_to_every_kernel() {
+        for k in Kernel::ALL {
+            let (base, _) = nas_seconds(Net::Infiniband, None, k, Class::S, 4, 2);
+            let (enc, _) = nas_seconds(
+                Net::Infiniband,
+                Some(CryptoLibrary::CryptoPp),
+                k,
+                Class::S,
+                4,
+                2,
+            );
+            assert!(enc > base, "{}: {enc} <= {base}", k.name());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Ping-pong benchmark — TAB-1 / FIG-3 (Ethernet) and TAB-5 / FIG-10
+//! (InfiniBand).
+//!
+//! Two processes on different nodes exchange a message back and forth
+//! with blocking send/receive; reported is the uni-directional
+//! throughput `size / (RTT/2)` in MB/s, excluding the 28-byte crypto
+//! overhead, exactly as the paper computes it.
+
+use empi_aead::profile::CryptoLibrary;
+use empi_core::SecureComm;
+use empi_mpi::{Src, TagSel, World};
+
+use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net};
+use crate::stats::measure_until_stable;
+use crate::table::{fmt_value, size_label, Table};
+
+/// Message sizes of Table I / Table V.
+pub const SMALL_SIZES: [usize; 4] = [1, 16, 256, 1 << 10];
+/// Message sizes of Fig. 3 / Fig. 10.
+pub const LARGE_SIZES: [usize; 6] = [4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20];
+
+/// One ping-pong measurement: mean uni-directional throughput in MB/s.
+pub fn pingpong_mbs(net: Net, lib: Option<CryptoLibrary>, size: usize, iters: usize) -> f64 {
+    let world = World::flat(net.model(), 2);
+    let out = world.run(|c| {
+        let buf = vec![0x5au8; size];
+        match lib {
+            None => {
+                if c.rank() == 0 {
+                    let t0 = c.now();
+                    for _ in 0..iters {
+                        c.send(&buf, 1, 0);
+                        let _ = c.recv(Src::Is(1), TagSel::Is(1));
+                    }
+                    (c.now() - t0).as_secs_f64()
+                } else {
+                    for _ in 0..iters {
+                        let (_, m) = c.recv(Src::Is(0), TagSel::Is(0));
+                        c.send(&m, 0, 1);
+                    }
+                    0.0
+                }
+            }
+            Some(l) => {
+                let sc = SecureComm::new(c, security_config(l, net)).unwrap();
+                if c.rank() == 0 {
+                    let t0 = c.now();
+                    for _ in 0..iters {
+                        sc.send(&buf, 1, 0);
+                        let _ = sc.recv(Src::Is(1), TagSel::Is(1)).unwrap();
+                    }
+                    (c.now() - t0).as_secs_f64()
+                } else {
+                    for _ in 0..iters {
+                        let (_, m) = sc.recv(Src::Is(0), TagSel::Is(0)).unwrap();
+                        sc.send(&m, 0, 1);
+                    }
+                    0.0
+                }
+            }
+        }
+    });
+    let total = out.results[0];
+    // One-way time per message = RTT/2; plaintext bytes only.
+    (iters as f64 * size as f64) / (total / 2.0) / 1e6
+}
+
+/// Build the small-message table (TAB-1 / TAB-5) and the medium/large
+/// figure series (FIG-3 / FIG-10) for one network.
+pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
+    let iters_for = |size: usize| -> usize {
+        let base = if size < (1 << 20) { 200 } else { 50 };
+        if opts.quick {
+            base / 10
+        } else {
+            base
+        }
+    };
+    let mut tables = Vec::new();
+    for (tab_id, sizes, what) in [
+        (
+            if net == Net::Ethernet { "TAB-1" } else { "TAB-5" },
+            &SMALL_SIZES[..],
+            "small messages",
+        ),
+        (
+            if net == Net::Ethernet { "FIG-3" } else { "FIG-10" },
+            &LARGE_SIZES[..],
+            "medium/large messages",
+        ),
+    ] {
+        let mut t = Table::new(
+            format!(
+                "{tab_id}: avg uni-directional ping-pong throughput (MB/s), {what}, 256-bit key, {}",
+                net.name()
+            ),
+            "",
+            sizes.iter().map(|&s| size_label(s)).collect(),
+        );
+        for lib in reported_rows() {
+            let cells: Vec<String> = sizes
+                .iter()
+                .map(|&s| {
+                    let stats = measure_until_stable(opts.reps_min, opts.reps_max, || {
+                        pingpong_mbs(net, lib, s, iters_for(s))
+                    });
+                    fmt_value(stats.mean)
+                })
+                .collect();
+            t.push_row(row_label(lib), cells);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_anchors() {
+        // The calibrated fabric must reproduce Table I/V baselines.
+        let cases = [
+            (Net::Ethernet, 1usize, 0.050),
+            (Net::Ethernet, 256, 7.01),
+            (Net::Ethernet, 2 << 20, 1038.0),
+            (Net::Infiniband, 1, 0.57),
+            (Net::Infiniband, 1 << 10, 272.84),
+            (Net::Infiniband, 2 << 20, 3023.0),
+        ];
+        for (net, size, expect) in cases {
+            let got = pingpong_mbs(net, None, size, 20);
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.02, "{net:?} {size}B: got {got}, expect {expect}");
+        }
+    }
+
+    #[test]
+    fn encrypted_overheads_have_paper_shape() {
+        // Headline numbers: BoringSSL ≈78% @2MB Ethernet, ≈215% @2MB IB,
+        // small overhead @256B Ethernet, large @256B IB.
+        let check = |net, size, lo: f64, hi: f64| {
+            let base = pingpong_mbs(net, None, size, 20);
+            let enc = pingpong_mbs(net, Some(CryptoLibrary::BoringSsl), size, 20);
+            let overhead = (base / enc - 1.0) * 100.0;
+            assert!(
+                overhead > lo && overhead < hi,
+                "{net:?} {size}B overhead {overhead:.1}% outside [{lo},{hi}]"
+            );
+        };
+        check(Net::Ethernet, 2 << 20, 55.0, 100.0); // paper: 78.3 %
+        check(Net::Infiniband, 2 << 20, 170.0, 260.0); // paper: 215.2 %
+        check(Net::Ethernet, 256, 2.0, 25.0); // paper: ~5.9 %
+        check(Net::Infiniband, 256, 55.0, 110.0); // paper: 80.9 %
+    }
+
+    #[test]
+    fn cryptopp_is_far_worse_at_large_sizes() {
+        let base = pingpong_mbs(Net::Ethernet, None, 2 << 20, 10);
+        let cpp = pingpong_mbs(Net::Ethernet, Some(CryptoLibrary::CryptoPp), 2 << 20, 10);
+        let overhead = (base / cpp - 1.0) * 100.0;
+        // Paper: ~400 %.
+        assert!(overhead > 280.0 && overhead < 520.0, "got {overhead:.0}%");
+    }
+}

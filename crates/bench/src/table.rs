@@ -1,0 +1,223 @@
+//! Paper-style result tables: aligned text to stdout, CSV to `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A labelled grid of results (rows = configurations, columns = sizes or
+/// benchmarks), in the layout of the paper's Tables I–VIII.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption, e.g. `TAB-1: ping-pong throughput (MB/s), Ethernet`.
+    pub title: String,
+    /// Header of the label column.
+    pub row_key: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row label + cells, one entry per row.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_key: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            row_key: row_key.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; cell count must match the header.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::with_capacity(self.columns.len() + 1);
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(l, _)| l.len())
+                .chain([self.row_key.len()])
+                .max()
+                .unwrap_or(0),
+        );
+        for (i, c) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, cells)| cells[i].len())
+                .chain([c.len()])
+                .max()
+                .unwrap_or(0);
+            widths.push(w);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:<w$}", self.row_key, w = widths[0]);
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(out, "  {:>w$}", c, w = widths[i + 1]);
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * self.columns.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{:<w$}", label, w = widths[0]);
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "  {:>w$}", cell, w = widths[i + 1]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write as CSV (title as a comment line).
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{}", csv_escape(&self.row_key));
+        for c in &self.columns {
+            let _ = write!(out, ",{}", csv_escape(c));
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{}", csv_escape(label));
+            for cell in cells {
+                let _ = write!(out, ",{}", csv_escape(cell));
+            }
+            out.push('\n');
+        }
+        fs::write(path, out)
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Human-readable message-size label (1B, 16KB, 2MB …).
+pub fn size_label(bytes: usize) -> String {
+    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Format with 2–4 significant decimals depending on magnitude, like the
+/// paper's tables.
+pub fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() < 0.1 {
+        format!("{v:.3}")
+    } else if v.abs() < 10.0 {
+        format!("{v:.2}")
+    } else if v.abs() < 1000.0 {
+        format!("{v:.2}")
+    } else {
+        let s = format!("{:.2}", v);
+        group_thousands(&s)
+    }
+}
+
+fn group_thousands(s: &str) -> String {
+    let (int, frac) = s.split_once('.').unwrap_or((s, ""));
+    let neg = int.starts_with('-');
+    let digits: Vec<char> = int.trim_start_matches('-').chars().collect();
+    let mut grouped = String::new();
+    for (i, ch) in digits.iter().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            grouped.push(',');
+        }
+        grouped.push(*ch);
+    }
+    let mut out = String::new();
+    if neg {
+        out.push('-');
+    }
+    out.push_str(&grouped);
+    if !frac.is_empty() {
+        out.push('.');
+        out.push_str(frac);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut t = Table::new("demo", "lib", vec!["1B".into(), "2MB".into()]);
+        t.push_row("Unencrypted", vec!["0.050".into(), "1038".into()]);
+        t.push_row("BoringSSL", vec!["0.045".into(), "578".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("Unencrypted"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("t,itle", "k", vec!["a".into()]);
+        t.push_row("r\"1", vec!["1.5".into()]);
+        let dir = std::env::temp_dir().join("empi_table_test");
+        let p = dir.join("t.csv");
+        t.write_csv(&p).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.starts_with("# t,itle\n"));
+        assert!(s.contains("\"r\"\"1\",1.5"));
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(1), "1B");
+        assert_eq!(size_label(16), "16B");
+        assert_eq!(size_label(16 << 10), "16KB");
+        assert_eq!(size_label(2 << 20), "2MB");
+        assert_eq!(size_label(1500), "1500B");
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(0.05), "0.050");
+        assert_eq!(fmt_value(7.01), "7.01");
+        assert_eq!(fmt_value(231.75), "231.75");
+        assert_eq!(fmt_value(9594.75), "9,594.75");
+        assert_eq!(fmt_value(1966299.47), "1,966,299.47");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "k", vec!["a".into(), "b".into()]);
+        t.push_row("r", vec!["1".into()]);
+    }
+}

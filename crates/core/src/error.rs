@@ -1,0 +1,49 @@
+//! Errors of the encrypted MPI layer.
+
+use std::fmt;
+
+/// Result alias for secure operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by [`crate::SecureComm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The cryptographic layer rejected the operation — most importantly
+    /// [`empi_aead::Error::AuthFailure`] when a message was tampered
+    /// with, replayed under a wrong key, or truncated.
+    Crypto(empi_aead::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Crypto(e) => write!(f, "secure MPI crypto failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Crypto(e) => Some(e),
+        }
+    }
+}
+
+impl From<empi_aead::Error> for Error {
+    fn from(e: empi_aead::Error) -> Self {
+        Error::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::Crypto(empi_aead::Error::AuthFailure);
+        assert!(e.to_string().contains("authentication"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

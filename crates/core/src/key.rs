@@ -1,0 +1,73 @@
+//! Key utilities.
+//!
+//! The paper hardcodes one cluster-wide key and explicitly defers key
+//! distribution to future work. [`derive_pair_key`] is our documented
+//! *extension* (DESIGN.md §7): a toy KDF that gives each ordered rank
+//! pair its own subkey, which (a) makes per-sender counter nonces safe
+//! by construction and (b) confines a key compromise to one pair.
+
+use empi_aead::sha256::Sha256;
+
+/// Derive a per-pair subkey: `SHA-256("empi-pair-kdf" ‖ master ‖ a ‖ b)`.
+///
+/// The (a, b) pair is ordered so each direction gets its own key.
+pub fn derive_pair_key(master: &[u8; 32], a: usize, b: usize) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"empi-pair-kdf");
+    h.update(master);
+    h.update(&(a as u64).to_be_bytes());
+    h.update(&(b as u64).to_be_bytes());
+    h.finalize()
+}
+
+/// Derive the whole key table for an `n`-rank world, indexed
+/// `[src][dst]`.
+pub fn derive_key_table(master: &[u8; 32], n: usize) -> Vec<Vec<[u8; 32]>> {
+    (0..n)
+        .map(|a| (0..n).map(|b| derive_pair_key(master, a, b)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_keys_are_distinct_and_directional() {
+        let master = [1u8; 32];
+        let k01 = derive_pair_key(&master, 0, 1);
+        let k10 = derive_pair_key(&master, 1, 0);
+        let k02 = derive_pair_key(&master, 0, 2);
+        assert_ne!(k01, k10, "directionality");
+        assert_ne!(k01, k02);
+        assert_ne!(k01, master);
+    }
+
+    #[test]
+    fn deterministic() {
+        let master = [2u8; 32];
+        assert_eq!(derive_pair_key(&master, 3, 4), derive_pair_key(&master, 3, 4));
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = derive_key_table(&[0u8; 32], 4);
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|row| row.len() == 4));
+        // All 16 entries distinct.
+        let mut seen = std::collections::HashSet::new();
+        for row in &t {
+            for k in row {
+                assert!(seen.insert(*k));
+            }
+        }
+    }
+
+    #[test]
+    fn master_sensitivity() {
+        assert_ne!(
+            derive_pair_key(&[0u8; 32], 0, 1),
+            derive_pair_key(&[1u8; 32], 0, 1)
+        );
+    }
+}

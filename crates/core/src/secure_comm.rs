@@ -1,0 +1,568 @@
+//! `SecureComm` — MPI with AES-GCM privacy and integrity.
+//!
+//! Every message is transformed exactly as in the paper's Algorithm 1:
+//! a fresh 12-byte nonce `N`, ciphertext `C = Enc(K, N, M)` (which is
+//! 16 bytes longer than `M` because of the GCM tag), and the wire
+//! carries `N ‖ C` — 28 bytes of overhead per message.
+//!
+//! Non-blocking semantics follow §IV: encryption happens inside
+//! `isend` before the underlying `MPI_Isend`; decryption of an `irecv`
+//! happens **inside `wait`**, preserving the non-blocking property.
+
+use std::cell::RefCell;
+
+use empi_aead::gcm::AesGcm;
+use empi_aead::nonce::NonceSource;
+use empi_aead::{NONCE_LEN, WIRE_OVERHEAD};
+use empi_mpi::{Comm, Request, Src, Status, Tag, TagSel};
+use empi_netsim::VDur;
+
+use crate::config::{SecurityConfig, TimingMode};
+use crate::error::{Error, Result};
+
+/// Crypto direction (cost lookup).
+#[derive(Clone, Copy)]
+enum Dir {
+    Enc,
+    Dec,
+}
+
+/// An encrypted communicator wrapping a plain [`Comm`].
+///
+/// All payloads gain [`WIRE_OVERHEAD`] (28) bytes on the wire; receivers
+/// authenticate before any plaintext is released, and tampering surfaces
+/// as [`Error::Crypto`].
+pub struct SecureComm<'a, 'h> {
+    comm: &'a Comm<'h>,
+    cipher: AesGcm,
+    cfg: SecurityConfig,
+    nonces: RefCell<NonceSource>,
+}
+
+/// Handle to an outstanding encrypted non-blocking operation.
+///
+/// Produced by [`SecureComm::isend`]/[`SecureComm::irecv`]; resolve with
+/// [`SecureComm::wait`] (which decrypts receives).
+#[must_use = "secure requests must be waited on"]
+pub struct SecureRequest {
+    inner: Request,
+}
+
+impl<'a, 'h> SecureComm<'a, 'h> {
+    /// Wrap `comm` with the given security configuration.
+    ///
+    /// Engine selection: in `Measured` mode the library's profile
+    /// engines run (their wall time *is* the measurement). In
+    /// `Calibrated` mode the charged time comes from the per-library
+    /// curves, and every engine computes byte-identical AES-GCM (see the
+    /// cross-engine tests), so the fastest available engines execute —
+    /// keeping gigabyte-scale harness runs from being throttled by the
+    /// deliberately slow software path whose *cost* is already charged.
+    pub fn new(comm: &'a Comm<'h>, cfg: SecurityConfig) -> Result<Self> {
+        let cipher = match cfg.timing {
+            TimingMode::Measured => cfg.library.instantiate_for_build(
+                empi_aead::profile::CompilerBuild::Gcc485,
+                cfg.key_size,
+                cfg.key_bytes(),
+            )?,
+            TimingMode::Calibrated(_) => {
+                if !cfg.library.supports(cfg.key_size) {
+                    return Err(Error::Crypto(empi_aead::Error::UnsupportedKeySize {
+                        backend: cfg.library.name(),
+                        bits: cfg.key_size.bits(),
+                    }));
+                }
+                if cfg.key_bytes().len() != cfg.key_size.bytes() {
+                    return Err(Error::Crypto(empi_aead::Error::InvalidKeyLength {
+                        got: cfg.key_bytes().len(),
+                    }));
+                }
+                empi_aead::gcm::AesGcm::new(cfg.key_bytes()).map_err(Error::Crypto)?
+            }
+        };
+        let nonces = RefCell::new(NonceSource::new(cfg.nonce_policy));
+        Ok(SecureComm {
+            comm,
+            cipher,
+            cfg,
+            nonces,
+        })
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The wrapped plaintext communicator.
+    pub fn inner(&self) -> &Comm<'h> {
+        self.comm
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SecurityConfig {
+        &self.cfg
+    }
+
+    /// Charge virtual time for one crypto call over `bytes` bytes.
+    fn charge(&self, bytes: usize, _dir: Dir) {
+        if let TimingMode::Calibrated(build) = self.cfg.timing {
+            // Encryption and decryption cost the same in AES-GCM (§V-A).
+            let ns = self.cfg.library.enc_time_ns(build, bytes);
+            self.comm.sim().advance(VDur(ns));
+        }
+        // Measured mode charges inside `run_crypto` instead.
+    }
+
+    /// Execute a crypto closure under the configured cost model.
+    fn run_crypto<T>(&self, bytes: usize, dir: Dir, f: impl FnOnce() -> T) -> T {
+        match self.cfg.timing {
+            TimingMode::Measured => self.comm.sim().charge_measured(f),
+            TimingMode::Calibrated(_) => {
+                let out = f();
+                self.charge(bytes, dir);
+                out
+            }
+        }
+    }
+
+    /// Encrypt one message: returns `nonce ‖ ciphertext ‖ tag`.
+    fn seal(&self, plaintext: &[u8]) -> Vec<u8> {
+        let nonce = self.nonces.borrow_mut().next_nonce();
+        self.run_crypto(plaintext.len(), Dir::Enc, || {
+            let mut wire = Vec::with_capacity(plaintext.len() + WIRE_OVERHEAD);
+            wire.extend_from_slice(&nonce);
+            wire.extend_from_slice(&self.cipher.seal(&nonce, b"", plaintext));
+            wire
+        })
+    }
+
+    /// Decrypt one wire message.
+    fn open(&self, wire: &[u8]) -> Result<Vec<u8>> {
+        if wire.len() < WIRE_OVERHEAD {
+            return Err(Error::Crypto(empi_aead::Error::CiphertextTooShort {
+                got: wire.len(),
+            }));
+        }
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&wire[..NONCE_LEN]);
+        let body = &wire[NONCE_LEN..];
+        let plain_len = body.len() - empi_aead::TAG_LEN;
+        self.run_crypto(plain_len, Dir::Dec, || {
+            self.cipher.open(&nonce, b"", body).map_err(Error::Crypto)
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Point-to-point (Encrypted_Send / Recv / ISend / IRecv / Wait)
+    // ---------------------------------------------------------------
+
+    /// Encrypted blocking send.
+    pub fn send(&self, buf: &[u8], dst: usize, tag: Tag) {
+        let wire = self.seal(buf);
+        self.comm.send(&wire, dst, tag);
+    }
+
+    /// Encrypted blocking receive.
+    pub fn recv(&self, src: Src, tag: TagSel) -> Result<(Status, Vec<u8>)> {
+        let (status, wire) = self.comm.recv(src, tag);
+        let plain = self.open(&wire)?;
+        Ok((
+            Status {
+                source: status.source,
+                tag: status.tag,
+                len: plain.len(),
+            },
+            plain,
+        ))
+    }
+
+    /// Encrypted non-blocking send: the buffer is sealed *now* (fresh
+    /// nonce) and handed to the transport.
+    pub fn isend(&self, buf: &[u8], dst: usize, tag: Tag) -> SecureRequest {
+        let wire = self.seal(buf);
+        SecureRequest {
+            inner: self.comm.isend(&wire, dst, tag),
+        }
+    }
+
+    /// Encrypted non-blocking receive. Decryption is deferred to
+    /// [`SecureComm::wait`].
+    pub fn irecv(&self, src: Src, tag: TagSel) -> SecureRequest {
+        SecureRequest {
+            inner: self.comm.irecv(src, tag),
+        }
+    }
+
+    /// Wait on one encrypted request; receives are authenticated and
+    /// decrypted here (the paper performs decryption inside `MPI_Wait`
+    /// to keep `IRecv` non-blocking).
+    pub fn wait(&self, req: SecureRequest) -> Result<(Status, Option<Vec<u8>>)> {
+        let (status, data) = self.comm.wait(req.inner);
+        match data {
+            None => Ok((status, None)),
+            Some(wire) => {
+                let plain = self.open(&wire)?;
+                Ok((
+                    Status {
+                        source: status.source,
+                        tag: status.tag,
+                        len: plain.len(),
+                    },
+                    Some(plain),
+                ))
+            }
+        }
+    }
+
+    /// Wait on all requests in order (Encrypted_Waitall).
+    pub fn waitall(&self, reqs: Vec<SecureRequest>) -> Result<Vec<(Status, Option<Vec<u8>>)>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Encrypted sendrecv.
+    pub fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dst: usize,
+        send_tag: Tag,
+        src: Src,
+        recv_tag: TagSel,
+    ) -> Result<(Status, Vec<u8>)> {
+        let sreq = self.isend(sendbuf, dst, send_tag);
+        let out = self.recv(src, recv_tag);
+        self.wait(sreq)?;
+        out
+    }
+
+    // ---------------------------------------------------------------
+    // Collectives (Algorithm 1 shape: encrypt → plain collective →
+    // decrypt)
+    // ---------------------------------------------------------------
+
+    /// Encrypted_Bcast: the root seals once; every non-root opens once.
+    pub fn bcast(&self, buf: &mut Vec<u8>, root: usize) -> Result<()> {
+        let me = self.rank();
+        let mut wire = if me == root {
+            self.seal(buf)
+        } else {
+            vec![0u8; buf.len() + WIRE_OVERHEAD]
+        };
+        self.comm.bcast(&mut wire, root);
+        if me != root {
+            *buf = self.open(&wire)?;
+        }
+        Ok(())
+    }
+
+    /// Encrypted_Allgather: seal own block, plain allgather of
+    /// `(len+28)`-byte blocks, open all `n` received blocks.
+    pub fn allgather(&self, send: &[u8]) -> Result<Vec<u8>> {
+        let n = self.size();
+        let wire_block = send.len() + WIRE_OVERHEAD;
+        let sealed = self.seal(send);
+        let gathered = self.comm.allgather(&sealed);
+        debug_assert_eq!(gathered.len(), wire_block * n);
+        let mut out = Vec::with_capacity(send.len() * n);
+        for i in 0..n {
+            let block = &gathered[i * wire_block..(i + 1) * wire_block];
+            if i == self.rank() {
+                out.extend_from_slice(send);
+                // (Self block needs no decryption, but the paper's
+                // Algorithm 1 decrypts all n+1 blocks; charge it.)
+                self.charge(send.len(), Dir::Dec);
+            } else {
+                out.extend_from_slice(&self.open(block)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Encrypted_Alltoall — the paper's Algorithm 1 verbatim: one fresh
+    /// nonce and one encryption per outgoing block, plain `MPI_Alltoall`
+    /// of `(ℓ+28)`-byte blocks, one decryption per incoming block.
+    pub fn alltoall(&self, send: &[u8], block: usize) -> Result<Vec<u8>> {
+        let n = self.size();
+        assert_eq!(send.len(), block * n, "alltoall buffer size mismatch");
+        let wire_block = block + WIRE_OVERHEAD;
+        let mut enc_send = Vec::with_capacity(wire_block * n);
+        for i in 0..n {
+            enc_send.extend_from_slice(&self.seal(&send[i * block..(i + 1) * block]));
+        }
+        let enc_recv = self.comm.alltoall(&enc_send, wire_block);
+        let mut out = Vec::with_capacity(block * n);
+        for i in 0..n {
+            out.extend_from_slice(&self.open(&enc_recv[i * wire_block..(i + 1) * wire_block])?);
+        }
+        Ok(out)
+    }
+
+    /// Encrypted_Alltoallv: per-destination segments, each sealed with a
+    /// fresh nonce (+28 bytes per segment, even empty ones).
+    pub fn alltoallv(
+        &self,
+        send: &[u8],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Vec<u8>> {
+        let n = self.size();
+        assert_eq!(send_counts.len(), n);
+        assert_eq!(recv_counts.len(), n);
+        let mut enc_send = Vec::with_capacity(send.len() + n * WIRE_OVERHEAD);
+        let enc_send_counts: Vec<usize> =
+            send_counts.iter().map(|c| c + WIRE_OVERHEAD).collect();
+        let enc_recv_counts: Vec<usize> =
+            recv_counts.iter().map(|c| c + WIRE_OVERHEAD).collect();
+        let mut off = 0;
+        for &c in send_counts {
+            enc_send.extend_from_slice(&self.seal(&send[off..off + c]));
+            off += c;
+        }
+        let enc_recv = self.comm.alltoallv(&enc_send, &enc_send_counts, &enc_recv_counts);
+        let mut out = Vec::with_capacity(recv_counts.iter().sum());
+        let mut off = 0;
+        for &c in recv_counts {
+            out.extend_from_slice(&self.open(&enc_recv[off..off + c + WIRE_OVERHEAD])?);
+            off += c + WIRE_OVERHEAD;
+        }
+        Ok(out)
+    }
+
+    // ---------------------------------------------------------------
+    // Plaintext-metadata helpers used by the NAS kernels: reductions
+    // carry numeric values whose confidentiality the paper does not
+    // address (its encrypted routines are the four collectives above
+    // plus p2p); they pass through unencrypted, like in the paper's
+    // prototypes.
+    // ---------------------------------------------------------------
+
+    /// Plain barrier (no payload to protect).
+    pub fn barrier(&self) {
+        self.comm.barrier();
+    }
+
+    /// Plain allreduce passthrough (see module note).
+    pub fn allreduce_plain<T: empi_mpi::Pod + Default>(
+        &self,
+        data: &[T],
+        op: impl Fn(&mut T, &T) + Copy,
+    ) -> Vec<T> {
+        self.comm.allreduce(data, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empi_aead::profile::CryptoLibrary;
+    use empi_mpi::World;
+    use empi_netsim::NetModel;
+
+    fn cfg() -> SecurityConfig {
+        SecurityConfig::new(CryptoLibrary::BoringSsl)
+    }
+
+    #[test]
+    fn encrypted_round_trip() {
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            if c.rank() == 0 {
+                sc.send(b"secret payload", 1, 7);
+                0
+            } else {
+                let (st, data) = sc.recv(Src::Is(0), TagSel::Is(7)).unwrap();
+                assert_eq!(st.len, 14);
+                assert_eq!(&data, b"secret payload");
+                1
+            }
+        });
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn wire_carries_28_extra_bytes_and_no_plaintext() {
+        let w = World::flat(NetModel::instant(), 2);
+        w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            if c.rank() == 0 {
+                sc.send(b"attack at dawn", 1, 0);
+            } else {
+                // Peek below the secure layer.
+                let (st, wire) = c.recv(Src::Is(0), TagSel::Is(0));
+                assert_eq!(st.len, 14 + WIRE_OVERHEAD);
+                let hay = wire.windows(6).any(|w| w == b"attack");
+                assert!(!hay, "plaintext leaked on the wire");
+            }
+        });
+    }
+
+    #[test]
+    fn wrong_key_fails_authentication() {
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                let sc = SecureComm::new(c, cfg()).unwrap();
+                sc.send(b"hello", 1, 0);
+                true
+            } else {
+                let bad = cfg().with_key([0xEE; 32]);
+                let sc = SecureComm::new(c, bad).unwrap();
+                sc.recv(Src::Is(0), TagSel::Is(0)).is_err()
+            }
+        });
+        assert!(out.results[1], "tampered/wrong-key message must not decrypt");
+    }
+
+    #[test]
+    fn decryption_happens_in_wait() {
+        let w = World::flat(NetModel::instant(), 2);
+        w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            if c.rank() == 0 {
+                let r = sc.isend(b"nonblocking", 1, 1);
+                sc.wait(r).unwrap();
+            } else {
+                let r = sc.irecv(Src::Is(0), TagSel::Is(1));
+                let (st, data) = sc.wait(r).unwrap();
+                assert_eq!(st.len, 11);
+                assert_eq!(data.unwrap(), b"nonblocking");
+            }
+        });
+    }
+
+    #[test]
+    fn encrypted_bcast_all_libraries() {
+        for lib in empi_aead::profile::ALL_LIBRARIES {
+            let w = World::flat(NetModel::instant(), 4);
+            let out = w.run(|c| {
+                let sc = SecureComm::new(c, SecurityConfig::new(lib)).unwrap();
+                let mut buf = if c.rank() == 0 {
+                    b"broadcast me".to_vec()
+                } else {
+                    vec![0u8; 12]
+                };
+                sc.bcast(&mut buf, 0).unwrap();
+                buf
+            });
+            for b in out.results {
+                assert_eq!(b, b"broadcast me", "{lib:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encrypted_alltoall_matches_algorithm1() {
+        let w = World::flat(NetModel::instant(), 4);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            let me = c.rank() as u8;
+            let block = 33; // not a multiple of 16: exercises GCM tails
+            let send: Vec<u8> = (0..4)
+                .flat_map(|dst| {
+                    let mut b = vec![me; block];
+                    b[1] = dst as u8;
+                    b
+                })
+                .collect();
+            sc.alltoall(&send, block).unwrap()
+        });
+        for (me, v) in out.results.iter().enumerate() {
+            for src in 0..4 {
+                assert_eq!(v[src * 33] as usize, src);
+                assert_eq!(v[src * 33 + 1] as usize, me);
+            }
+        }
+    }
+
+    #[test]
+    fn encrypted_allgather() {
+        let w = World::flat(NetModel::instant(), 5);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            sc.allgather(&vec![c.rank() as u8; 10]).unwrap()
+        });
+        for v in out.results {
+            assert_eq!(v.len(), 50);
+            for r in 0..5 {
+                assert!(v[r * 10..(r + 1) * 10].iter().all(|&x| x == r as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn encrypted_alltoallv_with_empty_segments() {
+        let w = World::flat(NetModel::instant(), 3);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            let me = c.rank();
+            // Rank r sends r*dst bytes to dst (so some segments empty).
+            let send_counts: Vec<usize> = (0..3).map(|dst| me * dst).collect();
+            let recv_counts: Vec<usize> = (0..3).map(|src| src * me).collect();
+            let send: Vec<u8> = send_counts.iter().flat_map(|&n| vec![me as u8; n]).collect();
+            sc.alltoallv(&send, &send_counts, &recv_counts).unwrap()
+        });
+        // Rank 2 receives 0 from 0, 2 from 1, 4 from 2.
+        assert_eq!(out.results[2], vec![1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn encryption_costs_virtual_time() {
+        // The same exchange must take longer under the encrypted layer,
+        // and CryptoPP must cost more than BoringSSL.
+        let run = |lib: Option<CryptoLibrary>| {
+            let w = World::flat(NetModel::ethernet_10g(), 2);
+            w.run(|c| {
+                let msg = vec![0u8; 1 << 20];
+                match lib {
+                    None => {
+                        if c.rank() == 0 {
+                            c.send(&msg, 1, 0);
+                        } else {
+                            c.recv(Src::Is(0), TagSel::Is(0));
+                        }
+                    }
+                    Some(lib) => {
+                        let sc = SecureComm::new(c, SecurityConfig::new(lib)).unwrap();
+                        if c.rank() == 0 {
+                            sc.send(&msg, 1, 0);
+                        } else {
+                            sc.recv(Src::Is(0), TagSel::Is(0)).unwrap();
+                        }
+                    }
+                }
+            })
+            .end_time
+            .as_nanos()
+        };
+        let base = run(None);
+        let boring = run(Some(CryptoLibrary::BoringSsl));
+        let cpp = run(Some(CryptoLibrary::CryptoPp));
+        assert!(boring > base, "encryption must cost time: {boring} vs {base}");
+        assert!(cpp > boring, "CryptoPP must be slower: {cpp} vs {boring}");
+    }
+
+    #[test]
+    fn nonces_never_repeat_across_messages() {
+        let w = World::flat(NetModel::instant(), 2);
+        w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            if c.rank() == 0 {
+                for i in 0..50u8 {
+                    sc.send(&[i], 1, 0);
+                }
+            } else {
+                let mut nonces = std::collections::HashSet::new();
+                for _ in 0..50 {
+                    let (_, wire) = c.recv(Src::Is(0), TagSel::Is(0));
+                    assert!(nonces.insert(wire[..12].to_vec()), "nonce reuse!");
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,471 @@
+//! The communicator: MPI-style point-to-point operations.
+//!
+//! Timing model (see `empi-netsim::fabric` for the decomposition):
+//!
+//! * Blocking `send`/`recv` charge the *ping-pong* host overhead per
+//!   side — these are the paths the paper's ping-pong benchmark drives.
+//! * Non-blocking `isend`/`irecv` charge the *streaming* host occupancy —
+//!   the windowed OSU multi-pair path.
+//! * Messages at or below the fabric's eager threshold are delivered
+//!   eagerly (buffered at the receiver); larger ones use a rendezvous:
+//!   the wire transfer cannot start before both sides have arrived,
+//!   exactly like MPICH/MVAPICH large-message protocols.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use empi_netsim::{Fabric, SimHandle, VDur, VTime};
+use parking_lot::Mutex;
+
+use crate::state::{Envelope, PostedRecv, ReqEntry, RndvSend, SharedState};
+use crate::types::{as_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel};
+
+/// Handle to an outstanding non-blocking operation.
+///
+/// Must be waited on (dropping an unwaited request leaks its slot and,
+/// for receives, its payload — as in real MPI).
+#[derive(Debug)]
+#[must_use = "requests must be waited on"]
+pub struct Request {
+    pub(crate) id: usize,
+    pub(crate) kind: ReqKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReqKind {
+    Send,
+    Recv,
+}
+
+/// A rank's endpoint in the simulated world.
+///
+/// Obtained from [`crate::World::run`]; all MPI operations go through
+/// this handle.
+pub struct Comm<'h> {
+    pub(crate) h: &'h SimHandle,
+    pub(crate) shared: Arc<Mutex<SharedState>>,
+    pub(crate) coll_seq: Cell<u32>,
+}
+
+impl<'h> Comm<'h> {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.h.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.h.n_ranks()
+    }
+
+    /// The engine handle (virtual clock access).
+    pub fn sim(&self) -> &SimHandle {
+        self.h
+    }
+
+    /// Charge local compute time.
+    pub fn compute(&self, d: VDur) {
+        self.h.advance(d);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.h.now()
+    }
+
+    /// Host-side per-message overhead for this rank when talking to
+    /// `peer` with an `len`-byte payload.
+    fn side_overhead(&self, peer: usize, len: usize, blocking: bool) -> VDur {
+        let s = self.shared.lock();
+        let model = s.fabric.model();
+        if s.fabric.topology().same_node(self.rank(), peer) {
+            VDur(model.intra_overhead_ns)
+        } else if blocking {
+            VDur(model.pp_overhead_ns(len))
+        } else {
+            VDur(model.stream_overhead_ns(len))
+        }
+    }
+
+    fn eager_threshold(&self) -> usize {
+        self.shared.lock().fabric.model().eager_threshold
+    }
+
+    /// Schedule a rendezvous wire transfer once both sides are known.
+    /// Returns `(sender_done, arrival)`.
+    fn schedule_rndv(
+        fabric: &mut Fabric,
+        src: usize,
+        dst: usize,
+        len: usize,
+        ready: VTime,
+        recv_time: VTime,
+    ) -> (VTime, VTime) {
+        let start = ready.max(recv_time);
+        let arrival = fabric.transmit(src, dst, len, start);
+        let sender_done = if fabric.topology().same_node(src, dst) {
+            arrival
+        } else {
+            // The sender's NIC finishes one latency before the receiver
+            // sees the last byte.
+            VTime(arrival.as_nanos().saturating_sub(fabric.model().latency.as_nanos()))
+        };
+        (sender_done, arrival)
+    }
+
+    // ---------------------------------------------------------------
+    // Blocking point-to-point
+    // ---------------------------------------------------------------
+
+    /// Blocking standard-mode send (`MPI_Send`).
+    pub fn send(&self, buf: &[u8], dst: usize, tag: Tag) {
+        self.send_impl(buf, dst, tag, true);
+    }
+
+    fn send_impl(&self, buf: &[u8], dst: usize, tag: Tag, blocking: bool) {
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        assert_ne!(dst, self.rank(), "self-sends must use isend+recv");
+        let me = self.rank();
+        let len = buf.len();
+        self.h.advance(self.side_overhead(dst, len, blocking));
+        if len <= self.eager_threshold() {
+            let now = self.h.now();
+            let data = Bytes::copy_from_slice(buf);
+            {
+                let mut s = self.shared.lock();
+                s.p2p_ops += 1;
+                let arrive = s.fabric.transmit(me, dst, len, now);
+                if let Some(pr) = s.take_posted(dst, me, tag) {
+                    s.complete_req(pr.req, arrive, me, tag, Some(data));
+                } else {
+                    s.queues[dst].unexpected.push_back(Envelope {
+                        src: me,
+                        tag,
+                        data,
+                        arrive,
+                    });
+                }
+            }
+            self.h.notify_rank(dst);
+        } else {
+            // Rendezvous: block until the receiver schedules the
+            // transfer.
+            let req = {
+                let mut s = self.shared.lock();
+                s.p2p_ops += 1;
+                let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
+                let now = self.h.now();
+                let data = Bytes::copy_from_slice(buf);
+                if let Some(pr) = s.take_posted(dst, me, tag) {
+                    let (sender_done, arrival) =
+                        Self::schedule_rndv(&mut s.fabric, me, dst, len, now, pr.posted_at);
+                    s.complete_req(pr.req, arrival, me, tag, Some(data));
+                    s.requests[req] = Some(ReqEntry::Done {
+                        at: sender_done,
+                        src: me,
+                        tag,
+                        data: None,
+                    });
+                } else {
+                    s.queues[dst].rndv.push_back(RndvSend {
+                        src: me,
+                        tag,
+                        data,
+                        ready: now,
+                        req,
+                    });
+                }
+                req
+            };
+            self.h.notify_rank(dst);
+            let shared = Arc::clone(&self.shared);
+            let (at, ..) = self.h.block_on("send(rendezvous)", || {
+                shared.lock().try_take_done(req).map(|d| (d.0, d))
+            });
+            let _ = at;
+        }
+    }
+
+    /// Blocking receive (`MPI_Recv`), returning the payload.
+    pub fn recv(&self, src: Src, tag: TagSel) -> (Status, Bytes) {
+        let me = self.rank();
+        let shared = Arc::clone(&self.shared);
+        let h = self.h;
+        let (env, blocking_peer) = self.h.block_on("recv", || {
+            let mut s = shared.lock();
+            if let Some(env) = s.take_unexpected(me, src, tag) {
+                let peer = env.src;
+                return Some((env.arrive, (env, peer)));
+            }
+            if let Some(r) = s.take_rndv(me, src, tag) {
+                let (sender_done, arrival) =
+                    Self::schedule_rndv(&mut s.fabric, r.src, me, r.data.len(), r.ready, h.now());
+                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, None);
+                let env = Envelope {
+                    src: r.src,
+                    tag: r.tag,
+                    data: r.data,
+                    arrive: arrival,
+                };
+                // The sender may be parked in its rendezvous wait.
+                h.notify_rank(owner);
+                let peer = env.src;
+                return Some((arrival, (env, peer)));
+            }
+            None
+        });
+        self.h
+            .advance(self.side_overhead(blocking_peer, env.data.len(), true));
+        (
+            Status {
+                source: env.src,
+                tag: env.tag,
+                len: env.data.len(),
+            },
+            env.data,
+        )
+    }
+
+    /// Blocking receive into a caller buffer; the payload must fit
+    /// exactly.
+    pub fn recv_into(&self, buf: &mut [u8], src: Src, tag: TagSel) -> Status {
+        let (status, data) = self.recv(src, tag);
+        assert_eq!(
+            data.len(),
+            buf.len(),
+            "recv_into: message from {} (tag {}) is {} bytes, buffer is {}",
+            status.source,
+            status.tag,
+            data.len(),
+            buf.len()
+        );
+        buf.copy_from_slice(&data);
+        status
+    }
+
+    /// Combined send + receive (`MPI_Sendrecv`), deadlock-free for
+    /// symmetric exchanges.
+    pub fn sendrecv(
+        &self,
+        sendbuf: &[u8],
+        dst: usize,
+        send_tag: Tag,
+        src: Src,
+        recv_tag: TagSel,
+    ) -> (Status, Bytes) {
+        let sreq = self.isend(sendbuf, dst, send_tag);
+        let out = self.recv(src, recv_tag);
+        self.wait(sreq);
+        out
+    }
+
+    // ---------------------------------------------------------------
+    // Non-blocking point-to-point
+    // ---------------------------------------------------------------
+
+    /// Non-blocking send (`MPI_Isend`).
+    pub fn isend(&self, buf: &[u8], dst: usize, tag: Tag) -> Request {
+        assert!(dst < self.size(), "isend to invalid rank {dst}");
+        let me = self.rank();
+        let len = buf.len();
+        self.h.advance(self.side_overhead(dst, len, false));
+        let now = self.h.now();
+        let data = Bytes::copy_from_slice(buf);
+        let eager = len <= self.eager_threshold() || dst == me;
+        let id = {
+            let mut s = self.shared.lock();
+            s.p2p_ops += 1;
+            if eager {
+                let arrive = s.fabric.transmit(me, dst, len, now);
+                if let Some(pr) = s.take_posted(dst, me, tag) {
+                    s.complete_req(pr.req, arrive, me, tag, Some(data));
+                } else {
+                    s.queues[dst].unexpected.push_back(Envelope {
+                        src: me,
+                        tag,
+                        data,
+                        arrive,
+                    });
+                }
+                // Eager isend completes locally as soon as the buffer is
+                // handed to the transport.
+                s.alloc_req(ReqEntry::Done {
+                    at: now,
+                    src: me,
+                    tag,
+                    data: None,
+                })
+            } else {
+                let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
+                if let Some(pr) = s.take_posted(dst, me, tag) {
+                    let (sender_done, arrival) =
+                        Self::schedule_rndv(&mut s.fabric, me, dst, len, now, pr.posted_at);
+                    s.complete_req(pr.req, arrival, me, tag, Some(data));
+                    s.requests[req] = Some(ReqEntry::Done {
+                        at: sender_done,
+                        src: me,
+                        tag,
+                        data: None,
+                    });
+                } else {
+                    s.queues[dst].rndv.push_back(RndvSend {
+                        src: me,
+                        tag,
+                        data,
+                        ready: now,
+                        req,
+                    });
+                }
+                req
+            }
+        };
+        if dst != me {
+            self.h.notify_rank(dst);
+        }
+        Request {
+            id,
+            kind: ReqKind::Send,
+        }
+    }
+
+    /// Non-blocking receive (`MPI_Irecv`). The payload is returned by
+    /// [`Comm::wait`].
+    pub fn irecv(&self, src: Src, tag: TagSel) -> Request {
+        let me = self.rank();
+        let now = self.h.now();
+        let id = {
+            let mut s = self.shared.lock();
+            let req = s.alloc_req(ReqEntry::PendingRecv { owner: me });
+            if let Some(env) = s.take_unexpected(me, src, tag) {
+                s.requests[req] = Some(ReqEntry::Done {
+                    at: env.arrive,
+                    src: env.src,
+                    tag: env.tag,
+                    data: Some(env.data),
+                });
+            } else if let Some(r) = s.take_rndv(me, src, tag) {
+                let (sender_done, arrival) =
+                    Self::schedule_rndv(&mut s.fabric, r.src, me, r.data.len(), r.ready, now);
+                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, None);
+                s.requests[req] = Some(ReqEntry::Done {
+                    at: arrival,
+                    src: r.src,
+                    tag: r.tag,
+                    data: Some(r.data),
+                });
+                drop(s);
+                self.h.notify_rank(owner);
+                return Request {
+                    id: req,
+                    kind: ReqKind::Recv,
+                };
+            } else {
+                s.queues[me].posted.push(PostedRecv {
+                    req,
+                    src,
+                    tag,
+                    posted_at: now,
+                });
+            }
+            req
+        };
+        Request {
+            id,
+            kind: ReqKind::Recv,
+        }
+    }
+
+    /// Wait for one request (`MPI_Wait`). For receives, returns the
+    /// payload and charges the receive-side host overhead.
+    pub fn wait(&self, req: Request) -> (Status, Option<Bytes>) {
+        let shared = Arc::clone(&self.shared);
+        let id = req.id;
+        let (src, tag, data) = self.h.block_on("wait", || {
+            shared
+                .lock()
+                .try_take_done(id)
+                .map(|(at, src, tag, data)| (at, (src, tag, data)))
+        });
+        let len = data.as_ref().map_or(0, |d| d.len());
+        if req.kind == ReqKind::Recv {
+            self.h.advance(self.side_overhead(src, len, false));
+        }
+        (
+            Status {
+                source: src,
+                tag,
+                len,
+            },
+            data,
+        )
+    }
+
+    /// Wait for all requests (`MPI_Waitall`), in order.
+    pub fn waitall(&self, reqs: Vec<Request>) -> Vec<(Status, Option<Bytes>)> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Wait for whichever request completes first (`MPI_Waitany`).
+    /// Removes the completed request from `reqs` and returns its index
+    /// along with the result.
+    pub fn waitany(&self, reqs: &mut Vec<Request>) -> (usize, Status, Option<Bytes>) {
+        assert!(!reqs.is_empty(), "waitany on an empty request set");
+        let shared = Arc::clone(&self.shared);
+        let ids: Vec<usize> = reqs.iter().map(|r| r.id).collect();
+        let idx = self.h.block_on("waitany", || {
+            let s = shared.lock();
+            ids.iter()
+                .enumerate()
+                .filter_map(|(i, &id)| s.peek_done(id).map(|at| (at, i)))
+                .min()
+                .map(|(at, i)| (at, i))
+        });
+        let req = reqs.remove(idx);
+        let (status, data) = self.wait(req);
+        (idx, status, data)
+    }
+
+    /// Blocking probe (`MPI_Probe`): wait until a matching message is
+    /// available and return its envelope without receiving it.
+    pub fn probe(&self, src: Src, tag: TagSel) -> Status {
+        let me = self.rank();
+        let shared = Arc::clone(&self.shared);
+        self.h.block_on("probe", || {
+            let s = shared.lock();
+            s.peek_incoming(me, src, tag)
+                .map(|(src, tag, len, at)| (at, Status { source: src, tag, len }))
+        })
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`): check whether a matching
+    /// message has *already* arrived (in virtual time).
+    pub fn iprobe(&self, src: Src, tag: TagSel) -> Option<Status> {
+        let me = self.rank();
+        let now = self.h.now();
+        let s = self.shared.lock();
+        s.peek_incoming(me, src, tag)
+            .filter(|&(_, _, _, at)| at <= now)
+            .map(|(src, tag, len, _)| Status { source: src, tag, len })
+    }
+
+    // ---------------------------------------------------------------
+    // Typed convenience wrappers
+    // ---------------------------------------------------------------
+
+    /// Typed blocking send.
+    pub fn send_t<T: Pod>(&self, buf: &[T], dst: usize, tag: Tag) {
+        self.send(as_bytes(buf), dst, tag);
+    }
+
+    /// Typed blocking receive into a fresh vector.
+    pub fn recv_vec<T: Pod + Default>(&self, src: Src, tag: TagSel) -> (Status, Vec<T>) {
+        let (status, data) = self.recv(src, tag);
+        (status, vec_from_bytes(&data))
+    }
+
+    /// Typed non-blocking send.
+    pub fn isend_t<T: Pod>(&self, buf: &[T], dst: usize, tag: Tag) -> Request {
+        self.isend(as_bytes(buf), dst, tag)
+    }
+}

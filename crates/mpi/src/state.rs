@@ -1,0 +1,203 @@
+//! Shared runtime state: message matching queues, request slab, fabric.
+//!
+//! One mutex guards everything. That is not a scalability concern: the
+//! simulation engine executes exactly one rank at a time, so the lock is
+//! never contended — it exists to satisfy the borrow checker across rank
+//! threads.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use empi_netsim::{Fabric, VTime};
+
+use crate::types::{Src, Tag, TagSel};
+
+/// An eagerly-delivered message sitting in a receiver's queue.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    pub data: Bytes,
+    /// Virtual time the last byte reaches the receiving NIC.
+    pub arrive: VTime,
+}
+
+/// A posted non-blocking receive awaiting a matching message.
+#[derive(Debug)]
+pub(crate) struct PostedRecv {
+    pub req: usize,
+    pub src: Src,
+    pub tag: TagSel,
+    /// When the receive was posted (rendezvous transfers cannot start
+    /// earlier).
+    pub posted_at: VTime,
+}
+
+/// A rendezvous-mode send waiting for the receiver to arrive.
+#[derive(Debug)]
+pub(crate) struct RndvSend {
+    pub src: usize,
+    pub tag: Tag,
+    pub data: Bytes,
+    /// When the sender finished its local overhead (transfer cannot
+    /// start earlier).
+    pub ready: VTime,
+    /// The sender's request to complete when the transfer is scheduled.
+    pub req: usize,
+}
+
+/// Per-receiver matching queues.
+#[derive(Debug, Default)]
+pub(crate) struct RankQueues {
+    pub unexpected: VecDeque<Envelope>,
+    pub posted: Vec<PostedRecv>,
+    pub rndv: VecDeque<RndvSend>,
+}
+
+/// Request slab entry.
+#[derive(Debug)]
+pub(crate) enum ReqEntry {
+    /// Sender waiting for a rendezvous match.
+    PendingSend { owner: usize },
+    /// Posted receive not yet matched.
+    PendingRecv { owner: usize },
+    /// Operation finished at `at`; receives carry their payload.
+    Done {
+        at: VTime,
+        src: usize,
+        tag: Tag,
+        data: Option<Bytes>,
+    },
+}
+
+/// The state shared by all ranks of a world.
+pub(crate) struct SharedState {
+    pub fabric: Fabric,
+    pub queues: Vec<RankQueues>,
+    pub requests: Vec<Option<ReqEntry>>,
+    free_reqs: Vec<usize>,
+    /// Total point-to-point operations issued (stats).
+    pub p2p_ops: u64,
+}
+
+impl SharedState {
+    pub fn new(fabric: Fabric) -> Self {
+        let n = fabric.topology().n_ranks();
+        SharedState {
+            fabric,
+            queues: (0..n).map(|_| RankQueues::default()).collect(),
+            requests: Vec::new(),
+            free_reqs: Vec::new(),
+            p2p_ops: 0,
+        }
+    }
+
+    /// Allocate a request slot.
+    pub fn alloc_req(&mut self, entry: ReqEntry) -> usize {
+        if let Some(id) = self.free_reqs.pop() {
+            self.requests[id] = Some(entry);
+            id
+        } else {
+            self.requests.push(Some(entry));
+            self.requests.len() - 1
+        }
+    }
+
+    /// Take a completed request's result, freeing the slot.
+    /// Returns `None` if it is still pending.
+    pub fn try_take_done(&mut self, id: usize) -> Option<(VTime, usize, Tag, Option<Bytes>)> {
+        match self.requests[id].as_ref() {
+            Some(ReqEntry::Done { .. }) => {
+                let entry = self.requests[id].take().unwrap();
+                self.free_reqs.push(id);
+                match entry {
+                    ReqEntry::Done { at, src, tag, data } => Some((at, src, tag, data)),
+                    _ => unreachable!(),
+                }
+            }
+            Some(_) => None,
+            None => panic!("request {id} used after completion"),
+        }
+    }
+
+    /// Complete a request in place; returns the owner to notify.
+    pub fn complete_req(
+        &mut self,
+        id: usize,
+        at: VTime,
+        src: usize,
+        tag: Tag,
+        data: Option<Bytes>,
+    ) -> usize {
+        let owner = match self.requests[id].as_ref() {
+            Some(ReqEntry::PendingSend { owner }) | Some(ReqEntry::PendingRecv { owner }) => {
+                *owner
+            }
+            other => panic!("completing non-pending request {id}: {other:?}"),
+        };
+        self.requests[id] = Some(ReqEntry::Done { at, src, tag, data });
+        owner
+    }
+
+    /// Completion time of a request, if it is done (non-consuming).
+    pub fn peek_done(&self, id: usize) -> Option<VTime> {
+        match self.requests[id].as_ref() {
+            Some(ReqEntry::Done { at, .. }) => Some(*at),
+            Some(_) => None,
+            None => panic!("request {id} used after completion"),
+        }
+    }
+
+    /// Inspect (without consuming) the first unexpected envelope or
+    /// pending rendezvous send matching `(src, tag)` for `rank`:
+    /// returns `(src, tag, payload_len, available_at)`.
+    pub fn peek_incoming(
+        &self,
+        rank: usize,
+        src: Src,
+        tag: TagSel,
+    ) -> Option<(usize, Tag, usize, VTime)> {
+        if let Some(e) = self.queues[rank]
+            .unexpected
+            .iter()
+            .find(|e| src.matches(e.src) && tag.matches(e.tag))
+        {
+            return Some((e.src, e.tag, e.data.len(), e.arrive));
+        }
+        self.queues[rank]
+            .rndv
+            .iter()
+            .find(|r| src.matches(r.src) && tag.matches(r.tag))
+            .map(|r| (r.src, r.tag, r.data.len(), r.ready))
+    }
+
+    /// Find the first unexpected envelope matching `(src, tag)` for
+    /// `rank` and remove it.
+    pub fn take_unexpected(&mut self, rank: usize, src: Src, tag: TagSel) -> Option<Envelope> {
+        let q = &mut self.queues[rank].unexpected;
+        let pos = q
+            .iter()
+            .position(|e| src.matches(e.src) && tag.matches(e.tag))?;
+        q.remove(pos)
+    }
+
+    /// Find the first pending rendezvous send matching `(src, tag)` for
+    /// `rank` and remove it.
+    pub fn take_rndv(&mut self, rank: usize, src: Src, tag: TagSel) -> Option<RndvSend> {
+        let q = &mut self.queues[rank].rndv;
+        let pos = q
+            .iter()
+            .position(|e| src.matches(e.src) && tag.matches(e.tag))?;
+        q.remove(pos)
+    }
+
+    /// Find the earliest posted receive at `dst` matching a message from
+    /// `src` with `tag`, and remove it.
+    pub fn take_posted(&mut self, dst: usize, src: usize, tag: Tag) -> Option<PostedRecv> {
+        let q = &mut self.queues[dst].posted;
+        let pos = q
+            .iter()
+            .position(|p| p.src.matches(src) && p.tag.matches(tag))?;
+        Some(q.remove(pos))
+    }
+}

@@ -1,0 +1,151 @@
+//! Message envelope types: tags, source selectors, plain-old-data
+//! element types.
+
+/// Message tag (application-level match key).
+pub type Tag = u32;
+
+/// Tags at or above this value are reserved for internal protocol use
+/// (collectives); user code must stay below.
+pub const RESERVED_TAG_BASE: Tag = 1 << 24;
+
+/// Receive-side source selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Match any sender (MPI_ANY_SOURCE).
+    Any,
+    /// Match only this rank.
+    Is(usize),
+}
+
+impl Src {
+    /// Does `rank` satisfy the selector?
+    pub fn matches(self, rank: usize) -> bool {
+        match self {
+            Src::Any => true,
+            Src::Is(r) => r == rank,
+        }
+    }
+}
+
+/// Receive-side tag selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match any tag (MPI_ANY_TAG).
+    Any,
+    /// Match only this tag.
+    Is(Tag),
+}
+
+impl TagSel {
+    /// Does `tag` satisfy the selector?
+    pub fn matches(self, tag: Tag) -> bool {
+        match self {
+            TagSel::Any => true,
+            TagSel::Is(t) => t == tag,
+        }
+    }
+}
+
+/// Completion metadata of a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Actual sender.
+    pub source: usize,
+    /// Actual tag.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Plain-old-data element types that can cross rank boundaries as raw
+/// bytes.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding bytes, no invalid bit
+/// patterns, and identical layout on both sides (always true here: the
+/// "cluster" is one process).
+pub unsafe trait Pod: Copy + Send + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl Pod for usize {}
+
+/// View a POD slice as bytes.
+pub fn as_bytes<T: Pod>(s: &[T]) -> &[u8] {
+    // SAFETY: T is Pod (no padding, no invalid patterns).
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, std::mem::size_of_val(s)) }
+}
+
+/// Copy bytes into a POD slice; panics if lengths mismatch.
+pub fn copy_from_bytes<T: Pod>(dst: &mut [T], src: &[u8]) {
+    assert_eq!(
+        std::mem::size_of_val(dst),
+        src.len(),
+        "byte length mismatch in typed receive"
+    );
+    // SAFETY: same size; T is Pod so any bit pattern is valid.
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            src.as_ptr(),
+            dst.as_mut_ptr() as *mut u8,
+            src.len(),
+        );
+    }
+}
+
+/// Decode bytes into a fresh `Vec<T>`; panics if the length is not a
+/// multiple of `size_of::<T>()`.
+pub fn vec_from_bytes<T: Pod + Default>(src: &[u8]) -> Vec<T> {
+    let n = std::mem::size_of::<T>();
+    assert_eq!(src.len() % n, 0, "byte length not a multiple of element size");
+    let mut out = vec![T::default(); src.len() / n];
+    copy_from_bytes(&mut out, src);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors() {
+        assert!(Src::Any.matches(5));
+        assert!(Src::Is(5).matches(5));
+        assert!(!Src::Is(5).matches(6));
+        assert!(TagSel::Any.matches(0));
+        assert!(TagSel::Is(9).matches(9));
+        assert!(!TagSel::Is(9).matches(8));
+    }
+
+    #[test]
+    fn pod_roundtrip_f64() {
+        let xs = [1.5f64, -2.25, 3.125];
+        let bytes = as_bytes(&xs);
+        assert_eq!(bytes.len(), 24);
+        let back: Vec<f64> = vec_from_bytes(bytes);
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn pod_roundtrip_i32() {
+        let xs = [i32::MIN, -1, 0, 1, i32::MAX];
+        let back: Vec<i32> = vec_from_bytes(as_bytes(&xs));
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn typed_copy_length_checked() {
+        let mut dst = [0u64; 2];
+        copy_from_bytes(&mut dst, &[0u8; 9]);
+    }
+}

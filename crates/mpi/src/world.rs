@@ -1,0 +1,279 @@
+//! World construction: spin up N ranks on a fabric and run MPI code.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use empi_netsim::{Engine, Fabric, FabricStats, NetModel, Topology, VTime};
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::state::SharedState;
+
+/// A simulated MPI world: rank placement plus interconnect model.
+pub struct World {
+    model: NetModel,
+    topology: Topology,
+    time_scale: f64,
+}
+
+/// What a finished run returns.
+pub struct WorldOutcome<T> {
+    /// Per-rank results, in rank order.
+    pub results: Vec<T>,
+    /// The virtual time at which the last rank finished.
+    pub end_time: VTime,
+    /// Transport statistics.
+    pub fabric: FabricStats,
+    /// Scheduler yields (simulation overhead metric).
+    pub yields: u64,
+}
+
+impl World {
+    /// A world with the given placement and network model.
+    pub fn new(model: NetModel, topology: Topology) -> Self {
+        World {
+            model,
+            topology,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Convenience: `n` ranks, one per node, on the given model.
+    pub fn flat(model: NetModel, n: usize) -> Self {
+        World::new(model, Topology::one_per_node(n))
+    }
+
+    /// Multiplier for measured-time charging (models a slower CPU).
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.topology.n_ranks()
+    }
+
+    /// Run `f` on every rank; returns when all ranks finish.
+    pub fn run<T, F>(&self, f: F) -> WorldOutcome<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        let n = self.topology.n_ranks();
+        let fabric = Fabric::new(self.model.clone(), self.topology.clone());
+        let shared = Arc::new(Mutex::new(SharedState::new(fabric)));
+        let shared_for_stats = Arc::clone(&shared);
+        let out = Engine::new(n).time_scale(self.time_scale).run(|h| {
+            let comm = Comm {
+                h,
+                shared: Arc::clone(&shared),
+                coll_seq: Cell::new(0),
+            };
+            f(&comm)
+        });
+        let fabric = shared_for_stats.lock().fabric.stats();
+        WorldOutcome {
+            results: out.results,
+            end_time: out.end_time,
+            fabric,
+            yields: out.yields,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Src, TagSel};
+    use empi_netsim::NetModel;
+
+    #[test]
+    fn two_rank_round_trip() {
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                c.send(b"hello", 1, 7);
+                let (st, data) = c.recv(Src::Is(1), TagSel::Is(8));
+                assert_eq!(&data[..], b"world");
+                assert_eq!(st.source, 1);
+                st.len
+            } else {
+                let (st, data) = c.recv(Src::Is(0), TagSel::Is(7));
+                assert_eq!(&data[..], b"hello");
+                assert_eq!(st.tag, 7);
+                c.send(b"world", 0, 8);
+                st.len
+            }
+        });
+        assert_eq!(out.results, vec![5, 5]);
+        assert_eq!(out.fabric.messages, 2);
+    }
+
+    #[test]
+    fn pingpong_time_matches_calibration() {
+        // One blocking round trip of `s` bytes must take exactly
+        // 2 × pp_curve(s) of virtual time.
+        for s in [1usize, 1024, 2 << 20] {
+            let model = NetModel::ethernet_10g();
+            let expect_oneway = model.pp_curve.time_ns(s);
+            let w = World::flat(model, 2);
+            let out = w.run(|c| {
+                let buf = vec![0u8; s];
+                if c.rank() == 0 {
+                    c.send(&buf, 1, 0);
+                    let _ = c.recv(Src::Is(1), TagSel::Is(1));
+                } else {
+                    let (_, data) = c.recv(Src::Is(0), TagSel::Is(0));
+                    c.send(&data, 0, 1);
+                }
+            });
+            let rtt = out.end_time.as_nanos();
+            let expect = 2 * expect_oneway;
+            let err = (rtt as f64 - expect as f64).abs() / expect as f64;
+            assert!(
+                err < 0.01,
+                "size {s}: rtt {rtt} vs expected {expect} (err {err:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        let w = World::flat(NetModel::instant(), 3);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                let mut seen = vec![];
+                for _ in 0..2 {
+                    let (st, data) = c.recv(Src::Any, TagSel::Any);
+                    seen.push((st.source, st.tag, data.len()));
+                }
+                seen.sort();
+                seen
+            } else {
+                c.send(&vec![0u8; c.rank()], 0, c.rank() as u32 * 10);
+                vec![]
+            }
+        });
+        assert_eq!(out.results[0], vec![(1, 10, 1), (2, 20, 2)]);
+    }
+
+    #[test]
+    fn nonblocking_window() {
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        let n_msgs = 16;
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                let reqs: Vec<_> = (0..n_msgs)
+                    .map(|i| c.isend(&[i as u8; 64], 1, i as u32))
+                    .collect();
+                c.waitall(reqs);
+                0usize
+            } else {
+                let reqs: Vec<_> = (0..n_msgs).map(|i| c.irecv(Src::Is(0), TagSel::Is(i as u32))).collect();
+                let res = c.waitall(reqs);
+                res.iter()
+                    .map(|(st, data)| {
+                        let d = data.as_ref().unwrap();
+                        assert_eq!(d[0] as u32, st.tag);
+                        d.len()
+                    })
+                    .sum()
+            }
+        });
+        assert_eq!(out.results[1], 16 * 64);
+    }
+
+    #[test]
+    fn rendezvous_large_message() {
+        let model = NetModel::ethernet_10g();
+        let big = model.eager_threshold + 1;
+        let w = World::flat(model, 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                // Delay the send so the receive is posted first.
+                c.compute(empi_netsim::VDur::from_micros(500));
+                c.send(&vec![0xAB; big], 1, 3);
+                0
+            } else {
+                let (st, data) = c.recv(Src::Is(0), TagSel::Is(3));
+                assert!(data.iter().all(|&b| b == 0xAB));
+                st.len
+            }
+        });
+        assert_eq!(out.results[1], big);
+    }
+
+    #[test]
+    fn rendezvous_sender_first() {
+        let model = NetModel::ethernet_10g();
+        let big = model.eager_threshold * 2;
+        let w = World::flat(model, 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                c.send(&vec![1u8; big], 1, 0);
+                c.now().as_nanos()
+            } else {
+                // Receiver arrives late: transfer starts at our post time.
+                c.compute(empi_netsim::VDur::from_micros(2_000));
+                let (_, data) = c.recv(Src::Is(0), TagSel::Is(0));
+                assert_eq!(data.len(), big);
+                c.now().as_nanos()
+            }
+        });
+        // The sender must have blocked until the receiver showed up.
+        assert!(out.results[0] > 2_000_000, "sender finished at {}", out.results[0]);
+    }
+
+    #[test]
+    fn message_order_preserved_same_pair() {
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                for i in 0..20u8 {
+                    c.send(&[i], 1, 5);
+                }
+                vec![]
+            } else {
+                (0..20)
+                    .map(|_| c.recv(Src::Is(0), TagSel::Is(5)).1[0])
+                    .collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out.results[1], (0..20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn typed_transfers() {
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                c.send_t(&[1.5f64, 2.5, -3.0], 1, 0);
+                0.0
+            } else {
+                let (_, v) = c.recv_vec::<f64>(Src::Is(0), TagSel::Is(0));
+                v.iter().sum::<f64>()
+            }
+        });
+        assert_eq!(out.results[1], 1.0);
+    }
+
+    #[test]
+    fn unexpected_before_irecv_posted() {
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                c.send(b"early", 1, 9);
+                0
+            } else {
+                // Give the message time to land in the unexpected queue.
+                c.compute(empi_netsim::VDur::from_micros(100));
+                let r = c.irecv(Src::Is(0), TagSel::Is(9));
+                let (st, data) = c.wait(r);
+                assert_eq!(&data.unwrap()[..], b"early");
+                st.len
+            }
+        });
+        assert_eq!(out.results[1], 5);
+    }
+}

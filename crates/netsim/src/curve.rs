@@ -1,0 +1,102 @@
+//! Size-indexed calibration curves.
+//!
+//! Fabric presets are calibrated against the paper's *measured baseline*
+//! tables rather than first-principles constants (DESIGN.md §5): a curve
+//! maps message size to a throughput (MB/s), and times are derived from
+//! it. Interpolation is piecewise-linear in log-log space, which matches
+//! how such benchmark curves look on the paper's log-scale axes.
+
+/// A piecewise log-log curve over `(size_bytes, MB/s)` anchors.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    anchors: Vec<(f64, f64)>,
+}
+
+impl Curve {
+    /// Build from anchors sorted by size (validated).
+    pub fn new(anchors: &[(usize, f64)]) -> Self {
+        assert!(!anchors.is_empty(), "curve needs at least one anchor");
+        for w in anchors.windows(2) {
+            assert!(w[0].0 < w[1].0, "curve anchors must be strictly increasing");
+        }
+        assert!(
+            anchors.iter().all(|&(s, v)| s > 0 && v > 0.0),
+            "curve anchors must be positive"
+        );
+        Curve {
+            anchors: anchors.iter().map(|&(s, v)| (s as f64, v)).collect(),
+        }
+    }
+
+    /// Interpolated value at `size` (clamped to the anchor range).
+    pub fn value_at(&self, size: usize) -> f64 {
+        let s = (size.max(1)) as f64;
+        let a = &self.anchors;
+        if s <= a[0].0 {
+            return a[0].1;
+        }
+        if s >= a[a.len() - 1].0 {
+            return a[a.len() - 1].1;
+        }
+        for w in a.windows(2) {
+            if s <= w[1].0 {
+                let t = (s.ln() - w[0].0.ln()) / (w[1].0.ln() - w[0].0.ln());
+                return (w[0].1.ln() + t * (w[1].1.ln() - w[0].1.ln())).exp();
+            }
+        }
+        unreachable!()
+    }
+
+    /// Time in nanoseconds to move `size` bytes at the curve's
+    /// throughput for that size.
+    pub fn time_ns(&self, size: usize) -> u64 {
+        let mbs = self.value_at(size);
+        (size as f64 / (mbs * 1e6) * 1e9) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_anchors_exactly() {
+        let c = Curve::new(&[(1, 0.05), (1024, 17.03), (1 << 21, 1038.0)]);
+        assert!((c.value_at(1) - 0.05).abs() < 1e-12);
+        assert!((c.value_at(1024) - 17.03).abs() < 1e-9);
+        assert!((c.value_at(1 << 21) - 1038.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let c = Curve::new(&[(16, 2.0), (64, 8.0)]);
+        assert_eq!(c.value_at(1), 2.0);
+        assert_eq!(c.value_at(1 << 30), 8.0);
+    }
+
+    #[test]
+    fn time_derivation() {
+        let c = Curve::new(&[(1024, 1024.0)]); // 1024 MB/s flat
+        // 1 MiB at 1024 MB/s = 1 MiB / (1024e6 B/s) ≈ 1024 µs... check:
+        let t = c.time_ns(1 << 20);
+        let expect = (1u64 << 20) as f64 / (1024e6) * 1e9;
+        assert!((t as f64 - expect).abs() < 2.0, "t={t} expect={expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted() {
+        Curve::new(&[(10, 1.0), (10, 2.0)]);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_for_monotone_anchors() {
+        let c = Curve::new(&[(1, 1.0), (100, 10.0), (10_000, 100.0)]);
+        let mut prev = 0.0;
+        for s in [1usize, 3, 10, 50, 100, 700, 5000, 10_000] {
+            let v = c.value_at(s);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Conservative virtual-time execution engine.
+//!
+//! Each simulated rank runs real Rust code on its own OS thread, but a
+//! scheduler token guarantees **exactly one rank executes at a time**,
+//! and the token always goes to the runnable rank with the smallest
+//! virtual clock. That gives three properties the benchmarks rely on:
+//!
+//! 1. *Causality*: when a rank executes at virtual time `t`, every other
+//!    rank has logically reached `t`, so no message can later arrive
+//!    "from the past".
+//! 2. *Modelled parallelism*: each rank owns a dedicated virtual core
+//!    (the paper's regime — 64 ranks on 64 physical cores), even though
+//!    the host machine may have a single core.
+//! 3. *Determinism of structure*: message-matching order depends only on
+//!    virtual timestamps, not host thread scheduling.
+//!
+//! Rank code interacts with the engine through [`SimHandle`]:
+//! [`SimHandle::advance`] charges virtual compute time,
+//! [`SimHandle::charge_measured`] charges the *measured* wall time of a
+//! real computation (valid because execution is exclusive), and
+//! [`SimHandle::block_on`] parks the rank until a peer calls
+//! [`SimHandle::notify_rank`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{VDur, VTime};
+
+/// Why a rank is parked (for deadlock diagnostics).
+type BlockReason = &'static str;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Eligible to receive the token.
+    Ready,
+    /// Currently holds the token.
+    Running,
+    /// Parked until a peer calls `notify_rank`.
+    Blocked,
+    /// Rank closure returned.
+    Done,
+}
+
+struct RankState {
+    status: Status,
+    reason: BlockReason,
+}
+
+struct Sched {
+    ranks: Vec<RankState>,
+    /// Which rank currently holds (or was just granted) the token.
+    running: Option<usize>,
+    /// Ranks not yet `Done`.
+    active: usize,
+    /// First panic message, if any rank panicked.
+    poisoned: Option<String>,
+}
+
+struct Shared {
+    sched: Mutex<Sched>,
+    /// One condvar per rank (all used with the single `sched` mutex):
+    /// granting the token wakes exactly one thread instead of herding
+    /// all N ranks awake on every yield.
+    cvs: Vec<Condvar>,
+    /// Per-rank virtual clocks (ns). Written only by the owning rank
+    /// while holding the token; read freely.
+    clocks: Vec<AtomicU64>,
+    /// Multiplier applied to measured wall time in `charge_measured`.
+    time_scale: f64,
+    /// Total yield operations (scheduler-overhead metric).
+    yields: AtomicU64,
+    /// Total notify operations.
+    notifies: AtomicU64,
+}
+
+impl Shared {
+    /// Grant the token to the minimum-clock Ready rank. Must be called
+    /// with the sched lock held and `running == None`.
+    fn grant(&self, s: &mut Sched) {
+        debug_assert!(s.running.is_none());
+        let mut best: Option<(u64, usize)> = None;
+        for (r, st) in s.ranks.iter().enumerate() {
+            if st.status == Status::Ready {
+                let c = self.clocks[r].load(Ordering::Relaxed);
+                if best.map_or(true, |(bc, _)| c < bc) {
+                    best = Some((c, r));
+                }
+            }
+        }
+        match best {
+            Some((_, r)) => {
+                s.running = Some(r);
+                self.cvs[r].notify_one();
+            }
+            None => {
+                if s.active > 0 && s.poisoned.is_none() {
+                    // Every live rank is Blocked: deadlock.
+                    let mut msg = String::from("virtual-time deadlock; all ranks blocked:\n");
+                    for (r, st) in s.ranks.iter().enumerate() {
+                        if st.status != Status::Done {
+                            msg.push_str(&format!(
+                                "  rank {r}: {:?} ({}) at t={}ns\n",
+                                st.status,
+                                st.reason,
+                                self.clocks[r].load(Ordering::Relaxed)
+                            ));
+                        }
+                    }
+                    s.poisoned = Some(msg);
+                    for cv in &self.cvs {
+                        cv.notify_all();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Park until this rank holds the token.
+    fn wait_for_token(&self, rank: usize) {
+        let mut s = self.sched.lock();
+        loop {
+            if let Some(p) = &s.poisoned {
+                let p = p.clone();
+                drop(s);
+                panic!("simulation aborted: {p}");
+            }
+            if s.running == Some(rank) {
+                s.ranks[rank].status = Status::Running;
+                return;
+            }
+            if s.running.is_none() {
+                self.grant(&mut s);
+                continue;
+            }
+            self.cvs[rank].wait(&mut s);
+        }
+    }
+
+    /// Release the token with this rank in `status`, then re-acquire it
+    /// if `status` is Ready/Blocked (Done releases permanently).
+    fn release(&self, rank: usize, status: Status, reason: BlockReason) {
+        self.yields.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.sched.lock();
+        s.ranks[rank].status = status;
+        s.ranks[rank].reason = reason;
+        if status == Status::Done {
+            s.active -= 1;
+        }
+        s.running = None;
+        self.grant(&mut s);
+    }
+}
+
+/// The engine owning a set of simulated ranks.
+///
+/// Construct with [`Engine::new`], then call [`Engine::run`].
+pub struct Engine {
+    n_ranks: usize,
+    time_scale: f64,
+}
+
+impl Engine {
+    /// An engine for `n_ranks` simulated processes.
+    pub fn new(n_ranks: usize) -> Self {
+        assert!(n_ranks > 0, "need at least one rank");
+        Engine {
+            n_ranks,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Set the multiplier applied to measured wall time by
+    /// [`SimHandle::charge_measured`] (e.g. to model a slower CPU).
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.time_scale = scale;
+        self
+    }
+
+    /// Run `f(rank, handle)` on every rank to completion and return the
+    /// per-rank results in rank order, plus engine statistics.
+    ///
+    /// Panics (with the original message) if any rank panics or if the
+    /// simulation deadlocks.
+    pub fn run<T, F>(&self, f: F) -> RunOutcome<T>
+    where
+        T: Send,
+        F: Fn(&SimHandle) -> T + Sync,
+    {
+        let shared = Arc::new(Shared {
+            sched: Mutex::new(Sched {
+                ranks: (0..self.n_ranks)
+                    .map(|_| RankState {
+                        status: Status::Ready,
+                        reason: "startup",
+                    })
+                    .collect(),
+                running: None,
+                active: self.n_ranks,
+                poisoned: None,
+            }),
+            cvs: (0..self.n_ranks).map(|_| Condvar::new()).collect(),
+            clocks: (0..self.n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            time_scale: self.time_scale,
+            yields: AtomicU64::new(0),
+            notifies: AtomicU64::new(0),
+        });
+
+        let mut results: Vec<Option<T>> = (0..self.n_ranks).map(|_| None).collect();
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let handle = SimHandle {
+                            shared: Arc::clone(&shared),
+                            rank,
+                            n_ranks: self.n_ranks,
+                        };
+                        shared.wait_for_token(rank);
+                        let out = catch_unwind(AssertUnwindSafe(|| f(&handle)));
+                        match out {
+                            Ok(v) => {
+                                *slot = Some(v);
+                                shared.release(rank, Status::Done, "finished");
+                            }
+                            Err(payload) => {
+                                let msg = panic_message(&payload);
+                                {
+                                    let mut s = shared.sched.lock();
+                                    if s.poisoned.is_none() {
+                                        s.poisoned =
+                                            Some(format!("rank {rank} panicked: {msg}"));
+                                    }
+                                    s.ranks[rank].status = Status::Done;
+                                    s.active -= 1;
+                                    s.running = None;
+                                    for cv in &shared.cvs {
+                                        cv.notify_all();
+                                    }
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let mut first_panic = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+            if let Some(p) = first_panic {
+                std::panic::resume_unwind(p);
+            }
+        });
+
+        let end_time = VTime(
+            shared
+                .clocks
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0),
+        );
+        RunOutcome {
+            results: results.into_iter().map(|r| r.expect("rank result")).collect(),
+            end_time,
+            yields: shared.yields.load(Ordering::Relaxed),
+            notifies: shared.notifies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Results and statistics of one simulation run.
+pub struct RunOutcome<T> {
+    /// Per-rank return values, in rank order.
+    pub results: Vec<T>,
+    /// The largest virtual clock reached by any rank.
+    pub end_time: VTime,
+    /// Scheduler yield operations performed.
+    pub yields: u64,
+    /// Notify operations performed.
+    pub notifies: u64,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// A rank's interface to the virtual clock and the scheduler.
+pub struct SimHandle {
+    shared: Arc<Shared>,
+    rank: usize,
+    n_ranks: usize,
+}
+
+impl SimHandle {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total rank count.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// This rank's current virtual time.
+    pub fn now(&self) -> VTime {
+        VTime(self.shared.clocks[self.rank].load(Ordering::Relaxed))
+    }
+
+    /// Read another rank's clock (diagnostics only).
+    pub fn clock_of(&self, rank: usize) -> VTime {
+        VTime(self.shared.clocks[rank].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn set_clock(&self, t: VTime) {
+        self.shared.clocks[self.rank].store(t.0, Ordering::Relaxed);
+    }
+
+    /// Charge `d` of virtual compute time and yield.
+    pub fn advance(&self, d: VDur) {
+        self.advance_to(self.now() + d);
+    }
+
+    /// Move the clock forward to `t` (no-op move if already past) and
+    /// yield so lower-clock ranks can run.
+    pub fn advance_to(&self, t: VTime) {
+        let new_t = self.now().max(t);
+        self.set_clock(new_t);
+        self.shared.release(self.rank, Status::Ready, "advance");
+        self.shared.wait_for_token(self.rank);
+    }
+
+    /// Run `f` exclusively, measure its wall time, charge it (scaled by
+    /// the engine's `time_scale`) as virtual compute, and return its
+    /// result.
+    pub fn charge_measured<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_nanos() as f64 * self.shared.time_scale;
+        self.advance(VDur(elapsed as u64));
+        out
+    }
+
+    /// Park this rank until `check` produces a completion.
+    ///
+    /// `check` is evaluated immediately and after every
+    /// [`notify_rank`](Self::notify_rank) aimed at this rank; it returns
+    /// `Some((ready_at, value))` when the awaited condition holds, where
+    /// `ready_at` is the virtual time at which it became true (the clock
+    /// jumps to `max(now, ready_at)`).
+    ///
+    /// Exclusive execution makes the check-then-park sequence atomic
+    /// with respect to all other ranks, so no wakeup can be lost.
+    pub fn block_on<T>(
+        &self,
+        reason: &'static str,
+        mut check: impl FnMut() -> Option<(VTime, T)>,
+    ) -> T {
+        loop {
+            if let Some((t, v)) = check() {
+                self.advance_to(t);
+                return v;
+            }
+            self.shared.release(self.rank, Status::Blocked, reason);
+            self.shared.wait_for_token(self.rank);
+        }
+    }
+
+    /// Wake `target` if it is parked in [`block_on`](Self::block_on),
+    /// causing it to re-evaluate its condition.
+    pub fn notify_rank(&self, target: usize) {
+        self.shared.notifies.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.shared.sched.lock();
+        if s.ranks[target].status == Status::Blocked {
+            s.ranks[target].status = Status::Ready;
+            s.ranks[target].reason = "notified";
+            // The waker still holds the token; the target will be
+            // considered at the waker's next yield.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+
+    #[test]
+    fn clocks_advance_independently() {
+        let out = Engine::new(4).run(|h| {
+            h.advance(VDur::from_micros((h.rank() as u64 + 1) * 10));
+            h.now()
+        });
+        for (r, t) in out.results.iter().enumerate() {
+            assert_eq!(t.as_nanos(), (r as u64 + 1) * 10_000);
+        }
+        assert_eq!(out.end_time, VTime(40_000));
+    }
+
+    #[test]
+    fn min_clock_scheduling_orders_events() {
+        // Each rank appends (time, rank) to a shared log at staggered
+        // times; the log must come out sorted by time.
+        let log = PlMutex::new(Vec::new());
+        Engine::new(8).run(|h| {
+            for step in 0..20u64 {
+                h.advance(VDur(100 + (h.rank() as u64 * 37 + step * 13) % 900));
+                log.lock().push((h.now().as_nanos(), h.rank()));
+            }
+        });
+        let log = log.into_inner();
+        assert_eq!(log.len(), 160);
+        for w in log.windows(2) {
+            assert!(w[0].0 <= w[1].0, "events out of order: {w:?}");
+        }
+    }
+
+    #[test]
+    fn block_and_notify_ping() {
+        // Rank 0 produces a value at t=50us; rank 1 blocks for it.
+        let slot: PlMutex<Option<(VTime, u32)>> = PlMutex::new(None);
+        let out = Engine::new(2).run(|h| {
+            if h.rank() == 0 {
+                h.advance(VDur::from_micros(50));
+                *slot.lock() = Some((h.now(), 99));
+                h.notify_rank(1);
+                0
+            } else {
+                let v = h.block_on("value", || slot.lock().map(|(t, v)| (t, v)));
+                assert_eq!(v, 99);
+                assert_eq!(h.now(), VTime(50_000));
+                v
+            }
+        });
+        assert_eq!(out.results, vec![0, 99]);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let result = std::panic::catch_unwind(|| {
+            Engine::new(2).run(|h| {
+                // Both ranks block on a condition nobody completes.
+                h.block_on::<()>("never", || None);
+            });
+        });
+        let msg = format!("{:?}", result.unwrap_err().downcast_ref::<String>());
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Engine::new(3).run(|h| {
+                if h.rank() == 1 {
+                    panic!("boom at rank 1");
+                }
+                // Others block forever; the panic must still unwind them.
+                h.block_on::<()>("waiting forever", || None);
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn charge_measured_moves_clock() {
+        let out = Engine::new(1).run(|h| {
+            let before = h.now();
+            let x = h.charge_measured(|| (0..10_000u64).sum::<u64>());
+            assert_eq!(x, 49_995_000);
+            h.now().since(before)
+        });
+        assert!(out.results[0] > VDur::ZERO);
+    }
+
+    #[test]
+    fn time_scale_multiplies_measured_time() {
+        let busy = || {
+            let mut acc = 0u64;
+            for i in 0..200_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        };
+        let t1 = Engine::new(1)
+            .run(|h| {
+                h.charge_measured(busy);
+                h.now()
+            })
+            .results[0];
+        let t10 = Engine::new(1)
+            .time_scale(10.0)
+            .run(|h| {
+                h.charge_measured(busy);
+                h.now()
+            })
+            .results[0];
+        // Allow generous jitter; the scaled run must be clearly longer.
+        assert!(
+            t10.as_nanos() > t1.as_nanos() * 3,
+            "t1={t1} t10={t10}"
+        );
+    }
+
+    #[test]
+    fn many_ranks_many_yields() {
+        let out = Engine::new(32).run(|h| {
+            for _ in 0..50 {
+                h.advance(VDur(10));
+            }
+            h.now()
+        });
+        assert!(out.results.iter().all(|t| *t == VTime(500)));
+        assert!(out.yields >= 32 * 50);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the fabric model and curves.
+
+use empi_netsim::{Curve, Fabric, NetModel, Topology, VTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transmit_never_time_travels(
+        sends in proptest::collection::vec(
+            (0usize..4, 0usize..4, 1usize..3_000_000, 0u64..1_000_000),
+            1..40,
+        ),
+    ) {
+        // Arbitrary message sequences with nondecreasing start times:
+        // every arrival is at/after start + (latency if inter-node).
+        for model in [NetModel::ethernet_10g(), NetModel::infiniband_40g()] {
+            let latency = model.latency;
+            let mut f = Fabric::new(model, Topology::block(4, 2));
+            let mut t = 0u64;
+            for &(src, dst, bytes, dt) in &sends {
+                t += dt;
+                let arrive = f.transmit(src, dst, bytes, VTime(t));
+                prop_assert!(arrive.as_nanos() >= t);
+                if f.topology().node_of(src) != f.topology().node_of(dst) {
+                    prop_assert!(arrive.as_nanos() >= t + latency.as_nanos());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nic_serialization_is_monotone(
+        sizes in proptest::collection::vec(1usize..2_000_000, 2..30),
+    ) {
+        // Same flow, same start time: arrivals strictly increase.
+        let mut f = Fabric::new(NetModel::ethernet_10g(), Topology::one_per_node(2));
+        let mut prev = VTime::ZERO;
+        for &s in &sizes {
+            let a = f.transmit(0, 1, s, VTime::ZERO);
+            prop_assert!(a > prev, "arrivals must be strictly ordered");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn aggregate_rate_never_exceeds_wire(
+        n_msgs in 4usize..40,
+        size in (16usize << 10)..(2 << 20),
+    ) {
+        // Blasting the same path cannot beat the per-size wire rate.
+        let model = NetModel::infiniband_40g();
+        let per_msg_wire = model.wire_time_ns(size);
+        let mut f = Fabric::new(model, Topology::one_per_node(2));
+        let mut last = VTime::ZERO;
+        for _ in 0..n_msgs {
+            last = f.transmit(0, 1, size, VTime::ZERO);
+        }
+        prop_assert!(
+            last.as_nanos() >= (n_msgs as u64) * per_msg_wire,
+            "{n_msgs} x {size}B finished at {last} but wire needs {}",
+            n_msgs as u64 * per_msg_wire
+        );
+    }
+
+    #[test]
+    fn curve_interpolation_brackets_anchors(
+        lo_val in 0.01f64..10.0,
+        hi_val in 10.0f64..10_000.0,
+        size in 1usize..100_000,
+    ) {
+        let c = Curve::new(&[(16, lo_val), (65_536, hi_val)]);
+        let v = c.value_at(size);
+        prop_assert!(v >= lo_val - 1e-9 && v <= hi_val + 1e-9);
+    }
+
+    #[test]
+    fn pp_overhead_is_consistent_for_all_sizes(size in 1usize..4_000_000) {
+        // The decomposition o + L + wire + o must rebuild the curve.
+        for model in [NetModel::ethernet_10g(), NetModel::infiniband_40g()] {
+            let total = model.pp_curve.time_ns(size);
+            let rebuilt = 2 * model.pp_overhead_ns(size)
+                + model.latency.as_nanos()
+                + model.wire_time_ns(size);
+            let diff = total.abs_diff(rebuilt);
+            prop_assert!(diff <= 2, "{}: {total} vs {rebuilt}", model.name);
+        }
+    }
+}

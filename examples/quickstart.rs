@@ -1,0 +1,65 @@
+//! Quickstart: encrypted MPI in a dozen lines.
+//!
+//! Spins up a simulated two-node cluster on the calibrated 10 GbE
+//! fabric, sends one AES-GCM-protected message each way, and prints how
+//! much virtual time the exchange cost with and without encryption.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use empi::aead::CryptoLibrary;
+use empi::mpi::{Src, TagSel, World};
+use empi::netsim::NetModel;
+use empi::secure::{SecureComm, SecurityConfig};
+
+fn exchange(world: &World, lib: Option<CryptoLibrary>) -> f64 {
+    let out = world.run(|c| {
+        let payload = vec![0x42u8; 64 << 10]; // 64 KiB of sensitive data
+        match lib {
+            None => {
+                if c.rank() == 0 {
+                    c.send(&payload, 1, 0);
+                    let _ = c.recv(Src::Is(1), TagSel::Is(1));
+                } else {
+                    let (_, data) = c.recv(Src::Is(0), TagSel::Is(0));
+                    assert_eq!(data.len(), 64 << 10);
+                    c.send(&data, 0, 1);
+                }
+            }
+            Some(lib) => {
+                let sc = SecureComm::new(c, SecurityConfig::new(lib)).unwrap();
+                if c.rank() == 0 {
+                    sc.send(&payload, 1, 0);
+                    let _ = sc.recv(Src::Is(1), TagSel::Is(1)).unwrap();
+                } else {
+                    let (_, data) = sc.recv(Src::Is(0), TagSel::Is(0)).unwrap();
+                    assert_eq!(data.len(), 64 << 10);
+                    sc.send(&data, 0, 1);
+                }
+            }
+        }
+    });
+    out.end_time.as_micros_f64()
+}
+
+fn main() {
+    let world = World::flat(NetModel::ethernet_10g(), 2);
+    println!("64 KiB round trip on simulated 10GbE (2 nodes):\n");
+    let base = exchange(&world, None);
+    println!("  {:<12} {:8.1} us", "plaintext", base);
+    for lib in [
+        CryptoLibrary::BoringSsl,
+        CryptoLibrary::Libsodium,
+        CryptoLibrary::CryptoPp,
+    ] {
+        let t = exchange(&world, Some(lib));
+        println!(
+            "  {:<12} {:8.1} us   (+{:.1}% — AES-256-GCM, privacy + integrity)",
+            lib.name(),
+            t,
+            (t / base - 1.0) * 100.0
+        );
+    }
+    println!("\nEvery encrypted message carries a fresh 12-byte nonce and a 16-byte tag.");
+}

@@ -1,0 +1,18 @@
+//! # empi — encrypted MPI study facade
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`aead`] — from-scratch AES-GCM and the four library profiles.
+//! * [`netsim`] — the virtual-time cluster simulator and fabric models.
+//! * [`mpi`] — the MPI runtime (point-to-point + collectives).
+//! * [`secure`] — encrypted MPI, the paper's contribution.
+//! * [`nas`] — NAS parallel benchmark kernels.
+//! * [`bench`] — statistics and table harness utilities.
+
+pub use empi_aead as aead;
+pub use empi_bench as bench;
+pub use empi_core as secure;
+pub use empi_mpi as mpi;
+pub use empi_nas as nas;
+pub use empi_netsim as netsim;
