@@ -42,7 +42,7 @@ impl CbcCipher {
 
     /// Decrypt `iv ‖ ciphertext`, stripping padding.
     pub fn decrypt(&self, iv_and_ct: &[u8]) -> Result<Vec<u8>> {
-        if iv_and_ct.len() < 32 || iv_and_ct.len() % 16 != 0 {
+        if iv_and_ct.len() < 32 || !iv_and_ct.len().is_multiple_of(16) {
             return Err(Error::NotBlockAligned {
                 got: iv_and_ct.len(),
             });

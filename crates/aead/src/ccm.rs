@@ -31,7 +31,7 @@ impl AesCcm {
     pub fn new(key: &[u8], nonce_len: usize, tag_len: usize) -> Result<Self> {
         assert!((7..=13).contains(&nonce_len), "CCM nonce length 7..=13");
         assert!(
-            (4..=16).contains(&tag_len) && tag_len % 2 == 0,
+            (4..=16).contains(&tag_len) && tag_len.is_multiple_of(2),
             "CCM tag length 4..=16, even"
         );
         let aes: Box<dyn BlockEncrypt> = {
@@ -110,13 +110,13 @@ impl AesCcm {
             first.extend_from_slice(&(aad.len() as u16).to_be_bytes());
             first.extend_from_slice(aad);
             let pad = (16 - first.len() % 16) % 16;
-            first.extend(std::iter::repeat(0).take(pad));
+            first.extend(std::iter::repeat_n(0, pad));
             absorb(&first, &mut x);
         }
         if !payload.is_empty() {
             let mut padded = payload.to_vec();
             let pad = (16 - padded.len() % 16) % 16;
-            padded.extend(std::iter::repeat(0).take(pad));
+            padded.extend(std::iter::repeat_n(0, pad));
             absorb(&padded, &mut x);
         }
         x

@@ -35,7 +35,7 @@ impl InsecureEcb {
 
     /// Decrypt and strip PKCS#7 padding.
     pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>> {
-        if ciphertext.is_empty() || ciphertext.len() % 16 != 0 {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
             return Err(Error::NotBlockAligned {
                 got: ciphertext.len(),
             });
@@ -54,7 +54,7 @@ pub(crate) fn pad(data: &[u8]) -> Vec<u8> {
     let pad_len = 16 - data.len() % 16;
     let mut out = Vec::with_capacity(data.len() + pad_len);
     out.extend_from_slice(data);
-    out.extend(std::iter::repeat(pad_len as u8).take(pad_len));
+    out.extend(std::iter::repeat_n(pad_len as u8, pad_len));
     out
 }
 

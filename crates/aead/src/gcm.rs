@@ -17,6 +17,7 @@ use crate::ct::ct_eq;
 use crate::error::{Error, Result};
 use crate::ghash::{GhashImpl, GhashSoft};
 use crate::{NONCE_LEN, TAG_LEN};
+use empi_trace::engine_counters as counters;
 
 #[cfg(target_arch = "x86_64")]
 use crate::aes::{AesNi, AesNiPipelined};
@@ -55,22 +56,41 @@ impl AesEngine {
     #[inline]
     fn encrypt_block(&self, block: &mut [u8; 16]) {
         match self {
-            AesEngine::Soft(a) => a.encrypt_block(block),
+            AesEngine::Soft(a) => {
+                counters::add_aes_blocks_soft(1);
+                a.encrypt_block(block)
+            }
             #[cfg(target_arch = "x86_64")]
-            AesEngine::Ni(a) => a.encrypt_block(block),
+            AesEngine::Ni(a) => {
+                counters::add_aes_blocks_ni(1);
+                a.encrypt_block(block)
+            }
             #[cfg(target_arch = "x86_64")]
-            AesEngine::NiPipelined(a) => a.encrypt_block(block),
+            AesEngine::NiPipelined(a) => {
+                counters::add_aes_blocks_pipelined(1);
+                a.encrypt_block(block)
+            }
         }
     }
 
     #[inline]
     fn ctr_apply(&self, ctr: &[u8; 16], buf: &mut [u8]) {
+        let blocks = buf.len().div_ceil(16) as u64;
         match self {
-            AesEngine::Soft(a) => a.ctr_apply(ctr, buf),
+            AesEngine::Soft(a) => {
+                counters::add_aes_blocks_soft(blocks);
+                a.ctr_apply(ctr, buf)
+            }
             #[cfg(target_arch = "x86_64")]
-            AesEngine::Ni(a) => a.ctr_apply(ctr, buf),
+            AesEngine::Ni(a) => {
+                counters::add_aes_blocks_ni(blocks);
+                a.ctr_apply(ctr, buf)
+            }
             #[cfg(target_arch = "x86_64")]
-            AesEngine::NiPipelined(a) => a.ctr_apply(ctr, buf),
+            AesEngine::NiPipelined(a) => {
+                counters::add_aes_blocks_pipelined(blocks);
+                a.ctr_apply(ctr, buf)
+            }
         }
     }
 }
@@ -84,10 +104,18 @@ enum GhashEngine {
 impl GhashEngine {
     #[inline]
     fn ghash(&self, aad: &[u8], data: &[u8]) -> [u8; 16] {
+        // aad blocks + data blocks + the final length block.
+        let blocks = (aad.len().div_ceil(16) + data.len().div_ceil(16) + 1) as u64;
         match self {
-            GhashEngine::Soft(g) => g.ghash(aad, data),
+            GhashEngine::Soft(g) => {
+                counters::add_ghash_blocks_soft(blocks);
+                g.ghash(aad, data)
+            }
             #[cfg(target_arch = "x86_64")]
-            GhashEngine::Clmul(g) => g.ghash(aad, data),
+            GhashEngine::Clmul(g) => {
+                counters::add_ghash_blocks_clmul(blocks);
+                g.ghash(aad, data)
+            }
         }
     }
 }
@@ -115,6 +143,7 @@ impl AesGcm {
         if crate::aes::hardware_acceleration_available() {
             Self::with_engines(AesEngineKind::NiPipelined, GhashEngineKind::Clmul, key)
         } else {
+            counters::add_hw_fallback(1);
             Self::with_engines(AesEngineKind::Soft, GhashEngineKind::Soft, key)
         }
     }
@@ -340,6 +369,24 @@ mod tests {
                 assert_eq!(back, pt, "KAT {i} roundtrip");
             }
         }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn engine_counters_track_soft_blocks() {
+        use empi_trace::engine_counters as counters;
+        let before = counters::snapshot();
+        let cipher =
+            AesGcm::with_engines(AesEngineKind::Soft, GhashEngineKind::Soft, &[7u8; 16]).unwrap();
+        let nonce = [1u8; 12];
+        let msg = vec![0u8; 64];
+        let _wire = cipher.seal(&nonce, b"", &msg);
+        let d = counters::snapshot().since(&before);
+        // Key setup computes H (1 block); sealing runs 4 CTR blocks plus
+        // E(J0), and GHASH folds 4 data blocks plus the length block.
+        // Other tests may add more concurrently, so these are floors.
+        assert!(d.aes_blocks_soft >= 6, "aes soft blocks: {}", d.aes_blocks_soft);
+        assert!(d.ghash_blocks_soft >= 5, "ghash soft blocks: {}", d.ghash_blocks_soft);
     }
 
     #[test]

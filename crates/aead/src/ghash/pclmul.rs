@@ -41,7 +41,7 @@ impl GhashClmul {
 #[inline]
 fn to_m128(x: u128) -> __m128i {
     // SAFETY: plain bit reinterpretation.
-    unsafe { _mm_set_epi64x((x >> 64) as i64 as i64, x as u64 as i64) }
+    unsafe { _mm_set_epi64x((x >> 64) as i64, x as u64 as i64) }
 }
 
 #[inline]

@@ -141,6 +141,9 @@ impl CryptoLibrary {
             (aes, ghash) = (AesEngineKind::Ni, GhashEngineKind::Clmul);
         }
         if !hardware_acceleration_available() {
+            if aes != AesEngineKind::Soft || ghash != GhashEngineKind::Soft {
+                empi_trace::engine_counters::add_hw_fallback(1);
+            }
             aes = AesEngineKind::Soft;
             ghash = GhashEngineKind::Soft;
         }

@@ -51,6 +51,30 @@ fn bench_message_cost(c: &mut Criterion) {
             })
         })
     });
+    // Tracing overhead: same 200-message ping-pong with a collector
+    // installed. The gap between this and pingpong_x200 is the entire
+    // cost of the instrumentation when actively recording; the
+    // untraced variant above also carries the compiled-in-but-dormant
+    // hooks, so comparing it across `--no-default-features` builds
+    // measures the compile-time gate too.
+    group.bench_function("pingpong_x200_traced", |b| {
+        b.iter(|| {
+            let w = World::flat(NetModel::instant(), 2).traced(true);
+            w.run(|c| {
+                if c.rank() == 0 {
+                    for _ in 0..200 {
+                        c.send(b"x", 1, 0);
+                        let _ = c.recv(Src::Is(1), TagSel::Is(0));
+                    }
+                } else {
+                    for _ in 0..200 {
+                        let (_, m) = c.recv(Src::Is(0), TagSel::Is(0));
+                        c.send(&m, 0, 0);
+                    }
+                }
+            })
+        })
+    });
     group.bench_function("world_startup_16ranks", |b| {
         b.iter(|| {
             let w = World::flat(NetModel::instant(), 16);

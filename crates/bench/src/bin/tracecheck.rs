@@ -1,0 +1,97 @@
+//! Validate Chrome trace JSON written by the `--trace` harness runs:
+//! the document must parse, contain a non-empty `traceEvents` array,
+//! and every lane's complete-event timestamps must be monotone
+//! non-decreasing (virtual time never runs backwards). Used by the CI
+//! trace-smoke job; exits non-zero on the first invalid file.
+//!
+//! Usage: `tracecheck [FILE...]` — with no arguments, checks every
+//! `trace-*.json` under `results/`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use empi_trace::json::{self, Value};
+
+fn check(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+
+    let mut lanes: BTreeMap<i64, f64> = BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph != "X" {
+            continue; // metadata (lane names)
+        }
+        let tid = e
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as i64;
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let dur = e
+            .get("dur")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing dur"))?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i}: negative ts/dur ({ts}, {dur})"));
+        }
+        if let Some(&prev) = lanes.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: lane {tid} time runs backwards ({ts} < {prev})"
+                ));
+            }
+        }
+        lanes.insert(tid, ts);
+        spans += 1;
+    }
+    if spans == 0 {
+        return Err("no complete-span events".into());
+    }
+    Ok(format!("{spans} spans across {} lanes", lanes.len()))
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if files.is_empty() {
+        if let Ok(dir) = std::fs::read_dir("results") {
+            for entry in dir.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with("trace-") && name.ends_with(".json") {
+                    files.push(entry.path());
+                }
+            }
+        }
+        files.sort();
+    }
+    if files.is_empty() {
+        eprintln!("tracecheck: no trace files given and none found under results/");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for f in &files {
+        match check(f) {
+            Ok(msg) => println!("OK   {}: {msg}", f.display()),
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", f.display());
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

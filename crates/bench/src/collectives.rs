@@ -10,12 +10,13 @@
 
 use empi_aead::profile::CryptoLibrary;
 use empi_core::SecureComm;
-use empi_mpi::{Comm, Src, TagSel, World};
+use empi_mpi::{Comm, Src, TagSel, TraceReport, World};
 use empi_netsim::Topology;
 
 use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net};
 use crate::stats::{measure_until_stable, overhead_percent};
 use crate::table::{fmt_value, size_label, Table};
+use crate::tracing::{decomp_cells, decomp_columns, trace_active, write_trace};
 
 /// The paper's collective geometry.
 pub const RANKS: usize = 64;
@@ -70,8 +71,10 @@ fn secure_alltoall_streaming(sc: &SecureComm, size: usize) {
     }
 }
 
-/// One collective measurement: mean time per operation in µs.
-pub fn collective_us(
+/// One collective run: mean µs per operation plus, when `traced`, the
+/// trace report.
+#[allow(clippy::too_many_arguments)]
+fn collective_run(
     net: Net,
     lib: Option<CryptoLibrary>,
     op: CollOp,
@@ -79,8 +82,9 @@ pub fn collective_us(
     ranks: usize,
     nodes: usize,
     iters: usize,
-) -> f64 {
-    let world = World::new(net.model(), Topology::block(ranks, nodes));
+    traced: bool,
+) -> (f64, Option<TraceReport>) {
+    let world = World::new(net.model(), Topology::block(ranks, nodes)).traced(traced);
     let out = world.run(|c| {
         let sc = lib.map(|l| SecureComm::new(c, security_config(l, net)).unwrap());
         c.barrier();
@@ -116,7 +120,34 @@ pub fn collective_us(
         c.barrier();
         (c.now() - t0).as_micros_f64()
     });
-    out.results[0] / iters as f64
+    (out.results[0] / iters as f64, out.trace)
+}
+
+/// One collective measurement: mean time per operation in µs.
+pub fn collective_us(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    op: CollOp,
+    size: usize,
+    ranks: usize,
+    nodes: usize,
+    iters: usize,
+) -> f64 {
+    collective_run(net, lib, op, size, ranks, nodes, iters, false).0
+}
+
+/// A traced encrypted collective run, returning the trace report.
+pub fn collective_trace(
+    net: Net,
+    lib: CryptoLibrary,
+    op: CollOp,
+    size: usize,
+    ranks: usize,
+    nodes: usize,
+) -> TraceReport {
+    collective_run(net, Some(lib), op, size, ranks, nodes, 1, true)
+        .1
+        .expect("traced run must yield a report")
 }
 
 fn iters_for(op: CollOp, size: usize, quick: bool) -> usize {
@@ -221,7 +252,57 @@ pub fn run_net(net: Net, op: CollOp, opts: &BenchOpts) -> Vec<Table> {
                 .collect(),
         );
     }
-    vec![tab, fig]
+    let mut out = vec![tab, fig];
+    if trace_active(opts) {
+        out.push(decomposition_net(net, op, opts));
+    }
+    out
+}
+
+/// Per-size BoringSSL decomposition of one collective (`--trace`),
+/// one operation per traced run. The Chrome trace of the largest size
+/// not above 64 KB (keeping the JSON loadable) is written to
+/// `<out_dir>/trace-<op>-<net>.json`.
+pub fn decomposition_net(net: Net, op: CollOp, opts: &BenchOpts) -> Table {
+    let cap = if opts.quick { 256 << 10 } else { usize::MAX };
+    let sizes: Vec<usize> = TABLE_SIZES.iter().copied().filter(|&s| s <= cap).collect();
+    let (ranks, nodes) = if opts.quick { (16, 4) } else { (RANKS, NODES) };
+    let mut t = Table::new(
+        format!(
+            "DECOMP-{}-{}: {} decomposition per op (us), BoringSSL, {} ({} ranks / {} nodes)",
+            match op {
+                CollOp::Bcast => "BCAST",
+                CollOp::Alltoall => "A2A",
+            },
+            net.name(),
+            op.name(),
+            net.name(),
+            ranks,
+            nodes
+        ),
+        "size",
+        decomp_columns(),
+    );
+    let mut json_report: Option<TraceReport> = None;
+    for &s in &sizes {
+        let r = collective_trace(net, CryptoLibrary::BoringSsl, op, s, ranks, nodes);
+        t.push_row(size_label(s), decomp_cells(&r, 1.0));
+        if s <= 64 << 10 {
+            json_report = Some(r);
+        }
+    }
+    if let Some(r) = json_report {
+        let stem = format!(
+            "trace-{}-{}",
+            match op {
+                CollOp::Bcast => "bcast",
+                CollOp::Alltoall => "alltoall",
+            },
+            net.name().to_lowercase()
+        );
+        write_trace(&r, &opts.out_dir, &stem);
+    }
+    t
 }
 
 #[cfg(test)]
@@ -262,6 +343,29 @@ mod tests {
             3,
         );
         assert!(base < b && b < l && l < p, "{base} {b} {l} {p}");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_bcast_labels_rounds_and_balances_ledgers() {
+        let r = collective_trace(
+            Net::Ethernet,
+            CryptoLibrary::BoringSsl,
+            CollOp::Bcast,
+            16 << 10,
+            8,
+            4,
+        );
+        let d = r.decomposition();
+        assert!(d.crypto_ns > 0 && d.wire_ns > 0, "{d:?}");
+        for ((s, dst), f) in &r.pairs {
+            assert_eq!(f.tx_bytes, f.rx_bytes, "pair {s}->{dst}");
+        }
+        // Transfer events inside the collective carry its op label.
+        assert!(
+            r.events.iter().any(|e| e.name.starts_with("bcast/")),
+            "no bcast-labelled events"
+        );
     }
 
     #[test]

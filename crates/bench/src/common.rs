@@ -36,6 +36,25 @@ impl Net {
     pub const BOTH: [Net; 2] = [Net::Ethernet, Net::Infiniband];
 }
 
+/// Message-size subset selection for harnesses that group sizes into a
+/// small-message table and a medium/large figure series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeSel {
+    /// Only the small-message group (TAB-1/TAB-5 sizes).
+    Small,
+    /// Only the medium/large group (FIG-3/FIG-10 sizes).
+    Large,
+    /// Everything.
+    All,
+}
+
+impl SizeSel {
+    /// Does this selection include the group named `group`?
+    pub fn includes(self, group: SizeSel) -> bool {
+        self == SizeSel::All || self == group
+    }
+}
+
 /// The rows of every paper table: baseline plus the three reported
 /// libraries (OpenSSL ≈ BoringSSL, so the paper prints BoringSSL only).
 pub fn reported_rows() -> Vec<Option<CryptoLibrary>> {
@@ -74,6 +93,11 @@ pub struct BenchOpts {
     pub reps_min: usize,
     /// Maximum repetitions before the CI criterion takes over.
     pub reps_max: usize,
+    /// Record virtual-time traces and emit decomposition tables plus
+    /// Chrome trace JSON (`--trace`, or `EMPI_TRACE=1`).
+    pub trace: bool,
+    /// Size-group filter for harnesses that split small vs large.
+    pub sizes: SizeSel,
 }
 
 impl Default for BenchOpts {
@@ -84,13 +108,18 @@ impl Default for BenchOpts {
             out_dir: PathBuf::from("results"),
             reps_min: 2,
             reps_max: 5,
+            trace: matches!(
+                std::env::var("EMPI_TRACE").as_deref(),
+                Ok("1") | Ok("true") | Ok("on")
+            ),
+            sizes: SizeSel::All,
         }
     }
 }
 
 impl BenchOpts {
     /// Parse the common flags: `--quick`, `--net ethernet|infiniband|both`,
-    /// `--out DIR`, `--reps MIN,MAX`.
+    /// `--out DIR`, `--reps MIN,MAX`, `--trace`, `--sizes small|large|all`.
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
         let mut opts = BenchOpts::default();
         let mut args = args.peekable();
@@ -115,9 +144,21 @@ impl BenchOpts {
                     opts.reps_min = lo.parse().expect("reps min");
                     opts.reps_max = hi.parse().expect("reps max");
                 }
+                "--trace" => opts.trace = true,
+                "--sizes" => {
+                    let v = args.next().expect("--sizes needs a value");
+                    opts.sizes = match v.as_str() {
+                        "small" => SizeSel::Small,
+                        "large" => SizeSel::Large,
+                        "all" => SizeSel::All,
+                        other => panic!("unknown size group '{other}'"),
+                    };
+                }
                 "--help" | "-h" => {
                     println!(
-                        "flags: --quick  --net ethernet|infiniband|both  --out DIR  --reps MIN,MAX"
+                        "flags: --quick  --net ethernet|infiniband|both  --out DIR  \
+                         --reps MIN,MAX  --trace  --sizes small|large|all\n\
+                         env: EMPI_TRACE=1 implies --trace"
                     );
                     std::process::exit(0);
                 }
@@ -135,14 +176,28 @@ mod tests {
     #[test]
     fn parse_flags() {
         let o = BenchOpts::parse(
-            ["--quick", "--net", "ethernet", "--out", "/tmp/r", "--reps", "3,7"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--quick", "--net", "ethernet", "--out", "/tmp/r", "--reps", "3,7", "--trace",
+                "--sizes", "large",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert!(o.quick);
         assert_eq!(o.nets, vec![Net::Ethernet]);
         assert_eq!(o.out_dir, PathBuf::from("/tmp/r"));
         assert_eq!((o.reps_min, o.reps_max), (3, 7));
+        assert!(o.trace);
+        assert_eq!(o.sizes, SizeSel::Large);
+    }
+
+    #[test]
+    fn size_selection_includes() {
+        assert!(SizeSel::All.includes(SizeSel::Small));
+        assert!(SizeSel::All.includes(SizeSel::Large));
+        assert!(SizeSel::Small.includes(SizeSel::Small));
+        assert!(!SizeSel::Small.includes(SizeSel::Large));
+        assert!(!SizeSel::Large.includes(SizeSel::Small));
     }
 
     #[test]

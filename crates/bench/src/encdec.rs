@@ -13,9 +13,11 @@
 use std::time::Instant;
 
 use empi_aead::profile::{CompilerBuild, CryptoLibrary, KeySize, REPORTED_LIBRARIES};
+use empi_trace::engine_counters;
 
 use crate::common::BenchOpts;
 use crate::table::{fmt_value, size_label, Table};
+use crate::tracing::trace_active;
 
 /// Sizes along the Fig. 2/9 x axis.
 pub const SIZES: [usize; 9] = [
@@ -111,7 +113,62 @@ pub fn run(opts: &BenchOpts) -> Vec<Table> {
         );
     }
     tables.push(t);
+    if trace_active(opts) {
+        tables.push(engine_counter_table());
+    }
     tables
+}
+
+/// AEAD engine activity per library profile (`--trace`): one enc-dec
+/// round of 64 KB through each profile, reporting which AES / GHASH
+/// path did the work and whether a hardware request fell back to
+/// software. Block counts are exact (64 KB = 4096 AES blocks; GHASH
+/// folds data + the length block).
+pub fn engine_counter_table() -> Table {
+    let size = 64 << 10;
+    let mut t = Table::new(
+        format!(
+            "ENGINES: AEAD engine counters for one {} enc-dec round, per library profile",
+            size_label(size)
+        ),
+        "library",
+        [
+            "aes soft",
+            "aes ni",
+            "aes pipelined",
+            "ghash soft",
+            "ghash clmul",
+            "hw fallbacks",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    for lib in REPORTED_LIBRARIES {
+        let before = engine_counters::snapshot();
+        let key = [0x42u8; 32];
+        let cipher = lib.instantiate(KeySize::Aes256, &key).unwrap();
+        let nonce = [7u8; 12];
+        let mut buf = vec![0xABu8; size];
+        let tag = cipher.seal_detached(&nonce, b"", &mut buf);
+        cipher.open_detached(&nonce, b"", &mut buf, &tag).unwrap();
+        let d = engine_counters::snapshot().since(&before);
+        t.push_row(
+            lib.name(),
+            [
+                d.aes_blocks_soft,
+                d.aes_blocks_ni,
+                d.aes_blocks_pipelined,
+                d.ghash_blocks_soft,
+                d.ghash_blocks_clmul,
+                d.hw_fallbacks,
+            ]
+            .iter()
+            .map(|&v| v.to_string())
+            .collect(),
+        );
+    }
+    t
 }
 
 #[cfg(test)]
@@ -135,6 +192,19 @@ mod tests {
         let anchors = CryptoLibrary::Libsodium.encdec_anchors(CompilerBuild::Gcc485);
         let mid = interp_loglog(anchors, 100_000);
         assert!(mid > 565.0 && mid < 580.0, "got {mid}");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn engine_counter_table_counts_blocks() {
+        let t = engine_counter_table();
+        assert_eq!(t.rows.len(), REPORTED_LIBRARIES.len());
+        for (lib, cells) in &t.rows {
+            let total: u64 = cells.iter().map(|c| c.parse::<u64>().unwrap()).sum();
+            // Every profile pushes ≥ 4096 AES blocks for 64 KB; the
+            // floor holds even if parallel tests inflate the window.
+            assert!(total >= 4096, "{lib}: {cells:?}");
+        }
     }
 
     #[test]

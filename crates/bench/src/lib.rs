@@ -16,7 +16,9 @@
 //!
 //! [`stats`] implements the paper's repeat-until-stable methodology and
 //! Fleming–Wallace overhead aggregation; [`table`] renders paper-style
-//! tables and CSV files.
+//! tables plus CSV/JSON files; [`tracing`] powers the `--trace`
+//! decomposition path shared by every harness (see EXPERIMENTS.md,
+//! "Tracing & decomposition").
 
 pub mod collectives;
 pub mod common;
@@ -28,26 +30,34 @@ pub mod pingpong;
 pub mod plot;
 pub mod stats;
 pub mod table;
+pub mod tracing;
 
 use std::path::Path;
 
 pub use common::{BenchOpts, Net};
 pub use table::Table;
 
-/// Print tables and persist them as CSV under `out_dir`.
+/// File stem derived from a table title (the `TAB-1`-style prefix).
+fn artifact_stem(title: &str) -> String {
+    title
+        .split(':')
+        .next()
+        .unwrap_or("table")
+        .trim()
+        .to_lowercase()
+        .replace([' ', '/'], "_")
+}
+
+/// Print tables and persist them as CSV + JSON under `out_dir`.
 pub fn emit(tables: &[Table], out_dir: &Path) {
     for t in tables {
         t.print();
-        let file = t
-            .title
-            .split(':')
-            .next()
-            .unwrap_or("table")
-            .trim()
-            .to_lowercase()
-            .replace([' ', '/'], "_");
+        let file = artifact_stem(&t.title);
         if let Err(e) = t.write_csv(out_dir.join(format!("{file}.csv"))) {
             eprintln!("warning: could not write CSV: {e}");
+        }
+        if let Err(e) = t.write_json(out_dir.join(format!("{file}.json"))) {
+            eprintln!("warning: could not write JSON: {e}");
         }
     }
 }

@@ -8,12 +8,13 @@
 
 use empi_aead::profile::CryptoLibrary;
 use empi_core::SecureComm;
-use empi_mpi::{Comm, Src, TagSel, World};
+use empi_mpi::{Comm, Src, TagSel, TraceReport, World};
 use empi_netsim::Topology;
 
 use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net};
 use crate::stats::measure_until_stable;
 use crate::table::{fmt_value, size_label, Table};
+use crate::tracing::{decomp_cells, decomp_columns, trace_active, write_trace};
 
 /// The three message sizes of the figures.
 pub const SIZES: [usize; 3] = [1, 16 << 10, 2 << 20];
@@ -31,17 +32,18 @@ fn window_for(size: usize) -> usize {
     }
 }
 
-/// One multi-pair measurement: aggregate MB/s.
-pub fn multipair_mbs(
+/// One multi-pair run: aggregate MB/s plus, when `traced`, the report.
+fn multipair_run(
     net: Net,
     lib: Option<CryptoLibrary>,
     size: usize,
     pairs: usize,
     iters: usize,
-) -> f64 {
+    traced: bool,
+) -> (f64, Option<TraceReport>) {
     let window = window_for(size);
     // Ranks 0..pairs on node 0 (senders), pairs..2*pairs on node 1.
-    let world = World::new(net.model(), Topology::block(2 * pairs, 2));
+    let world = World::new(net.model(), Topology::block(2 * pairs, 2)).traced(traced);
     let out = world.run(|c| {
         let me = c.rank();
         let is_sender = me < pairs;
@@ -59,7 +61,32 @@ pub fn multipair_mbs(
         (c.now() - t0).as_secs_f64()
     });
     let elapsed = out.results[0];
-    (pairs * iters * window * size) as f64 / elapsed / 1e6
+    let mbs = (pairs * iters * window * size) as f64 / elapsed / 1e6;
+    (mbs, out.trace)
+}
+
+/// One multi-pair measurement: aggregate MB/s.
+pub fn multipair_mbs(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    size: usize,
+    pairs: usize,
+    iters: usize,
+) -> f64 {
+    multipair_run(net, lib, size, pairs, iters, false).0
+}
+
+/// A traced encrypted multi-pair run, returning the trace report.
+pub fn multipair_trace(
+    net: Net,
+    lib: CryptoLibrary,
+    size: usize,
+    pairs: usize,
+    iters: usize,
+) -> TraceReport {
+    multipair_run(net, Some(lib), size, pairs, iters, true)
+        .1
+        .expect("traced run must yield a report")
 }
 
 fn run_pairs(c: &Comm, is_sender: bool, peer: usize, size: usize, window: usize, iters: usize) {
@@ -140,7 +167,42 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
         }
         tables.push(t);
     }
+    if trace_active(opts) {
+        tables.push(decomposition_net(net, opts));
+    }
     tables
+}
+
+/// Per-pair-count BoringSSL decomposition at 16 KB (`--trace`): shows
+/// the crypto share melting away as pairs add parallel crypto engines
+/// while the shared wire stays fixed. The 4-pair Chrome trace goes to
+/// `<out_dir>/trace-multipair-<net>.json`.
+pub fn decomposition_net(net: Net, opts: &BenchOpts) -> Table {
+    let size = 16 << 10;
+    let iters = if opts.quick { 2 } else { 5 };
+    let mut t = Table::new(
+        format!(
+            "DECOMP-MP-{}: multi-pair decomposition per window (us), BoringSSL, {} messages, {}",
+            net.name(),
+            size_label(size),
+            net.name()
+        ),
+        "pairs",
+        decomp_columns(),
+    );
+    let mut json_report: Option<TraceReport> = None;
+    for &pairs in &PAIRS {
+        let r = multipair_trace(net, CryptoLibrary::BoringSsl, size, pairs, iters);
+        t.push_row(pairs.to_string(), decomp_cells(&r, iters as f64));
+        if pairs == 4 {
+            json_report = Some(r);
+        }
+    }
+    if let Some(r) = json_report {
+        let stem = format!("trace-multipair-{}", net.name().to_lowercase());
+        write_trace(&r, &opts.out_dir, &stem);
+    }
+    t
 }
 
 #[cfg(test)]

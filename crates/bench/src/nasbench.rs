@@ -6,7 +6,7 @@
 //! adopts in its footnote 2.
 
 use empi_aead::profile::CryptoLibrary;
-use empi_mpi::World;
+use empi_mpi::{TraceReport, World};
 use empi_nas::adi::{self, AdiKind};
 use empi_nas::{cg, ft, is, lu, mg, Class, CommLayer, Kernel, PlainLayer, SecureLayer};
 use empi_netsim::Topology;
@@ -14,17 +14,21 @@ use empi_netsim::Topology;
 use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net};
 use crate::stats::overhead_percent_of_totals;
 use crate::table::{fmt_value, Table};
+use crate::tracing::{decomp_cells, decomp_columns, trace_active, write_trace};
 
-/// One NAS kernel measurement: (virtual seconds, verified).
-pub fn nas_seconds(
+/// One NAS kernel run: (virtual seconds, verified) plus, when
+/// `traced`, the trace report.
+#[allow(clippy::too_many_arguments)]
+fn nas_run(
     net: Net,
     lib: Option<CryptoLibrary>,
     kernel: Kernel,
     class: Class,
     ranks: usize,
     nodes: usize,
-) -> (f64, bool) {
-    let world = World::new(net.model(), Topology::block(ranks, nodes));
+    traced: bool,
+) -> ((f64, bool), Option<TraceReport>) {
+    let world = World::new(net.model(), Topology::block(ranks, nodes)).traced(traced);
     let out = world.run(|c| {
         let plain;
         let secure;
@@ -58,7 +62,33 @@ pub fn nas_seconds(
         .map(|(t, _)| *t)
         .fold(0.0f64, f64::max);
     let verified = out.results.iter().all(|(_, v)| *v);
-    (time, verified)
+    ((time, verified), out.trace)
+}
+
+/// One NAS kernel measurement: (virtual seconds, verified).
+pub fn nas_seconds(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    kernel: Kernel,
+    class: Class,
+    ranks: usize,
+    nodes: usize,
+) -> (f64, bool) {
+    nas_run(net, lib, kernel, class, ranks, nodes, false).0
+}
+
+/// A traced encrypted NAS kernel run, returning the trace report.
+pub fn nas_trace(
+    net: Net,
+    lib: CryptoLibrary,
+    kernel: Kernel,
+    class: Class,
+    ranks: usize,
+    nodes: usize,
+) -> TraceReport {
+    nas_run(net, Some(lib), kernel, class, ranks, nodes, true)
+        .1
+        .expect("traced run must yield a report")
 }
 
 /// Build TAB-4 or TAB-8 for one network.
@@ -102,7 +132,43 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
         cells.push(overhead);
         t.push_row(row_label(lib), cells);
     }
-    vec![t]
+    let mut out = vec![t];
+    if trace_active(opts) {
+        out.push(decomposition_net(net, opts));
+    }
+    out
+}
+
+/// Per-kernel BoringSSL decomposition (`--trace`) at a small geometry
+/// (class S, 8 ranks / 4 nodes — the split, not the absolute time, is
+/// the point). The CG Chrome trace goes to
+/// `<out_dir>/trace-nas-<net>.json`.
+pub fn decomposition_net(net: Net, opts: &BenchOpts) -> Table {
+    let (class, ranks, nodes) = (Class::S, 8, 4);
+    let mut t = Table::new(
+        format!(
+            "DECOMP-NAS-{}: NAS kernel decomposition per run (us), BoringSSL, class {:?}, {} ranks / {} nodes",
+            net.name(),
+            class,
+            ranks,
+            nodes
+        ),
+        "kernel",
+        decomp_columns(),
+    );
+    let mut json_report: Option<TraceReport> = None;
+    for k in Kernel::ALL {
+        let r = nas_trace(net, CryptoLibrary::BoringSsl, k, class, ranks, nodes);
+        if k == Kernel::CG {
+            json_report = Some(r.clone());
+        }
+        t.push_row(k.name(), decomp_cells(&r, 1.0));
+    }
+    if let Some(r) = json_report {
+        let stem = format!("trace-nas-{}", net.name().to_lowercase());
+        write_trace(&r, &opts.out_dir, &stem);
+    }
+    t
 }
 
 /// Scalability extension: total NAS time (baseline vs BoringSSL) across

@@ -8,20 +8,28 @@
 
 use empi_aead::profile::CryptoLibrary;
 use empi_core::SecureComm;
-use empi_mpi::{Src, TagSel, World};
+use empi_mpi::{Src, TagSel, TraceReport, World};
 
-use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net};
+use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net, SizeSel};
 use crate::stats::measure_until_stable;
 use crate::table::{fmt_value, size_label, Table};
+use crate::tracing::{decomp_cells, decomp_columns, trace_active, write_trace};
 
 /// Message sizes of Table I / Table V.
 pub const SMALL_SIZES: [usize; 4] = [1, 16, 256, 1 << 10];
 /// Message sizes of Fig. 3 / Fig. 10.
 pub const LARGE_SIZES: [usize; 6] = [4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20];
 
-/// One ping-pong measurement: mean uni-directional throughput in MB/s.
-pub fn pingpong_mbs(net: Net, lib: Option<CryptoLibrary>, size: usize, iters: usize) -> f64 {
-    let world = World::flat(net.model(), 2);
+/// One ping-pong run: rank 0's elapsed virtual seconds plus, when
+/// `traced`, the full trace report.
+fn pingpong_run(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    size: usize,
+    iters: usize,
+    traced: bool,
+) -> (f64, Option<TraceReport>) {
+    let world = World::flat(net.model(), 2).traced(traced);
     let out = world.run(|c| {
         let buf = vec![0x5au8; size];
         match lib {
@@ -60,9 +68,20 @@ pub fn pingpong_mbs(net: Net, lib: Option<CryptoLibrary>, size: usize, iters: us
             }
         }
     });
-    let total = out.results[0];
+    (out.results[0], out.trace)
+}
+
+/// One ping-pong measurement: mean uni-directional throughput in MB/s.
+pub fn pingpong_mbs(net: Net, lib: Option<CryptoLibrary>, size: usize, iters: usize) -> f64 {
+    let (total, _) = pingpong_run(net, lib, size, iters, false);
     // One-way time per message = RTT/2; plaintext bytes only.
     (iters as f64 * size as f64) / (total / 2.0) / 1e6
+}
+
+/// A traced encrypted ping-pong run, returning the trace report.
+pub fn pingpong_trace(net: Net, lib: CryptoLibrary, size: usize, iters: usize) -> TraceReport {
+    let (_, trace) = pingpong_run(net, Some(lib), size, iters, true);
+    trace.expect("traced run must yield a report")
 }
 
 /// Build the small-message table (TAB-1 / TAB-5) and the medium/large
@@ -77,18 +96,23 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
         }
     };
     let mut tables = Vec::new();
-    for (tab_id, sizes, what) in [
+    for (tab_id, sizes, what, group) in [
         (
             if net == Net::Ethernet { "TAB-1" } else { "TAB-5" },
             &SMALL_SIZES[..],
             "small messages",
+            SizeSel::Small,
         ),
         (
             if net == Net::Ethernet { "FIG-3" } else { "FIG-10" },
             &LARGE_SIZES[..],
             "medium/large messages",
+            SizeSel::Large,
         ),
     ] {
+        if !opts.sizes.includes(group) {
+            continue;
+        }
         let mut t = Table::new(
             format!(
                 "{tab_id}: avg uni-directional ping-pong throughput (MB/s), {what}, 256-bit key, {}",
@@ -111,7 +135,47 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
         }
         tables.push(t);
     }
+    if trace_active(opts) {
+        tables.push(decomposition_net(net, opts));
+    }
     tables
+}
+
+/// Per-size BoringSSL ping-pong decomposition (`--trace`): how each
+/// message size splits into crypto / host / wire / wait time, summed
+/// over both ranks and divided by the iteration count. Also writes the
+/// Chrome trace of the largest selected size to
+/// `<out_dir>/trace-pingpong-<net>.json`.
+pub fn decomposition_net(net: Net, opts: &BenchOpts) -> Table {
+    let sizes: Vec<usize> = SMALL_SIZES
+        .iter()
+        .filter(|_| opts.sizes.includes(SizeSel::Small))
+        .chain(LARGE_SIZES.iter().filter(|_| opts.sizes.includes(SizeSel::Large)))
+        .copied()
+        .collect();
+    // The calibrated simulation is deterministic; a handful of
+    // iterations keeps the event log small without changing the split.
+    let iters = if opts.quick { 4 } else { 10 };
+    let mut t = Table::new(
+        format!(
+            "DECOMP-PP-{}: BoringSSL ping-pong decomposition per iteration (us), {}",
+            net.name(),
+            net.name()
+        ),
+        "size",
+        decomp_columns(),
+    );
+    let mut last: Option<TraceReport> = None;
+    for &s in &sizes {
+        let r = pingpong_trace(net, CryptoLibrary::BoringSsl, s, iters);
+        t.push_row(size_label(s), decomp_cells(&r, iters as f64));
+        last = Some(r);
+    }
+    if let Some(r) = last {
+        let stem = format!("trace-pingpong-{}", net.name().to_lowercase());
+        write_trace(&r, &opts.out_dir, &stem);
+    }
+    t
 }
 
 #[cfg(test)]
@@ -153,6 +217,27 @@ mod tests {
         check(Net::Infiniband, 2 << 20, 170.0, 260.0); // paper: 215.2 %
         check(Net::Ethernet, 256, 2.0, 25.0); // paper: ~5.9 %
         check(Net::Infiniband, 256, 55.0, 110.0); // paper: 80.9 %
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_decomposition_consistent_with_measured_overhead() {
+        use crate::tracing::est_overhead_percent;
+        // The decomposition's serialized-model overhead estimate must
+        // land in the same band as the measured overhead (paper: 78.3 %
+        // for BoringSSL at 2 MB on Ethernet).
+        let r = pingpong_trace(Net::Ethernet, CryptoLibrary::BoringSsl, 2 << 20, 4);
+        let d = r.decomposition();
+        let est = est_overhead_percent(&d);
+        assert!(est > 55.0 && est < 100.0, "est overhead {est:.1}%");
+        let share = d.crypto_share();
+        assert!(share > 33.0 && share < 51.0, "crypto share {share:.1}%");
+        // Byte conservation on every (src, dst) pair.
+        for ((s, dst), f) in &r.pairs {
+            assert_eq!(f.tx_bytes, f.rx_bytes, "pair {s}->{dst}");
+            assert_eq!(f.tx_msgs, f.rx_msgs, "pair {s}->{dst}");
+        }
+        assert_eq!(r.dropped_events, 0);
     }
 
     #[test]

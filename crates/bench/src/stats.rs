@@ -68,10 +68,10 @@ pub fn measure_until_stable(
         if rel_ok && samples.len() >= min_runs {
             return stats;
         }
-        if samples.len() >= max_runs {
-            if stats.ci99_half <= 0.05 * stats.mean.abs() || samples.len() >= 4 * max_runs {
-                return stats;
-            }
+        if samples.len() >= max_runs
+            && (stats.ci99_half <= 0.05 * stats.mean.abs() || samples.len() >= 4 * max_runs)
+        {
+            return stats;
         }
     }
 }
@@ -129,7 +129,7 @@ mod tests {
         let mut i = 0usize;
         let s = measure_until_stable(2, 5, || {
             i += 1;
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 1.0
             } else {
                 10.0

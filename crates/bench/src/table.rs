@@ -1,8 +1,11 @@
-//! Paper-style result tables: aligned text to stdout, CSV to `results/`.
+//! Paper-style result tables: aligned text to stdout, CSV and JSON to
+//! `results/`.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+
+use empi_trace::chrome::escape as json_escape;
 
 /// A labelled grid of results (rows = configurations, columns = sizes or
 /// benchmarks), in the layout of the paper's Tables I–VIII.
@@ -107,6 +110,49 @@ impl Table {
         }
         fs::write(path, out)
     }
+
+    /// Serialize to a machine-readable JSON document mirroring the
+    /// table structure (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"title\":\"{}\",\"row_key\":\"{}\",\"columns\":[",
+            json_escape(&self.title),
+            json_escape(&self.row_key)
+        );
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(c));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, (label, cells)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"label\":\"{}\",\"cells\":[", json_escape(label));
+            for (j, cell) in cells.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(cell));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the JSON form to `path`.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, self.to_json())
+    }
 }
 
 fn csv_escape(s: &str) -> String {
@@ -119,9 +165,9 @@ fn csv_escape(s: &str) -> String {
 
 /// Human-readable message-size label (1B, 16KB, 2MB …).
 pub fn size_label(bytes: usize) -> String {
-    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
         format!("{}MB", bytes >> 20)
-    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
         format!("{}KB", bytes >> 10)
     } else {
         format!("{bytes}B")
@@ -135,8 +181,6 @@ pub fn fmt_value(v: f64) -> String {
         "0".into()
     } else if v.abs() < 0.1 {
         format!("{v:.3}")
-    } else if v.abs() < 10.0 {
-        format!("{v:.2}")
     } else if v.abs() < 1000.0 {
         format!("{v:.2}")
     } else {
@@ -151,7 +195,7 @@ fn group_thousands(s: &str) -> String {
     let digits: Vec<char> = int.trim_start_matches('-').chars().collect();
     let mut grouped = String::new();
     for (i, ch) in digits.iter().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             grouped.push(',');
         }
         grouped.push(*ch);
@@ -194,6 +238,26 @@ mod tests {
         let s = std::fs::read_to_string(&p).unwrap();
         assert!(s.starts_with("# t,itle\n"));
         assert!(s.contains("\"r\"\"1\",1.5"));
+    }
+
+    #[test]
+    fn json_round_trip_parses() {
+        let mut t = Table::new("TAB-X: demo \"quoted\"", "lib", vec!["1B".into(), "2MB".into()]);
+        t.push_row("Unencrypted", vec!["0.050".into(), "1038".into()]);
+        t.push_row("BoringSSL", vec!["0.045".into(), "578".into()]);
+        let v = empi_trace::json::parse(&t.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("title").and_then(|x| x.as_str()),
+            Some("TAB-X: demo \"quoted\"")
+        );
+        let rows = v.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[1].get("label").and_then(|x| x.as_str()),
+            Some("BoringSSL")
+        );
+        let cells = rows[0].get("cells").and_then(|c| c.as_array()).unwrap();
+        assert_eq!(cells[1].as_str(), Some("1038"));
     }
 
     #[test]

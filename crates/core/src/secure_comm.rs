@@ -119,21 +119,43 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         // Measured mode charges inside `run_crypto` instead.
     }
 
-    /// Execute a crypto closure under the configured cost model.
+    /// Execute a crypto closure under the configured cost model,
+    /// recording a per-call crypto span (kind, bytes, backend) when a
+    /// tracer is installed.
     fn run_crypto<T>(&self, bytes: usize, dir: Dir, f: impl FnOnce() -> T) -> T {
-        match self.cfg.timing {
+        let t0 = self.comm.sim().now();
+        let out = match self.cfg.timing {
             TimingMode::Measured => self.comm.sim().charge_measured(f),
             TimingMode::Calibrated(_) => {
                 let out = f();
                 self.charge(bytes, dir);
                 out
             }
+        };
+        if let Some(t) = self.comm.sim().tracer() {
+            let kind = match dir {
+                Dir::Enc => "seal",
+                Dir::Dec => "open",
+            };
+            t.crypto_span(
+                self.rank(),
+                t0.as_nanos(),
+                self.comm.sim().now().as_nanos(),
+                kind,
+                bytes,
+                self.cfg.library.name(),
+            );
         }
+        out
     }
 
     /// Encrypt one message: returns `nonce ‖ ciphertext ‖ tag`.
     fn seal(&self, plaintext: &[u8]) -> Vec<u8> {
         let nonce = self.nonces.borrow_mut().next_nonce();
+        if let Some(t) = self.comm.sim().tracer() {
+            t.count_nonce_draw(self.rank());
+            t.count_seal(self.rank(), plaintext.len(), plaintext.len() + WIRE_OVERHEAD);
+        }
         self.run_crypto(plaintext.len(), Dir::Enc, || {
             let mut wire = Vec::with_capacity(plaintext.len() + WIRE_OVERHEAD);
             wire.extend_from_slice(&nonce);
@@ -153,6 +175,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         nonce.copy_from_slice(&wire[..NONCE_LEN]);
         let body = &wire[NONCE_LEN..];
         let plain_len = body.len() - empi_aead::TAG_LEN;
+        if let Some(t) = self.comm.sim().tracer() {
+            t.count_open(self.rank(), wire.len(), plain_len);
+        }
         self.run_crypto(plain_len, Dir::Dec, || {
             self.cipher.open(&nonce, b"", body).map_err(Error::Crypto)
         })
@@ -274,8 +299,21 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             if i == self.rank() {
                 out.extend_from_slice(send);
                 // (Self block needs no decryption, but the paper's
-                // Algorithm 1 decrypts all n+1 blocks; charge it.)
+                // Algorithm 1 decrypts all n+1 blocks; charge it. The
+                // span is recorded, the byte counters are not — no
+                // ciphertext actually flows.)
+                let t0 = self.comm.sim().now();
                 self.charge(send.len(), Dir::Dec);
+                if let Some(t) = self.comm.sim().tracer() {
+                    t.crypto_span(
+                        self.rank(),
+                        t0.as_nanos(),
+                        self.comm.sim().now().as_nanos(),
+                        "open",
+                        send.len(),
+                        self.cfg.library.name(),
+                    );
+                }
             } else {
                 out.extend_from_slice(&self.open(block)?);
             }
@@ -485,7 +523,7 @@ mod tests {
         let w = World::flat(NetModel::instant(), 5);
         let out = w.run(|c| {
             let sc = SecureComm::new(c, cfg()).unwrap();
-            sc.allgather(&vec![c.rank() as u8; 10]).unwrap()
+            sc.allgather(&[c.rank() as u8; 10]).unwrap()
         });
         for v in out.results {
             assert_eq!(v.len(), 50);
@@ -545,6 +583,49 @@ mod tests {
         let cpp = run(Some(CryptoLibrary::CryptoPp));
         assert!(boring > base, "encryption must cost time: {boring} vs {base}");
         assert!(cpp > boring, "CryptoPP must be slower: {cpp} vs {boring}");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_secure_pingpong_decomposes_crypto() {
+        let len = 1usize << 16;
+        let w = World::flat(NetModel::ethernet_10g(), 2).traced(true);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            let msg = vec![0u8; len];
+            if c.rank() == 0 {
+                sc.send(&msg, 1, 0);
+                sc.recv(Src::Is(1), TagSel::Is(1)).unwrap();
+            } else {
+                let (_, data) = sc.recv(Src::Is(0), TagSel::Is(0)).unwrap();
+                sc.send(&data, 0, 1);
+            }
+        });
+        let tr = out.trace.unwrap();
+        let d = tr.decomposition();
+        assert!(d.crypto_ns > 0, "crypto time must be recorded");
+        assert!(
+            d.crypto_share() > 0.0 && d.crypto_share() < 100.0,
+            "crypto share {:.1}% out of range",
+            d.crypto_share()
+        );
+        // Each rank sealed once and opened once, drawing one nonce, and
+        // the counters carry the 28-byte framing.
+        for m in &tr.per_rank {
+            assert_eq!((m.seals, m.opens, m.nonce_draws), (1, 1, 1));
+            assert_eq!(m.sealed_wire_bytes, m.sealed_plain_bytes + 28);
+            assert_eq!(m.opened_plain_bytes, m.opened_wire_bytes - 28);
+            assert_eq!(m.sealed_plain_bytes, len as u64);
+        }
+        // The fabric ledger carries wire (not plaintext) bytes, and
+        // every wire byte sent was delivered.
+        assert_eq!(tr.pair(0, 1).tx_bytes, (len + 28) as u64);
+        assert_eq!(tr.pair(0, 1).rx_bytes, (len + 28) as u64);
+        // Crypto spans carry the backend name.
+        assert!(tr
+            .events
+            .iter()
+            .any(|e| e.name == "seal" && e.detail.contains("BoringSSL")));
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub const ALLTOALL_BRUCK_THRESHOLD: usize = 256;
 /// uses recursive doubling up to 512 KB total for power-of-two comms).
 pub const ALLGATHER_LONG_THRESHOLD: usize = 512 << 10;
 
+/// Static per-round labels for the tracer's phase stack (labels must be
+/// `&'static str`; rounds beyond the table share the last label).
+const ROUND_LABELS: [&str; 16] = [
+    "round0", "round1", "round2", "round3", "round4", "round5", "round6", "round7", "round8",
+    "round9", "round10", "round11", "round12", "round13", "round14", "round15+",
+];
+
+fn round_label(k: usize) -> &'static str {
+    ROUND_LABELS[k.min(ROUND_LABELS.len() - 1)]
+}
+
 #[derive(Clone, Copy)]
 enum Op {
     Barrier = 1,
@@ -56,14 +67,18 @@ impl<'h> Comm<'h> {
     /// Dissemination barrier (`MPI_Barrier`).
     pub fn barrier(&self) {
         let tag = self.coll_tag(Op::Barrier);
+        let _op = self.op("barrier/dissemination");
         let n = self.size();
         let me = self.rank();
         let mut k = 1;
+        let mut round = 0;
         while k < n {
+            let _r = self.op(round_label(round));
             let dst = (me + k) % n;
             let src = (me + n - k) % n;
             self.sendrecv(&[], dst, tag, Src::Is(src), TagSel::Is(tag));
             k <<= 1;
+            round += 1;
         }
     }
 
@@ -74,8 +89,10 @@ impl<'h> Comm<'h> {
             return;
         }
         if buf.len() <= BCAST_LONG_THRESHOLD {
+            let _op = self.op("bcast/binomial");
             self.bcast_binomial(buf, root, tag);
         } else {
+            let _op = self.op("bcast/sag");
             self.bcast_scatter_allgather(buf, root, tag);
         }
     }
@@ -114,44 +131,48 @@ impl<'h> Comm<'h> {
 
         // Phase 1: binomial scatter of chunk ranges (chunk i belongs to
         // virtual rank i).
-        let mut mask = 1usize;
-        let mut my_span = n; // number of chunks this subtree root owns
-        while mask < n {
-            if vrank & mask != 0 {
-                let src = real(vrank - mask);
-                let hi = (vrank + mask).min(n);
-                let span = chunk(vrank).start..chunk(hi - 1).end;
-                self.recv_into(&mut buf[span], Src::Is(src), TagSel::Is(tag));
-                my_span = mask;
-                break;
+        {
+            let _p = self.op("scatter");
+            let mut mask = 1usize;
+            let mut my_span = n; // number of chunks this subtree root owns
+            while mask < n {
+                if vrank & mask != 0 {
+                    let src = real(vrank - mask);
+                    let hi = (vrank + mask).min(n);
+                    let span = chunk(vrank).start..chunk(hi - 1).end;
+                    self.recv_into(&mut buf[span], Src::Is(src), TagSel::Is(tag));
+                    my_span = mask;
+                    break;
+                }
+                mask <<= 1;
             }
-            mask <<= 1;
-        }
-        if vrank == 0 {
-            my_span = n;
-        }
-        // Send upper halves of my span downward.
-        let mut m = {
-            // largest power of two < my_span bounded by position
-            let mut m = 1usize;
-            while m < my_span {
-                m <<= 1;
+            if vrank == 0 {
+                my_span = n;
             }
-            m >> 1
-        };
-        while m > 0 {
-            if vrank + m < n && m < my_span {
-                let hi = (vrank + 2 * m).min(n);
-                let span = chunk(vrank + m).start..chunk(hi - 1).end;
-                self.send(&buf[span], real(vrank + m), tag);
+            // Send upper halves of my span downward.
+            let mut m = {
+                // largest power of two < my_span bounded by position
+                let mut m = 1usize;
+                while m < my_span {
+                    m <<= 1;
+                }
+                m >> 1
+            };
+            while m > 0 {
+                if vrank + m < n && m < my_span {
+                    let hi = (vrank + 2 * m).min(n);
+                    let span = chunk(vrank + m).start..chunk(hi - 1).end;
+                    self.send(&buf[span], real(vrank + m), tag);
+                }
+                m >>= 1;
             }
-            m >>= 1;
         }
 
         // Phase 2: allgather of the n chunks (in vrank space). MPICH
         // uses recursive doubling up to 512 KB on power-of-two comms
         // (log n latencies) and a ring beyond (bandwidth-optimal).
         if n.is_power_of_two() && len < BCAST_RING_THRESHOLD {
+            let _p = self.op("allgather-rd");
             // Recursive doubling over contiguous chunk spans: before the
             // step with `mask`, vrank v holds chunks [v & !(mask-1) ..
             // +mask).
@@ -173,6 +194,7 @@ impl<'h> Comm<'h> {
                 mask <<= 1;
             }
         } else {
+            let _p = self.op("allgather-ring");
             let right = real((vrank + 1) % n);
             let left = real((vrank + n - 1) % n);
             for r in 0..n - 1 {
@@ -210,6 +232,7 @@ impl<'h> Comm<'h> {
         op: impl Fn(&mut T, &T) + Copy,
     ) -> Option<Vec<T>> {
         let tag = self.coll_tag(Op::Reduce);
+        let _op = self.op("reduce/binomial");
         let n = self.size();
         let me = self.rank();
         let vrank = (me + n - root) % n;
@@ -243,10 +266,13 @@ impl<'h> Comm<'h> {
         let n = self.size();
         if n.is_power_of_two() {
             let tag = self.coll_tag(Op::Allreduce);
+            let _op = self.op("allreduce/rd");
             let me = self.rank();
             let mut acc = data.to_vec();
             let mut mask = 1usize;
+            let mut round = 0;
             while mask < n {
+                let _r = self.op(round_label(round));
                 let partner = me ^ mask;
                 let (_, bytes) = self.sendrecv(
                     as_bytes(&acc),
@@ -260,9 +286,11 @@ impl<'h> Comm<'h> {
                     op(a, b);
                 }
                 mask <<= 1;
+                round += 1;
             }
             acc
         } else {
+            let _op = self.op("allreduce/reduce+bcast");
             let reduced = self.reduce(data, 0, op);
             let mut out = reduced.unwrap_or_else(|| data.to_vec());
             self.bcast_t(&mut out, 0);
@@ -274,6 +302,7 @@ impl<'h> Comm<'h> {
     /// Returns the concatenation (rank order) at root, `None` elsewhere.
     pub fn gather(&self, send: &[u8], root: usize) -> Option<Vec<u8>> {
         let tag = self.coll_tag(Op::Gather);
+        let _op = self.op("gather/linear");
         let n = self.size();
         let me = self.rank();
         if me == root {
@@ -295,6 +324,7 @@ impl<'h> Comm<'h> {
     /// ranks (`MPI_Scatter`, linear). `chunk` is the per-rank byte count.
     pub fn scatter(&self, send: Option<&[u8]>, chunk: usize, root: usize) -> Vec<u8> {
         let tag = self.coll_tag(Op::Scatter);
+        let _op = self.op("scatter/linear");
         let n = self.size();
         let me = self.rank();
         if me == root {
@@ -327,10 +357,13 @@ impl<'h> Comm<'h> {
         }
 
         if n.is_power_of_two() && blk * n <= ALLGATHER_LONG_THRESHOLD {
+            let _op = self.op("allgather/rd");
             // Recursive doubling: before the step with `mask`, this rank
             // holds the aligned group of `mask` blocks containing it.
             let mut mask = 1usize;
+            let mut round = 0;
             while mask < n {
+                let _r = self.op(round_label(round));
                 let partner = me ^ mask;
                 let my_base = me & !(mask - 1);
                 let their_base = partner & !(mask - 1);
@@ -343,12 +376,14 @@ impl<'h> Comm<'h> {
                 );
                 out[their_base * blk..(their_base + mask) * blk].copy_from_slice(&data);
                 mask <<= 1;
+                round += 1;
             }
         } else {
-            // Ring.
+            let _op = self.op("allgather/ring");
             let right = (me + 1) % n;
             let left = (me + n - 1) % n;
             for r in 0..n - 1 {
+                let _r = self.op(round_label(r));
                 let send_idx = (me + n - r) % n;
                 let recv_idx = (me + n - r - 1) % n;
                 let (_, data) = self.sendrecv(
@@ -379,11 +414,13 @@ impl<'h> Comm<'h> {
     }
 
     fn alltoall_pairwise(&self, send: &[u8], block: usize, tag: Tag) -> Vec<u8> {
+        let _op = self.op("alltoall/pairwise");
         let n = self.size();
         let me = self.rank();
         let mut out = vec![0u8; block * n];
         out[me * block..(me + 1) * block].copy_from_slice(&send[me * block..(me + 1) * block]);
         for i in 1..n {
+            let _r = self.op(round_label(i - 1));
             let dst = (me + i) % n;
             let src = (me + n - i) % n;
             let (_, data) = self.sendrecv(
@@ -402,6 +439,7 @@ impl<'h> Comm<'h> {
     /// each message carries ~half the buffer, so small-block alltoall
     /// costs log n latencies instead of n.
     fn alltoall_bruck(&self, send: &[u8], block: usize, tag: Tag) -> Vec<u8> {
+        let _op = self.op("alltoall/bruck");
         let n = self.size();
         let me = self.rank();
         // Phase 0: local rotation so tmp block i is destined to (me+i)%n.
@@ -414,7 +452,9 @@ impl<'h> Comm<'h> {
         // Phase 1: log rounds; in round k send every block whose index
         // has bit k set, to rank me+2^k.
         let mut pof2 = 1usize;
+        let mut step = 0;
         while pof2 < n {
+            let _r = self.op(round_label(step));
             let dst = (me + pof2) % n;
             let src = (me + n - pof2) % n;
             let idxs: Vec<usize> = (0..n).filter(|i| i & pof2 != 0).collect();
@@ -430,6 +470,7 @@ impl<'h> Comm<'h> {
                     .copy_from_slice(&data[slot * block..(slot + 1) * block]);
             }
             pof2 <<= 1;
+            step += 1;
         }
         // Phase 2: inverse rotation — after the forwarding rounds, tmp
         // block i holds the data *from* rank (me - i + n) % n.
@@ -453,6 +494,7 @@ impl<'h> Comm<'h> {
         recv_counts: &[usize],
     ) -> Vec<u8> {
         let tag = self.coll_tag(Op::Alltoallv);
+        let _op = self.op("alltoallv/pairwise");
         let n = self.size();
         let me = self.rank();
         assert_eq!(send_counts.len(), n);
@@ -490,6 +532,7 @@ impl<'h> Comm<'h> {
     /// Returns per-rank payloads at root, `None` elsewhere.
     pub fn gatherv(&self, send: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
         let tag = self.coll_tag(Op::Gather);
+        let _op = self.op("gatherv/linear");
         let n = self.size();
         let me = self.rank();
         if me == root {
@@ -510,6 +553,7 @@ impl<'h> Comm<'h> {
     /// `chunks` is significant only at root.
     pub fn scatterv(&self, chunks: Option<&[Vec<u8>]>, root: usize) -> Vec<u8> {
         let tag = self.coll_tag(Op::Scatter);
+        let _op = self.op("scatterv/linear");
         let n = self.size();
         let me = self.rank();
         if me == root {
@@ -534,6 +578,7 @@ impl<'h> Comm<'h> {
         data: &[T],
         op: impl Fn(&mut T, &T) + Copy,
     ) -> Vec<T> {
+        let _op = self.op("reduce_scatter/reduce+scatterv");
         let n = self.size();
         let me = self.rank();
         assert_eq!(data.len() % n, 0, "data must split evenly over ranks");

@@ -15,7 +15,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use empi_netsim::{Fabric, SimHandle, VDur, VTime};
+use empi_netsim::{Fabric, SimHandle, Tracer, VDur, VTime};
 use parking_lot::Mutex;
 
 use crate::state::{Envelope, PostedRecv, ReqEntry, RndvSend, SharedState};
@@ -48,7 +48,53 @@ pub struct Comm<'h> {
     pub(crate) coll_seq: Cell<u32>,
 }
 
+/// Scope marker for the tracer's per-rank operation stack: pushes a
+/// label on construction, pops it when dropped. Fabric transfers issued
+/// while the guard is alive are attributed to this operation.
+pub(crate) struct OpGuard {
+    t: Option<Tracer>,
+    rank: usize,
+}
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        if let Some(t) = &self.t {
+            t.pop_op(self.rank);
+        }
+    }
+}
+
 impl<'h> Comm<'h> {
+    /// Enter a traced operation scope (no-op when untraced).
+    pub(crate) fn op(&self, label: &'static str) -> OpGuard {
+        let t = self.h.tracer().cloned();
+        if let Some(t) = &t {
+            t.push_op(self.rank(), label);
+        }
+        OpGuard {
+            t,
+            rank: self.rank(),
+        }
+    }
+
+    /// Advance the virtual clock by host-side messaging overhead,
+    /// crediting it to the tracer's host-time bucket.
+    fn charge_host(&self, d: VDur) {
+        if let Some(t) = self.h.tracer() {
+            t.add_host_ns(self.rank(), d.as_nanos());
+        }
+        self.h.advance(d);
+    }
+
+    /// Record that `bytes` of payload from `src` were handed to the
+    /// application on this rank (the receive side of the conservation
+    /// ledger; sends are counted at the fabric).
+    fn note_delivery(&self, src: usize, bytes: usize) {
+        if let Some(t) = self.h.tracer() {
+            t.delivery(src, self.rank(), bytes);
+        }
+    }
+
     /// This rank.
     pub fn rank(&self) -> usize {
         self.h.rank()
@@ -128,8 +174,10 @@ impl<'h> Comm<'h> {
         assert_ne!(dst, self.rank(), "self-sends must use isend+recv");
         let me = self.rank();
         let len = buf.len();
-        self.h.advance(self.side_overhead(dst, len, blocking));
-        if len <= self.eager_threshold() {
+        let eager = len <= self.eager_threshold();
+        let _op = self.op(if eager { "p2p/eager" } else { "p2p/rndv" });
+        self.charge_host(self.side_overhead(dst, len, blocking));
+        if eager {
             let now = self.h.now();
             let data = Bytes::copy_from_slice(buf);
             {
@@ -215,8 +263,8 @@ impl<'h> Comm<'h> {
             }
             None
         });
-        self.h
-            .advance(self.side_overhead(blocking_peer, env.data.len(), true));
+        self.charge_host(self.side_overhead(blocking_peer, env.data.len(), true));
+        self.note_delivery(env.src, env.data.len());
         (
             Status {
                 source: env.src,
@@ -269,10 +317,11 @@ impl<'h> Comm<'h> {
         assert!(dst < self.size(), "isend to invalid rank {dst}");
         let me = self.rank();
         let len = buf.len();
-        self.h.advance(self.side_overhead(dst, len, false));
+        let eager = len <= self.eager_threshold() || dst == me;
+        let _op = self.op(if eager { "p2p/eager" } else { "p2p/rndv" });
+        self.charge_host(self.side_overhead(dst, len, false));
         let now = self.h.now();
         let data = Bytes::copy_from_slice(buf);
-        let eager = len <= self.eager_threshold() || dst == me;
         let id = {
             let mut s = self.shared.lock();
             s.p2p_ops += 1;
@@ -389,7 +438,8 @@ impl<'h> Comm<'h> {
         });
         let len = data.as_ref().map_or(0, |d| d.len());
         if req.kind == ReqKind::Recv {
-            self.h.advance(self.side_overhead(src, len, false));
+            self.charge_host(self.side_overhead(src, len, false));
+            self.note_delivery(src, len);
         }
         (
             Status {
@@ -419,7 +469,6 @@ impl<'h> Comm<'h> {
                 .enumerate()
                 .filter_map(|(i, &id)| s.peek_done(id).map(|at| (at, i)))
                 .min()
-                .map(|(at, i)| (at, i))
         });
         let req = reqs.remove(idx);
         let (status, data) = self.wait(req);

@@ -39,5 +39,6 @@ pub mod world;
 
 pub use coll::ops;
 pub use comm::{Comm, Request};
+pub use empi_netsim::{TraceReport, Tracer};
 pub use types::{as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel};
 pub use world::{World, WorldOutcome};

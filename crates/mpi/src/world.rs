@@ -3,7 +3,7 @@
 use std::cell::Cell;
 use std::sync::Arc;
 
-use empi_netsim::{Engine, Fabric, FabricStats, NetModel, Topology, VTime};
+use empi_netsim::{Engine, Fabric, FabricStats, NetModel, Topology, TraceReport, Tracer, VTime};
 use parking_lot::Mutex;
 
 use crate::comm::Comm;
@@ -14,6 +14,7 @@ pub struct World {
     model: NetModel,
     topology: Topology,
     time_scale: f64,
+    traced: bool,
 }
 
 /// What a finished run returns.
@@ -26,6 +27,9 @@ pub struct WorldOutcome<T> {
     pub fabric: FabricStats,
     /// Scheduler yields (simulation overhead metric).
     pub yields: u64,
+    /// Per-rank metrics, event timeline, and byte ledgers; `Some` only
+    /// when the world was built with [`World::traced`].
+    pub trace: Option<TraceReport>,
 }
 
 impl World {
@@ -35,6 +39,7 @@ impl World {
             model,
             topology,
             time_scale: 1.0,
+            traced: false,
         }
     }
 
@@ -46,6 +51,15 @@ impl World {
     /// Multiplier for measured-time charging (models a slower CPU).
     pub fn time_scale(mut self, scale: f64) -> Self {
         self.time_scale = scale;
+        self
+    }
+
+    /// Collect a [`TraceReport`] for the run: per-rank wait/host/crypto
+    /// metrics, fabric transfer events, NIC busy lanes, and per-pair
+    /// byte ledgers. Off by default; with the `trace` feature compiled
+    /// out this is accepted but yields an empty report.
+    pub fn traced(mut self, on: bool) -> Self {
+        self.traced = on;
         self
     }
 
@@ -61,10 +75,34 @@ impl World {
         F: Fn(&Comm) -> T + Sync,
     {
         let n = self.topology.n_ranks();
-        let fabric = Fabric::new(self.model.clone(), self.topology.clone());
+        let mut fabric = Fabric::new(self.model.clone(), self.topology.clone());
+        let tracer = self.traced.then(|| Tracer::new(n));
+        if let Some(t) = &tracer {
+            fabric.set_tracer(t.clone());
+        }
         let shared = Arc::new(Mutex::new(SharedState::new(fabric)));
         let shared_for_stats = Arc::clone(&shared);
-        let out = Engine::new(n).time_scale(self.time_scale).run(|h| {
+        let diag_shared = Arc::clone(&shared);
+        let mut engine = Engine::new(n).time_scale(self.time_scale).diagnostics(
+            // Runs inside the scheduler's deadlock panic, where a rank
+            // may still hold the state lock — try_lock, never lock.
+            move |r| match diag_shared.try_lock() {
+                Some(s) => {
+                    let q = &s.queues[r];
+                    format!(
+                        "unexpected={} posted={} rndv={}",
+                        q.unexpected.len(),
+                        q.posted.len(),
+                        q.rndv.len()
+                    )
+                }
+                None => "state locked".to_string(),
+            },
+        );
+        if let Some(t) = &tracer {
+            engine = engine.tracer(t.clone());
+        }
+        let out = engine.run(|h| {
             let comm = Comm {
                 h,
                 shared: Arc::clone(&shared),
@@ -78,6 +116,7 @@ impl World {
             end_time: out.end_time,
             fabric,
             yields: out.yields,
+            trace: out.trace,
         }
     }
 }
@@ -256,6 +295,86 @@ mod tests {
             }
         });
         assert_eq!(out.results[1], 1.0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_world_records_decomposition_and_balanced_ledgers() {
+        let model = NetModel::ethernet_10g();
+        let big = model.eager_threshold * 2; // rendezvous path
+        let w = World::flat(model, 2).traced(true);
+        let out = w.run(|c| {
+            let buf = vec![7u8; big];
+            if c.rank() == 0 {
+                c.send(&buf, 1, 0);
+                let _ = c.recv(Src::Is(1), TagSel::Is(1));
+            } else {
+                let (_, data) = c.recv(Src::Is(0), TagSel::Is(0));
+                c.send(&data, 0, 1);
+            }
+        });
+        let tr = out.trace.expect("traced world must return a report");
+        assert_eq!(tr.n_ranks, 2);
+        assert_eq!(tr.transfers, 2);
+        // Conservation: every byte the fabric carried was delivered.
+        for ((s, d), flow) in &tr.pairs {
+            assert_eq!(
+                flow.tx_bytes, flow.rx_bytes,
+                "pair ({s},{d}): tx {} != rx {}",
+                flow.tx_bytes, flow.rx_bytes
+            );
+            assert_eq!(flow.tx_msgs, flow.rx_msgs);
+        }
+        assert_eq!(tr.pair(0, 1).tx_bytes, big as u64);
+        // Both sides charged host overhead and spent time on the wire;
+        // someone waited for the rendezvous to complete.
+        let d = tr.decomposition();
+        assert!(d.host_ns > 0, "host overhead not recorded");
+        assert!(d.wire_ns > 0, "wire time not recorded");
+        assert!(d.wait_ns > 0, "rendezvous wait not recorded");
+        // Transfers were attributed to the p2p op labels.
+        assert!(
+            tr.events.iter().any(|e| e.name.starts_with("p2p/")),
+            "no p2p-labelled events in {:?}",
+            tr.events.iter().map(|e| &e.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn untraced_world_returns_no_report() {
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                c.send(b"x", 1, 0);
+            } else {
+                let _ = c.recv(Src::Is(0), TagSel::Is(0));
+            }
+        });
+        assert!(out.trace.is_none());
+    }
+
+    #[test]
+    fn deadlock_panic_reports_queue_depths() {
+        let res = std::panic::catch_unwind(|| {
+            let w = World::flat(NetModel::instant(), 2);
+            w.run(|c| {
+                if c.rank() == 0 {
+                    // Rank 1 never sends: a guaranteed deadlock.
+                    let _ = c.recv(Src::Is(1), TagSel::Is(0));
+                }
+            });
+        });
+        let err = res.expect_err("deadlocked world must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(msg.contains("deadlock"), "got: {msg}");
+        assert!(
+            msg.contains("unexpected=0 posted=0 rndv=0"),
+            "missing queue-depth diagnostics: {msg}"
+        );
     }
 
     #[test]

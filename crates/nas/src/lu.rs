@@ -55,11 +55,11 @@ pub fn rank_grid(size: usize, nx: usize, ny: usize) -> (usize, usize) {
     let mut best = (1, size);
     let mut best_score = usize::MAX;
     for pr in 1..=size {
-        if size % pr != 0 {
+        if !size.is_multiple_of(pr) {
             continue;
         }
         let pc = size / pr;
-        if nx % pr == 0 && ny % pc == 0 {
+        if nx.is_multiple_of(pr) && ny.is_multiple_of(pc) {
             let score = pr.abs_diff(pc);
             if score < best_score {
                 best = (pr, pc);

@@ -26,12 +26,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use empi_trace::{TraceReport, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 use crate::time::{VDur, VTime};
 
 /// Why a rank is parked (for deadlock diagnostics).
 type BlockReason = &'static str;
+
+/// Per-rank diagnostic callback: extra context (queue depths, pending
+/// requests) appended to the all-blocked deadlock report. Installed by
+/// higher layers that know what a rank was waiting for.
+type DiagFn = Arc<dyn Fn(usize) -> String + Send + Sync>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
@@ -75,6 +81,10 @@ struct Shared {
     yields: AtomicU64,
     /// Total notify operations.
     notifies: AtomicU64,
+    /// Installed trace collector, if any.
+    tracer: Option<Tracer>,
+    /// Extra per-rank context for the deadlock report.
+    diag: Option<DiagFn>,
 }
 
 impl Shared {
@@ -86,7 +96,7 @@ impl Shared {
         for (r, st) in s.ranks.iter().enumerate() {
             if st.status == Status::Ready {
                 let c = self.clocks[r].load(Ordering::Relaxed);
-                if best.map_or(true, |(bc, _)| c < bc) {
+                if best.is_none_or(|(bc, _)| c < bc) {
                     best = Some((c, r));
                 }
             }
@@ -103,11 +113,18 @@ impl Shared {
                     for (r, st) in s.ranks.iter().enumerate() {
                         if st.status != Status::Done {
                             msg.push_str(&format!(
-                                "  rank {r}: {:?} ({}) at t={}ns\n",
+                                "  rank {r}: {:?} ({}) at t={}ns",
                                 st.status,
                                 st.reason,
                                 self.clocks[r].load(Ordering::Relaxed)
                             ));
+                            if let Some(diag) = &self.diag {
+                                let info = diag(r);
+                                if !info.is_empty() {
+                                    msg.push_str(&format!(" [{info}]"));
+                                }
+                            }
+                            msg.push('\n');
                         }
                     }
                     s.poisoned = Some(msg);
@@ -161,6 +178,8 @@ impl Shared {
 pub struct Engine {
     n_ranks: usize,
     time_scale: f64,
+    tracer: Option<Tracer>,
+    diag: Option<DiagFn>,
 }
 
 impl Engine {
@@ -170,6 +189,8 @@ impl Engine {
         Engine {
             n_ranks,
             time_scale: 1.0,
+            tracer: None,
+            diag: None,
         }
     }
 
@@ -178,6 +199,28 @@ impl Engine {
     pub fn time_scale(mut self, scale: f64) -> Self {
         assert!(scale > 0.0);
         self.time_scale = scale;
+        self
+    }
+
+    /// Install a trace collector. `block_on` park intervals become
+    /// per-rank wait spans, and [`RunOutcome::trace`] carries the
+    /// final [`TraceReport`]. Without a collector the hooks cost one
+    /// `Option` check each (and nothing at all when the `trace`
+    /// feature is disabled).
+    pub fn tracer(mut self, t: Tracer) -> Self {
+        self.tracer = Some(t);
+        self
+    }
+
+    /// Install a per-rank diagnostic callback whose output is appended
+    /// to the all-blocked deadlock report. The callback runs with the
+    /// scheduler lock held, so it must not yield or block; use
+    /// `try_lock` on any shared state it inspects.
+    pub fn diagnostics(
+        mut self,
+        f: impl Fn(usize) -> String + Send + Sync + 'static,
+    ) -> Self {
+        self.diag = Some(Arc::new(f));
         self
     }
 
@@ -208,6 +251,8 @@ impl Engine {
             time_scale: self.time_scale,
             yields: AtomicU64::new(0),
             notifies: AtomicU64::new(0),
+            tracer: self.tracer.clone(),
+            diag: self.diag.clone(),
         });
 
         let mut results: Vec<Option<T>> = (0..self.n_ranks).map(|_| None).collect();
@@ -278,6 +323,7 @@ impl Engine {
             end_time,
             yields: shared.yields.load(Ordering::Relaxed),
             notifies: shared.notifies.load(Ordering::Relaxed),
+            trace: shared.tracer.as_ref().map(|t| t.take_report()),
         }
     }
 }
@@ -292,6 +338,8 @@ pub struct RunOutcome<T> {
     pub yields: u64,
     /// Notify operations performed.
     pub notifies: u64,
+    /// Trace data, when a collector was installed via [`Engine::tracer`].
+    pub trace: Option<TraceReport>,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -377,14 +425,26 @@ impl SimHandle {
         reason: &'static str,
         mut check: impl FnMut() -> Option<(VTime, T)>,
     ) -> T {
+        let entered = self.now();
         loop {
             if let Some((t, v)) = check() {
                 self.advance_to(t);
+                if let Some(tracer) = &self.shared.tracer {
+                    // Virtual wait = entry to completion, whether the
+                    // rank actually parked or the condition was already
+                    // satisfied at a future timestamp.
+                    tracer.wait_span(self.rank, entered.0, self.now().0, reason);
+                }
                 return v;
             }
             self.shared.release(self.rank, Status::Blocked, reason);
             self.shared.wait_for_token(self.rank);
         }
+    }
+
+    /// The trace collector installed on this engine, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.shared.tracer.as_ref()
     }
 
     /// Wake `target` if it is parked in [`block_on`](Self::block_on),
@@ -466,6 +526,58 @@ mod tests {
         });
         let msg = format!("{:?}", result.unwrap_err().downcast_ref::<String>());
         assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn deadlock_report_includes_per_rank_diagnostics() {
+        let result = std::panic::catch_unwind(|| {
+            Engine::new(2)
+                .diagnostics(|r| format!("queue-depth-of-{r}=0"))
+                .run(|h| {
+                    h.advance(VDur(100 * (h.rank() as u64 + 1)));
+                    h.block_on::<()>("recv", || None);
+                });
+        });
+        let msg = format!("{:?}", result.unwrap_err().downcast_ref::<String>());
+        assert!(msg.contains("deadlock"), "got: {msg}");
+        // Every live rank appears with its reason, clock, and the
+        // installed diagnostic line.
+        assert!(msg.contains("rank 0") && msg.contains("rank 1"), "got: {msg}");
+        assert!(msg.contains("recv"), "got: {msg}");
+        assert!(
+            msg.contains("queue-depth-of-0=0") && msg.contains("queue-depth-of-1=0"),
+            "got: {msg}"
+        );
+        assert!(msg.contains("t=100ns") && msg.contains("t=200ns"), "got: {msg}");
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn tracer_records_wait_spans() {
+        use empi_trace::Cat;
+        let slot: PlMutex<Option<(VTime, u32)>> = PlMutex::new(None);
+        let out = Engine::new(2).tracer(Tracer::new(2)).run(|h| {
+            if h.rank() == 0 {
+                h.advance(VDur::from_micros(50));
+                *slot.lock() = Some((h.now(), 7));
+                h.notify_rank(1);
+            } else {
+                h.block_on("value", || slot.lock().map(|(t, v)| (t, v)));
+            }
+        });
+        let trace = out.trace.expect("tracer installed");
+        assert_eq!(trace.n_ranks, 2);
+        // Rank 1 waited from t=0 to t=50us for rank 0's value.
+        assert_eq!(trace.per_rank[1].wait_ns, 50_000);
+        assert_eq!(trace.per_rank[0].wait_ns, 0);
+        let span = trace
+            .events
+            .iter()
+            .find(|e| e.cat == Cat::Wait)
+            .expect("wait span recorded");
+        assert_eq!(span.name, "value");
+        assert_eq!(span.tid, 1);
+        assert_eq!(span.dur_ns, 50_000);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! the only serialized resource, so multi-flow sharing and saturation
 //! emerge naturally.
 
+use empi_trace::Tracer;
+
 use crate::curve::Curve;
 use crate::time::{VDur, VTime};
 use crate::topology::Topology;
@@ -251,6 +253,7 @@ pub struct Fabric {
     tx: Vec<NicPort>,
     rx: Vec<NicPort>,
     stats: FabricStats,
+    tracer: Option<Tracer>,
 }
 
 impl Fabric {
@@ -263,7 +266,15 @@ impl Fabric {
             tx: vec![NicPort::default(); n],
             rx: vec![NicPort::default(); n],
             stats: FabricStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Install a trace collector: every transfer is recorded with its
+    /// virtual start/arrival (tagged with the sender's current op/phase
+    /// labels), and NIC port busy intervals become trace lanes.
+    pub fn set_tracer(&mut self, t: Tracer) {
+        self.tracer = Some(t);
     }
 
     /// The model parameters.
@@ -298,9 +309,20 @@ impl Fabric {
         let dst = self.topology.node_of(dst_rank);
         if src == dst {
             self.stats.local_messages += 1;
-            return start
+            let arrive = start
                 + self.model.intra_latency
                 + VDur((wire_bytes as f64 / (self.model.intra_bw * 1e6) * 1e9) as u64);
+            if let Some(tracer) = &self.tracer {
+                tracer.transfer(
+                    src_rank,
+                    dst_rank,
+                    wire_bytes,
+                    start.as_nanos(),
+                    arrive.as_nanos(),
+                    true,
+                );
+            }
+            return arrive;
         }
         self.stats.messages += 1;
         self.stats.bytes += wire_bytes as u64;
@@ -324,6 +346,12 @@ impl Fabric {
         let earliest = tx_start + self.model.latency.as_nanos() + wire;
         let arrive = earliest.max(rx.next_free + wire);
         rx.next_free = (arrive - wire) + rx_gap;
+
+        if let Some(tracer) = &self.tracer {
+            tracer.transfer(src_rank, dst_rank, wire_bytes, t, arrive, false);
+            tracer.nic_busy(src, 0, tx_start, tx_start + tx_gap);
+            tracer.nic_busy(dst, 1, arrive - wire, (arrive - wire) + rx_gap);
+        }
 
         VTime(arrive)
     }
@@ -414,6 +442,30 @@ mod tests {
                 assert!(err <= 2, "{} size {s}: {total} vs {rebuilt}", model.name);
             }
         }
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn tracer_sees_transfers_ledger_and_nic_lanes() {
+        use empi_trace::{Cat, Tracer};
+        let tracer = Tracer::new(2);
+        let mut f = eth_fabric(2);
+        f.set_tracer(tracer.clone());
+        let arrive = f.transmit(0, 1, 1024, VTime::ZERO);
+        let r = tracer.take_report();
+        assert_eq!(r.transfers, 1);
+        assert_eq!(r.local_transfers, 0);
+        let p = r.pair(0, 1);
+        assert_eq!(p.tx_bytes, 1024);
+        assert_eq!(p.tx_msgs, 1);
+        // No MPI layer above us, so nothing was delivered yet.
+        assert_eq!(p.rx_bytes, 0);
+        assert_eq!(r.wire_ns, arrive.as_nanos());
+        let wire = r.events.iter().find(|e| e.cat == Cat::Wire).unwrap();
+        assert_eq!(wire.bytes, 1024);
+        assert_eq!(wire.dur_ns, arrive.as_nanos());
+        // One tx busy interval on node 0, one rx on node 1.
+        assert_eq!(r.events.iter().filter(|e| e.cat == Cat::Nic).count(), 2);
     }
 
     #[test]

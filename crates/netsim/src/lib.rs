@@ -33,6 +33,7 @@ pub mod time;
 pub mod topology;
 
 pub use curve::Curve;
+pub use empi_trace::{TraceReport, Tracer};
 pub use engine::{Engine, RunOutcome, SimHandle};
 pub use fabric::{Fabric, FabricStats, NetModel};
 pub use time::{VDur, VTime};

@@ -18,7 +18,7 @@ impl Topology {
     pub fn block(n_ranks: usize, n_nodes: usize) -> Self {
         assert!(n_ranks > 0 && n_nodes > 0);
         assert!(
-            n_ranks % n_nodes == 0,
+            n_ranks.is_multiple_of(n_nodes),
             "ranks ({n_ranks}) must divide evenly over nodes ({n_nodes})"
         );
         let per = n_ranks / n_nodes;

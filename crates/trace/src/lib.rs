@@ -1,0 +1,803 @@
+//! `empi-trace`: virtual-time tracing and overhead decomposition for
+//! the encrypted-MPI stack.
+//!
+//! The paper's central result is a *decomposition* — how much of each
+//! MPI operation is crypto vs wire vs wait. This crate is the
+//! substrate that makes that decomposition observable end to end:
+//!
+//! - the **engine** records wait spans (rank parked in `block_on`),
+//! - the **fabric** records transfers and NIC busy intervals,
+//! - the **MPI layer** labels everything with op/phase names
+//!   (`bcast/binomial`, `p2p/eager`, …) and charges host overheads,
+//! - the **secure layer** records seal/open spans and byte ledgers,
+//! - the **AEAD engines** bump global block counters.
+//!
+//! Everything funnels into a [`Tracer`] handle and comes back out as
+//! a [`TraceReport`]: per-rank metrics, per-(src,dst) byte ledgers,
+//! and a bounded event log writable as Chrome `chrome://tracing`
+//! JSON (hand-rolled; this crate has zero dependencies).
+//!
+//! # Cost model
+//!
+//! Two gates keep the untraced fast path honest:
+//!
+//! 1. **Compile time** — without the `enabled` feature, [`Tracer`] is
+//!    a zero-sized type whose methods are empty `#[inline]` bodies;
+//!    the optimizer deletes every call site. Consumer crates forward
+//!    their `trace` feature here, so `--no-default-features` builds
+//!    are bit-identical to the pre-instrumentation code paths.
+//! 2. **Run time** — even when compiled in, nothing records unless a
+//!    collector was installed (`World::traced` / `Engine::tracer`);
+//!    hooks behind an uninstalled tracer are a single `Option` check.
+//!
+//! The `simnet` Criterion bench measures both gates continuously.
+
+#[cfg(feature = "enabled")]
+use std::collections::HashMap;
+use std::fmt;
+
+pub mod chrome;
+pub mod json;
+
+/// AES-GCM wire framing overhead per message: 12-byte nonce + 16-byte
+/// tag. Mirrored from the secure layer so conservation checks can be
+/// written against trace data alone.
+pub const WIRE_OVERHEAD: usize = 28;
+
+/// Event category, mapped to the `cat` field of Chrome trace events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cat {
+    /// Rank parked in `block_on` (recv/wait/rendezvous/barrier...).
+    Wait,
+    /// Seal/open span charged by the secure layer.
+    Crypto,
+    /// Fabric transfer (first bit out to last bit in).
+    Wire,
+    /// NIC port busy interval.
+    Nic,
+    /// Collective/p2p op span markers.
+    Op,
+}
+
+impl Cat {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Cat::Wait => "wait",
+            Cat::Crypto => "crypto",
+            Cat::Wire => "wire",
+            Cat::Nic => "nic",
+            Cat::Op => "op",
+        }
+    }
+}
+
+/// One complete-span event in virtual time.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub name: String,
+    pub cat: Cat,
+    /// Virtual start time (ns).
+    pub ts_ns: u64,
+    /// Duration (ns).
+    pub dur_ns: u64,
+    /// Chrome lane: rank id, or `n_ranks + 2*node + dir` for NICs.
+    pub tid: u32,
+    /// Payload size attached to the event (0 if not applicable).
+    pub bytes: u64,
+    /// Free-form detail (backend name, phase label, peer).
+    pub detail: String,
+}
+
+/// Per-rank counters accumulated while tracing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankMetrics {
+    /// Virtual ns spent inside seal/open (incl. calibrated charge).
+    pub crypto_ns: u64,
+    /// Virtual ns of MPI host overhead (send/recv o, stream o).
+    pub host_ns: u64,
+    /// Virtual ns parked in `block_on`.
+    pub wait_ns: u64,
+    /// Messages sealed / opened by the secure layer.
+    pub seals: u64,
+    pub opens: u64,
+    /// Plaintext bytes in / wire bytes out of `seal`.
+    pub sealed_plain_bytes: u64,
+    pub sealed_wire_bytes: u64,
+    /// Wire bytes in / plaintext bytes out of `open`.
+    pub opened_wire_bytes: u64,
+    pub opened_plain_bytes: u64,
+    /// Nonces drawn from the rank's `NonceSource`.
+    pub nonce_draws: u64,
+}
+
+/// Byte/message ledger for one ordered (src, dst) rank pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairFlow {
+    /// Bytes/messages injected into the fabric by `src` for `dst`.
+    pub tx_bytes: u64,
+    pub tx_msgs: u64,
+    /// Bytes/messages delivered to (taken by) `dst` from `src`.
+    pub rx_bytes: u64,
+    pub rx_msgs: u64,
+}
+
+/// Global AEAD engine counters (see [`engine_counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// 16-byte AES blocks pushed through each engine.
+    pub aes_blocks_soft: u64,
+    pub aes_blocks_ni: u64,
+    pub aes_blocks_pipelined: u64,
+    /// 16-byte GHASH blocks folded by each path.
+    pub ghash_blocks_soft: u64,
+    pub ghash_blocks_clmul: u64,
+    /// Times a hardware engine was requested but unavailable, falling
+    /// back to the software path.
+    pub hw_fallbacks: u64,
+}
+
+impl EngineCounters {
+    /// Counter-wise `self - baseline` (saturating).
+    pub fn since(&self, baseline: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            aes_blocks_soft: self.aes_blocks_soft.saturating_sub(baseline.aes_blocks_soft),
+            aes_blocks_ni: self.aes_blocks_ni.saturating_sub(baseline.aes_blocks_ni),
+            aes_blocks_pipelined: self
+                .aes_blocks_pipelined
+                .saturating_sub(baseline.aes_blocks_pipelined),
+            ghash_blocks_soft: self
+                .ghash_blocks_soft
+                .saturating_sub(baseline.ghash_blocks_soft),
+            ghash_blocks_clmul: self
+                .ghash_blocks_clmul
+                .saturating_sub(baseline.ghash_blocks_clmul),
+            hw_fallbacks: self.hw_fallbacks.saturating_sub(baseline.hw_fallbacks),
+        }
+    }
+
+    pub fn aes_blocks_total(&self) -> u64 {
+        self.aes_blocks_soft + self.aes_blocks_ni + self.aes_blocks_pipelined
+    }
+
+    pub fn ghash_blocks_total(&self) -> u64 {
+        self.ghash_blocks_soft + self.ghash_blocks_clmul
+    }
+}
+
+/// Aggregate crypto/host/wire/wait split of a traced run.
+///
+/// `wire_ns` is fabric occupancy (latency + serialization + queueing)
+/// summed over transfers; `wait_ns` is rank time parked in `block_on`
+/// and *overlaps* `wire_ns` (a receiver waits while bytes fly), so the
+/// four columns are views, not disjoint partitions. The paper-facing
+/// ratio is [`Decomposition::crypto_share`]: crypto over crypto+comm,
+/// where comm = host + wire.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Decomposition {
+    pub crypto_ns: u64,
+    pub host_ns: u64,
+    pub wire_ns: u64,
+    pub wait_ns: u64,
+}
+
+impl Decomposition {
+    /// Host + wire: everything the unencrypted op would also pay.
+    pub fn comm_ns(&self) -> u64 {
+        self.host_ns + self.wire_ns
+    }
+
+    /// Fraction of (crypto + comm) time spent in crypto, in percent.
+    pub fn crypto_share(&self) -> f64 {
+        let denom = (self.crypto_ns + self.comm_ns()) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.crypto_ns as f64 / denom * 100.0
+        }
+    }
+
+    /// Complement of [`Self::crypto_share`], in percent.
+    pub fn comm_share(&self) -> f64 {
+        if self.crypto_ns + self.comm_ns() == 0 {
+            0.0
+        } else {
+            100.0 - self.crypto_share()
+        }
+    }
+}
+
+/// Everything a traced run produced, snapshot at `take_report` time.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    pub n_ranks: usize,
+    pub per_rank: Vec<RankMetrics>,
+    /// Inter-node fabric transfers and their total occupancy.
+    pub transfers: u64,
+    pub local_transfers: u64,
+    pub wire_ns: u64,
+    /// Ordered (src, dst) → ledger, sorted by pair.
+    pub pairs: Vec<((usize, usize), PairFlow)>,
+    /// Bounded event log, merged from all lanes, sorted by start time.
+    pub events: Vec<Event>,
+    /// Events discarded because a ring buffer filled.
+    pub dropped_events: u64,
+    /// AEAD engine activity during the traced window.
+    pub engines: EngineCounters,
+}
+
+impl TraceReport {
+    /// Sum the per-rank metrics plus global wire time.
+    pub fn decomposition(&self) -> Decomposition {
+        let mut d = Decomposition {
+            wire_ns: self.wire_ns,
+            ..Decomposition::default()
+        };
+        for m in &self.per_rank {
+            d.crypto_ns += m.crypto_ns;
+            d.host_ns += m.host_ns;
+            d.wait_ns += m.wait_ns;
+        }
+        d
+    }
+
+    /// The ledger for `(src, dst)`, zero if the pair never spoke.
+    pub fn pair(&self, src: usize, dst: usize) -> PairFlow {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == (src, dst))
+            .map(|(_, v)| *v)
+            .unwrap_or_default()
+    }
+
+    /// Serialize to Chrome trace-event JSON (see [`chrome`]).
+    pub fn to_chrome_json(&self) -> String {
+        chrome::to_chrome_json(self)
+    }
+
+    /// Write Chrome trace-event JSON to `path`.
+    pub fn write_chrome_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.decomposition();
+        write!(
+            f,
+            "trace: {} ranks, {} transfers ({} local), crypto {:.1}us / host {:.1}us / \
+             wire {:.1}us / wait {:.1}us, crypto-share {:.1}%, {} events ({} dropped)",
+            self.n_ranks,
+            self.transfers,
+            self.local_transfers,
+            d.crypto_ns as f64 / 1e3,
+            d.host_ns as f64 / 1e3,
+            d.wire_ns as f64 / 1e3,
+            d.wait_ns as f64 / 1e3,
+            d.crypto_share(),
+            self.events.len(),
+            self.dropped_events,
+        )
+    }
+}
+
+/// Default per-lane event capacity (ring buffer; oldest dropped).
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    struct Ring {
+        buf: VecDeque<Event>,
+        cap: usize,
+        dropped: u64,
+    }
+
+    impl Ring {
+        fn new(cap: usize) -> Self {
+            Self {
+                buf: VecDeque::new(),
+                cap,
+                dropped: 0,
+            }
+        }
+
+        fn push(&mut self, e: Event) {
+            if self.buf.len() == self.cap {
+                self.buf.pop_front();
+                self.dropped += 1;
+            }
+            self.buf.push_back(e);
+        }
+    }
+
+    struct RankCell {
+        m: RankMetrics,
+        /// Operation label stack: outermost = collective, innermost =
+        /// protocol phase. `&'static str` keeps pushes allocation-free.
+        ops: Vec<&'static str>,
+        events: Ring,
+    }
+
+    #[derive(Default)]
+    struct GlobalCounters {
+        transfers: u64,
+        local_transfers: u64,
+        wire_ns: u64,
+        pairs: HashMap<(usize, usize), PairFlow>,
+    }
+
+    struct Inner {
+        n_ranks: usize,
+        ranks: Vec<Mutex<RankCell>>,
+        global: Mutex<GlobalCounters>,
+        nic_events: Mutex<Ring>,
+        baseline: EngineCounters,
+    }
+
+    /// Cheaply cloneable collector handle. See the crate docs for the
+    /// cost model; this is the `enabled` implementation.
+    #[derive(Clone)]
+    pub struct Tracer {
+        inner: Arc<Inner>,
+    }
+
+    impl Tracer {
+        pub fn new(n_ranks: usize) -> Self {
+            Self::with_capacity(n_ranks, DEFAULT_EVENT_CAPACITY)
+        }
+
+        /// `cap` bounds each rank's event ring (and the NIC ring).
+        pub fn with_capacity(n_ranks: usize, cap: usize) -> Self {
+            Tracer {
+                inner: Arc::new(Inner {
+                    n_ranks,
+                    ranks: (0..n_ranks)
+                        .map(|_| {
+                            Mutex::new(RankCell {
+                                m: RankMetrics::default(),
+                                ops: Vec::new(),
+                                events: Ring::new(cap),
+                            })
+                        })
+                        .collect(),
+                    global: Mutex::new(GlobalCounters::default()),
+                    nic_events: Mutex::new(Ring::new(cap)),
+                    baseline: crate::engine_counters::snapshot(),
+                }),
+            }
+        }
+
+        /// True when the `enabled` feature is compiled in.
+        pub const fn compiled_in() -> bool {
+            true
+        }
+
+        fn rank(&self, r: usize) -> std::sync::MutexGuard<'_, RankCell> {
+            self.inner.ranks[r].lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Record a `block_on` park interval.
+        pub fn wait_span(&self, rank: usize, t0_ns: u64, t1_ns: u64, reason: &'static str) {
+            let mut c = self.rank(rank);
+            let dur = t1_ns.saturating_sub(t0_ns);
+            c.m.wait_ns += dur;
+            if dur > 0 {
+                c.events.push(Event {
+                    name: reason.to_string(),
+                    cat: Cat::Wait,
+                    ts_ns: t0_ns,
+                    dur_ns: dur,
+                    tid: rank as u32,
+                    bytes: 0,
+                    detail: String::new(),
+                });
+            }
+        }
+
+        /// Charge MPI host overhead (send/recv o, stream o) to `rank`.
+        pub fn add_host_ns(&self, rank: usize, ns: u64) {
+            self.rank(rank).m.host_ns += ns;
+        }
+
+        /// Record one seal/open span with its calibrated charge.
+        pub fn crypto_span(
+            &self,
+            rank: usize,
+            t0_ns: u64,
+            t1_ns: u64,
+            kind: &'static str,
+            bytes: usize,
+            backend: &'static str,
+        ) {
+            let mut c = self.rank(rank);
+            let dur = t1_ns.saturating_sub(t0_ns);
+            c.m.crypto_ns += dur;
+            c.events.push(Event {
+                name: kind.to_string(),
+                cat: Cat::Crypto,
+                ts_ns: t0_ns,
+                dur_ns: dur,
+                tid: rank as u32,
+                bytes: bytes as u64,
+                detail: backend.to_string(),
+            });
+        }
+
+        pub fn count_seal(&self, rank: usize, plain_bytes: usize, wire_bytes: usize) {
+            let mut c = self.rank(rank);
+            c.m.seals += 1;
+            c.m.sealed_plain_bytes += plain_bytes as u64;
+            c.m.sealed_wire_bytes += wire_bytes as u64;
+        }
+
+        pub fn count_open(&self, rank: usize, wire_bytes: usize, plain_bytes: usize) {
+            let mut c = self.rank(rank);
+            c.m.opens += 1;
+            c.m.opened_wire_bytes += wire_bytes as u64;
+            c.m.opened_plain_bytes += plain_bytes as u64;
+        }
+
+        pub fn count_nonce_draw(&self, rank: usize) {
+            self.rank(rank).m.nonce_draws += 1;
+        }
+
+        /// Enter an operation scope (`bcast/binomial`, `p2p/eager`...).
+        pub fn push_op(&self, rank: usize, label: &'static str) {
+            self.rank(rank).ops.push(label);
+        }
+
+        pub fn pop_op(&self, rank: usize) {
+            self.rank(rank).ops.pop();
+        }
+
+        /// `(outermost, innermost)` of the rank's current label stack.
+        fn labels_of(&self, rank: usize) -> (&'static str, &'static str) {
+            let c = self.rank(rank);
+            let outer = c.ops.first().copied().unwrap_or("");
+            let inner = c.ops.last().copied().unwrap_or("");
+            (outer, inner)
+        }
+
+        /// Record a fabric transfer; labels are read from `src`'s op
+        /// stack (race-free: the engine runs one rank at a time and
+        /// the sender is the one inside `transmit`).
+        #[allow(clippy::too_many_arguments)]
+        pub fn transfer(
+            &self,
+            src: usize,
+            dst: usize,
+            wire_bytes: usize,
+            start_ns: u64,
+            arrive_ns: u64,
+            local: bool,
+        ) {
+            let (op, phase) = self.labels_of(src);
+            {
+                let mut g = self.inner.global.lock().unwrap_or_else(|e| e.into_inner());
+                if local {
+                    g.local_transfers += 1;
+                } else {
+                    g.transfers += 1;
+                }
+                g.wire_ns += arrive_ns.saturating_sub(start_ns);
+                let p = g.pairs.entry((src, dst)).or_default();
+                p.tx_bytes += wire_bytes as u64;
+                p.tx_msgs += 1;
+            }
+            let name = if op.is_empty() { "transfer" } else { op };
+            let mut c = self.rank(src);
+            c.events.push(Event {
+                name: name.to_string(),
+                cat: Cat::Wire,
+                ts_ns: start_ns,
+                dur_ns: arrive_ns.saturating_sub(start_ns),
+                tid: src as u32,
+                bytes: wire_bytes as u64,
+                detail: if phase.is_empty() || phase == op {
+                    format!("{src}->{dst}")
+                } else {
+                    format!("{src}->{dst} {phase}")
+                },
+            });
+        }
+
+        /// Record delivery of a message to its receiver.
+        pub fn delivery(&self, src: usize, dst: usize, bytes: usize) {
+            let mut g = self.inner.global.lock().unwrap_or_else(|e| e.into_inner());
+            let p = g.pairs.entry((src, dst)).or_default();
+            p.rx_bytes += bytes as u64;
+            p.rx_msgs += 1;
+        }
+
+        /// Record a NIC port busy interval. `dir`: 0 = tx, 1 = rx.
+        pub fn nic_busy(&self, node: usize, dir: u8, t0_ns: u64, t1_ns: u64) {
+            let mut ring = self.inner.nic_events.lock().unwrap_or_else(|e| e.into_inner());
+            ring.push(Event {
+                name: if dir == 0 { "nic-tx" } else { "nic-rx" }.to_string(),
+                cat: Cat::Nic,
+                ts_ns: t0_ns,
+                dur_ns: t1_ns.saturating_sub(t0_ns),
+                tid: (self.inner.n_ranks + 2 * node + dir as usize) as u32,
+                bytes: 0,
+                detail: String::new(),
+            });
+        }
+
+        /// Snapshot everything recorded so far into a [`TraceReport`]
+        /// and clear the buffers (counters keep accumulating from
+        /// zero, so back-to-back reports cover disjoint windows).
+        pub fn take_report(&self) -> TraceReport {
+            let mut per_rank = Vec::with_capacity(self.inner.n_ranks);
+            let mut events = Vec::new();
+            let mut dropped = 0;
+            for r in 0..self.inner.n_ranks {
+                let mut c = self.rank(r);
+                per_rank.push(std::mem::take(&mut c.m));
+                dropped += c.events.dropped;
+                c.events.dropped = 0;
+                events.extend(std::mem::take(&mut c.events.buf));
+            }
+            {
+                let mut ring = self.inner.nic_events.lock().unwrap_or_else(|e| e.into_inner());
+                dropped += ring.dropped;
+                ring.dropped = 0;
+                events.extend(std::mem::take(&mut ring.buf));
+            }
+            events.sort_by_key(|e| (e.ts_ns, e.tid));
+            let g = {
+                let mut g = self.inner.global.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *g)
+            };
+            let mut pairs: Vec<_> = g.pairs.into_iter().collect();
+            pairs.sort_by_key(|(k, _)| *k);
+            TraceReport {
+                n_ranks: self.inner.n_ranks,
+                per_rank,
+                transfers: g.transfers,
+                local_transfers: g.local_transfers,
+                wire_ns: g.wire_ns,
+                pairs,
+                events,
+                dropped_events: dropped,
+                engines: crate::engine_counters::snapshot().since(&self.inner.baseline),
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::TraceReport;
+
+    /// No-op stub with the same API as the `enabled` Tracer; every
+    /// method body is empty and inlines to nothing.
+    #[derive(Clone, Copy, Default)]
+    pub struct Tracer {
+        n_ranks: usize,
+    }
+
+    impl Tracer {
+        #[inline]
+        pub fn new(n_ranks: usize) -> Self {
+            Tracer { n_ranks }
+        }
+
+        #[inline]
+        pub fn with_capacity(n_ranks: usize, _cap: usize) -> Self {
+            Tracer { n_ranks }
+        }
+
+        /// False: the `enabled` feature is not compiled in.
+        pub const fn compiled_in() -> bool {
+            false
+        }
+
+        #[inline]
+        pub fn wait_span(&self, _rank: usize, _t0: u64, _t1: u64, _reason: &'static str) {}
+
+        #[inline]
+        pub fn add_host_ns(&self, _rank: usize, _ns: u64) {}
+
+        #[inline]
+        pub fn crypto_span(
+            &self,
+            _rank: usize,
+            _t0: u64,
+            _t1: u64,
+            _kind: &'static str,
+            _bytes: usize,
+            _backend: &'static str,
+        ) {
+        }
+
+        #[inline]
+        pub fn count_seal(&self, _rank: usize, _plain: usize, _wire: usize) {}
+
+        #[inline]
+        pub fn count_open(&self, _rank: usize, _wire: usize, _plain: usize) {}
+
+        #[inline]
+        pub fn count_nonce_draw(&self, _rank: usize) {}
+
+        #[inline]
+        pub fn push_op(&self, _rank: usize, _label: &'static str) {}
+
+        #[inline]
+        pub fn pop_op(&self, _rank: usize) {}
+
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        pub fn transfer(
+            &self,
+            _src: usize,
+            _dst: usize,
+            _bytes: usize,
+            _start: u64,
+            _arrive: u64,
+            _local: bool,
+        ) {
+        }
+
+        #[inline]
+        pub fn delivery(&self, _src: usize, _dst: usize, _bytes: usize) {}
+
+        #[inline]
+        pub fn nic_busy(&self, _node: usize, _dir: u8, _t0: u64, _t1: u64) {}
+
+        pub fn take_report(&self) -> TraceReport {
+            TraceReport {
+                n_ranks: self.n_ranks,
+                ..TraceReport::default()
+            }
+        }
+    }
+}
+
+pub use imp::Tracer;
+
+pub mod engine_counters {
+    //! Global AEAD engine counters, batched per call (one relaxed
+    //! `fetch_add` per seal/ghash invocation, never per block). With
+    //! the `enabled` feature off these compile to nothing.
+
+    use super::EngineCounters;
+
+    #[cfg(feature = "enabled")]
+    mod atomics {
+        use std::sync::atomic::AtomicU64;
+        pub static AES_SOFT: AtomicU64 = AtomicU64::new(0);
+        pub static AES_NI: AtomicU64 = AtomicU64::new(0);
+        pub static AES_PIPELINED: AtomicU64 = AtomicU64::new(0);
+        pub static GHASH_SOFT: AtomicU64 = AtomicU64::new(0);
+        pub static GHASH_CLMUL: AtomicU64 = AtomicU64::new(0);
+        pub static HW_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+    }
+
+    macro_rules! counter_fn {
+        ($name:ident, $atomic:ident) => {
+            #[cfg(feature = "enabled")]
+            #[inline]
+            pub fn $name(blocks: u64) {
+                atomics::$atomic.fetch_add(blocks, std::sync::atomic::Ordering::Relaxed);
+            }
+            #[cfg(not(feature = "enabled"))]
+            #[inline]
+            pub fn $name(_blocks: u64) {}
+        };
+    }
+
+    counter_fn!(add_aes_blocks_soft, AES_SOFT);
+    counter_fn!(add_aes_blocks_ni, AES_NI);
+    counter_fn!(add_aes_blocks_pipelined, AES_PIPELINED);
+    counter_fn!(add_ghash_blocks_soft, GHASH_SOFT);
+    counter_fn!(add_ghash_blocks_clmul, GHASH_CLMUL);
+    counter_fn!(add_hw_fallback, HW_FALLBACKS);
+
+    /// Current counter values (all zero when the feature is off).
+    pub fn snapshot() -> EngineCounters {
+        #[cfg(feature = "enabled")]
+        {
+            use std::sync::atomic::Ordering::Relaxed;
+            EngineCounters {
+                aes_blocks_soft: atomics::AES_SOFT.load(Relaxed),
+                aes_blocks_ni: atomics::AES_NI.load(Relaxed),
+                aes_blocks_pipelined: atomics::AES_PIPELINED.load(Relaxed),
+                ghash_blocks_soft: atomics::GHASH_SOFT.load(Relaxed),
+                ghash_blocks_clmul: atomics::GHASH_CLMUL.load(Relaxed),
+                hw_fallbacks: atomics::HW_FALLBACKS.load(Relaxed),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        EngineCounters::default()
+    }
+
+    /// Reset all counters to zero (tests/benches only).
+    pub fn reset() {
+        #[cfg(feature = "enabled")]
+        {
+            use std::sync::atomic::Ordering::Relaxed;
+            atomics::AES_SOFT.store(0, Relaxed);
+            atomics::AES_NI.store(0, Relaxed);
+            atomics::AES_PIPELINED.store(0, Relaxed);
+            atomics::GHASH_SOFT.store(0, Relaxed);
+            atomics::GHASH_CLMUL.store(0, Relaxed);
+            atomics::HW_FALLBACKS.store(0, Relaxed);
+        }
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_report_roundtrip() {
+        let t = Tracer::new(2);
+        t.push_op(0, "bcast/binomial");
+        t.push_op(0, "p2p/eager");
+        t.wait_span(1, 100, 400, "recv");
+        t.crypto_span(0, 0, 50, "seal", 1024, "boringssl");
+        t.count_seal(0, 1024, 1024 + WIRE_OVERHEAD);
+        t.count_nonce_draw(0);
+        t.transfer(0, 1, 1024 + WIRE_OVERHEAD, 50, 950, false);
+        t.delivery(0, 1, 1024 + WIRE_OVERHEAD);
+        t.nic_busy(0, 0, 50, 900);
+        t.pop_op(0);
+        t.pop_op(0);
+
+        let r = t.take_report();
+        assert_eq!(r.n_ranks, 2);
+        assert_eq!(r.per_rank[1].wait_ns, 300);
+        assert_eq!(r.per_rank[0].crypto_ns, 50);
+        assert_eq!(r.per_rank[0].seals, 1);
+        assert_eq!(r.per_rank[0].nonce_draws, 1);
+        assert_eq!(r.transfers, 1);
+        assert_eq!(r.wire_ns, 900);
+        let p = r.pair(0, 1);
+        assert_eq!(p.tx_bytes, p.rx_bytes);
+        assert_eq!(p.tx_msgs, 1);
+        // Transfer event carries the outermost op label and the phase.
+        let wire = r.events.iter().find(|e| e.cat == Cat::Wire).unwrap();
+        assert_eq!(wire.name, "bcast/binomial");
+        assert!(wire.detail.contains("p2p/eager"));
+        let d = r.decomposition();
+        assert_eq!(d.crypto_ns, 50);
+        assert_eq!(d.wire_ns, 900);
+        assert!(d.crypto_share() > 0.0 && d.crypto_share() < 100.0);
+
+        // Second report covers a fresh window.
+        let r2 = t.take_report();
+        assert_eq!(r2.transfers, 0);
+        assert!(r2.events.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let t = Tracer::with_capacity(1, 4);
+        for i in 0..10u64 {
+            t.wait_span(0, i * 10, i * 10 + 5, "recv");
+        }
+        let r = t.take_report();
+        assert_eq!(r.events.len(), 4);
+        assert_eq!(r.dropped_events, 6);
+        // Oldest dropped: remaining events are the latest four.
+        assert_eq!(r.events[0].ts_ns, 60);
+        // Counters are unaffected by ring overflow.
+        assert_eq!(r.per_rank[0].wait_ns, 50);
+    }
+
+    #[test]
+    fn engine_counters_window() {
+        let before = engine_counters::snapshot();
+        engine_counters::add_aes_blocks_ni(128);
+        engine_counters::add_ghash_blocks_clmul(130);
+        let after = engine_counters::snapshot().since(&before);
+        assert_eq!(after.aes_blocks_ni, 128);
+        assert_eq!(after.ghash_blocks_clmul, 130);
+        assert_eq!(after.aes_blocks_total(), 128);
+    }
+}

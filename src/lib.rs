@@ -9,8 +9,10 @@
 //! * [`secure`] — encrypted MPI, the paper's contribution.
 //! * [`nas`] — NAS parallel benchmark kernels.
 //! * [`bench`] — statistics and table harness utilities.
+//! * [`trace`] — virtual-time tracing and overhead decomposition.
 
 pub use empi_aead as aead;
+pub use empi_trace as trace;
 pub use empi_bench as bench;
 pub use empi_core as secure;
 pub use empi_mpi as mpi;

@@ -109,7 +109,7 @@ fn algorithm1_wire_format_28_bytes_per_segment() {
         let recv_counts = [me; 3].map(|_| me); // rank r receives r bytes from each
         let send: Vec<u8> = send_counts.iter().flat_map(|&n| vec![me as u8; n]).collect();
         let out = sc
-            .alltoallv(&send, &send_counts, &recv_counts.to_vec())
+            .alltoallv(&send, &send_counts, &recv_counts)
             .unwrap();
         assert_eq!(out.len(), 3 * me);
     });

@@ -69,8 +69,8 @@ proptest! {
         });
         for (me, v) in out.results.iter().enumerate() {
             let mut off = 0;
-            for src in 0..ranks {
-                let n = counts[src][me];
+            for (src, row) in counts.iter().enumerate() {
+                let n = row[me];
                 assert!(v[off..off + n].iter().all(|&x| x as usize == src));
                 off += n;
             }

@@ -1,0 +1,255 @@
+//! Vendored, dependency-free shim providing the subset of the
+//! `criterion` API this workspace uses. Reports mean/min/max wall
+//! time per iteration to stdout; no plots, no statistics files, and
+//! bounded runtime (a few hundred milliseconds per benchmark id) so
+//! the full suite stays CI-friendly.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-sample time budget; iteration counts are sized to hit this.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Hard cap on samples per benchmark id regardless of `sample_size`.
+const MAX_SAMPLES: usize = 10;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id, &b);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id, &b);
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let Some(stats) = b.stats() else {
+            println!("{}/{}: no measurement (b.iter never called)", self.name, id.label);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / stats.mean_ns / 1.048576e-3)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.1} Kelem/s", n as f64 / stats.mean_ns * 1e6 / 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<40} time: [{} {} {}]{}",
+            self.name,
+            id.label,
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.max_ns),
+            rate
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    samples: usize,
+}
+
+impl Bencher {
+    fn new(requested_samples: usize) -> Self {
+        Self {
+            samples_ns: Vec::new(),
+            samples: requested_samples.clamp(1, MAX_SAMPLES),
+        }
+    }
+
+    /// Time the closure. Warmup sizes the per-sample iteration count
+    /// to `SAMPLE_TARGET`, then each sample times that many calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let iters_per_sample = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(per_iter);
+        }
+    }
+
+    fn stats(&self) -> Option<Stats> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        Some(Stats {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+        })
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like --bench; a
+            // filter argument (as criterion accepts) is ignored here.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(64));
+        let mut calls = 0u64;
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

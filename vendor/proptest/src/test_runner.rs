@@ -1,0 +1,156 @@
+//! Case loop and deterministic RNG behind the `proptest!` macro.
+
+use crate::num::splitmix64;
+
+/// Deterministic random stream handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — draw another case, don't count this one.
+    Reject(String),
+    /// `prop_assert*!` failed — the property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Fixed-base seed mixed with the test name so every test sees an
+/// independent but run-to-run stable stream.
+fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ ((case as u64) << 32) ^ 0x5DEE_CE66
+}
+
+/// Drive `case` for `config.cases` accepted inputs, panicking on the
+/// first failure with enough information to reproduce it.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u32;
+    while accepted < config.cases {
+        let seed = seed_for(name, attempt);
+        attempt += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case #{accepted} failed (seed {seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..9,
+            b in 0.0f64..1.0,
+            c in 7usize..=13,
+            v in crate::collection::vec(crate::strategy::any::<u8>(), 2..5),
+        ) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!((7..=13).contains(&c));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_assume(
+            x in prop_oneof![Just(1u32), Just(2u32), Just(3u32)],
+            y in 0u32..10,
+        ) {
+            prop_assume!(y != 5);
+            prop_assert!((1..=3).contains(&x));
+            prop_assert_ne!(y, 5);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(seed_for("t", 0), seed_for("t", 0));
+        assert_ne!(seed_for("t", 0), seed_for("t", 1));
+        assert_ne!(seed_for("t", 0), seed_for("u", 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn reject_storm_aborts() {
+        let cfg = ProptestConfig {
+            cases: 1,
+            max_global_rejects: 8,
+        };
+        run_cases(&cfg, "storm", |_| Err(TestCaseError::reject("always")));
+    }
+}
