@@ -1,6 +1,8 @@
 //! Reproduce every table and figure of the paper in one run.
 use empi_bench::collectives::CollOp;
-use empi_bench::{collectives, emit, encdec, extensions, multipair, nasbench, pingpong, BenchOpts};
+use empi_bench::{
+    collectives, emit, encdec, extensions, multipair, nasbench, pingpong, pipeline, BenchOpts,
+};
 
 fn main() {
     let opts = BenchOpts::parse(std::env::args().skip(1));
@@ -14,6 +16,7 @@ fn main() {
             emit(&collectives::run_net(net, op, &opts), out);
         }
         emit(&nasbench::run_net(net, &opts), out);
+        emit(&pipeline::run_net(net, &opts), out);
         emit(&[extensions::keysize_table(net, &opts)], out);
         if !opts.quick {
             emit(&[extensions::scale_table(net, &opts)], out);

@@ -1,0 +1,10 @@
+//! FIG-PIPELINE-CHUNK / FIG-PIPELINE-WORKERS: chunked multi-core
+//! crypto-pipelining sweeps (extension beyond the paper).
+use empi_bench::{emit, pipeline, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&pipeline::run_net(net, &opts), &opts.out_dir);
+    }
+}

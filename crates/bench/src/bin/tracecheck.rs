@@ -1,8 +1,10 @@
 //! Validate Chrome trace JSON written by the `--trace` harness runs:
 //! the document must parse, contain a non-empty `traceEvents` array,
 //! and every lane's complete-event timestamps must be monotone
-//! non-decreasing (virtual time never runs backwards). Used by the CI
-//! trace-smoke job; exits non-zero on the first invalid file.
+//! non-decreasing (virtual time never runs backwards). Spans on the
+//! crypto-worker lanes (tid ≥ 10 000) must be pipeline chunk spans —
+//! `pipe/seal` or `pipe/open` — nothing else may land there. Used by
+//! the CI trace-smoke job; exits non-zero on the first invalid file.
 //!
 //! Usage: `tracecheck [FILE...]` — with no arguments, checks every
 //! `trace-*.json` under `results/`.
@@ -45,6 +47,17 @@ fn check(path: &Path) -> Result<String, String> {
             .ok_or_else(|| format!("event {i}: missing dur"))?;
         if ts < 0.0 || dur < 0.0 {
             return Err(format!("event {i}: negative ts/dur ({ts}, {dur})"));
+        }
+        if tid >= empi_trace::PIPELINE_TID_BASE as i64 {
+            let name = e
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("event {i}: missing name"))?;
+            if name != "pipe/seal" && name != "pipe/open" {
+                return Err(format!(
+                    "event {i}: unexpected span '{name}' on crypto-worker lane {tid}"
+                ));
+            }
         }
         if let Some(&prev) = lanes.get(&tid) {
             if ts < prev {

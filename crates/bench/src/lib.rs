@@ -13,6 +13,7 @@
 //! | [`multipair`] | Figs. 4–6, Figs. 11–13 |
 //! | [`collectives`] | Tables II/III/VI/VII, Figs. 7/8/14/15 |
 //! | [`nasbench`] | Table IV, Table VIII |
+//! | [`pipeline`] | FIG-PIPELINE-* (beyond the paper: chunked multi-core crypto offload) |
 //!
 //! [`stats`] implements the paper's repeat-until-stable methodology and
 //! Fleming–Wallace overhead aggregation; [`table`] renders paper-style
@@ -27,6 +28,7 @@ pub mod extensions;
 pub mod multipair;
 pub mod nasbench;
 pub mod pingpong;
+pub mod pipeline;
 pub mod plot;
 pub mod stats;
 pub mod table;

@@ -4,6 +4,7 @@
 use empi_aead::nonce::NoncePolicy;
 use empi_aead::profile::{CompilerBuild, CryptoLibrary, KeySize};
 use empi_netsim::NetModel;
+use empi_pipeline::PipelineConfig;
 
 /// How cryptographic work is charged to the simulation clock.
 ///
@@ -55,6 +56,9 @@ pub struct SecurityConfig {
     pub nonce_policy: NoncePolicy,
     /// Crypto cost model.
     pub timing: TimingMode,
+    /// Chunked multi-core crypto pipelining (off by default; the
+    /// sequential paper path is the reference behavior).
+    pub pipeline: PipelineConfig,
 }
 
 impl SecurityConfig {
@@ -67,6 +71,7 @@ impl SecurityConfig {
             key: HARDCODED_KEY,
             nonce_policy: NoncePolicy::Random,
             timing: TimingMode::Calibrated(CompilerBuild::Gcc485),
+            pipeline: PipelineConfig::disabled(),
         }
     }
 
@@ -92,6 +97,19 @@ impl SecurityConfig {
     pub fn with_nonce_policy(mut self, nonce_policy: NoncePolicy) -> Self {
         self.nonce_policy = nonce_policy;
         self
+    }
+
+    /// Configure the chunked crypto pipeline (see `empi_pipeline`).
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Deterministic-nonce test mode: nonces come from a PRNG seeded
+    /// with `seed`, so traced wire bytes reproduce run-to-run. Never
+    /// for production — a known seed makes every nonce predictable.
+    pub fn with_deterministic_nonces(self, seed: u64) -> Self {
+        self.with_nonce_policy(NoncePolicy::Seeded { seed })
     }
 
     /// The active key bytes.
@@ -123,6 +141,19 @@ mod tests {
             TimingMode::calibrated_for(&NetModel::infiniband_40g()),
             TimingMode::Calibrated(CompilerBuild::Mvapich23)
         );
+    }
+
+    #[test]
+    fn pipeline_and_seeded_nonce_builders() {
+        let c = SecurityConfig::new(CryptoLibrary::BoringSsl);
+        assert!(!c.pipeline.enabled, "pipelining must default off");
+        let c = c
+            .with_pipeline(PipelineConfig::enabled().with_chunk_size(1 << 15).with_workers(8))
+            .with_deterministic_nonces(1234);
+        assert!(c.pipeline.enabled);
+        assert_eq!(c.pipeline.chunk_size, 1 << 15);
+        assert_eq!(c.pipeline.workers, 8);
+        assert_eq!(c.nonce_policy, NoncePolicy::Seeded { seed: 1234 });
     }
 
     #[test]

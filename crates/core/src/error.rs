@@ -12,12 +12,16 @@ pub enum Error {
     /// [`empi_aead::Error::AuthFailure`] when a message was tampered
     /// with, replayed under a wrong key, or truncated.
     Crypto(empi_aead::Error),
+    /// The chunked pipelined path failed: a frame-protocol violation
+    /// (reordered/dropped/duplicated chunk) or a per-chunk auth failure.
+    Pipeline(empi_pipeline::PipelineError),
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Crypto(e) => write!(f, "secure MPI crypto failure: {e}"),
+            Error::Pipeline(e) => write!(f, "secure MPI pipeline failure: {e}"),
         }
     }
 }
@@ -26,6 +30,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Crypto(e) => Some(e),
+            Error::Pipeline(e) => Some(e),
         }
     }
 }
@@ -33,6 +38,12 @@ impl std::error::Error for Error {
 impl From<empi_aead::Error> for Error {
     fn from(e: empi_aead::Error) -> Self {
         Error::Crypto(e)
+    }
+}
+
+impl From<empi_pipeline::PipelineError> for Error {
+    fn from(e: empi_pipeline::PipelineError) -> Self {
+        Error::Pipeline(e)
     }
 }
 

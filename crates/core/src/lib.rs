@@ -42,5 +42,6 @@ pub mod legacy;
 pub mod secure_comm;
 
 pub use config::{SecurityConfig, TimingMode, HARDCODED_KEY};
+pub use empi_pipeline::PipelineConfig;
 pub use error::{Error, Result};
 pub use secure_comm::{SecureComm, SecureRequest};

@@ -18,7 +18,8 @@ use bytes::Bytes;
 use empi_netsim::{Fabric, SimHandle, Tracer, VDur, VTime};
 use parking_lot::Mutex;
 
-use crate::state::{Envelope, PostedRecv, ReqEntry, RndvSend, SharedState};
+use crate::chunk::{ChunkFrame, ChunkedMessage, RecvPayload};
+use crate::state::{ChunkedSend, Envelope, PostedRecv, ReqEntry, RndvSend, SharedState};
 use crate::types::{as_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel};
 
 /// Handle to an outstanding non-blocking operation.
@@ -273,6 +274,130 @@ impl<'h> Comm<'h> {
             },
             env.data,
         )
+    }
+
+    /// Blocking chunked send: hand a train of pre-sealed frames (see
+    /// `empi-pipeline`) to the transport. Each frame carries its own
+    /// earliest-transmit time — the virtual time its seal completed on a
+    /// worker core — so encryption of later chunks overlaps the wire
+    /// transfer of earlier ones. Host overhead is charged once for the
+    /// whole message (the pipelined path still posts one logical send),
+    /// matching the per-message accounting of [`Comm::send`].
+    pub fn send_chunked(&self, frames: Vec<ChunkFrame>, dst: usize, tag: Tag) {
+        assert!(dst < self.size(), "send_chunked to invalid rank {dst}");
+        assert_ne!(dst, self.rank(), "self-sends must use isend+recv");
+        assert!(!frames.is_empty(), "chunked message needs at least one frame");
+        let me = self.rank();
+        let wire: usize = frames.iter().map(|f| f.data.len()).sum();
+        let _op = self.op("p2p/chunked");
+        self.charge_host(self.side_overhead(dst, wire, true));
+        let req = {
+            let mut s = self.shared.lock();
+            s.p2p_ops += 1;
+            let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
+            s.queues[dst].chunked.push_back(ChunkedSend {
+                src: me,
+                tag,
+                frames,
+                posted: self.h.now(),
+                req,
+            });
+            req
+        };
+        self.h.notify_rank(dst);
+        let shared = Arc::clone(&self.shared);
+        self.h.block_on("send(chunked)", || {
+            shared.lock().try_take_done(req).map(|d| (d.0, ()))
+        });
+    }
+
+    /// Blocking receive that also matches chunked (pipelined) messages.
+    ///
+    /// Plain messages behave exactly like [`Comm::recv`]. For a chunked
+    /// message, each frame's wire transfer is scheduled no earlier than
+    /// its seal completed and the sender posted; the per-node NIC
+    /// timelines serialize the frames, the receiver's clock advances to
+    /// the *last* frame's arrival, and per-frame arrival times are
+    /// returned so the caller can overlap decryption with reception.
+    pub fn recv_maybe_chunked(&self, src: Src, tag: TagSel) -> RecvPayload {
+        enum Got {
+            Plain(Envelope, usize),
+            Chunk(ChunkedMessage),
+        }
+        let me = self.rank();
+        let shared = Arc::clone(&self.shared);
+        let h = self.h;
+        let got = self.h.block_on("recv", || {
+            let mut s = shared.lock();
+            if let Some(env) = s.take_unexpected(me, src, tag) {
+                let peer = env.src;
+                return Some((env.arrive, Got::Plain(env, peer)));
+            }
+            if let Some(r) = s.take_rndv(me, src, tag) {
+                let (sender_done, arrival) =
+                    Self::schedule_rndv(&mut s.fabric, r.src, me, r.data.len(), r.ready, h.now());
+                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, None);
+                let env = Envelope {
+                    src: r.src,
+                    tag: r.tag,
+                    data: r.data,
+                    arrive: arrival,
+                };
+                h.notify_rank(owner);
+                let peer = env.src;
+                return Some((arrival, Got::Plain(env, peer)));
+            }
+            if let Some(cs) = s.take_chunked(me, src, tag) {
+                let now = h.now();
+                let same_node = s.fabric.topology().same_node(cs.src, me);
+                let latency = s.fabric.model().latency.as_nanos();
+                let mut frames = Vec::with_capacity(cs.frames.len());
+                let mut last_arrive = VTime(0);
+                let mut last_sender_done = VTime(0);
+                for f in cs.frames {
+                    let start = f.ready.max(cs.posted).max(now);
+                    let arrive = s.fabric.transmit(cs.src, me, f.data.len(), start);
+                    let done = if same_node {
+                        arrive
+                    } else {
+                        VTime(arrive.as_nanos().saturating_sub(latency))
+                    };
+                    last_sender_done = last_sender_done.max(done);
+                    last_arrive = last_arrive.max(arrive);
+                    frames.push((arrive, f.data));
+                }
+                let owner = s.complete_req(cs.req, last_sender_done, cs.src, cs.tag, None);
+                h.notify_rank(owner);
+                let msg = ChunkedMessage {
+                    src: cs.src,
+                    tag: cs.tag,
+                    frames,
+                };
+                return Some((last_arrive, Got::Chunk(msg)));
+            }
+            None
+        });
+        match got {
+            Got::Plain(env, peer) => {
+                self.charge_host(self.side_overhead(peer, env.data.len(), true));
+                self.note_delivery(env.src, env.data.len());
+                RecvPayload::Plain(
+                    Status {
+                        source: env.src,
+                        tag: env.tag,
+                        len: env.data.len(),
+                    },
+                    env.data,
+                )
+            }
+            Got::Chunk(msg) => {
+                self.charge_host(self.side_overhead(msg.src, msg.wire_bytes(), true));
+                for (_, f) in &msg.frames {
+                    self.note_delivery(msg.src, f.len());
+                }
+                RecvPayload::Chunked(msg)
+            }
+        }
     }
 
     /// Blocking receive into a caller buffer; the payload must fit

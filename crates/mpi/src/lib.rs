@@ -31,12 +31,17 @@
 //! assert!(out.end_time.as_micros_f64() > 30.0);
 //! ```
 
+pub mod chunk;
 pub mod coll;
 pub mod comm;
 mod state;
 pub mod types;
 pub mod world;
 
+pub use chunk::{
+    ChunkError, ChunkFrame, ChunkedMessage, FrameHeader, Reassembly, RecvPayload, FRAME_HEADER_LEN,
+    FRAME_NONCE_LEN, FRAME_OVERHEAD, FRAME_TAG_LEN,
+};
 pub use coll::ops;
 pub use comm::{Comm, Request};
 pub use empi_netsim::{TraceReport, Tracer};

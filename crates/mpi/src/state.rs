@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 use bytes::Bytes;
 use empi_netsim::{Fabric, VTime};
 
+use crate::chunk::ChunkFrame;
 use crate::types::{Src, Tag, TagSel};
 
 /// An eagerly-delivered message sitting in a receiver's queue.
@@ -46,12 +47,28 @@ pub(crate) struct RndvSend {
     pub req: usize,
 }
 
+/// A chunked (pipelined-encryption) send waiting for its receiver.
+/// Like a rendezvous send, but the payload is a train of independently
+/// sealed frames, each with its own earliest-transmit time.
+#[derive(Debug)]
+pub(crate) struct ChunkedSend {
+    pub src: usize,
+    pub tag: Tag,
+    pub frames: Vec<ChunkFrame>,
+    /// When the sender finished its host-side overhead (no frame can hit
+    /// the wire earlier, even if its seal completed before).
+    pub posted: VTime,
+    /// The sender's request to complete when the transfer is scheduled.
+    pub req: usize,
+}
+
 /// Per-receiver matching queues.
 #[derive(Debug, Default)]
 pub(crate) struct RankQueues {
     pub unexpected: VecDeque<Envelope>,
     pub posted: Vec<PostedRecv>,
     pub rndv: VecDeque<RndvSend>,
+    pub chunked: VecDeque<ChunkedSend>,
 }
 
 /// Request slab entry.
@@ -185,6 +202,16 @@ impl SharedState {
     /// `rank` and remove it.
     pub fn take_rndv(&mut self, rank: usize, src: Src, tag: TagSel) -> Option<RndvSend> {
         let q = &mut self.queues[rank].rndv;
+        let pos = q
+            .iter()
+            .position(|e| src.matches(e.src) && tag.matches(e.tag))?;
+        q.remove(pos)
+    }
+
+    /// Find the first pending chunked send matching `(src, tag)` for
+    /// `rank` and remove it.
+    pub fn take_chunked(&mut self, rank: usize, src: Src, tag: TagSel) -> Option<ChunkedSend> {
+        let q = &mut self.queues[rank].chunked;
         let pos = q
             .iter()
             .position(|e| src.matches(e.src) && tag.matches(e.tag))?;

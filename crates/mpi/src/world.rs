@@ -90,10 +90,11 @@ impl World {
                 Some(s) => {
                     let q = &s.queues[r];
                     format!(
-                        "unexpected={} posted={} rndv={}",
+                        "unexpected={} posted={} rndv={} chunked={}",
                         q.unexpected.len(),
                         q.posted.len(),
-                        q.rndv.len()
+                        q.rndv.len(),
+                        q.chunked.len()
                     )
                 }
                 None => "state locked".to_string(),

@@ -447,6 +447,14 @@ impl SimHandle {
         self.shared.tracer.as_ref()
     }
 
+    /// The engine's measured-time multiplier (see [`Engine::time_scale`]).
+    /// Lets callers that schedule measured work on *other* virtual
+    /// resources (e.g. a [`crate::cores::CorePool`]) apply the same
+    /// scaling as [`Self::charge_measured`] without moving this clock.
+    pub fn time_scale(&self) -> f64 {
+        self.shared.time_scale
+    }
+
     /// Wake `target` if it is parked in [`block_on`](Self::block_on),
     /// causing it to re-evaluate its condition.
     pub fn notify_rank(&self, target: usize) {

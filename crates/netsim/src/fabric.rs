@@ -348,7 +348,11 @@ impl Fabric {
         rx.next_free = (arrive - wire) + rx_gap;
 
         if let Some(tracer) = &self.tracer {
-            tracer.transfer(src_rank, dst_rank, wire_bytes, t, arrive, false);
+            // The wire span starts when the sender NIC begins serving
+            // the message, not at submit: back-to-back chunk frames
+            // queue behind each other, and that queueing is wait time,
+            // not fabric occupancy.
+            tracer.transfer(src_rank, dst_rank, wire_bytes, tx_start, arrive, false);
             tracer.nic_busy(src, 0, tx_start, tx_start + tx_gap);
             tracer.nic_busy(dst, 1, arrive - wire, (arrive - wire) + rx_gap);
         }

@@ -26,12 +26,14 @@
 //! assert_eq!(out.end_time.as_micros_f64(), 40.0);
 //! ```
 
+pub mod cores;
 pub mod curve;
 pub mod engine;
 pub mod fabric;
 pub mod time;
 pub mod topology;
 
+pub use cores::{CorePool, CoreSlot};
 pub use curve::Curve;
 pub use empi_trace::{TraceReport, Tracer};
 pub use engine::{Engine, RunOutcome, SimHandle};

@@ -71,6 +71,29 @@ pub fn to_chrome_json(report: &TraceReport) -> String {
             ),
         );
     }
+    // Pipeline worker-core lanes (tids from `pipeline_tid`).
+    let mut pipe_tids: Vec<u32> = report
+        .events
+        .iter()
+        .filter(|e| e.cat == Cat::Pipeline)
+        .map(|e| e.tid)
+        .collect();
+    pipe_tids.sort_unstable();
+    pipe_tids.dedup();
+    for tid in pipe_tids {
+        let lane = tid - crate::PIPELINE_TID_BASE;
+        let (rank, worker) = (
+            lane / crate::PIPELINE_LANE_STRIDE,
+            lane % crate::PIPELINE_LANE_STRIDE,
+        );
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"rank {rank} crypto-core {worker}\"}}}}"
+            ),
+        );
+    }
 
     for e in &report.events {
         let mut args = format!("\"bytes\":{}", e.bytes);

@@ -57,6 +57,9 @@ pub enum Cat {
     Nic,
     /// Collective/p2p op span markers.
     Op,
+    /// Per-chunk seal/open on a pipeline worker core (one Chrome lane
+    /// per (rank, worker); see [`pipeline_tid`]).
+    Pipeline,
 }
 
 impl Cat {
@@ -67,8 +70,21 @@ impl Cat {
             Cat::Wire => "wire",
             Cat::Nic => "nic",
             Cat::Op => "op",
+            Cat::Pipeline => "pipeline",
         }
     }
+}
+
+/// First Chrome lane id used for pipeline worker cores — far above any
+/// plausible rank/NIC tid so the schemes cannot collide.
+pub const PIPELINE_TID_BASE: u32 = 10_000;
+/// Lane ids reserved per rank for its workers (worker index < this).
+pub const PIPELINE_LANE_STRIDE: u32 = 64;
+
+/// Chrome lane id of `(rank, worker)` pipeline-core spans.
+pub fn pipeline_tid(rank: usize, worker: usize) -> u32 {
+    debug_assert!((worker as u32) < PIPELINE_LANE_STRIDE);
+    PIPELINE_TID_BASE + rank as u32 * PIPELINE_LANE_STRIDE + worker as u32
 }
 
 /// One complete-span event in virtual time.
@@ -108,6 +124,9 @@ pub struct RankMetrics {
     pub opened_plain_bytes: u64,
     /// Nonces drawn from the rank's `NonceSource`.
     pub nonce_draws: u64,
+    /// Chunks sealed / opened on the rank's pipeline worker cores.
+    pub chunks_sealed: u64,
+    pub chunks_opened: u64,
 }
 
 /// Byte/message ledger for one ordered (src, dst) rank pair.
@@ -166,8 +185,10 @@ impl EngineCounters {
 
 /// Aggregate crypto/host/wire/wait split of a traced run.
 ///
-/// `wire_ns` is fabric occupancy (latency + serialization + queueing)
-/// summed over transfers; `wait_ns` is rank time parked in `block_on`
+/// `wire_ns` is fabric occupancy (latency + serialization, from the
+/// moment the sender NIC starts serving a message — sender-side queue
+/// time behind earlier messages counts as wait, not wire) summed over
+/// transfers; `wait_ns` is rank time parked in `block_on`
 /// and *overlaps* `wire_ns` (a receiver waits while bytes fly), so the
 /// four columns are views, not disjoint partitions. The paper-facing
 /// ratio is [`Decomposition::crypto_share`]: crypto over crypto+comm,
@@ -445,6 +466,43 @@ mod imp {
             self.rank(rank).m.nonce_draws += 1;
         }
 
+        /// Record one chunk's seal/open span on a pipeline worker core.
+        ///
+        /// The span lands on the `(rank, worker)` lane (so overlapping
+        /// chunks render as parallel bars in chrome://tracing) and its
+        /// duration accrues to the rank's `crypto_ns` — the decomposition
+        /// then shows how much crypto work ran, while wall time shows how
+        /// much of it was hidden behind the wire.
+        #[allow(clippy::too_many_arguments)]
+        pub fn pipeline_span(
+            &self,
+            rank: usize,
+            worker: usize,
+            t0_ns: u64,
+            t1_ns: u64,
+            kind: &'static str,
+            bytes: usize,
+            detail: String,
+        ) {
+            let mut c = self.rank(rank);
+            let dur = t1_ns.saturating_sub(t0_ns);
+            c.m.crypto_ns += dur;
+            match kind {
+                "pipe/seal" => c.m.chunks_sealed += 1,
+                "pipe/open" => c.m.chunks_opened += 1,
+                _ => {}
+            }
+            c.events.push(Event {
+                name: kind.to_string(),
+                cat: Cat::Pipeline,
+                ts_ns: t0_ns,
+                dur_ns: dur,
+                tid: crate::pipeline_tid(rank, worker),
+                bytes: bytes as u64,
+                detail,
+            });
+        }
+
         /// Enter an operation scope (`bcast/binomial`, `p2p/eager`...).
         pub fn push_op(&self, rank: usize, label: &'static str) {
             self.rank(rank).ops.push(label);
@@ -624,6 +682,20 @@ mod imp {
         pub fn count_nonce_draw(&self, _rank: usize) {}
 
         #[inline]
+        #[allow(clippy::too_many_arguments)]
+        pub fn pipeline_span(
+            &self,
+            _rank: usize,
+            _worker: usize,
+            _t0: u64,
+            _t1: u64,
+            _kind: &'static str,
+            _bytes: usize,
+            _detail: String,
+        ) {
+        }
+
+        #[inline]
         pub fn push_op(&self, _rank: usize, _label: &'static str) {}
 
         #[inline]
@@ -773,6 +845,36 @@ mod tests {
         let r2 = t.take_report();
         assert_eq!(r2.transfers, 0);
         assert!(r2.events.is_empty());
+    }
+
+    #[test]
+    fn pipeline_spans_land_on_worker_lanes() {
+        let t = Tracer::new(2);
+        // Two chunks sealed in parallel on distinct workers of rank 0,
+        // one chunk opened on rank 1.
+        t.pipeline_span(0, 0, 100, 200, "pipe/seal", 64, "BoringSSL 0/2".into());
+        t.pipeline_span(0, 1, 100, 190, "pipe/seal", 64, "BoringSSL 1/2".into());
+        t.pipeline_span(1, 0, 300, 340, "pipe/open", 64, "BoringSSL 0/1".into());
+        let r = t.take_report();
+        assert_eq!(r.per_rank[0].chunks_sealed, 2);
+        assert_eq!(r.per_rank[0].chunks_opened, 0);
+        assert_eq!(r.per_rank[1].chunks_opened, 1);
+        // Per-chunk durations accrue to crypto time.
+        assert_eq!(r.per_rank[0].crypto_ns, 190);
+        let lanes: Vec<u32> = r
+            .events
+            .iter()
+            .filter(|e| e.cat == Cat::Pipeline)
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(
+            lanes,
+            vec![pipeline_tid(0, 0), pipeline_tid(0, 1), pipeline_tid(1, 0)]
+        );
+        // Lanes are named in the Chrome output.
+        let json = r.to_chrome_json();
+        assert!(json.contains("rank 0 crypto-core 1"), "{json}");
+        assert!(json.contains("pipe/seal"));
     }
 
     #[test]

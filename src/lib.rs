@@ -6,6 +6,7 @@
 //! * [`aead`] — from-scratch AES-GCM and the four library profiles.
 //! * [`netsim`] — the virtual-time cluster simulator and fabric models.
 //! * [`mpi`] — the MPI runtime (point-to-point + collectives).
+//! * [`pipeline`] — chunked multi-core crypto offload (CryptMPI-style).
 //! * [`secure`] — encrypted MPI, the paper's contribution.
 //! * [`nas`] — NAS parallel benchmark kernels.
 //! * [`bench`] — statistics and table harness utilities.
@@ -18,3 +19,4 @@ pub use empi_core as secure;
 pub use empi_mpi as mpi;
 pub use empi_nas as nas;
 pub use empi_netsim as netsim;
+pub use empi_pipeline as pipeline;
