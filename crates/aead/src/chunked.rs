@@ -6,9 +6,10 @@
 //! most `chunk_size` bytes. Chunk `i` is sealed with:
 //!
 //! * nonce `base + i` — the message's base nonce with its trailing
-//!   64-bit word incremented by the chunk index (the standard
-//!   invocation-counter construction, so one nonce draw covers the
-//!   whole message; see `NonceSource::next_nonce_block`), and
+//!   64-bit word incremented by the chunk index, carrying into the
+//!   4-byte prefix on overflow (the standard invocation-counter
+//!   construction, so one nonce draw covers the whole message; see
+//!   `NonceSource::next_nonce_block`), and
 //! * AAD `msg_id ‖ index ‖ total ‖ total_len` — binding each record to
 //!   its position and to the message geometry, so a reordered,
 //!   duplicated, truncated, or cross-message-spliced chunk fails
@@ -38,13 +39,23 @@ pub fn chunk_range(total_len: usize, chunk_size: usize, index: u32) -> std::ops:
 }
 
 /// Nonce of chunk `index`: the base nonce with its trailing 64-bit
-/// big-endian word incremented by `index` (wrapping).
+/// big-endian word incremented by `index`, carrying into the 4-byte
+/// prefix on overflow. Treating the whole 96-bit nonce as one
+/// big-endian counter means a Random/Seeded base near `u64::MAX` in
+/// its tail cannot collide with a later draw whose tail starts low:
+/// the two differ in the prefix after the carry.
 pub fn derive_chunk_nonce(base: &[u8; NONCE_LEN], index: u32) -> [u8; NONCE_LEN] {
     let mut n = *base;
     let mut tail = [0u8; 8];
     tail.copy_from_slice(&n[4..]);
-    let v = u64::from_be_bytes(tail).wrapping_add(index as u64);
+    let (v, carry) = u64::from_be_bytes(tail).overflowing_add(index as u64);
     n[4..].copy_from_slice(&v.to_be_bytes());
+    if carry {
+        let mut head = [0u8; 4];
+        head.copy_from_slice(&n[..4]);
+        let h = u32::from_be_bytes(head).wrapping_add(1);
+        n[..4].copy_from_slice(&h.to_be_bytes());
+    }
     n
 }
 
@@ -169,13 +180,37 @@ mod tests {
         let n1 = derive_chunk_nonce(&base, 1);
         assert_eq!(n0, base);
         assert_ne!(n1, base);
-        // Wrapping: all-ones tail + 1 rolls to zero, prefix untouched.
-        assert_eq!(&n1[..4], &base[..4]);
+        // Tail overflow carries into the 4-byte prefix instead of
+        // silently wrapping back onto low-tail nonces.
+        assert_eq!(&n1[..4], &0u32.to_be_bytes());
         assert_eq!(&n1[4..], &0u64.to_be_bytes());
         // Distinct indices, distinct nonces.
         let set: std::collections::HashSet<_> =
             (0..1000).map(|i| derive_chunk_nonce(&[3u8; 12], i)).collect();
         assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn nonce_tail_overflow_never_collides_with_low_tail_draws() {
+        // A base whose tail is u64::MAX - 1: indices 0..4 straddle the
+        // overflow. A second base with the same prefix and a zero tail
+        // (what a later Random draw could produce) must stay disjoint.
+        let mut high = [0xABu8; 12];
+        high[4..].copy_from_slice(&(u64::MAX - 1).to_be_bytes());
+        let mut low = [0xABu8; 12];
+        low[4..].copy_from_slice(&0u64.to_be_bytes());
+        let from_high: std::collections::HashSet<_> =
+            (0..4).map(|i| derive_chunk_nonce(&high, i)).collect();
+        let from_low: std::collections::HashSet<_> =
+            (0..4).map(|i| derive_chunk_nonce(&low, i)).collect();
+        assert_eq!(from_high.len(), 4);
+        assert!(from_high.is_disjoint(&from_low));
+        // The carried nonces live under the incremented prefix.
+        let carried = derive_chunk_nonce(&high, 2);
+        let mut want_prefix = [0xABu8; 4];
+        want_prefix[3] = 0xAC;
+        assert_eq!(&carried[..4], &want_prefix);
+        assert_eq!(&carried[4..], &0u64.to_be_bytes());
     }
 
     #[test]

@@ -65,8 +65,11 @@ impl NonceSource {
     /// the caller may derive per-chunk nonces `base + i` for `i < span`
     /// (see `chunked::derive_chunk_nonce`) without colliding with any
     /// nonce this source hands out later. For the random policies a
-    /// single draw suffices (the 64-bit tail makes overlap of two spans
-    /// negligibly likely); the counter policy advances by `span`.
+    /// single draw suffices: the derivation treats the full 96-bit
+    /// nonce as one big-endian counter (tail overflow carries into the
+    /// 4-byte prefix rather than wrapping), so a base drawn near the
+    /// top of the 64-bit tail still reserves `span` distinct values.
+    /// The counter policy advances by `span` and refuses to wrap.
     pub fn next_nonce_block(&mut self, span: u32) -> [u8; NONCE_LEN] {
         assert!(span >= 1, "nonce block must reserve at least one value");
         let mut n = [0u8; NONCE_LEN];

@@ -1,0 +1,11 @@
+//! FIG-PIPELINE-NB / TAB-PIPELINE-COLL: chunked crypto pipelining on
+//! the nonblocking p2p path and the collectives (extension beyond the
+//! paper).
+use empi_bench::{emit, pipeline_nb, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&pipeline_nb::run_net(net, &opts), &opts.out_dir);
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`collectives`] | Tables II/III/VI/VII, Figs. 7/8/14/15 |
 //! | [`nasbench`] | Table IV, Table VIII |
 //! | [`pipeline`] | FIG-PIPELINE-* (beyond the paper: chunked multi-core crypto offload) |
+//! | [`pipeline_nb`] | FIG-PIPELINE-NB, TAB-PIPELINE-COLL (pipelined nonblocking p2p + collectives) |
 //!
 //! [`stats`] implements the paper's repeat-until-stable methodology and
 //! Fleming–Wallace overhead aggregation; [`table`] renders paper-style
@@ -29,6 +30,7 @@ pub mod multipair;
 pub mod nasbench;
 pub mod pingpong;
 pub mod pipeline;
+pub mod pipeline_nb;
 pub mod plot;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,513 @@
+//! Nonblocking-p2p and collective crypto-pipelining benchmarks —
+//! FIG-PIPELINE-NB / TAB-PIPELINE-COLL (extension beyond the paper).
+//!
+//! FIG-PIPELINE-NB drives the chunked multi-core offload through the
+//! nonblocking path the paper's applications actually use: both ranks
+//! post `isend` + `irecv` and decryption happens inside `wait`, exactly
+//! where CryptMPI places it. TAB-PIPELINE-COLL runs the pipelined
+//! collectives (`Encrypted_Bcast`, `Encrypted_Alltoall`,
+//! `Encrypted_Alltoallv`) against both the unencrypted transport and the
+//! paper's sequential encrypted path, so the table directly answers
+//! "how much of the sequential collective overhead does chunked
+//! pipelining recover?" — at 2 MB on Ethernet the sequential bcast and
+//! alltoall overheads must drop materially.
+
+use empi_aead::profile::CryptoLibrary;
+use empi_core::{PipelineConfig, SecureComm};
+use empi_mpi::{Src, TagSel, TraceReport, World};
+
+use crate::common::{security_config, BenchOpts, Net};
+use crate::stats::{measure_until_stable, overhead_percent};
+use crate::table::{size_label, Table};
+use crate::tracing::{decomp_cells, decomp_columns, trace_active, write_trace};
+
+/// Message sizes swept by the nonblocking exchange: the paper's
+/// large-message band, 64 KB – 2 MB.
+pub const SIZES: [usize; 4] = [64 << 10, 256 << 10, 1 << 20, 2 << 20];
+/// Collective message / block sizes (2 MB is the acceptance point).
+pub const COLL_SIZES: [usize; 2] = [256 << 10, 2 << 20];
+/// Ranks for the collective table (one rank per node).
+pub const COLL_RANKS: usize = 4;
+/// Crypto worker cores per rank in the pipelined configurations.
+pub const WORKERS: usize = 4;
+
+/// Pipelined collectives measured by TAB-PIPELINE-COLL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NbColl {
+    /// `Encrypted_Bcast` from rank 0.
+    Bcast,
+    /// `Encrypted_Alltoall`, `size` bytes per block.
+    Alltoall,
+    /// `Encrypted_Alltoallv` with ragged counts derived from `size`
+    /// (segments mix chunked and plain wire formats).
+    Alltoallv,
+}
+
+impl NbColl {
+    /// Name for table rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            NbColl::Bcast => "bcast",
+            NbColl::Alltoall => "alltoall",
+            NbColl::Alltoallv => "alltoallv",
+        }
+    }
+
+    /// All three, in table order.
+    pub const ALL: [NbColl; 3] = [NbColl::Bcast, NbColl::Alltoall, NbColl::Alltoallv];
+}
+
+/// The ragged alltoallv count from rank `s` to rank `d` at base `size`:
+/// every pair moves between `size/n` and `size` bytes, so with the
+/// default 64 KB chunks some segments go chunked and some plain.
+fn ragged_count(s: usize, d: usize, n: usize, size: usize) -> usize {
+    size * (((s + d) % n) + 1) / n
+}
+
+/// One bidirectional nonblocking exchange run: both ranks isend to each
+/// other, then wait the irecv (decrypting chunked trains inside `wait`)
+/// and the isend. Returns rank 0's elapsed virtual seconds plus, when
+/// `traced`, the trace report. `lib = None` is the unencrypted baseline.
+fn nb_run(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    pipeline: PipelineConfig,
+    size: usize,
+    iters: usize,
+    traced: bool,
+) -> (f64, Option<TraceReport>) {
+    let world = World::flat(net.model(), 2).traced(traced);
+    let out = world.run(move |c| {
+        let buf = vec![0x6bu8; size];
+        let peer = 1 - c.rank();
+        match lib {
+            None => {
+                let t0 = c.now();
+                for _ in 0..iters {
+                    let s = c.isend(&buf, peer, 0);
+                    let r = c.irecv(Src::Is(peer), TagSel::Is(0));
+                    let _ = c.wait(r);
+                    let _ = c.wait(s);
+                }
+                (c.now() - t0).as_secs_f64()
+            }
+            Some(l) => {
+                let sc =
+                    SecureComm::new(c, security_config(l, net).with_pipeline(pipeline)).unwrap();
+                let t0 = c.now();
+                for _ in 0..iters {
+                    let s = sc.isend(&buf, peer, 0);
+                    let r = sc.irecv(Src::Is(peer), TagSel::Is(0));
+                    sc.wait(r).unwrap();
+                    sc.wait(s).unwrap();
+                }
+                (c.now() - t0).as_secs_f64()
+            }
+        }
+    });
+    (out.results[0], out.trace)
+}
+
+/// Mean seconds per nonblocking exchange iteration.
+pub fn nb_secs(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    pipeline: PipelineConfig,
+    size: usize,
+    iters: usize,
+) -> f64 {
+    nb_run(net, lib, pipeline, size, iters, false).0 / iters as f64
+}
+
+/// A traced encrypted nonblocking exchange, returning the trace report.
+pub fn nb_trace(
+    net: Net,
+    lib: CryptoLibrary,
+    pipeline: PipelineConfig,
+    size: usize,
+    iters: usize,
+) -> TraceReport {
+    nb_run(net, Some(lib), pipeline, size, iters, true)
+        .1
+        .expect("traced run must yield a report")
+}
+
+/// One collective run at `ranks` ranks (one per node): mean µs per
+/// operation plus, when `traced`, the trace report.
+#[allow(clippy::too_many_arguments)]
+fn coll_run(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    pipeline: PipelineConfig,
+    op: NbColl,
+    size: usize,
+    ranks: usize,
+    iters: usize,
+    traced: bool,
+) -> (f64, Option<TraceReport>) {
+    let world = World::flat(net.model(), ranks).traced(traced);
+    let out = world.run(move |c| {
+        let n = c.size();
+        let me = c.rank();
+        let sc = lib
+            .map(|l| SecureComm::new(c, security_config(l, net).with_pipeline(pipeline)).unwrap());
+        c.barrier();
+        let t0 = c.now();
+        for _ in 0..iters {
+            match (op, &sc) {
+                (NbColl::Bcast, None) => {
+                    let mut buf = vec![1u8; size];
+                    c.bcast(&mut buf, 0);
+                }
+                (NbColl::Bcast, Some(sc)) => {
+                    let mut buf = vec![1u8; size];
+                    sc.bcast(&mut buf, 0).unwrap();
+                }
+                (NbColl::Alltoall, None) => {
+                    let send = vec![0xA5u8; size * n];
+                    let _ = c.alltoall(&send, size);
+                }
+                (NbColl::Alltoall, Some(sc)) => {
+                    let send = vec![0xA5u8; size * n];
+                    let _ = sc.alltoall(&send, size).unwrap();
+                }
+                (NbColl::Alltoallv, sc) => {
+                    let send_counts: Vec<usize> =
+                        (0..n).map(|d| ragged_count(me, d, n, size)).collect();
+                    let recv_counts: Vec<usize> =
+                        (0..n).map(|s| ragged_count(s, me, n, size)).collect();
+                    let send = vec![0x3cu8; send_counts.iter().sum()];
+                    match sc {
+                        None => {
+                            let _ = c.alltoallv(&send, &send_counts, &recv_counts);
+                        }
+                        Some(sc) => {
+                            let _ = sc.alltoallv(&send, &send_counts, &recv_counts).unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        c.barrier();
+        (c.now() - t0).as_micros_f64()
+    });
+    (out.results[0] / iters as f64, out.trace)
+}
+
+/// One collective measurement: mean µs per operation.
+pub fn coll_us(
+    net: Net,
+    lib: Option<CryptoLibrary>,
+    pipeline: PipelineConfig,
+    op: NbColl,
+    size: usize,
+    ranks: usize,
+    iters: usize,
+) -> f64 {
+    coll_run(net, lib, pipeline, op, size, ranks, iters, false).0
+}
+
+/// A traced encrypted collective run, returning the trace report.
+pub fn coll_trace(
+    net: Net,
+    lib: CryptoLibrary,
+    pipeline: PipelineConfig,
+    op: NbColl,
+    size: usize,
+    ranks: usize,
+) -> TraceReport {
+    coll_run(net, Some(lib), pipeline, op, size, ranks, 1, true)
+        .1
+        .expect("traced run must yield a report")
+}
+
+/// Build FIG-PIPELINE-NB (nonblocking exchange, sequential vs pipelined
+/// overhead) and TAB-PIPELINE-COLL (pipelined collectives) for one
+/// network.
+pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
+    let pipelined = PipelineConfig::enabled().with_workers(WORKERS);
+    let nb_iters = |size: usize| -> usize {
+        let base = if size < (1 << 20) { 40 } else { 20 };
+        if opts.quick {
+            base / 10
+        } else {
+            base
+        }
+    };
+    let nb_mean = |lib: Option<CryptoLibrary>, pipeline: PipelineConfig, size: usize| -> f64 {
+        measure_until_stable(opts.reps_min, opts.reps_max, || {
+            nb_secs(net, lib, pipeline, size, nb_iters(size))
+        })
+        .mean
+    };
+
+    // FIG-PIPELINE-NB: isend/irecv/wait exchange overhead vs the
+    // unencrypted nonblocking baseline, fast (BoringSSL) and slow
+    // (CryptoPP) library, sequential vs 4-worker pipelined.
+    let mut fig = Table::new(
+        format!(
+            "FIG-PIPELINE-NB-{}: nonblocking exchange overhead vs unencrypted (%), \
+             isend/irecv/wait, 64 KB chunks, {} workers, {}",
+            net.name(),
+            WORKERS,
+            net.name()
+        ),
+        "size",
+        [
+            "BoringSSL sequential",
+            "BoringSSL pipelined",
+            "CryptoPP sequential",
+            "CryptoPP pipelined",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    for &s in &SIZES {
+        let base = nb_mean(None, PipelineConfig::disabled(), s);
+        let cell = |lib: CryptoLibrary, p: PipelineConfig| -> String {
+            format!("{:.1}", overhead_percent(base, nb_mean(Some(lib), p, s)))
+        };
+        fig.push_row(
+            size_label(s),
+            vec![
+                cell(CryptoLibrary::BoringSsl, PipelineConfig::disabled()),
+                cell(CryptoLibrary::BoringSsl, pipelined),
+                cell(CryptoLibrary::CryptoPp, PipelineConfig::disabled()),
+                cell(CryptoLibrary::CryptoPp, pipelined),
+            ],
+        );
+    }
+
+    // TAB-PIPELINE-COLL: per-collective overhead of the sequential and
+    // pipelined encrypted paths vs the unencrypted transport.
+    let coll_iters = if opts.quick { 1 } else { 2 };
+    let mut tab = Table::new(
+        format!(
+            "TAB-PIPELINE-COLL-{}: BoringSSL collective overhead vs unencrypted (%), \
+             {} ranks, 64 KB chunks, {} workers, {}",
+            net.name(),
+            COLL_RANKS,
+            WORKERS,
+            net.name()
+        ),
+        "collective / size",
+        ["sequential", "pipelined"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for op in NbColl::ALL {
+        for &s in &COLL_SIZES {
+            // The calibrated simulation is deterministic and the ≥1 MB
+            // points move real gigabytes of AES; one rep suffices there.
+            let reps_min = if s >= 1 << 20 { 1 } else { opts.reps_min };
+            let mean = |lib: Option<CryptoLibrary>, p: PipelineConfig| -> f64 {
+                measure_until_stable(reps_min, opts.reps_max.max(reps_min), || {
+                    coll_us(net, lib, p, op, s, COLL_RANKS, coll_iters)
+                })
+                .mean
+            };
+            let base = mean(None, PipelineConfig::disabled());
+            let seq = mean(Some(CryptoLibrary::BoringSsl), PipelineConfig::disabled());
+            let pip = mean(Some(CryptoLibrary::BoringSsl), pipelined);
+            tab.push_row(
+                format!("{} {}", op.name(), size_label(s)),
+                vec![
+                    format!("{:.1}", overhead_percent(base, seq)),
+                    format!("{:.1}", overhead_percent(base, pip)),
+                ],
+            );
+        }
+    }
+
+    let mut tables = vec![fig, tab];
+    if trace_active(opts) {
+        tables.extend(decomposition_net(net, opts));
+    }
+    tables
+}
+
+/// `--trace` decompositions: per-size for the pipelined nonblocking
+/// exchange, per-collective at the 2 MB acceptance point. The Chrome
+/// traces of the largest exchange and of the pipelined bcast are written
+/// to `<out_dir>/trace-pipeline-nb-<net>.json` and
+/// `<out_dir>/trace-pipeline-coll-<net>.json` — the per-chunk
+/// `pipe/seal` / `pipe/open` spans sit on the "rank r crypto-core w"
+/// lanes.
+pub fn decomposition_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
+    let pipelined = PipelineConfig::enabled().with_workers(WORKERS);
+    let iters = if opts.quick { 2 } else { 4 };
+
+    let mut nb = Table::new(
+        format!(
+            "DECOMP-PIPE-NB-{}: BoringSSL pipelined nonblocking exchange decomposition \
+             per iteration (us), 64 KB chunks, {} workers, {}",
+            net.name(),
+            WORKERS,
+            net.name()
+        ),
+        "size",
+        decomp_columns(),
+    );
+    let mut last: Option<TraceReport> = None;
+    for &s in &SIZES {
+        let r = nb_trace(net, CryptoLibrary::BoringSsl, pipelined, s, iters);
+        nb.push_row(size_label(s), decomp_cells(&r, iters as f64));
+        last = Some(r);
+    }
+    if let Some(r) = last {
+        let stem = format!("trace-pipeline-nb-{}", net.name().to_lowercase());
+        write_trace(&r, &opts.out_dir, &stem);
+    }
+
+    let size = 2 << 20;
+    let mut coll = Table::new(
+        format!(
+            "DECOMP-PIPE-COLL-{}: BoringSSL pipelined collective decomposition per op (us), \
+             2MB, {} ranks, {} workers, {}",
+            net.name(),
+            COLL_RANKS,
+            WORKERS,
+            net.name()
+        ),
+        "collective",
+        decomp_columns(),
+    );
+    let mut bcast_report: Option<TraceReport> = None;
+    for op in NbColl::ALL {
+        let r = coll_trace(
+            net,
+            CryptoLibrary::BoringSsl,
+            pipelined,
+            op,
+            size,
+            COLL_RANKS,
+        );
+        coll.push_row(op.name().to_string(), decomp_cells(&r, 1.0));
+        if op == NbColl::Bcast {
+            bcast_report = Some(r);
+        }
+    }
+    if let Some(r) = bcast_report {
+        let stem = format!("trace-pipeline-coll-{}", net.name().to_lowercase());
+        write_trace(&r, &opts.out_dir, &stem);
+    }
+    vec![nb, coll]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nb_pipelined_halves_sequential_overhead_at_2mb_ethernet() {
+        // Acceptance: the nonblocking path must recover the same overlap
+        // the blocking FIG-PIPELINE runs show — decryption inside wait,
+        // encryption overlapped with the wire.
+        let size = 2 << 20;
+        let base = nb_secs(Net::Ethernet, None, PipelineConfig::disabled(), size, 5);
+        let ov = |p: PipelineConfig| {
+            overhead_percent(
+                base,
+                nb_secs(Net::Ethernet, Some(CryptoLibrary::BoringSsl), p, size, 5),
+            )
+        };
+        let seq = ov(PipelineConfig::disabled());
+        let pip = ov(PipelineConfig::enabled().with_workers(WORKERS));
+        assert!(
+            pip < seq / 2.0,
+            "pipelined nb overhead {pip:.1}% must halve sequential {seq:.1}%"
+        );
+    }
+
+    #[test]
+    fn coll_overheads_drop_materially_at_2mb_ethernet() {
+        // Acceptance: at 2 MB on Ethernet the pipelined bcast and
+        // alltoall must shed a large fraction of the sequential
+        // encrypted overhead.
+        let size = 2 << 20;
+        let pipelined = PipelineConfig::enabled().with_workers(WORKERS);
+        for op in [NbColl::Bcast, NbColl::Alltoall] {
+            let base = coll_us(
+                Net::Ethernet,
+                None,
+                PipelineConfig::disabled(),
+                op,
+                size,
+                COLL_RANKS,
+                1,
+            );
+            let seq = overhead_percent(
+                base,
+                coll_us(
+                    Net::Ethernet,
+                    Some(CryptoLibrary::BoringSsl),
+                    PipelineConfig::disabled(),
+                    op,
+                    size,
+                    COLL_RANKS,
+                    1,
+                ),
+            );
+            let pip = overhead_percent(
+                base,
+                coll_us(
+                    Net::Ethernet,
+                    Some(CryptoLibrary::BoringSsl),
+                    pipelined,
+                    op,
+                    size,
+                    COLL_RANKS,
+                    1,
+                ),
+            );
+            assert!(
+                pip < 0.5 * seq,
+                "{}: pipelined overhead {pip:.1}% must drop materially below sequential {seq:.1}%",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn alltoallv_ragged_counts_mix_wire_formats() {
+        // At the 256 KB point the ragged matrix must actually exercise
+        // both wire formats: every rank sends at least one segment above
+        // the default 64 KB chunk (chunked train) and at least one at or
+        // below it (plain sealed record). Counts are also ragged — no
+        // two destinations of a rank get the same size.
+        let n = COLL_RANKS;
+        let chunk = empi_pipeline::DEFAULT_CHUNK_SIZE;
+        let size = 256 << 10;
+        for s in 0..n {
+            let counts: Vec<usize> = (0..n).map(|d| ragged_count(s, d, n, size)).collect();
+            assert!(counts.iter().any(|&c| c > chunk), "rank {s} all-plain");
+            assert!(counts.iter().any(|&c| c <= chunk), "rank {s} all-chunked");
+            let mut uniq = counts.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), n, "rank {s} counts not ragged: {counts:?}");
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_nb_exchange_carries_pipeline_lanes() {
+        let r = nb_trace(
+            Net::Ethernet,
+            CryptoLibrary::BoringSsl,
+            PipelineConfig::enabled().with_workers(WORKERS),
+            256 << 10,
+            2,
+        );
+        let d = r.decomposition();
+        assert!(d.crypto_ns > 0, "crypto work must be traced");
+        assert!(r.events.iter().any(|e| e.name == "pipe/seal"));
+        assert!(r.events.iter().any(|e| e.name == "pipe/open"));
+        for ((s, dst), f) in &r.pairs {
+            assert_eq!(f.tx_bytes, f.rx_bytes, "pair {s}->{dst}");
+        }
+        assert_eq!(r.dropped_events, 0);
+    }
+}

@@ -15,6 +15,15 @@ pub enum Error {
     /// The chunked pipelined path failed: a frame-protocol violation
     /// (reordered/dropped/duplicated chunk) or a per-chunk auth failure.
     Pipeline(empi_pipeline::PipelineError),
+    /// A collective's local buffer length disagrees with the root's
+    /// message length (e.g. an `Encrypted_Bcast` non-root sized its
+    /// buffer differently from the root) — MPI counts must match.
+    LengthMismatch {
+        /// The local buffer's length.
+        local: usize,
+        /// The length announced by the root/peer.
+        remote: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -22,6 +31,10 @@ impl fmt::Display for Error {
         match self {
             Error::Crypto(e) => write!(f, "secure MPI crypto failure: {e}"),
             Error::Pipeline(e) => write!(f, "secure MPI pipeline failure: {e}"),
+            Error::LengthMismatch { local, remote } => write!(
+                f,
+                "secure MPI length mismatch: local buffer is {local} bytes, remote message is {remote}"
+            ),
         }
     }
 }
@@ -31,6 +44,7 @@ impl std::error::Error for Error {
         match self {
             Error::Crypto(e) => Some(e),
             Error::Pipeline(e) => Some(e),
+            Error::LengthMismatch { .. } => None,
         }
     }
 }

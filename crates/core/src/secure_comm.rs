@@ -15,13 +15,20 @@ use empi_aead::chunked::chunk_count;
 use empi_aead::gcm::AesGcm;
 use empi_aead::nonce::NonceSource;
 use empi_aead::{NONCE_LEN, WIRE_OVERHEAD};
-use empi_mpi::chunk::{RecvPayload, FRAME_OVERHEAD};
+use empi_mpi::chunk::{ChunkFrame, ChunkedMessage, RecvPayload, FRAME_OVERHEAD};
 use empi_mpi::{Comm, Request, Src, Status, Tag, TagSel};
 use empi_netsim::VDur;
 use empi_pipeline::{ChunkCost, Pipeline};
 
 use crate::config::{SecurityConfig, TimingMode};
 use crate::error::{Error, Result};
+
+/// Reserved-tag operation codes for SecureComm-level collective
+/// protocols (the built-in plaintext collectives use codes 1–9; see
+/// [`Comm::reserved_tag`]).
+const SEC_BCAST_OP: u32 = 32;
+const SEC_ALLTOALL_OP: u32 = 33;
+const SEC_ALLTOALLV_OP: u32 = 34;
 
 /// Crypto direction (cost lookup).
 #[derive(Clone, Copy)]
@@ -170,12 +177,11 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         }
     }
 
-    /// Pipelined blocking send: one nonce block covers all chunks, the
-    /// seals run on the worker-core pool, and frames overlap the wire
-    /// (see `empi_pipeline::Pipeline::send`). Counter semantics: one
+    /// Seal `buf` into chunked wire frames on the shared worker-core
+    /// pool: one nonce block covers all chunks. Counter semantics: one
     /// logical seal and one nonce draw per message (per-chunk activity
     /// shows up in `chunks_sealed` and the pipeline trace lanes).
-    fn send_pipelined(&self, buf: &[u8], dst: usize, tag: Tag) {
+    fn seal_chunked_frames(&self, buf: &[u8]) -> Vec<ChunkFrame> {
         let total = chunk_count(buf.len(), self.cfg.pipeline.chunk_size);
         let base = self.nonces.borrow_mut().next_nonce_block(total);
         if let Some(t) = self.comm.sim().tracer() {
@@ -187,17 +193,71 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             );
         }
         self.with_chunk_cost(|cost| {
-            self.pipe.send(
+            self.pipe.seal_timed(
                 self.comm,
                 &self.cipher,
                 cost,
                 self.cfg.library.name(),
                 base,
                 buf,
-                dst,
-                tag,
             )
-        });
+        })
+    }
+
+    /// Pipelined blocking send: the seals run on the worker-core pool
+    /// and frames overlap the wire (see `empi_pipeline::Pipeline`).
+    fn send_pipelined(&self, buf: &[u8], dst: usize, tag: Tag) {
+        let frames = self.seal_chunked_frames(buf);
+        self.comm.send_chunked(frames, dst, tag);
+    }
+
+    /// Open a received chunked (pipelined) message on the worker-core
+    /// pool. Format-driven: this runs whenever the *sender* used the
+    /// chunked wire format, regardless of the local pipeline config.
+    fn open_chunked(&self, msg: &ChunkedMessage) -> Result<Vec<u8>> {
+        let wire = msg.wire_bytes();
+        if let Some(t) = self.comm.sim().tracer() {
+            t.count_open(
+                self.rank(),
+                wire,
+                wire.saturating_sub(msg.frames.len() * FRAME_OVERHEAD),
+            );
+        }
+        Ok(self.with_chunk_cost(|cost| {
+            self.pipe
+                .open(self.comm, &self.cipher, cost, self.cfg.library.name(), msg)
+        })?)
+    }
+
+    /// Authenticate and decrypt whatever the transport produced,
+    /// dispatching on the sender's wire format — never on local
+    /// configuration. This is the single decryption funnel behind
+    /// `recv`, `wait` and `waitany`.
+    fn open_payload(&self, payload: RecvPayload) -> Result<(Status, Vec<u8>)> {
+        match payload {
+            RecvPayload::Plain(status, wire) => {
+                let plain = self.open(&wire)?;
+                Ok((
+                    Status {
+                        source: status.source,
+                        tag: status.tag,
+                        len: plain.len(),
+                    },
+                    plain,
+                ))
+            }
+            RecvPayload::Chunked(msg) => {
+                let plain = self.open_chunked(&msg)?;
+                Ok((
+                    Status {
+                        source: msg.src,
+                        tag: msg.tag,
+                        len: plain.len(),
+                    },
+                    plain,
+                ))
+            }
+        }
     }
 
     /// Encrypt one message: returns `nonce ‖ ciphertext ‖ tag`.
@@ -251,78 +311,41 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         }
     }
 
-    /// Encrypted blocking receive. With pipelining enabled, also
-    /// accepts chunked messages, overlapping authenticated decryption
-    /// with frame arrivals; plain messages behave exactly as before
-    /// (the receiver dispatches on the wire format, so mixed
-    /// sender-side configurations interoperate).
+    /// Encrypted blocking receive. Dispatches on the sender's wire
+    /// format *unconditionally*: plain records are opened sequentially,
+    /// chunked (pipelined) trains are reassembled and opened on the
+    /// worker pool — even when this rank's own pipeline config is
+    /// disabled. Mixed sender/receiver configurations therefore always
+    /// interoperate.
     pub fn recv(&self, src: Src, tag: TagSel) -> Result<(Status, Vec<u8>)> {
-        if self.cfg.pipeline.enabled {
-            match self.comm.recv_maybe_chunked(src, tag) {
-                RecvPayload::Plain(status, wire) => {
-                    let plain = self.open(&wire)?;
-                    Ok((
-                        Status {
-                            source: status.source,
-                            tag: status.tag,
-                            len: plain.len(),
-                        },
-                        plain,
-                    ))
-                }
-                RecvPayload::Chunked(msg) => {
-                    let wire = msg.wire_bytes();
-                    if let Some(t) = self.comm.sim().tracer() {
-                        t.count_open(
-                            self.rank(),
-                            wire,
-                            wire.saturating_sub(msg.frames.len() * FRAME_OVERHEAD),
-                        );
-                    }
-                    let plain = self.with_chunk_cost(|cost| {
-                        self.pipe.open(
-                            self.comm,
-                            &self.cipher,
-                            cost,
-                            self.cfg.library.name(),
-                            &msg,
-                        )
-                    })?;
-                    Ok((
-                        Status {
-                            source: msg.src,
-                            tag: msg.tag,
-                            len: plain.len(),
-                        },
-                        plain,
-                    ))
-                }
-            }
-        } else {
-            let (status, wire) = self.comm.recv(src, tag);
-            let plain = self.open(&wire)?;
-            Ok((
-                Status {
-                    source: status.source,
-                    tag: status.tag,
-                    len: plain.len(),
-                },
-                plain,
-            ))
-        }
+        self.open_payload(self.comm.recv_maybe_chunked(src, tag))
     }
 
     /// Encrypted non-blocking send: the buffer is sealed *now* (fresh
-    /// nonce) and handed to the transport.
+    /// nonce) and handed to the transport. With pipelining enabled and
+    /// a message larger than one chunk, the seal runs chunk-by-chunk on
+    /// the worker-core pool and the frames are handed to the chunked
+    /// non-blocking transport — `isend` still returns immediately in
+    /// virtual time except for the per-chunk host overhead, mirroring
+    /// the sequential path.
     pub fn isend(&self, buf: &[u8], dst: usize, tag: Tag) -> SecureRequest {
-        let wire = self.seal(buf);
-        SecureRequest {
-            inner: self.comm.isend(&wire, dst, tag),
+        if self.pipe.applies_to(buf.len()) {
+            let frames = self.seal_chunked_frames(buf);
+            SecureRequest {
+                inner: self.comm.isend_chunked(frames, dst, tag),
+            }
+        } else {
+            let wire = self.seal(buf);
+            SecureRequest {
+                inner: self.comm.isend(&wire, dst, tag),
+            }
         }
     }
 
-    /// Encrypted non-blocking receive. Decryption is deferred to
-    /// [`SecureComm::wait`].
+    /// Encrypted non-blocking receive. The post is format-agnostic —
+    /// whether the sender used the plain or the chunked wire format is
+    /// only discovered (and acted upon) inside [`SecureComm::wait`].
+    /// Decryption is deferred to `wait`.
     pub fn irecv(&self, src: Src, tag: TagSel) -> SecureRequest {
         SecureRequest {
             inner: self.comm.irecv(src, tag),
@@ -331,21 +354,17 @@ impl<'a, 'h> SecureComm<'a, 'h> {
 
     /// Wait on one encrypted request; receives are authenticated and
     /// decrypted here (the paper performs decryption inside `MPI_Wait`
-    /// to keep `IRecv` non-blocking).
+    /// to keep `IRecv` non-blocking). Like [`SecureComm::recv`], the
+    /// decryption path is chosen by the sender's wire format, so a
+    /// pipelined sender's chunked train is opened on the worker pool
+    /// even if this rank never enabled pipelining.
     pub fn wait(&self, req: SecureRequest) -> Result<(Status, Option<Vec<u8>>)> {
-        let (status, data) = self.comm.wait(req.inner);
-        match data {
+        let (status, payload) = self.comm.wait_payload(req.inner);
+        match payload {
             None => Ok((status, None)),
-            Some(wire) => {
-                let plain = self.open(&wire)?;
-                Ok((
-                    Status {
-                        source: status.source,
-                        tag: status.tag,
-                        len: plain.len(),
-                    },
-                    Some(plain),
-                ))
+            Some(p) => {
+                let (status, plain) = self.open_payload(p)?;
+                Ok((status, Some(plain)))
             }
         }
     }
@@ -353,6 +372,26 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// Wait on all requests in order (Encrypted_Waitall).
     pub fn waitall(&self, reqs: Vec<SecureRequest>) -> Result<Vec<(Status, Option<Vec<u8>>)>> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Wait for *any* one request to complete (Encrypted_Waitany): the
+    /// completed request is removed from `reqs` and its index returned;
+    /// a completed receive is authenticated and decrypted here, again
+    /// dispatching on the sender's wire format.
+    pub fn waitany(
+        &self,
+        reqs: &mut Vec<SecureRequest>,
+    ) -> Result<(usize, Status, Option<Vec<u8>>)> {
+        let mut inner: Vec<Request> = reqs.drain(..).map(|r| r.inner).collect();
+        let (idx, status, payload) = self.comm.waitany_payload(&mut inner);
+        reqs.extend(inner.into_iter().map(|inner| SecureRequest { inner }));
+        match payload {
+            None => Ok((idx, status, None)),
+            Some(p) => {
+                let (status, plain) = self.open_payload(p)?;
+                Ok((idx, status, Some(plain)))
+            }
+        }
     }
 
     /// Encrypted sendrecv.
@@ -376,17 +415,260 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     // ---------------------------------------------------------------
 
     /// Encrypted_Bcast: the root seals once; every non-root opens once.
+    ///
+    /// A 9-byte plaintext header round first announces the root's
+    /// message length and wire format, so non-roots can size their wire
+    /// buffers from the *root's* length (not their own), validate their
+    /// local count, and dispatch on the format the root actually chose.
+    /// A non-root whose buffer length disagrees with the root's still
+    /// participates in the ciphertext movement (so its peers are
+    /// unaffected) and then reports [`Error::LengthMismatch`] without
+    /// decrypting.
+    ///
+    /// With pipelining in effect at the root for this length, the
+    /// ciphertext moves as a chunked frame train down a binomial tree:
+    /// each non-root forwards the frames to its children *before*
+    /// opening them, so decryption overlaps the downstream hops. Like
+    /// every MPI collective, all ranks must call `bcast` with the same
+    /// root; the wire format is the root's choice and receivers follow
+    /// it regardless of their local pipeline config.
     pub fn bcast(&self, buf: &mut Vec<u8>, root: usize) -> Result<()> {
         let me = self.rank();
+        let mut hdr = [0u8; 17];
+        if me == root {
+            hdr[..8].copy_from_slice(&(buf.len() as u64).to_be_bytes());
+            hdr[8] = u8::from(self.pipe.applies_to(buf.len()));
+            hdr[9..].copy_from_slice(&(self.cfg.pipeline.chunk_size as u64).to_be_bytes());
+        }
+        self.comm.bcast(&mut hdr, root);
+        let root_len = u64::from_be_bytes(hdr[..8].try_into().unwrap()) as usize;
+        let root_chunk = u64::from_be_bytes(hdr[9..17].try_into().unwrap()) as usize;
+        if hdr[8] != 0 {
+            let tag = self.comm.reserved_tag(SEC_BCAST_OP);
+            // Same algorithm switch as the plaintext transport: a
+            // binomial tree is latency-optimal for short messages, a
+            // scatter–allgather ring bandwidth-optimal for long ones.
+            return if root_len <= empi_mpi::coll::BCAST_LONG_THRESHOLD {
+                self.bcast_pipelined_tree(buf, root, root_len, tag)
+            } else {
+                self.bcast_pipelined_sag(buf, root, root_len, root_chunk, tag)
+            };
+        }
         let mut wire = if me == root {
             self.seal(buf)
         } else {
-            vec![0u8; buf.len() + WIRE_OVERHEAD]
+            vec![0u8; root_len + WIRE_OVERHEAD]
         };
         self.comm.bcast(&mut wire, root);
         if me != root {
+            if buf.len() != root_len {
+                return Err(Error::LengthMismatch {
+                    local: buf.len(),
+                    remote: root_len,
+                });
+            }
             *buf = self.open(&wire)?;
         }
+        Ok(())
+    }
+
+    /// Pipelined broadcast, short-message body: a binomial tree over
+    /// chunked frame trains. The root seals once on the worker pool;
+    /// every other rank receives the train from its tree parent,
+    /// forwards the ciphertext frames to its children first, and only
+    /// then opens them — one logical open per non-root, exactly like
+    /// the sequential shape.
+    fn bcast_pipelined_tree(
+        &self,
+        buf: &mut Vec<u8>,
+        root: usize,
+        root_len: usize,
+        tag: Tag,
+    ) -> Result<()> {
+        let n = self.size();
+        let me = self.rank();
+        let vrank = (me + n - root) % n;
+        let real = |v: usize| (v + root) % n;
+
+        // Locate the parent: `mask` stops at vrank's lowest set bit
+        // (for the root it runs past `n`, leaving only child sends).
+        let mut mask = 1usize;
+        let mut incoming = None;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = real(vrank - mask);
+                match self.comm.recv_maybe_chunked(Src::Is(parent), TagSel::Is(tag)) {
+                    RecvPayload::Chunked(msg) => incoming = Some(msg),
+                    RecvPayload::Plain(..) => unreachable!(
+                        "pipelined bcast: root announced the chunked wire format \
+                         but the parent sent a plain record"
+                    ),
+                }
+                break;
+            }
+            mask <<= 1;
+        }
+
+        // The ciphertext train this rank relays: sealed at the root,
+        // re-stamped with arrival times everywhere else.
+        let frames: Vec<ChunkFrame> = match &incoming {
+            None => self.seal_chunked_frames(buf),
+            Some(msg) => msg
+                .frames
+                .iter()
+                .map(|(at, f)| ChunkFrame {
+                    data: f.clone(),
+                    ready: *at,
+                })
+                .collect(),
+        };
+
+        // Forward to children (descending mask) before opening, so the
+        // local decryption overlaps the downstream hops.
+        mask >>= 1;
+        let mut pending = Vec::new();
+        while mask > 0 {
+            if vrank & mask == 0 && vrank + mask < n {
+                pending.push(
+                    self.comm
+                        .isend_chunked(frames.clone(), real(vrank + mask), tag),
+                );
+            }
+            mask >>= 1;
+        }
+
+        let result = match incoming {
+            None => Ok(()), // root: plaintext already in `buf`
+            Some(msg) => {
+                if buf.len() != root_len {
+                    Err(Error::LengthMismatch {
+                        local: buf.len(),
+                        remote: root_len,
+                    })
+                } else {
+                    self.open_chunked(&msg).map(|plain| *buf = plain)
+                }
+            }
+        };
+        for req in pending {
+            let _ = self.comm.wait_payload(req);
+        }
+        result
+    }
+
+    /// Pipelined broadcast, long-message body: the root's sealed frame
+    /// train is scattered by contiguous frame groups (group `g` to
+    /// vrank `g`), then an allgather ring circulates the ciphertext
+    /// groups for `n−1` steps until every rank holds the full train.
+    /// Bandwidth matches the transport's scatter–allgather (each rank
+    /// moves ~`len` bytes, regardless of `n`) while the root's sealing
+    /// and every receiver's decryption ride the worker pool, off the
+    /// critical path. Every rank derives the same frame partition from
+    /// the header's `(len, chunk_size)`, so empty groups (more ranks
+    /// than chunks) are skipped symmetrically.
+    fn bcast_pipelined_sag(
+        &self,
+        buf: &mut Vec<u8>,
+        root: usize,
+        root_len: usize,
+        root_chunk: usize,
+        tag: Tag,
+    ) -> Result<()> {
+        let n = self.size();
+        let me = self.rank();
+        let vrank = (me + n - root) % n;
+        let real = |v: usize| (v % n + root) % n;
+        let total = chunk_count(root_len, root_chunk.max(1)) as usize;
+        let (base, rem) = (total / n, total % n);
+        let gsize = |g: usize| base + usize::from(g < rem);
+        let gstart = |g: usize| g * base + g.min(rem);
+
+        // Frame slots in index order, filled by the seal (root) or by
+        // the scatter and ring receives (everyone else).
+        let mut slots: Vec<Option<ChunkFrame>> = (0..total).map(|_| None).collect();
+        let mut scatter_reqs = Vec::new();
+        if me == root {
+            let frames = self.seal_chunked_frames(buf);
+            debug_assert_eq!(frames.len(), total);
+            for g in 1..n {
+                if gsize(g) > 0 {
+                    let part = frames[gstart(g)..gstart(g) + gsize(g)].to_vec();
+                    scatter_reqs.push(self.comm.isend_chunked(part, real(g), tag));
+                }
+            }
+            for (i, f) in frames.into_iter().enumerate() {
+                slots[i] = Some(f);
+            }
+        } else if gsize(vrank) > 0 {
+            match self.comm.recv_maybe_chunked(Src::Is(root), TagSel::Is(tag)) {
+                RecvPayload::Chunked(msg) => {
+                    for (off, (at, data)) in msg.frames.into_iter().enumerate() {
+                        slots[gstart(vrank) + off] = Some(ChunkFrame { data, ready: at });
+                    }
+                }
+                RecvPayload::Plain(..) => unreachable!(
+                    "pipelined bcast: root announced the chunked wire format \
+                     but scattered a plain record"
+                ),
+            }
+        }
+
+        // Allgather ring: at step `s` rank `vrank` forwards group
+        // `vrank − s` (received the step before) and receives group
+        // `vrank − 1 − s` from its ring predecessor.
+        let next = real(vrank + 1);
+        let prev = real(vrank + n - 1);
+        for s in 0..n - 1 {
+            let sg = (vrank + n - s) % n;
+            let rg = (vrank + n - 1 - s) % n;
+            let sreq = (gsize(sg) > 0).then(|| {
+                let part: Vec<ChunkFrame> = slots[gstart(sg)..gstart(sg) + gsize(sg)]
+                    .iter()
+                    .map(|f| f.clone().expect("ring holds the group it forwards"))
+                    .collect();
+                self.comm.isend_chunked(part, next, tag)
+            });
+            if gsize(rg) > 0 {
+                match self.comm.recv_maybe_chunked(Src::Is(prev), TagSel::Is(tag)) {
+                    RecvPayload::Chunked(msg) => {
+                        for (off, (at, data)) in msg.frames.into_iter().enumerate() {
+                            slots[gstart(rg) + off] = Some(ChunkFrame { data, ready: at });
+                        }
+                    }
+                    RecvPayload::Plain(..) => unreachable!(
+                        "pipelined bcast: ring peer sent a plain record"
+                    ),
+                }
+            }
+            if let Some(r) = sreq {
+                let _ = self.comm.wait_payload(r);
+            }
+        }
+        for r in scatter_reqs {
+            let _ = self.comm.wait_payload(r);
+        }
+
+        if me == root {
+            return Ok(());
+        }
+        if buf.len() != root_len {
+            return Err(Error::LengthMismatch {
+                local: buf.len(),
+                remote: root_len,
+            });
+        }
+        let msg = ChunkedMessage {
+            src: root,
+            tag,
+            frames: slots
+                .into_iter()
+                .map(|f| {
+                    let f = f.expect("every group gathered");
+                    (f.ready, f.data)
+                })
+                .collect(),
+        };
+        *buf = self.open_chunked(&msg)?;
         Ok(())
     }
 
@@ -429,9 +711,19 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// Encrypted_Alltoall — the paper's Algorithm 1 verbatim: one fresh
     /// nonce and one encryption per outgoing block, plain `MPI_Alltoall`
     /// of `(ℓ+28)`-byte blocks, one decryption per incoming block.
+    ///
+    /// With pipelining in effect for the (uniform) block size, the
+    /// exchange runs as pairwise rounds of chunked frame trains so the
+    /// per-block seals and opens ride the worker-core pool and overlap
+    /// the wire. Collectives require a uniform pipeline configuration
+    /// across ranks (the shape must agree, like any MPI collective);
+    /// point-to-point interoperates across mixed configs regardless.
     pub fn alltoall(&self, send: &[u8], block: usize) -> Result<Vec<u8>> {
         let n = self.size();
         assert_eq!(send.len(), block * n, "alltoall buffer size mismatch");
+        if self.pipe.applies_to(block) && n > 1 {
+            return self.alltoall_pipelined(send, block);
+        }
         let wire_block = block + WIRE_OVERHEAD;
         let mut enc_send = Vec::with_capacity(wire_block * n);
         for i in 0..n {
@@ -445,8 +737,55 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         Ok(out)
     }
 
+    /// Pipelined alltoall body: pairwise exchange rounds (`dst = me+i`,
+    /// `src = me−i`, the same schedule as the transport's pairwise
+    /// algorithm), each block a chunked frame train. Algorithm 1 still
+    /// encrypts and decrypts all `n` blocks — the self block is sealed
+    /// and opened on the worker pool without touching the wire.
+    fn alltoall_pipelined(&self, send: &[u8], block: usize) -> Result<Vec<u8>> {
+        let n = self.size();
+        let me = self.rank();
+        let tag = self.comm.reserved_tag(SEC_ALLTOALL_OP);
+        let mut out = vec![0u8; block * n];
+
+        let self_frames = self.seal_chunked_frames(&send[me * block..(me + 1) * block]);
+        let self_msg = ChunkedMessage {
+            src: me,
+            tag,
+            frames: self_frames.into_iter().map(|f| (f.ready, f.data)).collect(),
+        };
+        out[me * block..(me + 1) * block].copy_from_slice(&self.open_chunked(&self_msg)?);
+
+        for i in 1..n {
+            let dst = (me + i) % n;
+            let src = (me + n - i) % n;
+            let frames = self.seal_chunked_frames(&send[dst * block..(dst + 1) * block]);
+            let sreq = self.comm.isend_chunked(frames, dst, tag);
+            let (st, plain) =
+                self.open_payload(self.comm.recv_maybe_chunked(Src::Is(src), TagSel::Is(tag)))?;
+            if plain.len() != block {
+                return Err(Error::LengthMismatch {
+                    local: block,
+                    remote: plain.len(),
+                });
+            }
+            debug_assert_eq!(st.source, src);
+            out[src * block..(src + 1) * block].copy_from_slice(&plain);
+            let _ = self.comm.wait_payload(sreq);
+        }
+        Ok(out)
+    }
+
     /// Encrypted_Alltoallv: per-destination segments, each sealed with a
     /// fresh nonce (+28 bytes per segment, even empty ones).
+    ///
+    /// With pipelining enabled the exchange runs as pairwise rounds and
+    /// each segment *independently* picks its wire format by size:
+    /// segments above one chunk go out as chunked frame trains, small
+    /// ones as plain sealed records. The receiver dispatches on the
+    /// format per segment, so ragged counts mix freely. Like
+    /// [`SecureComm::alltoall`], the pipeline config must be uniform
+    /// across ranks for collectives.
     pub fn alltoallv(
         &self,
         send: &[u8],
@@ -456,6 +795,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let n = self.size();
         assert_eq!(send_counts.len(), n);
         assert_eq!(recv_counts.len(), n);
+        if self.cfg.pipeline.enabled && n > 1 {
+            return self.alltoallv_pipelined(send, send_counts, recv_counts);
+        }
         let mut enc_send = Vec::with_capacity(send.len() + n * WIRE_OVERHEAD);
         let enc_send_counts: Vec<usize> =
             send_counts.iter().map(|c| c + WIRE_OVERHEAD).collect();
@@ -472,6 +814,75 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         for &c in recv_counts {
             out.extend_from_slice(&self.open(&enc_recv[off..off + c + WIRE_OVERHEAD])?);
             off += c + WIRE_OVERHEAD;
+        }
+        Ok(out)
+    }
+
+    /// Pipelined alltoallv body: pairwise rounds with a per-segment
+    /// format choice (chunked above one chunk, plain sealed otherwise).
+    fn alltoallv_pipelined(
+        &self,
+        send: &[u8],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Vec<u8>> {
+        let n = self.size();
+        let me = self.rank();
+        let tag = self.comm.reserved_tag(SEC_ALLTOALLV_OP);
+        let send_off: Vec<usize> = send_counts
+            .iter()
+            .scan(0, |acc, &c| {
+                let o = *acc;
+                *acc += c;
+                Some(o)
+            })
+            .collect();
+        let recv_off: Vec<usize> = recv_counts
+            .iter()
+            .scan(0, |acc, &c| {
+                let o = *acc;
+                *acc += c;
+                Some(o)
+            })
+            .collect();
+        let mut out = vec![0u8; recv_counts.iter().sum()];
+
+        // Self segment: Algorithm 1 encrypts and decrypts it like every
+        // other segment; no wire involved.
+        let seg = &send[send_off[me]..send_off[me] + send_counts[me]];
+        let self_plain = if self.pipe.applies_to(seg.len()) {
+            let frames = self.seal_chunked_frames(seg);
+            let msg = ChunkedMessage {
+                src: me,
+                tag,
+                frames: frames.into_iter().map(|f| (f.ready, f.data)).collect(),
+            };
+            self.open_chunked(&msg)?
+        } else {
+            let wire = self.seal(seg);
+            self.open(&wire)?
+        };
+        out[recv_off[me]..recv_off[me] + recv_counts[me]].copy_from_slice(&self_plain);
+
+        for i in 1..n {
+            let dst = (me + i) % n;
+            let src = (me + n - i) % n;
+            let seg = &send[send_off[dst]..send_off[dst] + send_counts[dst]];
+            let sreq = if self.pipe.applies_to(seg.len()) {
+                self.comm.isend_chunked(self.seal_chunked_frames(seg), dst, tag)
+            } else {
+                self.comm.isend(&self.seal(seg), dst, tag)
+            };
+            let (_, plain) =
+                self.open_payload(self.comm.recv_maybe_chunked(Src::Is(src), TagSel::Is(tag)))?;
+            if plain.len() != recv_counts[src] {
+                return Err(Error::LengthMismatch {
+                    local: recv_counts[src],
+                    remote: plain.len(),
+                });
+            }
+            out[recv_off[src]..recv_off[src] + recv_counts[src]].copy_from_slice(&plain);
+            let _ = self.comm.wait_payload(sreq);
         }
         Ok(out)
     }
@@ -845,6 +1256,314 @@ mod tests {
         // Crypto time was recorded even though the wall path is
         // wire-bound: that is the decomposition signature of overlap.
         assert!(tr.decomposition().crypto_ns > 0);
+    }
+
+    #[test]
+    fn mixed_path_matrix_pipelined_sender() {
+        // Satellite regression matrix: a pipelined (chunked-wire) sender
+        // against every receiver completion path, including a receiver
+        // whose own pipeline config is disabled. Every cell must
+        // round-trip bit-identically with no auth failures.
+        let len = (1usize << 18) + 7; // 4+ chunks with an uneven tail
+        for mode in 0..5 {
+            let w = World::flat(NetModel::ethernet_10g(), 2);
+            let out = w.run(move |c| {
+                let msg: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(131)) as u8).collect();
+                if c.rank() == 0 {
+                    let sc = SecureComm::new(
+                        c,
+                        cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4)),
+                    )
+                    .unwrap();
+                    sc.send(&msg, 1, 3);
+                    true
+                } else {
+                    // Modes 3 and 4 run a plain-config receiver: the
+                    // chunked wire format must still be dispatched on.
+                    let rcfg = if mode >= 3 {
+                        cfg()
+                    } else {
+                        cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4))
+                    };
+                    let sc = SecureComm::new(c, rcfg).unwrap();
+                    let data = match mode {
+                        0 | 3 => sc.recv(Src::Is(0), TagSel::Is(3)).unwrap().1,
+                        1 | 4 => {
+                            let r = sc.irecv(Src::Is(0), TagSel::Is(3));
+                            sc.wait(r).unwrap().1.unwrap()
+                        }
+                        _ => {
+                            let mut reqs = vec![sc.irecv(Src::Is(0), TagSel::Is(3))];
+                            let (idx, st, data) = sc.waitany(&mut reqs).unwrap();
+                            assert_eq!((idx, st.source, st.tag), (0, 0, 3));
+                            assert!(reqs.is_empty());
+                            data.unwrap()
+                        }
+                    };
+                    data == msg
+                }
+            });
+            assert_eq!(out.results, vec![true, true], "receiver mode {mode}");
+        }
+    }
+
+    #[test]
+    fn pipelined_isend_decrypts_in_wait() {
+        // Nonblocking chunked exchange in both directions at once: the
+        // isends return before the trains land, and each side's chunked
+        // train is opened inside `wait`.
+        let len = (1usize << 19) + 3;
+        let pcfg =
+            move || cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4));
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        let out = w.run(move |c| {
+            let sc = SecureComm::new(c, pcfg()).unwrap();
+            let me = c.rank();
+            let peer = 1 - me;
+            let msg: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(me + 3)) as u8).collect();
+            let sreq = sc.isend(&msg, peer, 9);
+            let rreq = sc.irecv(Src::Is(peer), TagSel::Is(9));
+            let (st, data) = sc.wait(rreq).unwrap();
+            assert_eq!((st.source, st.len), (peer, len));
+            let (_, none) = sc.wait(sreq).unwrap();
+            assert!(none.is_none());
+            let expect: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(peer + 3)) as u8).collect();
+            data.unwrap() == expect
+        });
+        assert_eq!(out.results, vec![true, true]);
+    }
+
+    #[test]
+    fn bcast_length_mismatch_is_typed_error() {
+        // A non-root sized differently from the root still participates
+        // in the wire movement (peers are unaffected) and then reports
+        // the typed mismatch instead of panicking or mis-decrypting.
+        let w = World::flat(NetModel::instant(), 3);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, cfg()).unwrap();
+            let mut buf = match c.rank() {
+                0 => vec![7u8; 64],
+                1 => vec![0u8; 64],
+                _ => vec![0u8; 32], // wrong count on rank 2
+            };
+            match (c.rank(), sc.bcast(&mut buf, 0)) {
+                (2, Err(Error::LengthMismatch { local: 32, remote: 64 })) => true,
+                (2, _) => false,
+                (_, Ok(())) => buf == vec![7u8; 64],
+                _ => false,
+            }
+        });
+        assert_eq!(out.results, vec![true, true, true]);
+    }
+
+    #[test]
+    fn pipelined_bcast_length_mismatch_still_forwards() {
+        // Same contract on the chunked path: the mismatched rank relays
+        // the ciphertext train down the tree before erroring, so ranks
+        // below it still complete.
+        let len = 1usize << 17;
+        let pcfg = move || {
+            cfg().with_pipeline(
+                crate::PipelineConfig::enabled()
+                    .with_chunk_size(1 << 14)
+                    .with_workers(4),
+            )
+        };
+        let w = World::flat(NetModel::ethernet_10g(), 4);
+        let out = w.run(move |c| {
+            let sc = SecureComm::new(c, pcfg()).unwrap();
+            // Binomial tree from root 0 over 4 ranks: rank 1 receives
+            // from 0 and forwards to rank 3. Give rank 1 the bad count.
+            let mut buf = match c.rank() {
+                0 => vec![5u8; len],
+                1 => vec![0u8; len / 2],
+                _ => vec![0u8; len],
+            };
+            match (c.rank(), sc.bcast(&mut buf, 0)) {
+                (1, Err(Error::LengthMismatch { local, remote })) => {
+                    local == len / 2 && remote == len
+                }
+                (1, _) => false,
+                (_, Ok(())) => buf == vec![5u8; len],
+                _ => false,
+            }
+        });
+        assert_eq!(out.results, vec![true, true, true, true]);
+    }
+
+    #[test]
+    fn pipelined_bcast_round_trips_with_mixed_configs() {
+        // The wire format is the root's choice; a receiver with
+        // pipelining disabled locally must still open the chunked train.
+        let len = (1usize << 18) + 5;
+        let w = World::flat(NetModel::ethernet_10g(), 4);
+        let out = w.run(move |c| {
+            let local = if c.rank() == 3 {
+                cfg() // pipelining disabled on this receiver
+            } else {
+                cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4))
+            };
+            let sc = SecureComm::new(c, local).unwrap();
+            let pattern: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(17)) as u8).collect();
+            let mut buf = if c.rank() == 1 { pattern.clone() } else { vec![0u8; len] };
+            sc.bcast(&mut buf, 1).unwrap();
+            buf == pattern
+        });
+        assert_eq!(out.results, vec![true; 4]);
+    }
+
+    #[test]
+    fn pipelined_bcast_beats_sequential() {
+        // Forward-then-open down the tree must strictly beat the
+        // sequential seal → bcast → open shape at a pipeline-worthy size.
+        let len = 1usize << 21;
+        let run = |pipeline: crate::PipelineConfig| {
+            let w = World::flat(NetModel::ethernet_10g(), 4);
+            w.run(move |c| {
+                let sc = SecureComm::new(c, cfg().with_pipeline(pipeline)).unwrap();
+                let mut buf = if c.rank() == 0 { vec![3u8; len] } else { vec![0u8; len] };
+                sc.bcast(&mut buf, 0).unwrap();
+            })
+            .end_time
+            .as_nanos()
+        };
+        let sequential = run(crate::PipelineConfig::disabled());
+        let pipelined = run(crate::PipelineConfig::enabled().with_workers(4));
+        assert!(
+            pipelined < sequential,
+            "pipelined bcast {pipelined}ns must beat sequential {sequential}ns"
+        );
+    }
+
+    #[test]
+    fn pipelined_alltoall_matches_sequential_and_overlaps() {
+        let n = 4usize;
+        let block = 96 * 1024; // > one 64 KB chunk → chunked trains
+        let data = |me: usize| -> Vec<u8> {
+            (0..n)
+                .flat_map(|dst| {
+                    let mut b = vec![me as u8; block];
+                    b[1] = dst as u8;
+                    b
+                })
+                .collect()
+        };
+        let run = |pipeline: crate::PipelineConfig| {
+            let w = World::flat(NetModel::ethernet_10g(), n);
+            w.run(move |c| {
+                let sc = SecureComm::new(c, cfg().with_pipeline(pipeline)).unwrap();
+                sc.alltoall(&data(c.rank()), block).unwrap()
+            })
+        };
+        let seq = run(crate::PipelineConfig::disabled());
+        let pip = run(crate::PipelineConfig::enabled().with_workers(4));
+        // Bit-identical plaintext out of both shapes.
+        assert_eq!(seq.results, pip.results);
+        for (me, v) in pip.results.iter().enumerate() {
+            for src in 0..n {
+                assert_eq!(v[src * block] as usize, src);
+                assert_eq!(v[src * block + 1] as usize, me);
+            }
+        }
+        // And the chunked shape must overlap crypto with the wire.
+        assert!(
+            pip.end_time < seq.end_time,
+            "pipelined alltoall {:?} must beat sequential {:?}",
+            pip.end_time,
+            seq.end_time
+        );
+    }
+
+    #[test]
+    fn pipelined_alltoallv_mixes_segment_formats() {
+        // Ragged counts around the chunk threshold: large segments ride
+        // chunked trains, small and empty ones the plain record format,
+        // in the same collective call.
+        let n = 3usize;
+        let counts = |me: usize| -> Vec<usize> {
+            (0..n)
+                .map(|dst| match (me + dst) % 3 {
+                    0 => 0,
+                    1 => 100,
+                    _ => (1 << 16) + 9, // above one chunk
+                })
+                .collect()
+        };
+        let w = World::flat(NetModel::ethernet_10g(), n);
+        let out = w.run(move |c| {
+            let me = c.rank();
+            let sc = SecureComm::new(
+                c,
+                cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(2)),
+            )
+            .unwrap();
+            let send_counts = counts(me);
+            let recv_counts: Vec<usize> =
+                (0..n).map(|src| counts(src)[me]).collect();
+            let send: Vec<u8> = send_counts
+                .iter()
+                .flat_map(|&k| vec![me as u8 + 1; k])
+                .collect();
+            let got = sc.alltoallv(&send, &send_counts, &recv_counts).unwrap();
+            let expect: Vec<u8> = (0..n)
+                .flat_map(|src| vec![src as u8 + 1; recv_counts[src]])
+                .collect();
+            got == expect
+        });
+        assert_eq!(out.results, vec![true; n]);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn shared_pool_serializes_two_secure_comms() {
+        // Two SecureComms on one rank draw from the *same* per-rank
+        // worker pool: their chunk seals must share worker timelines
+        // (never overlap on a lane) instead of each getting a phantom
+        // idle pool of its own.
+        let len = 1usize << 18; // 4 chunks
+        let w = World::flat(NetModel::ethernet_10g(), 2).traced(true);
+        let out = w.run(move |c| {
+            let pcfg =
+                || cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(2));
+            if c.rank() == 0 {
+                let sc1 = SecureComm::new(c, pcfg()).unwrap();
+                let sc2 = SecureComm::new(c, pcfg()).unwrap();
+                let msg = vec![1u8; len];
+                let r1 = sc1.isend(&msg, 1, 1);
+                let r2 = sc2.isend(&msg, 1, 2);
+                sc1.wait(r1).unwrap();
+                sc2.wait(r2).unwrap();
+            } else {
+                let sc = SecureComm::new(c, pcfg()).unwrap();
+                sc.recv(Src::Is(0), TagSel::Is(1)).unwrap();
+                sc.recv(Src::Is(0), TagSel::Is(2)).unwrap();
+            }
+        });
+        let tr = out.trace.unwrap();
+        // Both messages' chunks were sealed on rank 0.
+        assert_eq!(tr.per_rank[0].chunks_sealed, 8);
+        // Collect rank-0 seal spans per worker lane and check the lanes
+        // are conflict-free in virtual time across *both* communicators.
+        let mut by_lane: std::collections::HashMap<u32, Vec<(u64, u64)>> =
+            std::collections::HashMap::new();
+        for e in tr.events.iter().filter(|e| e.name == "pipe/seal") {
+            by_lane
+                .entry(e.tid)
+                .or_default()
+                .push((e.ts_ns, e.ts_ns + e.dur_ns));
+        }
+        assert_eq!(by_lane.len(), 2, "two workers must carry all seals");
+        for spans in by_lane.values_mut() {
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                assert!(
+                    pair[1].0 >= pair[0].1,
+                    "worker lane double-booked: {:?} overlaps {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,16 @@ enum Op {
 
 impl<'h> Comm<'h> {
     fn coll_tag(&self, op: Op) -> Tag {
+        self.reserved_tag(op as u32)
+    }
+
+    /// Mint a tag in the reserved collective space for operation code
+    /// `op` (codes 1–9 are taken by the built-in collectives; higher
+    /// layers running their own collective protocols — e.g. the
+    /// pipelined encrypted bcast — use codes ≥ 32). Every rank must
+    /// call this the same number of times in the same order, exactly
+    /// like the built-in collectives.
+    pub fn reserved_tag(&self, op: u32) -> Tag {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq.wrapping_add(1));
         RESERVED_TAG_BASE | ((op as Tag) << 16) | (seq & 0xffff)

@@ -19,7 +19,7 @@ use empi_netsim::{Fabric, SimHandle, Tracer, VDur, VTime};
 use parking_lot::Mutex;
 
 use crate::chunk::{ChunkFrame, ChunkedMessage, RecvPayload};
-use crate::state::{ChunkedSend, Envelope, PostedRecv, ReqEntry, RndvSend, SharedState};
+use crate::state::{ChunkedSend, DonePayload, Envelope, PostedRecv, ReqEntry, RndvSend, SharedState};
 use crate::types::{as_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel};
 
 /// Handle to an outstanding non-blocking operation.
@@ -161,6 +161,39 @@ impl<'h> Comm<'h> {
         (sender_done, arrival)
     }
 
+    /// Schedule the wire transfers of a matched chunked send. Each
+    /// frame starts no earlier than its seal completed (`f.ready`),
+    /// the sender posted, and `earliest` (when the receive side became
+    /// available). Returns per-frame arrivals in transmission order,
+    /// the last arrival, and the sender-done time.
+    fn schedule_chunked(
+        s: &mut SharedState,
+        src: usize,
+        dst: usize,
+        frames: Vec<ChunkFrame>,
+        posted: VTime,
+        earliest: VTime,
+    ) -> (Vec<(VTime, Bytes)>, VTime, VTime) {
+        let same_node = s.fabric.topology().same_node(src, dst);
+        let latency = s.fabric.model().latency.as_nanos();
+        let mut out = Vec::with_capacity(frames.len());
+        let mut last_arrive = VTime(0);
+        let mut last_sender_done = VTime(0);
+        for f in frames {
+            let start = f.ready.max(posted).max(earliest);
+            let arrive = s.fabric.transmit(src, dst, f.data.len(), start);
+            let done = if same_node {
+                arrive
+            } else {
+                VTime(arrive.as_nanos().saturating_sub(latency))
+            };
+            last_sender_done = last_sender_done.max(done);
+            last_arrive = last_arrive.max(arrive);
+            out.push((arrive, f.data));
+        }
+        (out, last_arrive, last_sender_done)
+    }
+
     // ---------------------------------------------------------------
     // Blocking point-to-point
     // ---------------------------------------------------------------
@@ -186,7 +219,7 @@ impl<'h> Comm<'h> {
                 s.p2p_ops += 1;
                 let arrive = s.fabric.transmit(me, dst, len, now);
                 if let Some(pr) = s.take_posted(dst, me, tag) {
-                    s.complete_req(pr.req, arrive, me, tag, Some(data));
+                    s.complete_req(pr.req, arrive, me, tag, DonePayload::Plain(data));
                 } else {
                     s.queues[dst].unexpected.push_back(Envelope {
                         src: me,
@@ -209,12 +242,12 @@ impl<'h> Comm<'h> {
                 if let Some(pr) = s.take_posted(dst, me, tag) {
                     let (sender_done, arrival) =
                         Self::schedule_rndv(&mut s.fabric, me, dst, len, now, pr.posted_at);
-                    s.complete_req(pr.req, arrival, me, tag, Some(data));
+                    s.complete_req(pr.req, arrival, me, tag, DonePayload::Plain(data));
                     s.requests[req] = Some(ReqEntry::Done {
                         at: sender_done,
                         src: me,
                         tag,
-                        data: None,
+                        data: DonePayload::None,
                     });
                 } else {
                     s.queues[dst].rndv.push_back(RndvSend {
@@ -250,7 +283,7 @@ impl<'h> Comm<'h> {
             if let Some(r) = s.take_rndv(me, src, tag) {
                 let (sender_done, arrival) =
                     Self::schedule_rndv(&mut s.fabric, r.src, me, r.data.len(), r.ready, h.now());
-                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, None);
+                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, DonePayload::None);
                 let env = Envelope {
                     src: r.src,
                     tag: r.tag,
@@ -294,21 +327,86 @@ impl<'h> Comm<'h> {
         let req = {
             let mut s = self.shared.lock();
             s.p2p_ops += 1;
-            let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
-            s.queues[dst].chunked.push_back(ChunkedSend {
-                src: me,
-                tag,
-                frames,
-                posted: self.h.now(),
-                req,
-            });
-            req
+            let now = self.h.now();
+            if let Some(pr) = s.take_posted(dst, me, tag) {
+                // The receiver already posted (irecv): schedule the
+                // frame train now and complete its request so its
+                // `wait` can dispatch on the chunked payload. Without
+                // this match a posted receive and a chunked send
+                // deadlock — the receiver's wait never pops the
+                // chunked queue.
+                let (frames, last_arrive, sender_done) =
+                    Self::schedule_chunked(&mut s, me, dst, frames, now, pr.posted_at);
+                s.complete_req(pr.req, last_arrive, me, tag, DonePayload::Chunked(frames));
+                s.alloc_req(ReqEntry::Done {
+                    at: sender_done,
+                    src: me,
+                    tag,
+                    data: DonePayload::None,
+                })
+            } else {
+                let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
+                s.queues[dst].chunked.push_back(ChunkedSend {
+                    src: me,
+                    tag,
+                    frames,
+                    posted: now,
+                    req,
+                });
+                req
+            }
         };
         self.h.notify_rank(dst);
         let shared = Arc::clone(&self.shared);
         self.h.block_on("send(chunked)", || {
             shared.lock().try_take_done(req).map(|d| (d.0, ()))
         });
+    }
+
+    /// Non-blocking chunked send: like [`Comm::send_chunked`] but
+    /// returns immediately with a request that completes when the last
+    /// frame clears the sender's NIC. Charges the streaming host
+    /// occupancy (the `isend` accounting), so sealing of later
+    /// messages can overlap this train's wire time.
+    pub fn isend_chunked(&self, frames: Vec<ChunkFrame>, dst: usize, tag: Tag) -> Request {
+        assert!(dst < self.size(), "isend_chunked to invalid rank {dst}");
+        assert_ne!(dst, self.rank(), "chunked self-sends are opened locally by the caller");
+        assert!(!frames.is_empty(), "chunked message needs at least one frame");
+        let me = self.rank();
+        let wire: usize = frames.iter().map(|f| f.data.len()).sum();
+        let _op = self.op("p2p/chunked");
+        self.charge_host(self.side_overhead(dst, wire, false));
+        let now = self.h.now();
+        let id = {
+            let mut s = self.shared.lock();
+            s.p2p_ops += 1;
+            if let Some(pr) = s.take_posted(dst, me, tag) {
+                let (frames, last_arrive, sender_done) =
+                    Self::schedule_chunked(&mut s, me, dst, frames, now, pr.posted_at);
+                s.complete_req(pr.req, last_arrive, me, tag, DonePayload::Chunked(frames));
+                s.alloc_req(ReqEntry::Done {
+                    at: sender_done,
+                    src: me,
+                    tag,
+                    data: DonePayload::None,
+                })
+            } else {
+                let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
+                s.queues[dst].chunked.push_back(ChunkedSend {
+                    src: me,
+                    tag,
+                    frames,
+                    posted: now,
+                    req,
+                });
+                req
+            }
+        };
+        self.h.notify_rank(dst);
+        Request {
+            id,
+            kind: ReqKind::Send,
+        }
     }
 
     /// Blocking receive that also matches chunked (pipelined) messages.
@@ -336,7 +434,7 @@ impl<'h> Comm<'h> {
             if let Some(r) = s.take_rndv(me, src, tag) {
                 let (sender_done, arrival) =
                     Self::schedule_rndv(&mut s.fabric, r.src, me, r.data.len(), r.ready, h.now());
-                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, None);
+                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, DonePayload::None);
                 let env = Envelope {
                     src: r.src,
                     tag: r.tag,
@@ -349,24 +447,10 @@ impl<'h> Comm<'h> {
             }
             if let Some(cs) = s.take_chunked(me, src, tag) {
                 let now = h.now();
-                let same_node = s.fabric.topology().same_node(cs.src, me);
-                let latency = s.fabric.model().latency.as_nanos();
-                let mut frames = Vec::with_capacity(cs.frames.len());
-                let mut last_arrive = VTime(0);
-                let mut last_sender_done = VTime(0);
-                for f in cs.frames {
-                    let start = f.ready.max(cs.posted).max(now);
-                    let arrive = s.fabric.transmit(cs.src, me, f.data.len(), start);
-                    let done = if same_node {
-                        arrive
-                    } else {
-                        VTime(arrive.as_nanos().saturating_sub(latency))
-                    };
-                    last_sender_done = last_sender_done.max(done);
-                    last_arrive = last_arrive.max(arrive);
-                    frames.push((arrive, f.data));
-                }
-                let owner = s.complete_req(cs.req, last_sender_done, cs.src, cs.tag, None);
+                let (frames, last_arrive, last_sender_done) =
+                    Self::schedule_chunked(&mut s, cs.src, me, cs.frames, cs.posted, now);
+                let owner =
+                    s.complete_req(cs.req, last_sender_done, cs.src, cs.tag, DonePayload::None);
                 h.notify_rank(owner);
                 let msg = ChunkedMessage {
                     src: cs.src,
@@ -453,7 +537,7 @@ impl<'h> Comm<'h> {
             if eager {
                 let arrive = s.fabric.transmit(me, dst, len, now);
                 if let Some(pr) = s.take_posted(dst, me, tag) {
-                    s.complete_req(pr.req, arrive, me, tag, Some(data));
+                    s.complete_req(pr.req, arrive, me, tag, DonePayload::Plain(data));
                 } else {
                     s.queues[dst].unexpected.push_back(Envelope {
                         src: me,
@@ -468,19 +552,19 @@ impl<'h> Comm<'h> {
                     at: now,
                     src: me,
                     tag,
-                    data: None,
+                    data: DonePayload::None,
                 })
             } else {
                 let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
                 if let Some(pr) = s.take_posted(dst, me, tag) {
                     let (sender_done, arrival) =
                         Self::schedule_rndv(&mut s.fabric, me, dst, len, now, pr.posted_at);
-                    s.complete_req(pr.req, arrival, me, tag, Some(data));
+                    s.complete_req(pr.req, arrival, me, tag, DonePayload::Plain(data));
                     s.requests[req] = Some(ReqEntry::Done {
                         at: sender_done,
                         src: me,
                         tag,
-                        data: None,
+                        data: DonePayload::None,
                     });
                 } else {
                     s.queues[dst].rndv.push_back(RndvSend {
@@ -504,7 +588,11 @@ impl<'h> Comm<'h> {
     }
 
     /// Non-blocking receive (`MPI_Irecv`). The payload is returned by
-    /// [`Comm::wait`].
+    /// [`Comm::wait`] (plain messages) or [`Comm::wait_payload`]
+    /// (format-agnostic: plain or chunked). The posted receive itself
+    /// is format-agnostic — whether the matching sender used the
+    /// contiguous or the chunked wire format is only known at match
+    /// time and is carried in the completed request.
     pub fn irecv(&self, src: Src, tag: TagSel) -> Request {
         let me = self.rank();
         let now = self.h.now();
@@ -516,17 +604,34 @@ impl<'h> Comm<'h> {
                     at: env.arrive,
                     src: env.src,
                     tag: env.tag,
-                    data: Some(env.data),
+                    data: DonePayload::Plain(env.data),
                 });
             } else if let Some(r) = s.take_rndv(me, src, tag) {
                 let (sender_done, arrival) =
                     Self::schedule_rndv(&mut s.fabric, r.src, me, r.data.len(), r.ready, now);
-                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, None);
+                let owner = s.complete_req(r.req, sender_done, r.src, r.tag, DonePayload::None);
                 s.requests[req] = Some(ReqEntry::Done {
                     at: arrival,
                     src: r.src,
                     tag: r.tag,
-                    data: Some(r.data),
+                    data: DonePayload::Plain(r.data),
+                });
+                drop(s);
+                self.h.notify_rank(owner);
+                return Request {
+                    id: req,
+                    kind: ReqKind::Recv,
+                };
+            } else if let Some(cs) = s.take_chunked(me, src, tag) {
+                let (frames, last_arrive, sender_done) =
+                    Self::schedule_chunked(&mut s, cs.src, me, cs.frames, cs.posted, now);
+                let owner =
+                    s.complete_req(cs.req, sender_done, cs.src, cs.tag, DonePayload::None);
+                s.requests[req] = Some(ReqEntry::Done {
+                    at: last_arrive,
+                    src: cs.src,
+                    tag: cs.tag,
+                    data: DonePayload::Chunked(frames),
                 });
                 drop(s);
                 self.h.notify_rank(owner);
@@ -550,9 +655,14 @@ impl<'h> Comm<'h> {
         }
     }
 
-    /// Wait for one request (`MPI_Wait`). For receives, returns the
-    /// payload and charges the receive-side host overhead.
-    pub fn wait(&self, req: Request) -> (Status, Option<Bytes>) {
+    /// Wait for one request, dispatching on the wire format the
+    /// matched sender actually used (`MPI_Wait`, format-agnostic).
+    ///
+    /// For receives the payload is either a plain message or a chunked
+    /// (pipelined) frame train with per-frame arrival times; the
+    /// receive-side host overhead is charged on the delivered bytes
+    /// either way. Sends return `None`.
+    pub fn wait_payload(&self, req: Request) -> (Status, Option<RecvPayload>) {
         let shared = Arc::clone(&self.shared);
         let id = req.id;
         let (src, tag, data) = self.h.block_on("wait", || {
@@ -561,19 +671,60 @@ impl<'h> Comm<'h> {
                 .try_take_done(id)
                 .map(|(at, src, tag, data)| (at, (src, tag, data)))
         });
-        let len = data.as_ref().map_or(0, |d| d.len());
-        if req.kind == ReqKind::Recv {
-            self.charge_host(self.side_overhead(src, len, false));
-            self.note_delivery(src, len);
+        match data {
+            DonePayload::None => {
+                if req.kind == ReqKind::Recv {
+                    self.charge_host(self.side_overhead(src, 0, false));
+                    self.note_delivery(src, 0);
+                }
+                (Status { source: src, tag, len: 0 }, None)
+            }
+            DonePayload::Plain(data) => {
+                let len = data.len();
+                if req.kind == ReqKind::Recv {
+                    self.charge_host(self.side_overhead(src, len, false));
+                    self.note_delivery(src, len);
+                }
+                let status = Status {
+                    source: src,
+                    tag,
+                    len,
+                };
+                (status, Some(RecvPayload::Plain(status, data)))
+            }
+            DonePayload::Chunked(frames) => {
+                let msg = ChunkedMessage { src, tag, frames };
+                let wire = msg.wire_bytes();
+                self.charge_host(self.side_overhead(src, wire, false));
+                for (_, f) in &msg.frames {
+                    self.note_delivery(src, f.len());
+                }
+                let status = Status {
+                    source: src,
+                    tag,
+                    len: wire,
+                };
+                (status, Some(RecvPayload::Chunked(msg)))
+            }
         }
-        (
-            Status {
-                source: src,
-                tag,
-                len,
-            },
-            data,
-        )
+    }
+
+    /// Wait for one request (`MPI_Wait`). For receives, returns the
+    /// payload and charges the receive-side host overhead.
+    ///
+    /// Panics if the matched sender used the chunked (pipelined) wire
+    /// format — callers that may face either format use
+    /// [`Comm::wait_payload`].
+    pub fn wait(&self, req: Request) -> (Status, Option<Bytes>) {
+        let (status, payload) = self.wait_payload(req);
+        match payload {
+            None => (status, None),
+            Some(RecvPayload::Plain(_, data)) => (status, Some(data)),
+            Some(RecvPayload::Chunked(_)) => panic!(
+                "wait: sender used the chunked (pipelined) wire format; \
+                 dispatch through wait_payload instead"
+            ),
+        }
     }
 
     /// Wait for all requests (`MPI_Waitall`), in order.
@@ -581,10 +732,11 @@ impl<'h> Comm<'h> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
     }
 
-    /// Wait for whichever request completes first (`MPI_Waitany`).
+    /// Wait for whichever request completes first (`MPI_Waitany`),
+    /// dispatching on the wire format like [`Comm::wait_payload`].
     /// Removes the completed request from `reqs` and returns its index
     /// along with the result.
-    pub fn waitany(&self, reqs: &mut Vec<Request>) -> (usize, Status, Option<Bytes>) {
+    pub fn waitany_payload(&self, reqs: &mut Vec<Request>) -> (usize, Status, Option<RecvPayload>) {
         assert!(!reqs.is_empty(), "waitany on an empty request set");
         let shared = Arc::clone(&self.shared);
         let ids: Vec<usize> = reqs.iter().map(|r| r.id).collect();
@@ -596,8 +748,24 @@ impl<'h> Comm<'h> {
                 .min()
         });
         let req = reqs.remove(idx);
-        let (status, data) = self.wait(req);
-        (idx, status, data)
+        let (status, payload) = self.wait_payload(req);
+        (idx, status, payload)
+    }
+
+    /// Wait for whichever request completes first (`MPI_Waitany`).
+    /// Removes the completed request from `reqs` and returns its index
+    /// along with the result. Panics on a chunked payload, like
+    /// [`Comm::wait`].
+    pub fn waitany(&self, reqs: &mut Vec<Request>) -> (usize, Status, Option<Bytes>) {
+        let (idx, status, payload) = self.waitany_payload(reqs);
+        match payload {
+            None => (idx, status, None),
+            Some(RecvPayload::Plain(_, data)) => (idx, status, Some(data)),
+            Some(RecvPayload::Chunked(_)) => panic!(
+                "waitany: sender used the chunked (pipelined) wire format; \
+                 dispatch through waitany_payload instead"
+            ),
+        }
     }
 
     /// Blocking probe (`MPI_Probe`): wait until a matching message is

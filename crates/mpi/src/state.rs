@@ -71,6 +71,17 @@ pub(crate) struct RankQueues {
     pub chunked: VecDeque<ChunkedSend>,
 }
 
+/// What a completed request carries: nothing (sends), one contiguous
+/// message, or the per-frame arrivals of a chunked (pipelined) one.
+/// The receiver learns which wire format a matched sender used only
+/// here — dispatch is format-driven, never config-driven.
+#[derive(Debug)]
+pub(crate) enum DonePayload {
+    None,
+    Plain(Bytes),
+    Chunked(Vec<(VTime, Bytes)>),
+}
+
 /// Request slab entry.
 #[derive(Debug)]
 pub(crate) enum ReqEntry {
@@ -83,7 +94,7 @@ pub(crate) enum ReqEntry {
         at: VTime,
         src: usize,
         tag: Tag,
-        data: Option<Bytes>,
+        data: DonePayload,
     },
 }
 
@@ -122,7 +133,7 @@ impl SharedState {
 
     /// Take a completed request's result, freeing the slot.
     /// Returns `None` if it is still pending.
-    pub fn try_take_done(&mut self, id: usize) -> Option<(VTime, usize, Tag, Option<Bytes>)> {
+    pub fn try_take_done(&mut self, id: usize) -> Option<(VTime, usize, Tag, DonePayload)> {
         match self.requests[id].as_ref() {
             Some(ReqEntry::Done { .. }) => {
                 let entry = self.requests[id].take().unwrap();
@@ -144,7 +155,7 @@ impl SharedState {
         at: VTime,
         src: usize,
         tag: Tag,
-        data: Option<Bytes>,
+        data: DonePayload,
     ) -> usize {
         let owner = match self.requests[id].as_ref() {
             Some(ReqEntry::PendingSend { owner }) | Some(ReqEntry::PendingRecv { owner }) => {

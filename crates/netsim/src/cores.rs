@@ -77,6 +77,39 @@ impl CorePool {
     pub fn earliest_free(&self) -> VTime {
         VTime(self.free_at.iter().copied().min().unwrap_or(0))
     }
+
+    /// Grow the pool to at least `workers` timelines (new workers idle
+    /// from t=0). Never shrinks: a rank's physical cores don't vanish
+    /// when a communicator configured for fewer workers uses the pool.
+    pub fn ensure_workers(&mut self, workers: usize) {
+        assert!(workers > 0, "core pool needs at least one worker");
+        if workers > self.free_at.len() {
+            self.free_at.resize(workers, 0);
+        }
+    }
+
+    /// Like [`CorePool::schedule`], but restricted to the first
+    /// `limit` workers. This is how several communicators on one rank
+    /// share a single physical pool: each schedules onto the same
+    /// busy-until timelines (so their jobs serialize where they
+    /// contend) while respecting its own configured worker count.
+    pub fn schedule_limited(&mut self, submit: VTime, dur: VDur, limit: usize) -> CoreSlot {
+        let limit = limit.clamp(1, self.free_at.len());
+        let (worker, free) = self.free_at[..limit]
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, f)| (f, i))
+            .expect("non-empty pool");
+        let start = submit.as_nanos().max(free);
+        let end = start + dur.as_nanos();
+        self.free_at[worker] = end;
+        CoreSlot {
+            worker,
+            start: VTime(start),
+            end: VTime(end),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +163,37 @@ mod tests {
             .collect();
         assert_eq!(ends, vec![100, 100, 200, 200, 300, 300, 400, 400]);
         assert_eq!(p.earliest_free(), VTime(400));
+    }
+
+    #[test]
+    fn ensure_workers_grows_but_never_shrinks() {
+        let mut p = CorePool::new(2);
+        p.schedule(VTime(0), VDur(100));
+        p.ensure_workers(4);
+        assert_eq!(p.workers(), 4);
+        // Existing busy-until state survives the growth.
+        let s = p.schedule(VTime(0), VDur(10));
+        assert_eq!(s.start, VTime(0));
+        p.ensure_workers(1);
+        assert_eq!(p.workers(), 4);
+    }
+
+    #[test]
+    fn schedule_limited_shares_timelines_across_limits() {
+        // A communicator limited to 2 workers and one limited to 4
+        // contend on the same first two timelines.
+        let mut p = CorePool::new(4);
+        let a = p.schedule_limited(VTime(0), VDur(100), 2);
+        let b = p.schedule_limited(VTime(0), VDur(100), 2);
+        assert_eq!((a.worker, b.worker), (0, 1));
+        // The 4-worker view sees workers 0/1 busy and picks worker 2.
+        let c = p.schedule_limited(VTime(0), VDur(100), 4);
+        assert_eq!(c.worker, 2);
+        // The 2-worker view must queue behind its own lanes.
+        let d = p.schedule_limited(VTime(0), VDur(50), 2);
+        assert_eq!(d.start, VTime(100));
+        // A limit beyond the pool clamps to the pool size.
+        let e = p.schedule_limited(VTime(0), VDur(10), 99);
+        assert_eq!(e.worker, 3);
     }
 }

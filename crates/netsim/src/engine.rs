@@ -29,6 +29,7 @@ use std::time::Instant;
 use empi_trace::{TraceReport, Tracer};
 use parking_lot::{Condvar, Mutex};
 
+use crate::cores::CorePool;
 use crate::time::{VDur, VTime};
 
 /// Why a rank is parked (for deadlock diagnostics).
@@ -85,6 +86,12 @@ struct Shared {
     tracer: Option<Tracer>,
     /// Extra per-rank context for the deadlock report.
     diag: Option<DiagFn>,
+    /// Per-rank shared crypto worker pool (see
+    /// [`SimHandle::with_core_pool`]): one set of physical core
+    /// timelines per rank, shared by every communicator on that rank.
+    /// Lazily created on first use. The lock is uncontended (execution
+    /// is exclusive); it only satisfies `Sync`.
+    pools: Vec<Mutex<Option<CorePool>>>,
 }
 
 impl Shared {
@@ -253,6 +260,7 @@ impl Engine {
             notifies: AtomicU64::new(0),
             tracer: self.tracer.clone(),
             diag: self.diag.clone(),
+            pools: (0..self.n_ranks).map(|_| Mutex::new(None)).collect(),
         });
 
         let mut results: Vec<Option<T>> = (0..self.n_ranks).map(|_| None).collect();
@@ -453,6 +461,22 @@ impl SimHandle {
     /// scaling as [`Self::charge_measured`] without moving this clock.
     pub fn time_scale(&self) -> f64 {
         self.shared.time_scale
+    }
+
+    /// Run `f` against this rank's shared crypto worker pool, growing
+    /// it to at least `workers` timelines first.
+    ///
+    /// The pool is per *rank*, not per communicator: two communicators
+    /// on one rank delegate chunk seals/opens to the same physical
+    /// cores, so their jobs serialize on the shared busy-until
+    /// timelines instead of each modeling a phantom private pool. A
+    /// communicator configured for `k` workers should schedule with
+    /// [`CorePool::schedule_limited`] and limit `k`.
+    pub fn with_core_pool<T>(&self, workers: usize, f: impl FnOnce(&mut CorePool) -> T) -> T {
+        let mut guard = self.shared.pools[self.rank].lock();
+        let pool = guard.get_or_insert_with(|| CorePool::new(workers.max(1)));
+        pool.ensure_workers(workers.max(1));
+        f(pool)
     }
 
     /// Wake `target` if it is parked in [`block_on`](Self::block_on),

@@ -26,7 +26,7 @@
 //! follows the configured cost model ([`ChunkCost`]), exactly like the
 //! sequential path in `empi-core`.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 
 use bytes::Bytes;
 use empi_aead::chunked::{
@@ -38,8 +38,8 @@ use empi_mpi::chunk::{
     ChunkError, ChunkFrame, ChunkedMessage, FrameHeader, Reassembly, FRAME_HEADER_LEN,
     FRAME_NONCE_LEN,
 };
-use empi_mpi::{Comm, Tag};
-use empi_netsim::{CorePool, VDur, VTime};
+use empi_mpi::{Comm, Request, Tag};
+use empi_netsim::{VDur, VTime};
 
 /// Default chunk size: 64 KB, CryptMPI's sweet spot (large enough to
 /// amortize per-record AEAD setup, small enough to fill the pipeline).
@@ -305,21 +305,26 @@ pub fn open_frames(cipher: &AesGcm, frames: &[Vec<u8>]) -> Result<Vec<u8>, Pipel
     Ok(out)
 }
 
-/// Per-rank pipelined-crypto endpoint: the worker-core pool plus a
-/// sender-unique message-id counter. One per `SecureComm`.
+/// Per-rank pipelined-crypto endpoint: a sender-unique message-id
+/// counter plus the configuration. One per `SecureComm`.
+///
+/// The worker-core pool itself is *not* owned here: all communicators
+/// on a rank share the engine's per-rank pool
+/// (`SimHandle::with_core_pool`), each restricted to its configured
+/// worker count, so two communicators contend for the same physical
+/// cores instead of each modeling a phantom private pool.
 pub struct Pipeline {
     cfg: PipelineConfig,
-    pool: RefCell<CorePool>,
     next_seq: Cell<u64>,
     rank: u64,
 }
 
 impl Pipeline {
-    /// An endpoint for `rank` with `cfg.workers` crypto cores.
+    /// An endpoint for `rank` using `cfg.workers` of the rank's shared
+    /// crypto cores.
     pub fn new(cfg: PipelineConfig, rank: usize) -> Self {
         Pipeline {
             cfg,
-            pool: RefCell::new(CorePool::new(cfg.workers)),
             next_seq: Cell::new(0),
             rank: rank as u64,
         }
@@ -343,17 +348,18 @@ impl Pipeline {
         (self.rank << 32) | seq
     }
 
-    /// Pipelined blocking send: greedily schedule every chunk's seal on
-    /// the worker pool (all chunks are available to the workers at call
-    /// time), then hand the frames — each stamped with its seal's
-    /// completion time — to the chunked transport. The main thread's
-    /// clock is *not* advanced by crypto: the cores do it, concurrently
-    /// with the host overhead and the wire.
+    /// Seal `buf` into timed wire frames: greedily schedule every
+    /// chunk's seal on the rank's shared worker pool (all chunks are
+    /// available to the workers at call time) and stamp each frame
+    /// with its seal's completion time. The main thread's clock is
+    /// *not* advanced by crypto: the cores do it, concurrently with
+    /// the host overhead and the wire. This is the building block of
+    /// [`Pipeline::send`]/[`Pipeline::isend`] and of the pipelined
+    /// collectives, which route the frames themselves.
     ///
     /// `base_nonce` must reserve one nonce per chunk (draw it with
     /// `NonceSource::next_nonce_block(chunk_count)`).
-    #[allow(clippy::too_many_arguments)]
-    pub fn send(
+    pub fn seal_timed(
         &self,
         comm: &Comm<'_>,
         cipher: &AesGcm,
@@ -361,9 +367,7 @@ impl Pipeline {
         backend: &'static str,
         base_nonce: [u8; NONCE_LEN],
         buf: &[u8],
-        dst: usize,
-        tag: Tag,
-    ) {
+    ) -> Vec<ChunkFrame> {
         let msg_id = self.next_msg_id();
         let total = chunk_count(buf.len(), self.cfg.chunk_size);
         let total_len = buf.len() as u64;
@@ -371,8 +375,7 @@ impl Pipeline {
         let h = comm.sim();
         let submit = h.now();
         let mut frames = Vec::with_capacity(total as usize);
-        {
-            let mut pool = self.pool.borrow_mut();
+        h.with_core_pool(self.cfg.workers, |pool| {
             for i in 0..total {
                 let plain = &buf[chunk_range(buf.len(), self.cfg.chunk_size, i)];
                 let header = FrameHeader {
@@ -384,7 +387,7 @@ impl Pipeline {
                 let (frame, ns) = cost.run(plain.len(), || {
                     build_frame(&sealer, &base_nonce, header, plain)
                 });
-                let slot = pool.schedule(submit, VDur(ns));
+                let slot = pool.schedule_limited(submit, VDur(ns), self.cfg.workers);
                 if let Some(t) = h.tracer() {
                     t.pipeline_span(
                         comm.rank(),
@@ -401,8 +404,47 @@ impl Pipeline {
                     ready: slot.end,
                 });
             }
-        }
+        });
+        frames
+    }
+
+    /// Pipelined blocking send: seal on the worker pool, then hand the
+    /// timed frames to the chunked transport.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(
+        &self,
+        comm: &Comm<'_>,
+        cipher: &AesGcm,
+        cost: &ChunkCost<'_>,
+        backend: &'static str,
+        base_nonce: [u8; NONCE_LEN],
+        buf: &[u8],
+        dst: usize,
+        tag: Tag,
+    ) {
+        let frames = self.seal_timed(comm, cipher, cost, backend, base_nonce, buf);
         comm.send_chunked(frames, dst, tag);
+    }
+
+    /// Pipelined non-blocking send (`MPI_Isend` with encryption inside,
+    /// the paper's Algorithm placement): seal on the worker pool, hand
+    /// the timed frames to the non-blocking chunked transport, return
+    /// immediately. The receiver reassembles and decrypts inside its
+    /// `wait`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn isend(
+        &self,
+        comm: &Comm<'_>,
+        cipher: &AesGcm,
+        cost: &ChunkCost<'_>,
+        backend: &'static str,
+        base_nonce: [u8; NONCE_LEN],
+        buf: &[u8],
+        dst: usize,
+        tag: Tag,
+    ) -> Request {
+        let frames = self.seal_timed(comm, cipher, cost, backend, base_nonce, buf);
+        comm.isend_chunked(frames, dst, tag)
     }
 
     /// Pipelined open of a received chunked message: each chunk's
@@ -430,13 +472,19 @@ impl Pipeline {
         let h = comm.sim();
         let mut out = Vec::with_capacity(parsed.total_len as usize);
         let mut done = h.now();
-        {
-            let mut pool = self.pool.borrow_mut();
+        let mut failure = None;
+        h.with_core_pool(self.cfg.workers, |pool| {
             for (i, (arrive, record)) in parsed.records.iter().enumerate() {
                 let plain_len = record.len().saturating_sub(TAG_LEN);
                 let (plain, ns) = cost.run(plain_len, || opener.open_chunk(i as u32, record));
-                let plain = plain?;
-                let slot = pool.schedule(*arrive, VDur(ns));
+                let plain = match plain {
+                    Ok(p) => p,
+                    Err(e) => {
+                        failure = Some(e);
+                        return;
+                    }
+                };
+                let slot = pool.schedule_limited(*arrive, VDur(ns), self.cfg.workers);
                 if let Some(t) = h.tracer() {
                     t.pipeline_span(
                         comm.rank(),
@@ -451,6 +499,9 @@ impl Pipeline {
                 done = done.max(slot.end);
                 out.extend_from_slice(&plain);
             }
+        });
+        if let Some(e) = failure {
+            return Err(e.into());
         }
         if out.len() as u64 != parsed.total_len {
             return Err(PipelineError::Length {
