@@ -59,6 +59,28 @@ pub fn derive_chunk_nonce(base: &[u8; NONCE_LEN], index: u32) -> [u8; NONCE_LEN]
     n
 }
 
+/// Inverse of [`derive_chunk_nonce`]: recover the base nonce from the
+/// nonce chunk `index` was sealed under, by subtracting `index` from
+/// the trailing 64-bit big-endian word and borrowing from the 4-byte
+/// prefix on underflow. Because derivation is a plain 96-bit
+/// big-endian add, *any* intact chunk of a message suffices to
+/// reconstruct the base — which is what lets a receiver re-derive a
+/// damaged train's geometry from whichever frames survived.
+pub fn undo_chunk_nonce(nonce: &[u8; NONCE_LEN], index: u32) -> [u8; NONCE_LEN] {
+    let mut n = *nonce;
+    let mut tail = [0u8; 8];
+    tail.copy_from_slice(&n[4..]);
+    let (v, borrow) = u64::from_be_bytes(tail).overflowing_sub(index as u64);
+    n[4..].copy_from_slice(&v.to_be_bytes());
+    if borrow {
+        let mut head = [0u8; 4];
+        head.copy_from_slice(&n[..4]);
+        let h = u32::from_be_bytes(head).wrapping_sub(1);
+        n[..4].copy_from_slice(&h.to_be_bytes());
+    }
+    n
+}
+
 /// Associated data of chunk `index`: `msg_id ‖ index ‖ total ‖
 /// total_len`, all big-endian.
 pub fn chunk_aad(msg_id: u64, index: u32, total: u32, total_len: u64) -> [u8; CHUNK_AAD_LEN] {
@@ -211,6 +233,20 @@ mod tests {
         want_prefix[3] = 0xAC;
         assert_eq!(&carried[..4], &want_prefix);
         assert_eq!(&carried[4..], &0u64.to_be_bytes());
+    }
+
+    #[test]
+    fn undo_chunk_nonce_inverts_derivation() {
+        // Round-trip across the carry/borrow boundary and for ordinary
+        // bases: undo(derive(base, i), i) == base for every i.
+        let mut high = [0x5Au8; 12];
+        high[4..].copy_from_slice(&(u64::MAX - 1).to_be_bytes());
+        for base in [[0u8; 12], [0xFFu8; 12], [9u8; 12], high] {
+            for i in [0u32, 1, 2, 3, 1000, u32::MAX] {
+                let derived = derive_chunk_nonce(&base, i);
+                assert_eq!(undo_chunk_nonce(&derived, i), base, "base {base:?} index {i}");
+            }
+        }
     }
 
     #[test]

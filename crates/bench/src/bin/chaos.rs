@@ -1,0 +1,12 @@
+//! TAB-CHAOS / DECOMP-RETRY: seeded fault injection against the
+//! retransmit/recovery layer (extension beyond the paper). The rate-0
+//! rows double as the regression guard that an armed-but-idle ARQ puts
+//! nothing on the wire.
+use empi_bench::{chaos, emit, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&chaos::run_net(net, &opts), &opts.out_dir);
+    }
+}

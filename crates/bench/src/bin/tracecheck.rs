@@ -3,8 +3,11 @@
 //! and every lane's complete-event timestamps must be monotone
 //! non-decreasing (virtual time never runs backwards). Spans on the
 //! crypto-worker lanes (tid ≥ 10 000) must be pipeline chunk spans —
-//! `pipe/seal` or `pipe/open` — nothing else may land there. Used by
-//! the CI trace-smoke job; exits non-zero on the first invalid file.
+//! `pipe/seal` or `pipe/open` — nothing else may land there, and in
+//! particular the chaos layer's `fault/*` / `retry/*` spans must stay
+//! on the rank lanes where the injection/recovery happens. Used by
+//! the CI trace-smoke and chaos-smoke jobs; exits non-zero on the
+//! first invalid file.
 //!
 //! Usage: `tracecheck [FILE...]` — with no arguments, checks every
 //! `trace-*.json` under `results/`.

@@ -22,6 +22,7 @@
 //! decomposition path shared by every harness (see EXPERIMENTS.md,
 //! "Tracing & decomposition").
 
+pub mod chaos;
 pub mod collectives;
 pub mod common;
 pub mod encdec;

@@ -3,7 +3,7 @@
 
 use empi_aead::nonce::NoncePolicy;
 use empi_aead::profile::{CompilerBuild, CryptoLibrary, KeySize};
-use empi_netsim::NetModel;
+use empi_netsim::{FaultRates, NetModel, VDur};
 use empi_pipeline::PipelineConfig;
 
 /// How cryptographic work is charged to the simulation clock.
@@ -35,6 +35,43 @@ impl TimingMode {
     }
 }
 
+/// Deterministic fault injection: a seed plus per-event rates (see
+/// [`empi_netsim::FaultPlan`]). With a plan installed, every sealed
+/// frame leaving this rank draws a replayable verdict — bit-flip,
+/// truncation, drop, duplication or latency jitter — and a seeded
+/// subset of the crypto workers runs degraded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed; `(seed, rates)` fully determines every fault.
+    pub seed: u64,
+    /// Per-event injection probabilities and shape parameters.
+    pub rates: FaultRates,
+}
+
+/// Retransmit/recovery (ARQ) tuning for [`crate::SecureComm`].
+///
+/// The protocol is NACK-only: at a fault rate of zero it adds no wire
+/// frames at all. On an authentication/length/protocol failure the
+/// receiver sends a typed NACK; the sender answers from a bounded
+/// retained-frame buffer; repair round `a` is awaited for
+/// `timeout * 2^a` of virtual time, capped at `8 * timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitConfig {
+    /// NACK rounds per message before the receiver gives up with
+    /// [`crate::Error::DeliveryFailed`] / [`crate::Error::Timeout`].
+    pub max_retries: u32,
+    /// Base repair-wait window (virtual time) for the backoff schedule.
+    pub timeout: VDur,
+    /// Sent messages retained for repair (FIFO evict; a NACK for an
+    /// evicted message is answered with an abort).
+    pub buffer_msgs: usize,
+}
+
+impl RetransmitConfig {
+    /// Default retained-message buffer depth.
+    pub const DEFAULT_BUFFER_MSGS: usize = 32;
+}
+
 /// The key the paper hardcodes in its prototypes ("the encryption key
 /// was hardcoded in the source code"; key distribution is future work).
 pub const HARDCODED_KEY: [u8; 32] = [
@@ -59,6 +96,11 @@ pub struct SecurityConfig {
     /// Chunked multi-core crypto pipelining (off by default; the
     /// sequential paper path is the reference behavior).
     pub pipeline: PipelineConfig,
+    /// Deterministic fault injection (off by default).
+    pub faults: Option<FaultConfig>,
+    /// NACK-driven retransmit/recovery layer (off by default; without
+    /// it, injected faults surface as typed errors to the caller).
+    pub retransmit: Option<RetransmitConfig>,
 }
 
 impl SecurityConfig {
@@ -72,6 +114,8 @@ impl SecurityConfig {
             nonce_policy: NoncePolicy::Random,
             timing: TimingMode::Calibrated(CompilerBuild::Gcc485),
             pipeline: PipelineConfig::disabled(),
+            faults: None,
+            retransmit: None,
         }
     }
 
@@ -102,6 +146,35 @@ impl SecurityConfig {
     /// Configure the chunked crypto pipeline (see `empi_pipeline`).
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Install a seeded fault plan: sealed frames leaving this rank
+    /// draw deterministic corruption/drop/duplication/jitter verdicts,
+    /// and a seeded subset of crypto workers runs degraded.
+    pub fn with_faults(mut self, seed: u64, rates: FaultRates) -> Self {
+        self.faults = Some(FaultConfig { seed, rates });
+        self
+    }
+
+    /// Enable the NACK-driven retransmit layer with `max_retries`
+    /// repair rounds and a base wait window of `timeout` (virtual
+    /// time); the retained-message buffer gets its default depth.
+    pub fn with_retransmit(mut self, max_retries: u32, timeout: VDur) -> Self {
+        self.retransmit = Some(RetransmitConfig {
+            max_retries,
+            timeout,
+            buffer_msgs: RetransmitConfig::DEFAULT_BUFFER_MSGS,
+        });
+        self
+    }
+
+    /// Override the retained-message buffer depth of an already-enabled
+    /// retransmit layer (no-op when retransmit is off).
+    pub fn with_retransmit_buffer(mut self, buffer_msgs: usize) -> Self {
+        if let Some(rc) = &mut self.retransmit {
+            rc.buffer_msgs = buffer_msgs.max(1);
+        }
         self
     }
 
@@ -154,6 +227,26 @@ mod tests {
         assert_eq!(c.pipeline.chunk_size, 1 << 15);
         assert_eq!(c.pipeline.workers, 8);
         assert_eq!(c.nonce_policy, NoncePolicy::Seeded { seed: 1234 });
+    }
+
+    #[test]
+    fn fault_and_retransmit_builders() {
+        let c = SecurityConfig::new(CryptoLibrary::BoringSsl);
+        assert!(c.faults.is_none() && c.retransmit.is_none(), "chaos off by default");
+        let c = c
+            .with_faults(77, FaultRates::uniform(0.05))
+            .with_retransmit(4, VDur::from_micros(200))
+            .with_retransmit_buffer(8);
+        let f = c.faults.unwrap();
+        assert_eq!(f.seed, 77);
+        assert_eq!(f.rates.bit_flip, 0.05);
+        let r = c.retransmit.unwrap();
+        assert_eq!(r.max_retries, 4);
+        assert_eq!(r.timeout, VDur::from_micros(200));
+        assert_eq!(r.buffer_msgs, 8);
+        // Buffer override without retransmit enabled is a no-op.
+        let plain = SecurityConfig::new(CryptoLibrary::BoringSsl).with_retransmit_buffer(3);
+        assert!(plain.retransmit.is_none());
     }
 
     #[test]

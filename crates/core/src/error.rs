@@ -24,6 +24,37 @@ pub enum Error {
         /// The length announced by the root/peer.
         remote: usize,
     },
+    /// The retransmit layer exhausted its repair budget: every delivery
+    /// attempt of one message failed, or the sender had already evicted
+    /// the message from its retained-frame buffer and sent an abort.
+    /// The ledger lists what went wrong on each attempt.
+    DeliveryFailed {
+        /// Delivery attempts made (initial transmission + repairs).
+        attempts: u32,
+        /// Human-readable per-attempt failure log.
+        ledger: Vec<String>,
+    },
+    /// The retransmit layer waited out its full backoff schedule
+    /// without any repair arriving (the sender is gone or the repair
+    /// path itself keeps losing frames).
+    Timeout {
+        /// Virtual time spent waiting for repairs, in nanoseconds.
+        waited_ns: u64,
+        /// The operation that timed out (e.g. `"recv"`).
+        op: &'static str,
+    },
+}
+
+impl Error {
+    /// The failing chunk's index, when the error pinpoints one chunk of
+    /// a pipelined message (drives per-chunk NACKs; `None` for
+    /// whole-message failures).
+    pub fn chunk_index(&self) -> Option<u32> {
+        match self {
+            Error::Pipeline(e) => e.chunk_index(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -35,6 +66,15 @@ impl fmt::Display for Error {
                 f,
                 "secure MPI length mismatch: local buffer is {local} bytes, remote message is {remote}"
             ),
+            Error::DeliveryFailed { attempts, ledger } => write!(
+                f,
+                "secure MPI delivery failed after {attempts} attempt(s): {}",
+                ledger.join("; ")
+            ),
+            Error::Timeout { waited_ns, op } => write!(
+                f,
+                "secure MPI {op} timed out after {waited_ns} ns waiting for retransmission"
+            ),
         }
     }
 }
@@ -44,7 +84,9 @@ impl std::error::Error for Error {
         match self {
             Error::Crypto(e) => Some(e),
             Error::Pipeline(e) => Some(e),
-            Error::LengthMismatch { .. } => None,
+            Error::LengthMismatch { .. }
+            | Error::DeliveryFailed { .. }
+            | Error::Timeout { .. } => None,
         }
     }
 }
@@ -70,5 +112,44 @@ mod tests {
         let e = Error::Crypto(empi_aead::Error::AuthFailure);
         assert!(e.to_string().contains("authentication"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn delivery_failed_round_trips_ledger() {
+        let e = Error::DeliveryFailed {
+            attempts: 3,
+            ledger: vec!["attempt 0: auth failure".into(), "attempt 1: no repair".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("after 3 attempt(s)"), "{s}");
+        assert!(s.contains("attempt 0: auth failure"), "{s}");
+        assert!(s.contains("attempt 1: no repair"), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
+        assert_eq!(e.chunk_index(), None);
+        assert_eq!(e.clone(), e, "typed errors compare for test assertions");
+    }
+
+    #[test]
+    fn timeout_displays_op_and_wait() {
+        let e = Error::Timeout { waited_ns: 1_500_000, op: "recv" };
+        let s = e.to_string();
+        assert!(s.contains("recv timed out"), "{s}");
+        assert!(s.contains("1500000 ns"), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn pipeline_conversion_preserves_chunk_index() {
+        let pe = empi_pipeline::PipelineError::Chunk {
+            index: 7,
+            source: empi_aead::Error::AuthFailure,
+        };
+        assert_eq!(pe.chunk_index(), Some(7));
+        let e: Error = pe.into();
+        assert_eq!(e.chunk_index(), Some(7), "From must keep the failing chunk");
+        assert!(std::error::Error::source(&e).is_some(), "chains to the pipeline error");
+        // Whole-message pipeline failures carry no chunk.
+        let e: Error = empi_pipeline::PipelineError::Crypto(empi_aead::Error::AuthFailure).into();
+        assert_eq!(e.chunk_index(), None);
     }
 }

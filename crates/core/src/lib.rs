@@ -39,9 +39,11 @@ pub mod config;
 pub mod error;
 pub mod key;
 pub mod legacy;
+mod recovery;
 pub mod secure_comm;
 
-pub use config::{SecurityConfig, TimingMode, HARDCODED_KEY};
+pub use config::{FaultConfig, RetransmitConfig, SecurityConfig, TimingMode, HARDCODED_KEY};
+pub use empi_netsim::{FaultPlan, FaultRates};
 pub use empi_pipeline::PipelineConfig;
 pub use error::{Error, Result};
-pub use secure_comm::{SecureComm, SecureRequest};
+pub use secure_comm::{ChaosStats, SecureComm, SecureRequest};

@@ -9,19 +9,26 @@
 //! `isend` before the underlying `MPI_Isend`; decryption of an `irecv`
 //! happens **inside `wait`**, preserving the non-blocking property.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 
+use bytes::Bytes;
 use empi_aead::chunked::chunk_count;
 use empi_aead::gcm::AesGcm;
 use empi_aead::nonce::NonceSource;
 use empi_aead::{NONCE_LEN, WIRE_OVERHEAD};
 use empi_mpi::chunk::{ChunkFrame, ChunkedMessage, RecvPayload, FRAME_OVERHEAD};
-use empi_mpi::{Comm, Request, Src, Status, Tag, TagSel};
-use empi_netsim::VDur;
+use empi_mpi::ctrl::{pack_frames, unpack_frames};
+use empi_mpi::{
+    AnyCtrl, Comm, Nack, RepairHeader, RepairKind, Request, Src, Status, Tag, TagSel, WaitCtrl,
+    NACK_TAG, REPAIR_TAG,
+};
+use empi_netsim::{FaultPlan, VDur, Verdict};
 use empi_pipeline::{ChunkCost, Pipeline};
 
-use crate::config::{SecurityConfig, TimingMode};
+use crate::config::{RetransmitConfig, SecurityConfig, TimingMode};
 use crate::error::{Error, Result};
+use crate::recovery::{Salvage, SalvageResult};
 
 /// Reserved-tag operation codes for SecureComm-level collective
 /// protocols (the built-in plaintext collectives use codes 1–9; see
@@ -37,6 +44,90 @@ enum Dir {
     Dec,
 }
 
+/// Virtual-time quantum of the repair-wait poll loops: only the
+/// recovery path spins on this (the normal data path always blocks on
+/// a wake condition); 500 ns keeps the deadline resolution far below
+/// any realistic retransmit timeout.
+const POLL_QUANTUM: VDur = VDur(500);
+
+/// Backoff cap: repair round `a` waits `timeout * 2^min(a, CAP)`.
+const BACKOFF_CAP_SHIFT: u32 = 3;
+
+/// Counters of the fault-injection/retransmit machinery. Always
+/// maintained (trace feature or not) so the chaos bench can read
+/// goodput and retransmit counts without parsing traces; all zeros
+/// while faults and retransmit are disabled.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Fault verdicts applied to outgoing frames (including jitter and
+    /// degraded-worker setup).
+    pub faults_injected: u64,
+    /// NACKs this rank sent (as a receiver asking for repair).
+    pub nacks_sent: u64,
+    /// NACKs this rank received (as a sender asked to repair).
+    pub nacks_received: u64,
+    /// Repair messages this rank retransmitted.
+    pub retransmits: u64,
+    /// Abort repairs sent (NACK for an evicted/unknown message).
+    pub aborts: u64,
+    /// Messages fully recovered after at least one failed delivery.
+    pub recoveries: u64,
+    /// Virtual nanoseconds this rank spent waiting for repairs.
+    pub backoff_ns: u64,
+}
+
+/// Interior-mutable accumulator behind [`ChaosStats`].
+#[derive(Default)]
+struct ChaosCounters {
+    faults_injected: Cell<u64>,
+    nacks_sent: Cell<u64>,
+    nacks_received: Cell<u64>,
+    retransmits: Cell<u64>,
+    aborts: Cell<u64>,
+    recoveries: Cell<u64>,
+    backoff_ns: Cell<u64>,
+}
+
+impl ChaosCounters {
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    fn snapshot(&self) -> ChaosStats {
+        ChaosStats {
+            faults_injected: self.faults_injected.get(),
+            nacks_sent: self.nacks_sent.get(),
+            nacks_received: self.nacks_received.get(),
+            retransmits: self.retransmits.get(),
+            aborts: self.aborts.get(),
+            recoveries: self.recoveries.get(),
+            backoff_ns: self.backoff_ns.get(),
+        }
+    }
+}
+
+/// Sender-retained copy of one sealed message, kept pre-corruption so
+/// a repair always carries honest bytes.
+enum SentPayload {
+    Plain(Vec<u8>),
+    Chunked(Vec<Bytes>),
+}
+
+struct SentRecord {
+    dst: usize,
+    tag: Tag,
+    seq: u64,
+    payload: SentPayload,
+}
+
+/// Mutable retransmit-layer state (active only with
+/// [`SecurityConfig::with_retransmit`]).
+struct ArqState {
+    cfg: RetransmitConfig,
+    /// Bounded FIFO of retained sent messages (repair source).
+    sent: RefCell<VecDeque<SentRecord>>,
+}
+
 /// An encrypted communicator wrapping a plain [`Comm`].
 ///
 /// All payloads gain [`WIRE_OVERHEAD`] (28) bytes on the wire; receivers
@@ -48,6 +139,18 @@ pub struct SecureComm<'a, 'h> {
     cfg: SecurityConfig,
     nonces: RefCell<NonceSource>,
     pipe: Pipeline,
+    /// Seeded fault plan (None = clean links, the default).
+    plan: Option<FaultPlan>,
+    /// Retransmit layer (None = faults surface as typed errors).
+    arq: Option<ArqState>,
+    /// Per-(peer, tag) outgoing message counters — the recovery
+    /// identity and the fault-stream coordinate. Only touched when the
+    /// chaos machinery is active.
+    send_seq: RefCell<HashMap<(usize, Tag), u64>>,
+    /// Per-(peer, tag) incoming message counters (MPI non-overtaking
+    /// keeps them aligned with the sender's).
+    recv_seq: RefCell<HashMap<(usize, Tag), u64>>,
+    stats: ChaosCounters,
 }
 
 /// Handle to an outstanding encrypted non-blocking operation.
@@ -57,6 +160,12 @@ pub struct SecureComm<'a, 'h> {
 #[must_use = "secure requests must be waited on"]
 pub struct SecureRequest {
     inner: Request,
+    /// Recovery sequence number pre-assigned at `irecv`-post time for
+    /// fully-qualified `(Is, Is)` posts, so out-of-order waits still
+    /// pair each message with the sender's counter. `None` for sends
+    /// and wildcard receives (the latter draw their number at
+    /// completion — see [`SecureComm::irecv`]).
+    recv_seq_hint: Option<u64>,
 }
 
 impl<'a, 'h> SecureComm<'a, 'h> {
@@ -93,12 +202,51 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         };
         let nonces = RefCell::new(NonceSource::new(cfg.nonce_policy));
         let pipe = Pipeline::new(cfg.pipeline, comm.rank());
+        let stats = ChaosCounters::default();
+        let plan = cfg.faults.map(|f| FaultPlan::new(f.seed, f.rates));
+        if let Some(p) = &plan {
+            // Degrade the seeded subset of this rank's crypto workers
+            // once, up front (CorePool::degrade keeps the max factor,
+            // so repeated SecureComm construction is idempotent).
+            let workers = cfg.pipeline.workers.max(1);
+            let degraded = p.degraded_workers(comm.rank(), workers);
+            if !degraded.is_empty() {
+                comm.sim().with_core_pool(workers, |pool| {
+                    for &(w, factor) in &degraded {
+                        pool.degrade(w, factor);
+                    }
+                });
+                let now = comm.sim().now().as_nanos();
+                for &(w, factor) in &degraded {
+                    stats.faults_injected.set(stats.faults_injected.get() + 1);
+                    if let Some(t) = comm.sim().tracer() {
+                        t.fault_span(
+                            comm.rank(),
+                            "fault/degrade",
+                            now,
+                            1,
+                            0,
+                            format!("worker {w} slowed {factor}x"),
+                        );
+                    }
+                }
+            }
+        }
+        let arq = cfg.retransmit.map(|rc| ArqState {
+            cfg: rc,
+            sent: RefCell::new(VecDeque::new()),
+        });
         Ok(SecureComm {
             comm,
             cipher,
             cfg,
             nonces,
             pipe,
+            plan,
+            arq,
+            send_seq: RefCell::new(HashMap::new()),
+            recv_seq: RefCell::new(HashMap::new()),
+            stats,
         })
     }
 
@@ -232,11 +380,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// Authenticate and decrypt whatever the transport produced,
     /// dispatching on the sender's wire format — never on local
     /// configuration. This is the single decryption funnel behind
-    /// `recv`, `wait` and `waitany`.
-    fn open_payload(&self, payload: RecvPayload) -> Result<(Status, Vec<u8>)> {
+    /// `recv`, `wait` and `waitany`. Borrows the payload so the
+    /// retransmit layer can salvage the arrived frames on failure.
+    fn open_payload(&self, payload: &RecvPayload) -> Result<(Status, Vec<u8>)> {
         match payload {
             RecvPayload::Plain(status, wire) => {
-                let plain = self.open(&wire)?;
+                let plain = self.open(wire)?;
                 Ok((
                     Status {
                         source: status.source,
@@ -247,7 +396,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 ))
             }
             RecvPayload::Chunked(msg) => {
-                let plain = self.open_chunked(&msg)?;
+                let plain = self.open_chunked(msg)?;
                 Ok((
                     Status {
                         source: msg.src,
@@ -295,6 +444,585 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     }
 
     // ---------------------------------------------------------------
+    // Deterministic fault injection + NACK-driven recovery (ARQ)
+    // ---------------------------------------------------------------
+    //
+    // Scope: the fault plan applies to every *encrypted point-to-point
+    // wire message* — the p2p API and the pipelined collective hops
+    // (which are built from the same sends). Sequential collectives
+    // move their ciphertext through the plaintext transport's
+    // collectives and are out of the injection surface, as are the
+    // NACK control frames (modeled as tiny FEC-protected datagrams).
+    // Repair messages DO cross the faulty link and draw fresh verdicts
+    // per attempt.
+
+    /// Is any chaos machinery (faults or retransmit) active?
+    fn chaos_on(&self) -> bool {
+        self.plan.is_some() || self.arq.is_some()
+    }
+
+    /// Is the retransmit layer active?
+    fn arq_on(&self) -> bool {
+        self.arq.is_some()
+    }
+
+    /// Counters of the fault/retransmit machinery (all zeros while it
+    /// is disabled; available without the trace feature).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.stats.snapshot()
+    }
+
+    /// Worst-case total repair-wait budget of one message under the
+    /// current config — the sum of the capped backoff schedule. A good
+    /// [`SecureComm::pump`] window for end-of-phase quiescence.
+    pub fn recovery_window(&self) -> VDur {
+        match &self.arq {
+            None => VDur(0),
+            Some(a) => {
+                let mut total = 0u64;
+                for attempt in 0..=a.cfg.max_retries {
+                    total = total
+                        .saturating_add(a.cfg.timeout.0 << attempt.min(BACKOFF_CAP_SHIFT));
+                }
+                VDur(total)
+            }
+        }
+    }
+
+    /// Service peers' repair requests for `window` of virtual time.
+    ///
+    /// The recovery protocol is NACK-only — there is no positive
+    /// acknowledgment — so a sender's availability bounds its peers'
+    /// repair horizon. A rank that stops communicating while peers may
+    /// still be recovering messages it sent (e.g. after the last send
+    /// of a benchmark phase) should pump for roughly
+    /// [`SecureComm::recovery_window`] before falling silent. No-op
+    /// without the retransmit layer.
+    pub fn pump(&self, window: VDur) {
+        if !self.arq_on() {
+            return;
+        }
+        let deadline = self.comm.sim().now() + window;
+        while self.comm.sim().now() < deadline {
+            self.service_nacks();
+            self.comm.sim().advance(POLL_QUANTUM);
+        }
+        self.service_nacks();
+    }
+
+    /// Draw-and-advance a per-(peer, tag) message counter.
+    fn bump_seq(map: &RefCell<HashMap<(usize, Tag), u64>>, peer: usize, tag: Tag) -> u64 {
+        let mut m = map.borrow_mut();
+        let e = m.entry((peer, tag)).or_insert(0);
+        let v = *e;
+        *e += 1;
+        v
+    }
+
+    /// Per-(link, tag, message) fault stream id.
+    fn stream_id(tag: Tag, seq: u64) -> u64 {
+        (u64::from(tag) << 32) ^ (seq & 0xffff_ffff)
+    }
+
+    /// Record one injection: counter plus a `fault/*` trace span.
+    fn note_fault(&self, v: &Verdict, bytes: usize, dur_ns: u64, detail: String) {
+        ChaosCounters::bump(&self.stats.faults_injected);
+        if let Some(t) = self.comm.sim().tracer() {
+            t.fault_span(
+                self.rank(),
+                v.label(),
+                self.comm.sim().now().as_nanos(),
+                dur_ns,
+                bytes,
+                detail,
+            );
+        }
+    }
+
+    /// Record recovery-protocol activity (`retry/*` trace span).
+    fn note_retry(&self, label: &'static str, dur_ns: u64, bytes: usize, detail: String) {
+        if let Some(t) = self.comm.sim().tracer() {
+            let now = self.comm.sim().now().as_nanos();
+            t.retry_span(
+                self.rank(),
+                label,
+                now.saturating_sub(dur_ns),
+                dur_ns,
+                bytes,
+                detail,
+            );
+        }
+    }
+
+    /// Apply the fault plan to one outgoing plain wire buffer.
+    /// `Duplicate` maps to `Deliver` here: a duplicated *plain* message
+    /// would desync the per-flow sequence counters the recovery
+    /// identity rests on, so duplication is a chunk-level fault only.
+    /// `Drop` clears the buffer but the (empty) message still crosses
+    /// the wire — every transmission delivers *something*, which is
+    /// what keeps the receiver's blocking waits live.
+    fn inject_wire(
+        &self,
+        wire: &mut Vec<u8>,
+        dst: usize,
+        tag: Tag,
+        seq: u64,
+        index: u32,
+        attempt: u32,
+    ) {
+        let Some(plan) = &self.plan else { return };
+        let v = plan.verdict(
+            self.rank(),
+            dst,
+            Self::stream_id(tag, seq),
+            index,
+            attempt,
+            wire.len(),
+        );
+        match v {
+            Verdict::Deliver | Verdict::Duplicate => {}
+            Verdict::Jitter { extra_ns } => {
+                self.note_fault(&v, wire.len(), extra_ns, format!("tag {tag} seq {seq}"));
+                self.comm.sim().advance(VDur(extra_ns));
+            }
+            _ => {
+                v.mutate(wire);
+                self.note_fault(&v, wire.len(), 1, format!("tag {tag} seq {seq}"));
+            }
+        }
+    }
+
+    /// Apply the fault plan to an outgoing chunked frame train, one
+    /// verdict per chunk. Drops remove the frame (keeping one
+    /// zero-length runt if everything dropped, so the train still
+    /// crosses the wire and recovery can engage); duplicates append a
+    /// copy; jitter delays one frame's NIC-ready time.
+    fn inject_frames(
+        &self,
+        frames: &mut Vec<ChunkFrame>,
+        dst: usize,
+        tag: Tag,
+        seq: u64,
+        attempt: u32,
+    ) {
+        let Some(plan) = &self.plan else { return };
+        let me = self.rank();
+        let stream = Self::stream_id(tag, seq);
+        let mut out: Vec<ChunkFrame> = Vec::with_capacity(frames.len());
+        for (i, f) in frames.drain(..).enumerate() {
+            let v = plan.verdict(me, dst, stream, i as u32, attempt, f.data.len());
+            match v {
+                Verdict::Deliver => out.push(f),
+                Verdict::Duplicate => {
+                    self.note_fault(&v, f.data.len(), 1, format!("tag {tag} seq {seq} chunk {i}"));
+                    out.push(f.clone());
+                    out.push(f);
+                }
+                Verdict::Jitter { extra_ns } => {
+                    self.note_fault(
+                        &v,
+                        f.data.len(),
+                        extra_ns,
+                        format!("tag {tag} seq {seq} chunk {i}"),
+                    );
+                    out.push(ChunkFrame {
+                        data: f.data,
+                        ready: f.ready + VDur(extra_ns),
+                    });
+                }
+                Verdict::Drop => {
+                    self.note_fault(&v, f.data.len(), 1, format!("tag {tag} seq {seq} chunk {i}"));
+                }
+                Verdict::BitFlip { .. } | Verdict::Truncate { .. } => {
+                    let mut data = f.data.to_vec();
+                    v.mutate(&mut data);
+                    self.note_fault(&v, data.len(), 1, format!("tag {tag} seq {seq} chunk {i}"));
+                    out.push(ChunkFrame {
+                        data: Bytes::copy_from_slice(&data),
+                        ready: f.ready,
+                    });
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(ChunkFrame {
+                data: Bytes::new(),
+                ready: self.comm.sim().now(),
+            });
+        }
+        *frames = out;
+    }
+
+    /// Retain a pre-corruption copy of a sealed message for repair
+    /// (bounded FIFO; eviction means a later NACK gets an abort).
+    fn retain_sent(&self, dst: usize, tag: Tag, seq: u64, make: impl FnOnce() -> SentPayload) {
+        let Some(arq) = &self.arq else { return };
+        let mut sent = arq.sent.borrow_mut();
+        while sent.len() >= arq.cfg.buffer_msgs.max(1) {
+            sent.pop_front();
+        }
+        sent.push_back(SentRecord {
+            dst,
+            tag,
+            seq,
+            payload: make(),
+        });
+    }
+
+    /// Outbound chaos bookkeeping for one plain sealed record: assign
+    /// the flow sequence number, retain the pristine wire bytes for
+    /// repair, then run the initial transmission through the fault
+    /// plan. Shared by the blocking and non-blocking send paths.
+    fn chaos_prepare_wire(&self, wire: &mut Vec<u8>, dst: usize, tag: Tag) {
+        let seq = Self::bump_seq(&self.send_seq, dst, tag);
+        self.retain_sent(dst, tag, seq, || SentPayload::Plain(wire.clone()));
+        self.inject_wire(wire, dst, tag, seq, 0, 0);
+    }
+
+    /// Outbound chaos bookkeeping for a chunked frame train — the
+    /// per-frame counterpart of [`Self::chaos_prepare_wire`].
+    fn chaos_prepare_frames(&self, frames: &mut Vec<ChunkFrame>, dst: usize, tag: Tag) {
+        let seq = Self::bump_seq(&self.send_seq, dst, tag);
+        self.retain_sent(dst, tag, seq, || {
+            SentPayload::Chunked(frames.iter().map(|f| f.data.clone()).collect())
+        });
+        self.inject_frames(frames, dst, tag, seq, 0);
+    }
+
+    /// Chaos-aware plain non-blocking send: identical to
+    /// `comm.isend(&wire, ..)` when the machinery is off.
+    fn chaos_isend_wire(&self, mut wire: Vec<u8>, dst: usize, tag: Tag) -> Request {
+        if self.chaos_on() {
+            self.chaos_prepare_wire(&mut wire, dst, tag);
+        }
+        self.comm.isend(&wire, dst, tag)
+    }
+
+    /// Chaos-aware chunked non-blocking send: identical to
+    /// `comm.isend_chunked(frames, ..)` when the machinery is off.
+    fn chaos_isend_chunked(&self, mut frames: Vec<ChunkFrame>, dst: usize, tag: Tag) -> Request {
+        if self.chaos_on() {
+            self.chaos_prepare_frames(&mut frames, dst, tag);
+        }
+        self.comm.isend_chunked(frames, dst, tag)
+    }
+
+    /// Answer every pending NACK from the retained-frame buffer — a
+    /// repair for a retained flow, an abort for an evicted/unknown one.
+    /// Repair sends are fire-and-forget (the receiver's NACK loop is
+    /// the flow control; an unanswered or lost repair is re-NACKed).
+    fn service_nacks(&self) {
+        let Some(arq) = &self.arq else { return };
+        while let Some(st) = self.comm.iprobe(Src::Any, TagSel::Is(NACK_TAG)) {
+            let (_, raw) = self.comm.recv(Src::Is(st.source), TagSel::Is(NACK_TAG));
+            ChaosCounters::bump(&self.stats.nacks_received);
+            let Some(nack) = Nack::decode(&raw) else {
+                continue; // structurally invalid: drop, peer re-NACKs
+            };
+            let (tag, seq, attempt) = nack.flow();
+            let (kind, body) = {
+                let sent = arq.sent.borrow();
+                match sent
+                    .iter()
+                    .find(|r| r.dst == st.source && r.tag == tag && r.seq == seq)
+                {
+                    None => (RepairKind::Abort, Vec::new()),
+                    Some(rec) => match &rec.payload {
+                        SentPayload::Plain(wire) => (RepairKind::Plain, wire.clone()),
+                        SentPayload::Chunked(frames) => {
+                            let picked: Vec<&[u8]> = match &nack {
+                                Nack::Chunks { missing, .. } => missing
+                                    .iter()
+                                    .filter_map(|&i| frames.get(i as usize).map(|b| &b[..]))
+                                    .collect(),
+                                Nack::Whole { .. } => frames.iter().map(|b| &b[..]).collect(),
+                            };
+                            (RepairKind::Chunks, pack_frames(picked))
+                        }
+                    },
+                }
+            };
+            let hdr = RepairHeader {
+                kind,
+                tag,
+                seq,
+                attempt,
+            };
+            let mut repair = hdr.encode_with(&body);
+            if kind == RepairKind::Abort {
+                ChaosCounters::bump(&self.stats.aborts);
+                self.note_retry(
+                    "retry/abort",
+                    1,
+                    repair.len(),
+                    format!("tag {tag} seq {seq} -> rank {}", st.source),
+                );
+            } else {
+                ChaosCounters::bump(&self.stats.retransmits);
+                // The repair rides the same faulty link and draws one
+                // whole-blob verdict per attempt (chunk coordinate
+                // u32::MAX marks repair traffic). Header corruption or
+                // loss is healed by the receiver's next NACK round.
+                self.inject_wire(&mut repair, st.source, tag, seq, u32::MAX, attempt + 1);
+                self.note_retry(
+                    "retry/resend",
+                    1,
+                    repair.len(),
+                    format!("tag {tag} seq {seq} attempt {attempt} -> rank {}", st.source),
+                );
+            }
+            let _ = self.comm.isend(&repair, st.source, REPAIR_TAG);
+        }
+    }
+
+    /// Wait for a send to complete while staying responsive to NACKs —
+    /// a sender parked in rendezvous must still answer repairs or two
+    /// mutually-recovering ranks deadlock.
+    fn arq_wait_send(&self, mut req: Request) {
+        loop {
+            match self
+                .comm
+                .wait_or_ctrl(req, (Src::Any, TagSel::Is(NACK_TAG)))
+            {
+                WaitCtrl::Ctrl(back) => {
+                    req = back;
+                    self.service_nacks();
+                }
+                WaitCtrl::Done(..) => return,
+            }
+        }
+    }
+
+    /// Blocking receive that services NACKs while parked on data.
+    fn arq_recv_payload(&self, src: Src, tag: TagSel) -> RecvPayload {
+        loop {
+            let (is_ctrl, st) = self
+                .comm
+                .probe_either((src, tag), (Src::Any, TagSel::Is(NACK_TAG)));
+            if is_ctrl {
+                self.service_nacks();
+                continue;
+            }
+            return self
+                .comm
+                .recv_maybe_chunked(Src::Is(st.source), TagSel::Is(st.tag));
+        }
+    }
+
+    /// One salvage attempt, charged like any other decryption (the
+    /// trial opens push the pending sealed records through AES-GCM).
+    fn salvage_pass(&self, salvage: &mut Salvage) -> SalvageResult {
+        let bytes = salvage.pending_bytes();
+        if bytes == 0 {
+            return salvage.try_open(&self.cipher);
+        }
+        self.run_crypto(bytes, Dir::Dec, || salvage.try_open(&self.cipher))
+    }
+
+    /// Receiver-side recovery of one failed message: salvage what
+    /// arrived, then run NACK → repair-wait rounds with capped
+    /// exponential backoff until the plaintext authenticates or the
+    /// retry budget is spent. Never panics and never blocks without a
+    /// deadline — exhaustion surfaces as [`Error::DeliveryFailed`]
+    /// (repairs arrived but never authenticated / sender aborted) or
+    /// [`Error::Timeout`] (no repair ever arrived).
+    fn recover(
+        &self,
+        src: usize,
+        tag: Tag,
+        seq: u64,
+        payload: &RecvPayload,
+        first_err: Error,
+    ) -> Result<(Status, Vec<u8>)> {
+        let rc = self.arq.as_ref().expect("recover needs the retransmit layer").cfg;
+        let mut ledger = vec![format!("initial delivery: {first_err}")];
+        let mut salvage = Salvage::new();
+        // What to ask for: `Some(indices)` → per-chunk NACK, `None` →
+        // whole-message NACK (plain wire, or nothing salvageable yet).
+        let mut missing: Option<Vec<u32>> = None;
+        if let RecvPayload::Chunked(msg) = payload {
+            salvage.merge(msg.frames.iter().map(|(_, b)| &b[..]));
+            // Pure duplication/reordering and nonce-field corruption
+            // salvage without any wire traffic.
+            match self.salvage_pass(&mut salvage) {
+                SalvageResult::Done(plain) => {
+                    ChaosCounters::bump(&self.stats.recoveries);
+                    return Ok((
+                        Status {
+                            source: src,
+                            tag,
+                            len: plain.len(),
+                        },
+                        plain,
+                    ));
+                }
+                SalvageResult::Missing(m) => {
+                    ledger.push(format!("salvaged all but chunks {m:?}"));
+                    missing = Some(m);
+                }
+                SalvageResult::Opaque => {}
+            }
+        }
+        let mut waited_ns = 0u64;
+        let mut repair_seen = false;
+        for attempt in 0..=rc.max_retries {
+            let nack = match &missing {
+                Some(m) => Nack::Chunks {
+                    tag,
+                    seq,
+                    attempt,
+                    missing: m.clone(),
+                },
+                None => Nack::Whole { tag, seq, attempt },
+            };
+            let wire = nack.encode();
+            // Control frames are exempt from injection (tiny
+            // FEC-protected datagrams in the fault model).
+            let _ = self.comm.isend(&wire, src, NACK_TAG);
+            ChaosCounters::bump(&self.stats.nacks_sent);
+            self.note_retry(
+                "retry/nack",
+                1,
+                wire.len(),
+                format!("tag {tag} seq {seq} attempt {attempt} -> rank {src}"),
+            );
+            // Capped exponential backoff: round `a` waits
+            // timeout * 2^min(a, 3) of virtual time for the repair.
+            let window = VDur(
+                rc.timeout
+                    .0
+                    .saturating_mul(1u64 << attempt.min(BACKOFF_CAP_SHIFT)),
+            );
+            let t0 = self.comm.sim().now();
+            let deadline = t0 + window;
+            'wait: while self.comm.sim().now() < deadline {
+                // We may owe repairs to our own peers meanwhile.
+                self.service_nacks();
+                if self
+                    .comm
+                    .iprobe(Src::Is(src), TagSel::Is(REPAIR_TAG))
+                    .is_none()
+                {
+                    self.comm.sim().advance(POLL_QUANTUM);
+                    continue;
+                }
+                let (_, raw) = self.comm.recv(Src::Is(src), TagSel::Is(REPAIR_TAG));
+                let Some((hdr, body)) = RepairHeader::decode(&raw) else {
+                    ledger.push(format!("attempt {attempt}: undecodable repair frame"));
+                    continue; // corrupted in flight; keep waiting
+                };
+                if hdr.tag != tag || hdr.seq != seq {
+                    continue; // stale repair for an earlier flow
+                }
+                repair_seen = true;
+                match hdr.kind {
+                    RepairKind::Abort => {
+                        let waited = self.comm.sim().now() - t0;
+                        self.note_retry("retry/backoff", waited.0, 0, format!("tag {tag} seq {seq}"));
+                        self.stats
+                            .backoff_ns
+                            .set(self.stats.backoff_ns.get() + waited.0);
+                        ledger.push(format!(
+                            "attempt {attempt}: sender aborted (message no longer retained)"
+                        ));
+                        return Err(Error::DeliveryFailed {
+                            attempts: attempt + 1,
+                            ledger,
+                        });
+                    }
+                    RepairKind::Plain => match self.open(body) {
+                        Ok(plain) => {
+                            let waited = self.comm.sim().now() - t0;
+                            self.note_retry(
+                                "retry/backoff",
+                                waited.0,
+                                0,
+                                format!("tag {tag} seq {seq}"),
+                            );
+                            self.stats
+                                .backoff_ns
+                                .set(self.stats.backoff_ns.get() + waited.0);
+                            ChaosCounters::bump(&self.stats.recoveries);
+                            return Ok((
+                                Status {
+                                    source: src,
+                                    tag,
+                                    len: plain.len(),
+                                },
+                                plain,
+                            ));
+                        }
+                        Err(e) => {
+                            ledger.push(format!("attempt {attempt}: repair failed to open: {e}"));
+                            break 'wait; // re-NACK with the next attempt
+                        }
+                    },
+                    RepairKind::Chunks => {
+                        let Some(frames) = unpack_frames(body) else {
+                            ledger.push(format!("attempt {attempt}: malformed repair train"));
+                            break 'wait;
+                        };
+                        salvage.merge(frames);
+                        match self.salvage_pass(&mut salvage) {
+                            SalvageResult::Done(plain) => {
+                                let waited = self.comm.sim().now() - t0;
+                                self.note_retry(
+                                    "retry/backoff",
+                                    waited.0,
+                                    0,
+                                    format!("tag {tag} seq {seq}"),
+                                );
+                                self.stats
+                                    .backoff_ns
+                                    .set(self.stats.backoff_ns.get() + waited.0);
+                                ChaosCounters::bump(&self.stats.recoveries);
+                                return Ok((
+                                    Status {
+                                        source: src,
+                                        tag,
+                                        len: plain.len(),
+                                    },
+                                    plain,
+                                ));
+                            }
+                            SalvageResult::Missing(m) => {
+                                ledger.push(format!(
+                                    "attempt {attempt}: repair left chunks {m:?} missing"
+                                ));
+                                missing = Some(m);
+                                break 'wait;
+                            }
+                            SalvageResult::Opaque => {
+                                ledger.push(format!("attempt {attempt}: repair unusable"));
+                                missing = None;
+                                break 'wait;
+                            }
+                        }
+                    }
+                }
+            }
+            let waited = self.comm.sim().now() - t0;
+            waited_ns += waited.0;
+            self.stats
+                .backoff_ns
+                .set(self.stats.backoff_ns.get() + waited.0);
+            self.note_retry("retry/backoff", waited.0, 0, format!("tag {tag} seq {seq}"));
+        }
+        if repair_seen {
+            Err(Error::DeliveryFailed {
+                attempts: rc.max_retries + 1,
+                ledger,
+            })
+        } else {
+            ledger.push(format!("no repair within {waited_ns} ns"));
+            Err(Error::Timeout {
+                waited_ns,
+                op: "recv",
+            })
+        }
+    }
+
+    // ---------------------------------------------------------------
     // Point-to-point (Encrypted_Send / Recv / ISend / IRecv / Wait)
     // ---------------------------------------------------------------
 
@@ -302,12 +1030,39 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// larger than one chunk, takes the chunked multi-core offload path;
     /// otherwise the sequential seal-then-send of Algorithm 1 (the two
     /// are behavior-identical for single-chunk messages).
+    ///
+    /// With the chaos machinery active the blocking send runs as
+    /// `isend` + a NACK-serving wait, so a sender parked in rendezvous
+    /// still answers its peers' repair requests.
     pub fn send(&self, buf: &[u8], dst: usize, tag: Tag) {
-        if self.pipe.applies_to(buf.len()) {
-            self.send_pipelined(buf, dst, tag);
+        if !self.chaos_on() {
+            if self.pipe.applies_to(buf.len()) {
+                self.send_pipelined(buf, dst, tag);
+            } else {
+                let wire = self.seal(buf);
+                self.comm.send(&wire, dst, tag);
+            }
+            return;
+        }
+        // Same dispatch and *blocking-send* host accounting as the
+        // clean path — routing through `isend` here would charge the
+        // streaming host occupancy and make an armed-but-idle fault/
+        // retransmit layer look ~2x slower than the clean send. The
+        // posted request lets the ARQ wait keep answering NACKs while
+        // the rendezvous drains.
+        let req = if self.pipe.applies_to(buf.len()) {
+            let mut frames = self.seal_chunked_frames(buf);
+            self.chaos_prepare_frames(&mut frames, dst, tag);
+            self.comm.send_chunked_posted(frames, dst, tag)
         } else {
-            let wire = self.seal(buf);
-            self.comm.send(&wire, dst, tag);
+            let mut wire = self.seal(buf);
+            self.chaos_prepare_wire(&mut wire, dst, tag);
+            self.comm.send_posted(&wire, dst, tag)
+        };
+        if self.arq_on() {
+            self.arq_wait_send(req);
+        } else {
+            let _ = self.comm.wait_payload(req);
         }
     }
 
@@ -318,7 +1073,24 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// disabled. Mixed sender/receiver configurations therefore always
     /// interoperate.
     pub fn recv(&self, src: Src, tag: TagSel) -> Result<(Status, Vec<u8>)> {
-        self.open_payload(self.comm.recv_maybe_chunked(src, tag))
+        if !self.chaos_on() {
+            return self.open_payload(&self.comm.recv_maybe_chunked(src, tag));
+        }
+        let payload = if self.arq_on() {
+            self.arq_recv_payload(src, tag)
+        } else {
+            self.comm.recv_maybe_chunked(src, tag)
+        };
+        let (psrc, ptag) = match &payload {
+            RecvPayload::Plain(st, _) => (st.source, st.tag),
+            RecvPayload::Chunked(msg) => (msg.src, msg.tag),
+        };
+        let seq = Self::bump_seq(&self.recv_seq, psrc, ptag);
+        match self.open_payload(&payload) {
+            Ok(out) => Ok(out),
+            Err(e) if self.arq_on() => self.recover(psrc, ptag, seq, &payload, e),
+            Err(e) => Err(e),
+        }
     }
 
     /// Encrypted non-blocking send: the buffer is sealed *now* (fresh
@@ -329,16 +1101,16 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// virtual time except for the per-chunk host overhead, mirroring
     /// the sequential path.
     pub fn isend(&self, buf: &[u8], dst: usize, tag: Tag) -> SecureRequest {
-        if self.pipe.applies_to(buf.len()) {
+        let inner = if self.pipe.applies_to(buf.len()) {
             let frames = self.seal_chunked_frames(buf);
-            SecureRequest {
-                inner: self.comm.isend_chunked(frames, dst, tag),
-            }
+            self.chaos_isend_chunked(frames, dst, tag)
         } else {
             let wire = self.seal(buf);
-            SecureRequest {
-                inner: self.comm.isend(&wire, dst, tag),
-            }
+            self.chaos_isend_wire(wire, dst, tag)
+        };
+        SecureRequest {
+            inner,
+            recv_seq_hint: None,
         }
     }
 
@@ -347,8 +1119,19 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// only discovered (and acted upon) inside [`SecureComm::wait`].
     /// Decryption is deferred to `wait`.
     pub fn irecv(&self, src: Src, tag: TagSel) -> SecureRequest {
+        // Recovery identity (the per-flow sequence number) is assigned
+        // at POST time for fully-specified receives — MPI non-overtaking
+        // keeps posted order aligned with the sender's send order.
+        // Wildcard receives defer the draw to completion (documented
+        // caveat: mixing wildcard and fully-specified receives on one
+        // flow under ARQ can misalign identities).
+        let recv_seq_hint = match (self.chaos_on(), src, tag) {
+            (true, Src::Is(s), TagSel::Is(t)) => Some(Self::bump_seq(&self.recv_seq, s, t)),
+            _ => None,
+        };
         SecureRequest {
             inner: self.comm.irecv(src, tag),
+            recv_seq_hint,
         }
     }
 
@@ -359,12 +1142,47 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// pipelined sender's chunked train is opened on the worker pool
     /// even if this rank never enabled pipelining.
     pub fn wait(&self, req: SecureRequest) -> Result<(Status, Option<Vec<u8>>)> {
-        let (status, payload) = self.comm.wait_payload(req.inner);
+        if !self.chaos_on() {
+            let (status, payload) = self.comm.wait_payload(req.inner);
+            return match payload {
+                None => Ok((status, None)),
+                Some(p) => {
+                    let (status, plain) = self.open_payload(&p)?;
+                    Ok((status, Some(plain)))
+                }
+            };
+        }
+        let hint = req.recv_seq_hint;
+        let (status, payload) = if self.arq_on() {
+            let mut inner = req.inner;
+            loop {
+                match self
+                    .comm
+                    .wait_or_ctrl(inner, (Src::Any, TagSel::Is(NACK_TAG)))
+                {
+                    WaitCtrl::Ctrl(back) => {
+                        inner = back;
+                        self.service_nacks();
+                    }
+                    WaitCtrl::Done(status, payload) => break (status, payload),
+                }
+            }
+        } else {
+            self.comm.wait_payload(req.inner)
+        };
         match payload {
             None => Ok((status, None)),
             Some(p) => {
-                let (status, plain) = self.open_payload(p)?;
-                Ok((status, Some(plain)))
+                let seq = hint.unwrap_or_else(|| {
+                    Self::bump_seq(&self.recv_seq, status.source, status.tag)
+                });
+                match self.open_payload(&p) {
+                    Ok((status, plain)) => Ok((status, Some(plain))),
+                    Err(e) if self.arq_on() => self
+                        .recover(status.source, status.tag, seq, &p, e)
+                        .map(|(st, plain)| (st, Some(plain))),
+                    Err(e) => Err(e),
+                }
             }
         }
     }
@@ -382,14 +1200,48 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         &self,
         reqs: &mut Vec<SecureRequest>,
     ) -> Result<(usize, Status, Option<Vec<u8>>)> {
+        let mut hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
         let mut inner: Vec<Request> = reqs.drain(..).map(|r| r.inner).collect();
-        let (idx, status, payload) = self.comm.waitany_payload(&mut inner);
-        reqs.extend(inner.into_iter().map(|inner| SecureRequest { inner }));
+        let (idx, status, payload) = if self.arq_on() {
+            loop {
+                match self
+                    .comm
+                    .waitany_or_ctrl(&mut inner, (Src::Any, TagSel::Is(NACK_TAG)))
+                {
+                    AnyCtrl::Ctrl => self.service_nacks(),
+                    AnyCtrl::Done(idx, status, payload) => break (idx, status, payload),
+                }
+            }
+        } else {
+            self.comm.waitany_payload(&mut inner)
+        };
+        let hint = hints.remove(idx);
+        reqs.extend(
+            inner
+                .into_iter()
+                .zip(hints)
+                .map(|(inner, recv_seq_hint)| SecureRequest {
+                    inner,
+                    recv_seq_hint,
+                }),
+        );
         match payload {
             None => Ok((idx, status, None)),
             Some(p) => {
-                let (status, plain) = self.open_payload(p)?;
-                Ok((idx, status, Some(plain)))
+                if !self.chaos_on() {
+                    let (status, plain) = self.open_payload(&p)?;
+                    return Ok((idx, status, Some(plain)));
+                }
+                let seq = hint.unwrap_or_else(|| {
+                    Self::bump_seq(&self.recv_seq, status.source, status.tag)
+                });
+                match self.open_payload(&p) {
+                    Ok((status, plain)) => Ok((idx, status, Some(plain))),
+                    Err(e) if self.arq_on() => self
+                        .recover(status.source, status.tag, seq, &p, e)
+                        .map(|(st, plain)| (idx, st, Some(plain))),
+                    Err(e) => Err(e),
+                }
             }
         }
     }
@@ -445,6 +1297,15 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let root_chunk = u64::from_be_bytes(hdr[9..17].try_into().unwrap()) as usize;
         if hdr[8] != 0 {
             let tag = self.comm.reserved_tag(SEC_BCAST_OP);
+            // Under ARQ every hop is recover-then-forward: a parent must
+            // authenticate before relaying, because forwarding frames it
+            // cannot vouch for would poison its own retransmit buffer.
+            // That rules out the scatter–allgather ring (every rank
+            // forwards *foreign* ciphertext groups), so ARQ broadcasts
+            // always take the tree.
+            if self.arq_on() {
+                return self.bcast_tree_arq(buf, root, root_len, tag);
+            }
             // Same algorithm switch as the plaintext transport: a
             // binomial tree is latency-optimal for short messages, a
             // scatter–allgather ring bandwidth-optimal for long ones.
@@ -529,10 +1390,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let mut pending = Vec::new();
         while mask > 0 {
             if vrank & mask == 0 && vrank + mask < n {
-                pending.push(
-                    self.comm
-                        .isend_chunked(frames.clone(), real(vrank + mask), tag),
-                );
+                pending.push(self.chaos_isend_chunked(frames.clone(), real(vrank + mask), tag));
             }
             mask >>= 1;
         }
@@ -593,7 +1451,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             for g in 1..n {
                 if gsize(g) > 0 {
                     let part = frames[gstart(g)..gstart(g) + gsize(g)].to_vec();
-                    scatter_reqs.push(self.comm.isend_chunked(part, real(g), tag));
+                    scatter_reqs.push(self.chaos_isend_chunked(part, real(g), tag));
                 }
             }
             for (i, f) in frames.into_iter().enumerate() {
@@ -602,7 +1460,11 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         } else if gsize(vrank) > 0 {
             match self.comm.recv_maybe_chunked(Src::Is(root), TagSel::Is(tag)) {
                 RecvPayload::Chunked(msg) => {
-                    for (off, (at, data)) in msg.frames.into_iter().enumerate() {
+                    // Fault injection can duplicate frames: never write
+                    // past the group's slot range (excess frames are
+                    // corruption, surfaced by the final open).
+                    let keep = gsize(vrank);
+                    for (off, (at, data)) in msg.frames.into_iter().enumerate().take(keep) {
                         slots[gstart(vrank) + off] = Some(ChunkFrame { data, ready: at });
                     }
                 }
@@ -622,16 +1484,26 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             let sg = (vrank + n - s) % n;
             let rg = (vrank + n - 1 - s) % n;
             let sreq = (gsize(sg) > 0).then(|| {
+                // A slot a fault dropped upstream is forwarded as a
+                // zero-length runt: the ring schedule stays intact and
+                // the corruption surfaces at the final open as a typed
+                // error (clean runs always have every slot filled).
                 let part: Vec<ChunkFrame> = slots[gstart(sg)..gstart(sg) + gsize(sg)]
                     .iter()
-                    .map(|f| f.clone().expect("ring holds the group it forwards"))
+                    .map(|f| {
+                        f.clone().unwrap_or_else(|| ChunkFrame {
+                            data: Bytes::new(),
+                            ready: self.comm.sim().now(),
+                        })
+                    })
                     .collect();
-                self.comm.isend_chunked(part, next, tag)
+                self.chaos_isend_chunked(part, next, tag)
             });
             if gsize(rg) > 0 {
                 match self.comm.recv_maybe_chunked(Src::Is(prev), TagSel::Is(tag)) {
                     RecvPayload::Chunked(msg) => {
-                        for (off, (at, data)) in msg.frames.into_iter().enumerate() {
+                        let keep = gsize(rg);
+                        for (off, (at, data)) in msg.frames.into_iter().enumerate().take(keep) {
                             slots[gstart(rg) + off] = Some(ChunkFrame { data, ready: at });
                         }
                     }
@@ -662,13 +1534,89 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             tag,
             frames: slots
                 .into_iter()
-                .map(|f| {
-                    let f = f.expect("every group gathered");
-                    (f.ready, f.data)
+                .map(|f| match f {
+                    Some(f) => (f.ready, f.data),
+                    // A fault-dropped slot: runt frame, typed error at open.
+                    None => (self.comm.sim().now(), Bytes::new()),
                 })
                 .collect(),
         };
         *buf = self.open_chunked(&msg)?;
+        Ok(())
+    }
+
+    /// Broadcast body under the retransmit layer: a binomial tree of
+    /// recover-then-forward hops. Each non-root first receives *and
+    /// recovers* the plaintext from its tree parent (per-chunk NACKs on
+    /// the parent link), then re-seals fresh frames for its children —
+    /// so every link runs its own ARQ conversation and a rank only ever
+    /// retains ciphertext it can vouch for.
+    ///
+    /// Degradation is graceful: a rank whose upstream recovery fails
+    /// terminally still forwards a zero-length sentinel downstream, so
+    /// its subtree stays live (descendants observe a length mismatch
+    /// against the announced root length and report it as a typed
+    /// error) while the failing rank reports the delivery error itself.
+    fn bcast_tree_arq(
+        &self,
+        buf: &mut Vec<u8>,
+        root: usize,
+        root_len: usize,
+        tag: Tag,
+    ) -> Result<()> {
+        let n = self.size();
+        let me = self.rank();
+        let vrank = (me + n - root) % n;
+        let real = |v: usize| (v + root) % n;
+
+        let mut mask = 1usize;
+        let mut upstream_err: Option<Error> = None;
+        let mut payload: Vec<u8> = Vec::new();
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = real(vrank - mask);
+                match self.recv(Src::Is(parent), TagSel::Is(tag)) {
+                    Ok((_, plain)) => payload = plain,
+                    Err(e) => upstream_err = Some(e), // sentinel stays empty
+                }
+                break;
+            }
+            mask <<= 1;
+        }
+
+        let fwd: &[u8] = if me == root { buf } else { &payload };
+        mask >>= 1;
+        let mut pending = Vec::new();
+        while mask > 0 {
+            if vrank & mask == 0 && vrank + mask < n {
+                pending.push(self.isend(fwd, real(vrank + mask), tag));
+            }
+            mask >>= 1;
+        }
+        for req in pending {
+            self.wait(req)?;
+        }
+
+        if me == root {
+            return Ok(());
+        }
+        if let Some(e) = upstream_err {
+            return Err(e);
+        }
+        if buf.len() != root_len {
+            return Err(Error::LengthMismatch {
+                local: buf.len(),
+                remote: root_len,
+            });
+        }
+        if payload.len() != root_len {
+            // An ancestor's sentinel (or a short repair): typed, not silent.
+            return Err(Error::LengthMismatch {
+                local: root_len,
+                remote: payload.len(),
+            });
+        }
+        *buf = payload;
         Ok(())
     }
 
@@ -760,9 +1708,11 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             let dst = (me + i) % n;
             let src = (me + n - i) % n;
             let frames = self.seal_chunked_frames(&send[dst * block..(dst + 1) * block]);
-            let sreq = self.comm.isend_chunked(frames, dst, tag);
-            let (st, plain) =
-                self.open_payload(self.comm.recv_maybe_chunked(Src::Is(src), TagSel::Is(tag)))?;
+            let sreq = SecureRequest {
+                inner: self.chaos_isend_chunked(frames, dst, tag),
+                recv_seq_hint: None,
+            };
+            let (st, plain) = self.recv(Src::Is(src), TagSel::Is(tag))?;
             if plain.len() != block {
                 return Err(Error::LengthMismatch {
                     local: block,
@@ -771,7 +1721,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             }
             debug_assert_eq!(st.source, src);
             out[src * block..(src + 1) * block].copy_from_slice(&plain);
-            let _ = self.comm.wait_payload(sreq);
+            self.wait(sreq)?;
         }
         Ok(out)
     }
@@ -868,13 +1818,16 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             let dst = (me + i) % n;
             let src = (me + n - i) % n;
             let seg = &send[send_off[dst]..send_off[dst] + send_counts[dst]];
-            let sreq = if self.pipe.applies_to(seg.len()) {
-                self.comm.isend_chunked(self.seal_chunked_frames(seg), dst, tag)
+            let inner = if self.pipe.applies_to(seg.len()) {
+                self.chaos_isend_chunked(self.seal_chunked_frames(seg), dst, tag)
             } else {
-                self.comm.isend(&self.seal(seg), dst, tag)
+                self.chaos_isend_wire(self.seal(seg), dst, tag)
             };
-            let (_, plain) =
-                self.open_payload(self.comm.recv_maybe_chunked(Src::Is(src), TagSel::Is(tag)))?;
+            let sreq = SecureRequest {
+                inner,
+                recv_seq_hint: None,
+            };
+            let (_, plain) = self.recv(Src::Is(src), TagSel::Is(tag))?;
             if plain.len() != recv_counts[src] {
                 return Err(Error::LengthMismatch {
                     local: recv_counts[src],
@@ -882,7 +1835,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 });
             }
             out[recv_off[src]..recv_off[src] + recv_counts[src]].copy_from_slice(&plain);
-            let _ = self.comm.wait_payload(sreq);
+            self.wait(sreq)?;
         }
         Ok(out)
     }
@@ -1583,5 +2536,498 @@ mod tests {
                 }
             }
         });
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection + retransmit layer
+    // -----------------------------------------------------------------
+
+    use crate::FaultRates;
+    use empi_netsim::VDur;
+
+    #[test]
+    fn faults_without_arq_surface_typed_errors() {
+        // Every sealed record is corrupted; with no retransmit layer
+        // the receiver must see a typed auth failure, never a panic.
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            let local = if c.rank() == 0 {
+                cfg().with_faults(
+                    9,
+                    FaultRates {
+                        bit_flip: 1.0,
+                        ..FaultRates::ZERO
+                    },
+                )
+            } else {
+                cfg()
+            };
+            let sc = SecureComm::new(c, local).unwrap();
+            if c.rank() == 0 {
+                sc.send(b"will be flipped", 1, 3);
+                assert!(sc.chaos_stats().faults_injected >= 1);
+                true
+            } else {
+                matches!(
+                    sc.recv(Src::Is(0), TagSel::Is(3)),
+                    Err(Error::Crypto(empi_aead::Error::AuthFailure))
+                )
+            }
+        });
+        assert_eq!(out.results, vec![true, true]);
+    }
+
+    #[test]
+    fn zero_fault_rate_arq_is_silent() {
+        // Retransmit enabled, fault rate zero: traffic must round-trip
+        // with zero NACK/repair wire frames and all-zero chaos counters.
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(
+                c,
+                cfg().with_retransmit(3, VDur::from_micros(100)),
+            )
+            .unwrap();
+            let me = c.rank();
+            let (st, echo) = sc.sendrecv(
+                &vec![me as u8; 2048],
+                1 - me,
+                4,
+                Src::Is(1 - me),
+                TagSel::Is(4),
+            )
+            .unwrap();
+            assert_eq!(st.len, 2048);
+            assert_eq!(echo, vec![(1 - me) as u8; 2048]);
+            let mut b = if me == 0 { b"bcast".to_vec() } else { vec![0u8; 5] };
+            sc.bcast(&mut b, 0).unwrap();
+            assert_eq!(b, b"bcast");
+            sc.chaos_stats()
+        });
+        for st in out.results {
+            assert_eq!(st, ChaosStats::default(), "ARQ at fault rate 0 must be free");
+        }
+    }
+
+    #[test]
+    fn duplicated_chunks_salvage_without_wire_traffic() {
+        // Duplicate every chunk frame: the opener rejects the train, the
+        // salvager deduplicates and reassembles — recovery without a
+        // single NACK.
+        let len = 1usize << 17;
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        let out = w.run(move |c| {
+            let local = cfg()
+                .with_pipeline(crate::PipelineConfig::enabled().with_workers(2))
+                .with_retransmit(3, VDur::from_micros(200));
+            let local = if c.rank() == 0 {
+                local.with_faults(
+                    5,
+                    FaultRates {
+                        duplicate: 1.0,
+                        ..FaultRates::ZERO
+                    },
+                )
+            } else {
+                local
+            };
+            let sc = SecureComm::new(c, local).unwrap();
+            if c.rank() == 0 {
+                sc.send(&vec![0xA7u8; len], 1, 6);
+                sc.pump(sc.recovery_window());
+                true
+            } else {
+                let (_, data) = sc.recv(Src::Is(0), TagSel::Is(6)).unwrap();
+                let st = sc.chaos_stats();
+                data == vec![0xA7u8; len] && st.recoveries == 1 && st.nacks_sent == 0
+            }
+        });
+        assert_eq!(out.results, vec![true, true]);
+    }
+
+    #[test]
+    fn jitter_only_delays_but_delivers() {
+        let len = 1usize << 16;
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        let out = w.run(move |c| {
+            let local = cfg()
+                .with_pipeline(crate::PipelineConfig::enabled().with_workers(2))
+                .with_faults(
+                    11,
+                    FaultRates {
+                        jitter: 1.0,
+                        jitter_max_ns: 5_000,
+                        ..FaultRates::ZERO
+                    },
+                );
+            let sc = SecureComm::new(c, local).unwrap();
+            if c.rank() == 0 {
+                sc.send(&vec![0x3Cu8; len], 1, 1);
+                sc.chaos_stats().faults_injected >= 1
+            } else {
+                let (_, data) = sc.recv(Src::Is(0), TagSel::Is(1)).unwrap();
+                data == vec![0x3Cu8; len]
+            }
+        });
+        assert_eq!(out.results, vec![true, true]);
+    }
+
+    #[test]
+    fn arq_recovers_dropped_chunks_via_nack_repair() {
+        // Sweep seeds at a hefty chunk-drop rate: every run must end in
+        // the exact plaintext or a typed error, and at least one run
+        // must recover through a real NACK → repair round trip.
+        let len = 1usize << 17; // 4 chunks of 32 KiB
+        let mut wire_recoveries = 0u64;
+        let mut outcomes = 0usize;
+        for seed in 0..12u64 {
+            let w = World::flat(NetModel::ethernet_10g(), 2);
+            let out = w.run(move |c| {
+                let local = cfg()
+                    .with_pipeline(
+                        crate::PipelineConfig::enabled()
+                            .with_chunk_size(1 << 15)
+                            .with_workers(2),
+                    )
+                    .with_retransmit(4, VDur::from_micros(300));
+                let local = if c.rank() == 0 {
+                    local.with_faults(
+                        seed,
+                        FaultRates {
+                            drop: 0.5,
+                            ..FaultRates::ZERO
+                        },
+                    )
+                } else {
+                    local
+                };
+                let sc = SecureComm::new(c, local).unwrap();
+                if c.rank() == 0 {
+                    sc.send(&vec![0x5Au8; len], 1, 2);
+                    sc.pump(sc.recovery_window());
+                    (true, 0u64, 0u64)
+                } else {
+                    let st = match sc.recv(Src::Is(0), TagSel::Is(2)) {
+                        Ok((_, data)) => {
+                            assert_eq!(data, vec![0x5Au8; len], "seed {seed}: wrong plaintext");
+                            sc.chaos_stats()
+                        }
+                        Err(
+                            Error::DeliveryFailed { .. }
+                            | Error::Timeout { .. }
+                            | Error::Crypto(_)
+                            | Error::Pipeline(_),
+                        ) => sc.chaos_stats(),
+                        Err(e) => panic!("seed {seed}: unexpected error class: {e}"),
+                    };
+                    (true, st.recoveries, st.nacks_sent)
+                }
+            });
+            outcomes += 1;
+            let (_, recoveries, nacks) = out.results[1];
+            if recoveries > 0 && nacks > 0 {
+                wire_recoveries += 1;
+            }
+        }
+        assert_eq!(outcomes, 12);
+        assert!(
+            wire_recoveries >= 1,
+            "no seed exercised a NACK-repair recovery — rates too extreme?"
+        );
+    }
+
+    #[test]
+    fn arq_recovers_flipped_plain_message() {
+        // Plain (non-pipelined) path: a bit-flipped record fails auth,
+        // the receiver NACKs the whole message, the sender's retained
+        // copy is re-corrupted (or not) per attempt. Sweep seeds and
+        // require at least one whole-message wire recovery.
+        let mut wire_recoveries = 0u64;
+        for seed in 0..12u64 {
+            let w = World::flat(NetModel::ethernet_10g(), 2);
+            let out = w.run(move |c| {
+                let local = cfg().with_retransmit(4, VDur::from_micros(200));
+                let local = if c.rank() == 0 {
+                    local.with_faults(
+                        seed,
+                        FaultRates {
+                            bit_flip: 0.6,
+                            ..FaultRates::ZERO
+                        },
+                    )
+                } else {
+                    local
+                };
+                let sc = SecureComm::new(c, local).unwrap();
+                if c.rank() == 0 {
+                    sc.send(&vec![0x77u8; 4096], 1, 8);
+                    sc.pump(sc.recovery_window());
+                    0
+                } else {
+                    match sc.recv(Src::Is(0), TagSel::Is(8)) {
+                        Ok((_, data)) => {
+                            assert_eq!(data, vec![0x77u8; 4096]);
+                            sc.chaos_stats().recoveries
+                        }
+                        Err(Error::DeliveryFailed { .. } | Error::Timeout { .. }) => 0,
+                        Err(e) => panic!("seed {seed}: unexpected error: {e}"),
+                    }
+                }
+            });
+            wire_recoveries += out.results[1];
+        }
+        assert!(wire_recoveries >= 1, "no seed recovered a plain record");
+    }
+
+    #[test]
+    fn nack_for_evicted_message_gets_an_abort() {
+        // A NACK naming a flow the sender no longer retains (or never
+        // sent) is answered with a typed abort repair.
+        use empi_mpi::{RepairKind, NACK_TAG, REPAIR_TAG};
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            let sc =
+                SecureComm::new(c, cfg().with_retransmit(2, VDur::from_micros(50))).unwrap();
+            if c.rank() == 0 {
+                sc.pump(VDur::from_micros(20));
+                sc.chaos_stats().aborts == 1
+            } else {
+                let nack = empi_mpi::Nack::Whole {
+                    tag: 5,
+                    seq: 9,
+                    attempt: 0,
+                };
+                c.send(&nack.encode(), 0, NACK_TAG);
+                let (_, raw) = c.recv(Src::Is(0), TagSel::Is(REPAIR_TAG));
+                let (hdr, body) = decode_repair(&raw);
+                hdr.kind == RepairKind::Abort && hdr.tag == 5 && hdr.seq == 9 && body.is_empty()
+            }
+        });
+        assert_eq!(out.results, vec![true, true]);
+    }
+
+    fn decode_repair(raw: &[u8]) -> (empi_mpi::RepairHeader, Vec<u8>) {
+        let (hdr, body) = empi_mpi::RepairHeader::decode(raw).expect("well-formed repair");
+        (hdr, body.to_vec())
+    }
+
+    #[test]
+    fn silent_sender_times_out_with_typed_error() {
+        // The sender injects faults but has NO retransmit layer, so the
+        // receiver's NACKs go unanswered: after the full backoff
+        // schedule the receiver must surface Error::Timeout.
+        let w = World::flat(NetModel::instant(), 2);
+        let out = w.run(|c| {
+            if c.rank() == 0 {
+                let sc = SecureComm::new(
+                    c,
+                    cfg().with_faults(
+                        3,
+                        FaultRates {
+                            bit_flip: 1.0,
+                            ..FaultRates::ZERO
+                        },
+                    ),
+                )
+                .unwrap();
+                sc.send(b"corrupted and never repaired", 1, 9);
+                true
+            } else {
+                let sc = SecureComm::new(
+                    c,
+                    cfg().with_retransmit(2, VDur::from_micros(40)),
+                )
+                .unwrap();
+                match sc.recv(Src::Is(0), TagSel::Is(9)) {
+                    Err(Error::Timeout { waited_ns, op }) => op == "recv" && waited_ns > 0,
+                    other => panic!("expected timeout, got {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out.results, vec![true, true]);
+    }
+
+    #[test]
+    fn degraded_workers_slow_the_pipeline_but_stay_correct() {
+        // Worker degradation must never corrupt data — only stretch the
+        // virtual-time schedule.
+        let len = 1usize << 18;
+        let run = |degrade: bool| {
+            let w = World::flat(NetModel::ethernet_10g(), 2);
+            w.run(move |c| {
+                let mut local = cfg()
+                    .with_pipeline(crate::PipelineConfig::enabled().with_workers(4));
+                if degrade {
+                    local = local.with_faults(
+                        21,
+                        FaultRates {
+                            degraded_workers: 1.0,
+                            worker_slowdown: 8,
+                            ..FaultRates::ZERO
+                        },
+                    );
+                }
+                let sc = SecureComm::new(c, local).unwrap();
+                if c.rank() == 0 {
+                    sc.send(&vec![0x11u8; len], 1, 0);
+                    assert!(!degrade || sc.chaos_stats().faults_injected >= 1);
+                } else {
+                    let (_, data) = sc.recv(Src::Is(0), TagSel::Is(0)).unwrap();
+                    assert_eq!(data, vec![0x11u8; len]);
+                }
+            })
+            .end_time
+            .as_nanos()
+        };
+        let clean = run(false);
+        let degraded = run(true);
+        assert!(
+            degraded > clean,
+            "8x-degraded workers must stretch the schedule: {degraded} vs {clean}"
+        );
+    }
+
+    #[test]
+    fn arq_bcast_recovers_or_degrades_gracefully() {
+        // 4-rank ARQ broadcast with a faulty root link: every rank must
+        // finish (no deadlock) with either the payload or a typed error.
+        let len = 1usize << 17;
+        let mut full_success = 0usize;
+        for seed in 0..6u64 {
+            let w = World::flat(NetModel::ethernet_10g(), 4);
+            let out = w.run(move |c| {
+                let local = cfg()
+                    .with_pipeline(
+                        crate::PipelineConfig::enabled()
+                            .with_chunk_size(1 << 15)
+                            .with_workers(2),
+                    )
+                    .with_retransmit(3, VDur::from_micros(300))
+                    .with_faults(
+                        seed,
+                        FaultRates {
+                            drop: 0.3,
+                            ..FaultRates::ZERO
+                        },
+                    );
+                let sc = SecureComm::new(c, local).unwrap();
+                let mut buf = if c.rank() == 0 {
+                    vec![0xB2u8; len]
+                } else {
+                    vec![0u8; len]
+                };
+                let res = sc.bcast(&mut buf, 0);
+                sc.pump(sc.recovery_window());
+                match res {
+                    Ok(()) => {
+                        assert_eq!(buf, vec![0xB2u8; len], "seed {seed}: wrong bcast payload");
+                        true
+                    }
+                    Err(
+                        Error::DeliveryFailed { .. }
+                        | Error::Timeout { .. }
+                        | Error::LengthMismatch { .. },
+                    ) => false,
+                    Err(e) => panic!("seed {seed}: unexpected error class: {e}"),
+                }
+            });
+            if out.results.iter().all(|&ok| ok) {
+                full_success += 1;
+            }
+        }
+        assert!(
+            full_success >= 1,
+            "no seed completed a fully-recovered ARQ broadcast"
+        );
+    }
+
+    #[test]
+    fn arq_alltoall_round_trips_under_chunk_drops() {
+        let n = 4usize;
+        let block = 96 * 1024;
+        let mut successes = 0usize;
+        for seed in 0..4u64 {
+            let w = World::flat(NetModel::ethernet_10g(), n);
+            let out = w.run(move |c| {
+                let local = cfg()
+                    .with_pipeline(crate::PipelineConfig::enabled().with_workers(2))
+                    .with_retransmit(3, VDur::from_micros(300))
+                    .with_faults(
+                        seed,
+                        FaultRates {
+                            drop: 0.2,
+                            ..FaultRates::ZERO
+                        },
+                    );
+                let sc = SecureComm::new(c, local).unwrap();
+                let me = c.rank();
+                let send: Vec<u8> = (0..n).flat_map(|d| vec![(me * n + d) as u8; block]).collect();
+                let res = sc.alltoall(&send, block);
+                sc.pump(sc.recovery_window());
+                match res {
+                    Ok(out) => {
+                        let want: Vec<u8> =
+                            (0..n).flat_map(|s| vec![(s * n + me) as u8; block]).collect();
+                        assert_eq!(out, want, "seed {seed}: alltoall plaintext mismatch");
+                        true
+                    }
+                    Err(
+                        Error::DeliveryFailed { .. }
+                        | Error::Timeout { .. }
+                        | Error::LengthMismatch { .. },
+                    ) => false,
+                    Err(e) => panic!("seed {seed}: unexpected error class: {e}"),
+                }
+            });
+            if out.results.iter().all(|&ok| ok) {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 1, "no seed completed a recovered ARQ alltoall");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn fault_and_retry_spans_reach_the_trace() {
+        let w = World::flat(NetModel::ethernet_10g(), 2).traced(true);
+        let out = w.run(|c| {
+            let local = cfg().with_retransmit(4, VDur::from_micros(200));
+            let local = if c.rank() == 0 {
+                local.with_faults(
+                    2,
+                    FaultRates {
+                        bit_flip: 0.8,
+                        ..FaultRates::ZERO
+                    },
+                )
+            } else {
+                local
+            };
+            let sc = SecureComm::new(c, local).unwrap();
+            if c.rank() == 0 {
+                for i in 0..6u8 {
+                    sc.send(&vec![i; 512], 1, 0);
+                }
+                sc.pump(sc.recovery_window());
+            } else {
+                for _ in 0..6 {
+                    let _ = sc.recv(Src::Is(0), TagSel::Is(0));
+                }
+            }
+        });
+        let tr = out.trace.unwrap();
+        let faults: usize = tr.per_rank.iter().map(|r| r.faults_injected as usize).sum();
+        assert!(faults >= 1, "fault spans must reach the trace");
+        assert!(
+            tr.events.iter().any(|e| e.name.starts_with("fault/")),
+            "expected fault/* events"
+        );
+        let nacks: usize = tr.per_rank.iter().map(|r| r.nacks_sent as usize).sum();
+        if nacks > 0 {
+            assert!(
+                tr.events.iter().any(|e| e.name.starts_with("retry/")),
+                "NACKs were sent but no retry/* spans recorded"
+            );
+        }
     }
 }

@@ -946,6 +946,103 @@ mod tests {
     }
 
     #[test]
+    fn ctrl_aware_primitives_wake_on_control_frames() {
+        use crate::ctrl::NACK_TAG;
+        use empi_netsim::VDur;
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        w.run(|c| {
+            if c.rank() == 1 {
+                // A control frame goes out early, the data message late.
+                c.send(b"nack!", 0, NACK_TAG);
+                c.compute(VDur::from_micros(500));
+                c.send(b"data", 0, 5);
+            } else {
+                // The wait wakes on the control frame first...
+                let sel = (crate::Src::Is(1), crate::TagSel::Is(5));
+                let ctrl = (crate::Src::Any, crate::TagSel::Is(NACK_TAG));
+                let (is_ctrl, st) = c.probe_either(sel, ctrl);
+                assert!(is_ctrl);
+                assert_eq!(st.tag, NACK_TAG);
+                let _ = c.recv(crate::Src::Is(st.source), crate::TagSel::Is(NACK_TAG));
+                // ...and on the data message once the ctrl queue drains.
+                let (is_ctrl, st) = c.probe_either(sel, ctrl);
+                assert!(!is_ctrl);
+                assert_eq!((st.source, st.tag, st.len), (1, 5, 4));
+                let _ = c.recv(crate::Src::Is(1), crate::TagSel::Is(5));
+            }
+        });
+    }
+
+    #[test]
+    fn wait_or_ctrl_hands_the_request_back_on_ctrl() {
+        use crate::comm::WaitCtrl;
+        use crate::ctrl::NACK_TAG;
+        use empi_netsim::VDur;
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        let out = w.run(|c| {
+            if c.rank() == 1 {
+                c.send(b"ctrl", 0, NACK_TAG);
+                c.compute(VDur::from_micros(300));
+                c.send(b"payload", 0, 7);
+                0
+            } else {
+                let mut req = c.irecv(crate::Src::Is(1), crate::TagSel::Is(7));
+                let mut ctrl_seen = 0;
+                loop {
+                    match c.wait_or_ctrl(req, (crate::Src::Any, crate::TagSel::Is(NACK_TAG))) {
+                        WaitCtrl::Ctrl(back) => {
+                            let _ = c.recv(crate::Src::Any, crate::TagSel::Is(NACK_TAG));
+                            ctrl_seen += 1;
+                            req = back;
+                        }
+                        WaitCtrl::Done(st, payload) => {
+                            assert_eq!(st.source, 1);
+                            match payload {
+                                Some(crate::chunk::RecvPayload::Plain(_, d)) => {
+                                    assert_eq!(&d[..], b"payload")
+                                }
+                                _ => panic!("expected a plain payload"),
+                            }
+                            break;
+                        }
+                    }
+                }
+                ctrl_seen
+            }
+        });
+        assert_eq!(out.results[0], 1, "the ctrl frame must interrupt the wait once");
+    }
+
+    #[test]
+    fn wildcard_matching_skips_ctrl_tags_and_probe_sees_chunked() {
+        use crate::chunk::ChunkFrame;
+        use crate::ctrl::NACK_TAG;
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        w.run(|c| {
+            if c.rank() == 0 {
+                c.send(b"ctrl", 1, NACK_TAG);
+                let frames = vec![ChunkFrame {
+                    data: bytes::Bytes::copy_from_slice(b"frame0"),
+                    ready: c.now(),
+                }];
+                c.send_chunked(frames, 1, 6);
+            } else {
+                // The wildcard probe must skip the ctrl frame and find
+                // the chunked send (now visible to peeks).
+                let st = c.probe(crate::Src::Any, crate::TagSel::Any);
+                assert_eq!((st.source, st.tag, st.len), (0, 6, 6));
+                match c.recv_maybe_chunked(crate::Src::Is(0), crate::TagSel::Is(6)) {
+                    crate::chunk::RecvPayload::Chunked(msg) => assert_eq!(msg.wire_bytes(), 6),
+                    _ => panic!("expected a chunked payload"),
+                }
+                let (st, d) = c.recv(crate::Src::Any, crate::TagSel::Is(NACK_TAG));
+                assert_eq!(st.source, 0);
+                assert_eq!(&d[..], b"ctrl");
+            }
+        });
+    }
+
+    #[test]
     fn allgather_one_typed() {
         let w = World::flat(NetModel::instant(), 6);
         let out = w.run(|c| c.allgather_one(c.rank() as u64 * 7));

@@ -39,6 +39,28 @@ pub(crate) enum ReqKind {
     Recv,
 }
 
+/// Outcome of [`Comm::wait_or_ctrl`].
+#[derive(Debug)]
+pub enum WaitCtrl {
+    /// The request completed; same payload as [`Comm::wait_payload`].
+    Done(Status, Option<RecvPayload>),
+    /// A control frame became available first; the request is handed
+    /// back untouched so the caller can service the control plane and
+    /// re-enter the wait.
+    Ctrl(Request),
+}
+
+/// Outcome of [`Comm::waitany_or_ctrl`].
+#[derive(Debug)]
+pub enum AnyCtrl {
+    /// Request `idx` completed (removed from the set), same payload as
+    /// [`Comm::waitany_payload`].
+    Done(usize, Status, Option<RecvPayload>),
+    /// A control frame became available first; the request set is
+    /// untouched.
+    Ctrl,
+}
+
 /// A rank's endpoint in the simulated world.
 ///
 /// Obtained from [`crate::World::run`]; all MPI operations go through
@@ -269,6 +291,73 @@ impl<'h> Comm<'h> {
         }
     }
 
+    /// Post a blocking-mode send (`MPI_Send` host accounting) but hand
+    /// the request back instead of parking in the rendezvous wait. The
+    /// retransmit layer needs exactly this split: a sender must charge
+    /// the blocking per-message overhead — not `isend`'s streaming
+    /// occupancy — yet stay responsive to control frames (NACKs) while
+    /// its rendezvous drains, so it runs a control-aware wait loop on
+    /// the returned request. Eager sends complete immediately.
+    pub fn send_posted(&self, buf: &[u8], dst: usize, tag: Tag) -> Request {
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        assert_ne!(dst, self.rank(), "self-sends must use isend+recv");
+        let me = self.rank();
+        let len = buf.len();
+        let eager = len <= self.eager_threshold();
+        let _op = self.op(if eager { "p2p/eager" } else { "p2p/rndv" });
+        self.charge_host(self.side_overhead(dst, len, true));
+        let id = {
+            let mut s = self.shared.lock();
+            s.p2p_ops += 1;
+            let now = self.h.now();
+            let data = Bytes::copy_from_slice(buf);
+            if eager {
+                let arrive = s.fabric.transmit(me, dst, len, now);
+                if let Some(pr) = s.take_posted(dst, me, tag) {
+                    s.complete_req(pr.req, arrive, me, tag, DonePayload::Plain(data));
+                } else {
+                    s.queues[dst].unexpected.push_back(Envelope {
+                        src: me,
+                        tag,
+                        data,
+                        arrive,
+                    });
+                }
+                s.alloc_req(ReqEntry::Done {
+                    at: now,
+                    src: me,
+                    tag,
+                    data: DonePayload::None,
+                })
+            } else if let Some(pr) = s.take_posted(dst, me, tag) {
+                let (sender_done, arrival) =
+                    Self::schedule_rndv(&mut s.fabric, me, dst, len, now, pr.posted_at);
+                s.complete_req(pr.req, arrival, me, tag, DonePayload::Plain(data));
+                s.alloc_req(ReqEntry::Done {
+                    at: sender_done,
+                    src: me,
+                    tag,
+                    data: DonePayload::None,
+                })
+            } else {
+                let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
+                s.queues[dst].rndv.push_back(RndvSend {
+                    src: me,
+                    tag,
+                    data,
+                    ready: now,
+                    req,
+                });
+                req
+            }
+        };
+        self.h.notify_rank(dst);
+        Request {
+            id,
+            kind: ReqKind::Send,
+        }
+    }
+
     /// Blocking receive (`MPI_Recv`), returning the payload.
     pub fn recv(&self, src: Src, tag: TagSel) -> (Status, Bytes) {
         let me = self.rank();
@@ -317,50 +406,19 @@ impl<'h> Comm<'h> {
     /// whole message (the pipelined path still posts one logical send),
     /// matching the per-message accounting of [`Comm::send`].
     pub fn send_chunked(&self, frames: Vec<ChunkFrame>, dst: usize, tag: Tag) {
-        assert!(dst < self.size(), "send_chunked to invalid rank {dst}");
-        assert_ne!(dst, self.rank(), "self-sends must use isend+recv");
-        assert!(!frames.is_empty(), "chunked message needs at least one frame");
-        let me = self.rank();
-        let wire: usize = frames.iter().map(|f| f.data.len()).sum();
-        let _op = self.op("p2p/chunked");
-        self.charge_host(self.side_overhead(dst, wire, true));
-        let req = {
-            let mut s = self.shared.lock();
-            s.p2p_ops += 1;
-            let now = self.h.now();
-            if let Some(pr) = s.take_posted(dst, me, tag) {
-                // The receiver already posted (irecv): schedule the
-                // frame train now and complete its request so its
-                // `wait` can dispatch on the chunked payload. Without
-                // this match a posted receive and a chunked send
-                // deadlock — the receiver's wait never pops the
-                // chunked queue.
-                let (frames, last_arrive, sender_done) =
-                    Self::schedule_chunked(&mut s, me, dst, frames, now, pr.posted_at);
-                s.complete_req(pr.req, last_arrive, me, tag, DonePayload::Chunked(frames));
-                s.alloc_req(ReqEntry::Done {
-                    at: sender_done,
-                    src: me,
-                    tag,
-                    data: DonePayload::None,
-                })
-            } else {
-                let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
-                s.queues[dst].chunked.push_back(ChunkedSend {
-                    src: me,
-                    tag,
-                    frames,
-                    posted: now,
-                    req,
-                });
-                req
-            }
-        };
-        self.h.notify_rank(dst);
+        let req = self.post_chunked(frames, dst, tag, true);
         let shared = Arc::clone(&self.shared);
         self.h.block_on("send(chunked)", || {
-            shared.lock().try_take_done(req).map(|d| (d.0, ()))
+            shared.lock().try_take_done(req.id).map(|d| (d.0, ()))
         });
+    }
+
+    /// Post a blocking-mode chunked send but hand the request back
+    /// instead of parking until the train clears the NIC — the chunked
+    /// counterpart of [`Comm::send_posted`], for callers that must keep
+    /// servicing control frames (NACKs) while a blocking send drains.
+    pub fn send_chunked_posted(&self, frames: Vec<ChunkFrame>, dst: usize, tag: Tag) -> Request {
+        self.post_chunked(frames, dst, tag, true)
     }
 
     /// Non-blocking chunked send: like [`Comm::send_chunked`] but
@@ -369,17 +427,26 @@ impl<'h> Comm<'h> {
     /// occupancy (the `isend` accounting), so sealing of later
     /// messages can overlap this train's wire time.
     pub fn isend_chunked(&self, frames: Vec<ChunkFrame>, dst: usize, tag: Tag) -> Request {
-        assert!(dst < self.size(), "isend_chunked to invalid rank {dst}");
+        self.post_chunked(frames, dst, tag, false)
+    }
+
+    /// Shared body of the chunked sends: charge the host overhead of
+    /// the chosen mode, then either match an already-posted receive
+    /// (scheduling the frame train now — without this match a posted
+    /// receive and a chunked send deadlock, the receiver's wait never
+    /// pops the chunked queue) or enqueue the train for the receiver.
+    fn post_chunked(&self, frames: Vec<ChunkFrame>, dst: usize, tag: Tag, blocking: bool) -> Request {
+        assert!(dst < self.size(), "send_chunked to invalid rank {dst}");
         assert_ne!(dst, self.rank(), "chunked self-sends are opened locally by the caller");
         assert!(!frames.is_empty(), "chunked message needs at least one frame");
         let me = self.rank();
         let wire: usize = frames.iter().map(|f| f.data.len()).sum();
         let _op = self.op("p2p/chunked");
-        self.charge_host(self.side_overhead(dst, wire, false));
-        let now = self.h.now();
+        self.charge_host(self.side_overhead(dst, wire, blocking));
         let id = {
             let mut s = self.shared.lock();
             s.p2p_ops += 1;
+            let now = self.h.now();
             if let Some(pr) = s.take_posted(dst, me, tag) {
                 let (frames, last_arrive, sender_done) =
                     Self::schedule_chunked(&mut s, me, dst, frames, now, pr.posted_at);
@@ -789,6 +856,99 @@ impl<'h> Comm<'h> {
         s.peek_incoming(me, src, tag)
             .filter(|&(_, _, _, at)| at <= now)
             .map(|(src, tag, len, _)| Status { source: src, tag, len })
+    }
+
+    // ---------------------------------------------------------------
+    // Control-plane-aware waits (the recovery layer's primitives)
+    // ---------------------------------------------------------------
+    //
+    // A retransmit protocol needs every *blocking* wait to double as a
+    // server: a rank parked on its own payload must still wake up when
+    // a peer NACKs one of its earlier sends, or two mutually-waiting
+    // ranks deadlock. These variants block on "my thing OR a control
+    // frame", preferring whichever becomes available earlier in
+    // virtual time, and hand control frames back to the caller without
+    // consuming them.
+
+    /// Block until a message matching `data` or one matching `ctrl` is
+    /// available, returning `(is_ctrl, envelope)` without receiving
+    /// either. Whichever becomes available earlier wins; ties prefer
+    /// the data message.
+    pub fn probe_either(&self, data: (Src, TagSel), ctrl: (Src, TagSel)) -> (bool, Status) {
+        let me = self.rank();
+        let shared = Arc::clone(&self.shared);
+        self.h.block_on("probe", || {
+            let s = shared.lock();
+            let d = s.peek_incoming(me, data.0, data.1);
+            let c = s.peek_incoming(me, ctrl.0, ctrl.1);
+            let pick = |(src, tag, len, at): (usize, Tag, usize, VTime), is_ctrl: bool| {
+                (at, (is_ctrl, Status { source: src, tag, len }))
+            };
+            match (d, c) {
+                (Some(d), Some(c)) if c.3 < d.3 => Some(pick(c, true)),
+                (Some(d), _) => Some(pick(d, false)),
+                (None, Some(c)) => Some(pick(c, true)),
+                (None, None) => None,
+            }
+        })
+    }
+
+    /// Wait for `req` like [`Comm::wait_payload`], but return early if
+    /// a control frame matching `ctrl` becomes available first.
+    pub fn wait_or_ctrl(&self, req: Request, ctrl: (Src, TagSel)) -> WaitCtrl {
+        let me = self.rank();
+        let shared = Arc::clone(&self.shared);
+        let id = req.id;
+        let is_ctrl = self.h.block_on("wait", || {
+            let s = shared.lock();
+            let done = s.peek_done(id);
+            let c = s.peek_incoming(me, ctrl.0, ctrl.1).map(|(.., at)| at);
+            match (done, c) {
+                (Some(d), Some(c)) if c < d => Some((c, true)),
+                (Some(d), _) => Some((d, false)),
+                (None, Some(c)) => Some((c, true)),
+                (None, None) => None,
+            }
+        });
+        if is_ctrl {
+            WaitCtrl::Ctrl(req)
+        } else {
+            let (status, payload) = self.wait_payload(req);
+            WaitCtrl::Done(status, payload)
+        }
+    }
+
+    /// Wait for the first of `reqs` like [`Comm::waitany_payload`],
+    /// but return early if a control frame matching `ctrl` becomes
+    /// available first.
+    pub fn waitany_or_ctrl(&self, reqs: &mut Vec<Request>, ctrl: (Src, TagSel)) -> AnyCtrl {
+        assert!(!reqs.is_empty(), "waitany on an empty request set");
+        let me = self.rank();
+        let shared = Arc::clone(&self.shared);
+        let ids: Vec<usize> = reqs.iter().map(|r| r.id).collect();
+        let which = self.h.block_on("waitany", || {
+            let s = shared.lock();
+            let done = ids
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &id)| s.peek_done(id).map(|at| (at, i)))
+                .min();
+            let c = s.peek_incoming(me, ctrl.0, ctrl.1).map(|(.., at)| at);
+            match (done, c) {
+                (Some((d, _)), Some(c)) if c < d => Some((c, None)),
+                (Some((d, i)), _) => Some((d, Some(i))),
+                (None, Some(c)) => Some((c, None)),
+                (None, None) => None,
+            }
+        });
+        match which {
+            Some(idx) => {
+                let req = reqs.remove(idx);
+                let (status, payload) = self.wait_payload(req);
+                AnyCtrl::Done(idx, status, payload)
+            }
+            None => AnyCtrl::Ctrl,
+        }
     }
 
     // ---------------------------------------------------------------

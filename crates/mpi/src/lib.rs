@@ -34,6 +34,7 @@
 pub mod chunk;
 pub mod coll;
 pub mod comm;
+pub mod ctrl;
 mod state;
 pub mod types;
 pub mod world;
@@ -43,7 +44,8 @@ pub use chunk::{
     FRAME_NONCE_LEN, FRAME_OVERHEAD, FRAME_TAG_LEN,
 };
 pub use coll::ops;
-pub use comm::{Comm, Request};
-pub use empi_netsim::{TraceReport, Tracer};
-pub use types::{as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel};
+pub use comm::{AnyCtrl, Comm, Request, WaitCtrl};
+pub use ctrl::{Nack, RepairHeader, RepairKind, CTRL_TAG_BASE, NACK_TAG, REPAIR_TAG};
+pub use empi_netsim::{RankDiag, SimError, TraceReport, Tracer};
+pub use types::{as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel, RESERVED_TAG_BASE};
 pub use world::{World, WorldOutcome};

@@ -176,9 +176,10 @@ impl SharedState {
         }
     }
 
-    /// Inspect (without consuming) the first unexpected envelope or
-    /// pending rendezvous send matching `(src, tag)` for `rank`:
-    /// returns `(src, tag, payload_len, available_at)`.
+    /// Inspect (without consuming) the first unexpected envelope,
+    /// pending rendezvous send, or pending chunked send matching
+    /// `(src, tag)` for `rank`: returns
+    /// `(src, tag, payload_len, available_at)`.
     pub fn peek_incoming(
         &self,
         rank: usize,
@@ -192,11 +193,21 @@ impl SharedState {
         {
             return Some((e.src, e.tag, e.data.len(), e.arrive));
         }
-        self.queues[rank]
+        if let Some(r) = self.queues[rank]
             .rndv
             .iter()
             .find(|r| src.matches(r.src) && tag.matches(r.tag))
-            .map(|r| (r.src, r.tag, r.data.len(), r.ready))
+        {
+            return Some((r.src, r.tag, r.data.len(), r.ready));
+        }
+        self.queues[rank]
+            .chunked
+            .iter()
+            .find(|c| src.matches(c.src) && tag.matches(c.tag))
+            .map(|c| {
+                let wire: usize = c.frames.iter().map(|f| f.data.len()).sum();
+                (c.src, c.tag, wire, c.posted)
+            })
     }
 
     /// Find the first unexpected envelope matching `(src, tag)` for

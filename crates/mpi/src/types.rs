@@ -38,9 +38,14 @@ pub enum TagSel {
 
 impl TagSel {
     /// Does `tag` satisfy the selector?
+    ///
+    /// `Any` means *any application tag*: control-plane frames (the
+    /// NACK/repair tags of the recovery layer, bit 25 — see
+    /// [`crate::ctrl`]) are never matched by the wildcard, so a
+    /// wildcard receive cannot steal a retransmit-protocol frame.
     pub fn matches(self, tag: Tag) -> bool {
         match self {
-            TagSel::Any => true,
+            TagSel::Any => tag & crate::ctrl::CTRL_TAG_BASE == 0,
             TagSel::Is(t) => t == tag,
         }
     }

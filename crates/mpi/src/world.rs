@@ -3,7 +3,9 @@
 use std::cell::Cell;
 use std::sync::Arc;
 
-use empi_netsim::{Engine, Fabric, FabricStats, NetModel, Topology, TraceReport, Tracer, VTime};
+use empi_netsim::{
+    Engine, Fabric, FabricStats, NetModel, SimError, Topology, TraceReport, Tracer, VTime,
+};
 use parking_lot::Mutex;
 
 use crate::comm::Comm;
@@ -18,6 +20,7 @@ pub struct World {
 }
 
 /// What a finished run returns.
+#[derive(Debug)]
 pub struct WorldOutcome<T> {
     /// Per-rank results, in rank order.
     pub results: Vec<T>,
@@ -68,12 +71,8 @@ impl World {
         self.topology.n_ranks()
     }
 
-    /// Run `f` on every rank; returns when all ranks finish.
-    pub fn run<T, F>(&self, f: F) -> WorldOutcome<T>
-    where
-        T: Send,
-        F: Fn(&Comm) -> T + Sync,
-    {
+    /// Build the fabric, shared state, and engine for a run.
+    fn prepare(&self) -> (Arc<Mutex<SharedState>>, Engine) {
         let n = self.topology.n_ranks();
         let mut fabric = Fabric::new(self.model.clone(), self.topology.clone());
         let tracer = self.traced.then(|| Tracer::new(n));
@@ -81,7 +80,6 @@ impl World {
             fabric.set_tracer(t.clone());
         }
         let shared = Arc::new(Mutex::new(SharedState::new(fabric)));
-        let shared_for_stats = Arc::clone(&shared);
         let diag_shared = Arc::clone(&shared);
         let mut engine = Engine::new(n).time_scale(self.time_scale).diagnostics(
             // Runs inside the scheduler's deadlock panic, where a rank
@@ -103,22 +101,48 @@ impl World {
         if let Some(t) = &tracer {
             engine = engine.tracer(t.clone());
         }
-        let out = engine.run(|h| {
+        (shared, engine)
+    }
+
+    /// Run `f` on every rank; returns when all ranks finish.
+    pub fn run<T, F>(&self, f: F) -> WorldOutcome<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        match self.try_run(f) {
+            Ok(out) => out,
+            Err(e) => panic!("simulation aborted: {e}"),
+        }
+    }
+
+    /// Like [`World::run`], but surfaces deadlocks and rank panics as
+    /// a typed [`SimError`] instead of panicking — the deadlock variant
+    /// carries the per-rank queue diagnostics (`unexpected=…, posted=…`)
+    /// so chaos tests can assert on them.
+    pub fn try_run<T, F>(&self, f: F) -> Result<WorldOutcome<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        let (shared, engine) = self.prepare();
+        let shared_for_stats = Arc::clone(&shared);
+        let out = engine.try_run(|h| {
             let comm = Comm {
                 h,
                 shared: Arc::clone(&shared),
                 coll_seq: Cell::new(0),
             };
             f(&comm)
-        });
+        })?;
         let fabric = shared_for_stats.lock().fabric.stats();
-        WorldOutcome {
+        Ok(WorldOutcome {
             results: out.results,
             end_time: out.end_time,
             fabric,
             yields: out.yields,
             trace: out.trace,
-        }
+        })
     }
 }
 
@@ -376,6 +400,34 @@ mod tests {
             msg.contains("unexpected=0 posted=0 rndv=0"),
             "missing queue-depth diagnostics: {msg}"
         );
+    }
+
+    #[test]
+    fn try_run_returns_typed_deadlock_with_queue_depths() {
+        let w = World::flat(NetModel::instant(), 2);
+        let err = w
+            .try_run(|c| {
+                if c.rank() == 0 {
+                    // Rank 1 never sends: a guaranteed deadlock.
+                    let _ = c.recv(Src::Is(1), TagSel::Is(0));
+                }
+            })
+            .expect_err("deadlocked world must return SimError");
+        match err {
+            SimError::Deadlock { report, ranks } => {
+                assert!(report.contains("deadlock"), "got: {report}");
+                // The blocked rank appears with its recv reason and the
+                // installed queue-depth diagnostics, as structured data.
+                let r0 = ranks.iter().find(|d| d.rank == 0).expect("rank 0 diag");
+                assert_eq!(r0.reason, "recv");
+                assert!(
+                    r0.detail.contains("unexpected=0 posted=0 rndv=0"),
+                    "got: {:?}",
+                    r0.detail
+                );
+            }
+            e => panic!("expected deadlock, got {e}"),
+        }
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct CoreSlot {
 pub struct CorePool {
     /// Busy-until timeline per worker (ns).
     free_at: Vec<u64>,
+    /// Per-worker slowdown factor (fault injection: a degraded core
+    /// runs every job `slowdown[w]`× longer). Empty = all healthy.
+    slowdown: Vec<u32>,
 }
 
 impl CorePool {
@@ -44,6 +47,7 @@ impl CorePool {
         assert!(workers > 0, "core pool needs at least one worker");
         CorePool {
             free_at: vec![0; workers],
+            slowdown: Vec::new(),
         }
     }
 
@@ -56,15 +60,57 @@ impl CorePool {
     /// earliest-free worker (ties go to the lowest index, so schedules
     /// are deterministic).
     pub fn schedule(&mut self, submit: VTime, dur: VDur) -> CoreSlot {
-        let (worker, free) = self
-            .free_at
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by_key(|&(i, f)| (f, i))
-            .expect("non-empty pool");
-        let start = submit.as_nanos().max(free);
-        let end = start + dur.as_nanos();
+        let n = self.free_at.len();
+        self.place(submit, dur, n)
+    }
+
+    /// Mark `worker` as degraded: every job it runs takes `factor`×
+    /// longer. Deterministic fault injection uses this to model slow
+    /// or thermally throttled crypto cores; the scheduler then picks
+    /// workers by earliest *completion*, so healthy cores absorb load
+    /// first.
+    pub fn degrade(&mut self, worker: usize, factor: u32) {
+        assert!(factor >= 1, "slowdown factor must be >= 1");
+        if worker >= self.free_at.len() {
+            return;
+        }
+        if self.slowdown.len() < self.free_at.len() {
+            self.slowdown.resize(self.free_at.len(), 1);
+        }
+        self.slowdown[worker] = self.slowdown[worker].max(factor);
+    }
+
+    /// This worker's slowdown factor (1 = healthy).
+    pub fn slowdown_of(&self, worker: usize) -> u32 {
+        self.slowdown.get(worker).copied().unwrap_or(1)
+    }
+
+    /// Pick a worker among the first `limit` and book the job. With no
+    /// degraded workers this is the historical earliest-free choice;
+    /// with slowdowns in play it minimizes completion time instead
+    /// (still deterministic: ties go to the lowest index).
+    fn place(&mut self, submit: VTime, dur: VDur, limit: usize) -> CoreSlot {
+        let limit = limit.clamp(1, self.free_at.len());
+        let (worker, start, end) = if self.slowdown.is_empty() {
+            let (worker, free) = self.free_at[..limit]
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(i, f)| (f, i))
+                .expect("non-empty pool");
+            let start = submit.as_nanos().max(free);
+            (worker, start, start + dur.as_nanos())
+        } else {
+            let (worker, start, end) = (0..limit)
+                .map(|w| {
+                    let start = submit.as_nanos().max(self.free_at[w]);
+                    let slow = self.slowdown.get(w).copied().unwrap_or(1) as u64;
+                    (w, start, start + dur.as_nanos() * slow)
+                })
+                .min_by_key(|&(w, _, end)| (end, w))
+                .expect("non-empty pool");
+            (worker, start, end)
+        };
         self.free_at[worker] = end;
         CoreSlot {
             worker,
@@ -85,6 +131,9 @@ impl CorePool {
         assert!(workers > 0, "core pool needs at least one worker");
         if workers > self.free_at.len() {
             self.free_at.resize(workers, 0);
+            if !self.slowdown.is_empty() {
+                self.slowdown.resize(self.free_at.len(), 1);
+            }
         }
     }
 
@@ -94,21 +143,7 @@ impl CorePool {
     /// busy-until timelines (so their jobs serialize where they
     /// contend) while respecting its own configured worker count.
     pub fn schedule_limited(&mut self, submit: VTime, dur: VDur, limit: usize) -> CoreSlot {
-        let limit = limit.clamp(1, self.free_at.len());
-        let (worker, free) = self.free_at[..limit]
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by_key(|&(i, f)| (f, i))
-            .expect("non-empty pool");
-        let start = submit.as_nanos().max(free);
-        let end = start + dur.as_nanos();
-        self.free_at[worker] = end;
-        CoreSlot {
-            worker,
-            start: VTime(start),
-            end: VTime(end),
-        }
+        self.place(submit, dur, limit)
     }
 }
 
@@ -176,6 +211,28 @@ mod tests {
         assert_eq!(s.start, VTime(0));
         p.ensure_workers(1);
         assert_eq!(p.workers(), 4);
+    }
+
+    #[test]
+    fn degraded_worker_stretches_jobs_and_sheds_load() {
+        let mut p = CorePool::new(2);
+        p.degrade(1, 4);
+        assert_eq!(p.slowdown_of(0), 1);
+        assert_eq!(p.slowdown_of(1), 4);
+        // First job lands on the healthy worker 0.
+        let a = p.schedule(VTime(0), VDur(100));
+        assert_eq!((a.worker, a.end), (0, VTime(100)));
+        // Second job: worker 1 is free but 4× slower (ends at 400),
+        // queueing behind worker 0 ends at 200 — the scheduler picks
+        // the earliest completion.
+        let b = p.schedule(VTime(0), VDur(100));
+        assert_eq!((b.worker, b.start, b.end), (0, VTime(100), VTime(200)));
+        // A short job fits on the degraded worker sooner than queueing.
+        let c = p.schedule(VTime(0), VDur(10));
+        assert_eq!((c.worker, c.end), (1, VTime(40)));
+        // Growth keeps new workers healthy.
+        p.ensure_workers(3);
+        assert_eq!(p.slowdown_of(2), 1);
     }
 
     #[test]

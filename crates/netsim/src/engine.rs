@@ -63,9 +63,61 @@ struct Sched {
     running: Option<usize>,
     /// Ranks not yet `Done`.
     active: usize,
-    /// First panic message, if any rank panicked.
-    poisoned: Option<String>,
+    /// The first fatal condition (deadlock or rank panic), if any.
+    poisoned: Option<SimError>,
 }
+
+/// Diagnostic snapshot of one rank at the moment a deadlock was
+/// declared — what the all-blocked report prints, but structured so
+/// chaos tests can assert on it.
+#[derive(Debug, Clone)]
+pub struct RankDiag {
+    /// Rank id.
+    pub rank: usize,
+    /// Scheduler status (`Blocked`, `Ready`, …).
+    pub status: String,
+    /// The `block_on` reason the rank was parked with.
+    pub reason: &'static str,
+    /// The rank's virtual clock (ns) at the time of the report.
+    pub clock_ns: u64,
+    /// Output of the installed [`Engine::diagnostics`] callback
+    /// (queue depths etc.), empty if none.
+    pub detail: String,
+}
+
+/// Why a simulation could not complete. Returned by
+/// [`Engine::try_run`]; [`Engine::run`] converts it into the
+/// historical panic.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// Every live rank was parked with nothing left to wake it.
+    Deadlock {
+        /// The rendered all-blocked report (one line per live rank).
+        report: String,
+        /// Per-rank diagnostics, one entry per live rank.
+        ranks: Vec<RankDiag>,
+    },
+    /// A rank's closure panicked.
+    RankPanic {
+        /// The rank that panicked first.
+        rank: usize,
+        /// Its panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { report, .. } => write!(f, "{report}"),
+            SimError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 struct Shared {
     sched: Mutex<Sched>,
@@ -117,24 +169,32 @@ impl Shared {
                 if s.active > 0 && s.poisoned.is_none() {
                     // Every live rank is Blocked: deadlock.
                     let mut msg = String::from("virtual-time deadlock; all ranks blocked:\n");
+                    let mut ranks = Vec::new();
                     for (r, st) in s.ranks.iter().enumerate() {
                         if st.status != Status::Done {
+                            let clock_ns = self.clocks[r].load(Ordering::Relaxed);
                             msg.push_str(&format!(
-                                "  rank {r}: {:?} ({}) at t={}ns",
-                                st.status,
-                                st.reason,
-                                self.clocks[r].load(Ordering::Relaxed)
+                                "  rank {r}: {:?} ({}) at t={clock_ns}ns",
+                                st.status, st.reason,
                             ));
+                            let mut detail = String::new();
                             if let Some(diag) = &self.diag {
-                                let info = diag(r);
-                                if !info.is_empty() {
-                                    msg.push_str(&format!(" [{info}]"));
+                                detail = diag(r);
+                                if !detail.is_empty() {
+                                    msg.push_str(&format!(" [{detail}]"));
                                 }
                             }
                             msg.push('\n');
+                            ranks.push(RankDiag {
+                                rank: r,
+                                status: format!("{:?}", st.status),
+                                reason: st.reason,
+                                clock_ns,
+                                detail,
+                            });
                         }
                     }
-                    s.poisoned = Some(msg);
+                    s.poisoned = Some(SimError::Deadlock { report: msg, ranks });
                     for cv in &self.cvs {
                         cv.notify_all();
                     }
@@ -235,8 +295,33 @@ impl Engine {
     /// per-rank results in rank order, plus engine statistics.
     ///
     /// Panics (with the original message) if any rank panics or if the
-    /// simulation deadlocks.
+    /// simulation deadlocks. Chaos tests that must observe those
+    /// conditions as data use [`Engine::try_run`] instead.
     pub fn run<T, F>(&self, f: F) -> RunOutcome<T>
+    where
+        T: Send,
+        F: Fn(&SimHandle) -> T + Sync,
+    {
+        match self.run_impl(f, true) {
+            Ok(out) => out,
+            Err(e) => panic!("simulation aborted: {e}"),
+        }
+    }
+
+    /// Like [`Engine::run`], but surfaces deadlocks and rank panics as
+    /// a typed [`SimError`] instead of panicking: a deadlock returns
+    /// [`SimError::Deadlock`] carrying the per-rank queue diagnostics,
+    /// and a rank panic returns [`SimError::RankPanic`] with the first
+    /// panic's message.
+    pub fn try_run<T, F>(&self, f: F) -> Result<RunOutcome<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&SimHandle) -> T + Sync,
+    {
+        self.run_impl(f, false)
+    }
+
+    fn run_impl<T, F>(&self, f: F, propagate_panics: bool) -> Result<RunOutcome<T>, SimError>
     where
         T: Send,
         F: Fn(&SimHandle) -> T + Sync,
@@ -285,12 +370,12 @@ impl Engine {
                                 shared.release(rank, Status::Done, "finished");
                             }
                             Err(payload) => {
-                                let msg = panic_message(&payload);
+                                let msg = panic_message(payload.as_ref());
                                 {
                                     let mut s = shared.sched.lock();
                                     if s.poisoned.is_none() {
                                         s.poisoned =
-                                            Some(format!("rank {rank} panicked: {msg}"));
+                                            Some(SimError::RankPanic { rank, message: msg });
                                     }
                                     s.ranks[rank].status = Status::Done;
                                     s.active -= 1;
@@ -299,7 +384,9 @@ impl Engine {
                                         cv.notify_all();
                                     }
                                 }
-                                std::panic::resume_unwind(payload);
+                                if propagate_panics {
+                                    std::panic::resume_unwind(payload);
+                                }
                             }
                         }
                     })
@@ -314,10 +401,15 @@ impl Engine {
                 }
             }
             if let Some(p) = first_panic {
-                std::panic::resume_unwind(p);
+                if propagate_panics {
+                    std::panic::resume_unwind(p);
+                }
             }
         });
 
+        if let Some(e) = shared.sched.lock().poisoned.clone() {
+            return Err(e);
+        }
         let end_time = VTime(
             shared
                 .clocks
@@ -326,17 +418,18 @@ impl Engine {
                 .max()
                 .unwrap_or(0),
         );
-        RunOutcome {
+        Ok(RunOutcome {
             results: results.into_iter().map(|r| r.expect("rank result")).collect(),
             end_time,
             yields: shared.yields.load(Ordering::Relaxed),
             notifies: shared.notifies.load(Ordering::Relaxed),
             trace: shared.tracer.as_ref().map(|t| t.take_report()),
-        }
+        })
     }
 }
 
 /// Results and statistics of one simulation run.
+#[derive(Debug)]
 pub struct RunOutcome<T> {
     /// Per-rank return values, in rank order.
     pub results: Vec<T>,
@@ -610,6 +703,59 @@ mod tests {
         assert_eq!(span.name, "value");
         assert_eq!(span.tid, 1);
         assert_eq!(span.dur_ns, 50_000);
+    }
+
+    #[test]
+    fn try_run_surfaces_deadlock_as_typed_error() {
+        let err = Engine::new(2)
+            .diagnostics(|r| format!("q{r}=0"))
+            .try_run(|h| {
+                h.advance(VDur(50 * (h.rank() as u64 + 1)));
+                h.block_on::<()>("recv", || None);
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { report, ranks } => {
+                assert!(report.contains("deadlock"), "got: {report}");
+                assert_eq!(ranks.len(), 2);
+                assert_eq!(ranks[0].reason, "recv");
+                assert_eq!(ranks[0].clock_ns, 50);
+                assert_eq!(ranks[1].clock_ns, 100);
+                assert!(ranks[1].detail.contains("q1=0"), "got: {:?}", ranks[1]);
+            }
+            e => panic!("expected deadlock, got {e}"),
+        }
+    }
+
+    #[test]
+    fn try_run_surfaces_rank_panic_as_typed_error() {
+        let err = Engine::new(2)
+            .try_run(|h| {
+                if h.rank() == 1 {
+                    panic!("chaos strikes");
+                }
+                h.block_on::<()>("forever", || None);
+            })
+            .unwrap_err();
+        match err {
+            SimError::RankPanic { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("chaos strikes"), "got: {message}");
+            }
+            e => panic!("expected rank panic, got {e}"),
+        }
+    }
+
+    #[test]
+    fn try_run_success_matches_run() {
+        let out = Engine::new(3)
+            .try_run(|h| {
+                h.advance(VDur(10));
+                h.rank()
+            })
+            .expect("clean run");
+        assert_eq!(out.results, vec![0, 1, 2]);
+        assert_eq!(out.end_time, VTime(10));
     }
 
     #[test]

@@ -30,13 +30,15 @@ pub mod cores;
 pub mod curve;
 pub mod engine;
 pub mod fabric;
+pub mod fault;
 pub mod time;
 pub mod topology;
 
 pub use cores::{CorePool, CoreSlot};
 pub use curve::Curve;
 pub use empi_trace::{TraceReport, Tracer};
-pub use engine::{Engine, RunOutcome, SimHandle};
+pub use engine::{Engine, RankDiag, RunOutcome, SimError, SimHandle};
 pub use fabric::{Fabric, FabricStats, NetModel};
+pub use fault::{FaultPlan, FaultRates, Verdict};
 pub use time::{VDur, VTime};
 pub use topology::Topology;

@@ -140,9 +140,22 @@ pub enum PipelineError {
     Protocol(ChunkError),
     /// A chunk failed authentication or decryption.
     Crypto(empi_aead::Error),
+    /// A specific chunk failed authentication or decryption — carries
+    /// the chunk index so the recovery layer can NACK just that frame.
+    Chunk { index: u32, source: empi_aead::Error },
     /// Reassembled plaintext length disagrees with the declared
     /// `total_len`.
     Length { expect: u64, got: usize },
+}
+
+impl PipelineError {
+    /// Index of the chunk the failure points at, when it names one.
+    pub fn chunk_index(&self) -> Option<u32> {
+        match self {
+            PipelineError::Chunk { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for PipelineError {
@@ -150,6 +163,9 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Protocol(e) => write!(f, "chunk protocol error: {e}"),
             PipelineError::Crypto(e) => write!(f, "chunk crypto error: {e}"),
+            PipelineError::Chunk { index, source } => {
+                write!(f, "chunk {index} failed to open: {source}")
+            }
             PipelineError::Length { expect, got } => {
                 write!(f, "reassembled {got} bytes, header declared {expect}")
             }
@@ -162,6 +178,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Protocol(e) => Some(e),
             PipelineError::Crypto(e) => Some(e),
+            PipelineError::Chunk { source, .. } => Some(source),
             PipelineError::Length { .. } => None,
         }
     }
@@ -294,7 +311,10 @@ pub fn open_frames(cipher: &AesGcm, frames: &[Vec<u8>]) -> Result<Vec<u8>, Pipel
     );
     let mut out = Vec::with_capacity(parsed.total_len as usize);
     for (i, (_, record)) in parsed.records.iter().enumerate() {
-        out.extend_from_slice(&opener.open_chunk(i as u32, record)?);
+        let plain = opener
+            .open_chunk(i as u32, record)
+            .map_err(|source| PipelineError::Chunk { index: i as u32, source })?;
+        out.extend_from_slice(&plain);
     }
     if out.len() as u64 != parsed.total_len {
         return Err(PipelineError::Length {
@@ -480,7 +500,7 @@ impl Pipeline {
                 let plain = match plain {
                     Ok(p) => p,
                     Err(e) => {
-                        failure = Some(e);
+                        failure = Some((i as u32, e));
                         return;
                     }
                 };
@@ -500,8 +520,8 @@ impl Pipeline {
                 out.extend_from_slice(&plain);
             }
         });
-        if let Some(e) = failure {
-            return Err(e.into());
+        if let Some((index, source)) = failure {
+            return Err(PipelineError::Chunk { index, source });
         }
         if out.len() as u64 != parsed.total_len {
             return Err(PipelineError::Length {
@@ -556,10 +576,13 @@ mod tests {
         let msg: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
         let frames = seal_frames(&c, 1, [8u8; 12], &msg, 100);
         assert_eq!(frames.len(), 3);
-        // Tamper: flip one ciphertext byte.
+        // Tamper: flip one ciphertext byte — the error names the chunk.
         let mut t = frames.clone();
         t[1][FRAME_HEADER_LEN + FRAME_NONCE_LEN] ^= 1;
-        assert!(matches!(open_frames(&c, &t), Err(PipelineError::Crypto(_))));
+        let err = open_frames(&c, &t).unwrap_err();
+        assert!(matches!(err, PipelineError::Chunk { index: 1, .. }));
+        assert_eq!(err.chunk_index(), Some(1));
+        assert!(std::error::Error::source(&err).is_some());
         // Reorder: swap the index fields of chunks 0 and 2 (each record
         // now claims the other's position) — AAD binding catches it.
         let mut r = frames.clone();

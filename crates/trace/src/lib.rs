@@ -60,6 +60,12 @@ pub enum Cat {
     /// Per-chunk seal/open on a pipeline worker core (one Chrome lane
     /// per (rank, worker); see [`pipeline_tid`]).
     Pipeline,
+    /// A deterministic fault injection (`fault/bitflip`, `fault/drop`,
+    /// …) on the injecting rank's lane.
+    Fault,
+    /// Recovery-protocol activity (`retry/nack`, `retry/backoff`,
+    /// `retry/resend`) on the recovering rank's lane.
+    Retry,
 }
 
 impl Cat {
@@ -71,6 +77,8 @@ impl Cat {
             Cat::Nic => "nic",
             Cat::Op => "op",
             Cat::Pipeline => "pipeline",
+            Cat::Fault => "fault",
+            Cat::Retry => "retry",
         }
     }
 }
@@ -127,6 +135,14 @@ pub struct RankMetrics {
     /// Chunks sealed / opened on the rank's pipeline worker cores.
     pub chunks_sealed: u64,
     pub chunks_opened: u64,
+    /// Faults this rank injected on its outgoing frames.
+    pub faults_injected: u64,
+    /// Typed NACKs this rank sent after a failed open.
+    pub nacks_sent: u64,
+    /// Frames this rank retransmitted in response to NACKs.
+    pub retransmits: u64,
+    /// Virtual ns spent in capped exponential backoff before resends.
+    pub backoff_ns: u64,
 }
 
 /// Byte/message ledger for one ordered (src, dst) rank pair.
@@ -503,6 +519,64 @@ mod imp {
             });
         }
 
+        /// Record one deterministic fault injection on `rank`'s lane.
+        /// `label` is the verdict label (`fault/bitflip`, `fault/drop`,
+        /// …); the span covers the injected delay for jitter faults
+        /// and is a 1 ns marker otherwise, so tracecheck's
+        /// nonzero-duration audit still sees every injection.
+        pub fn fault_span(
+            &self,
+            rank: usize,
+            label: &'static str,
+            t0_ns: u64,
+            dur_ns: u64,
+            bytes: usize,
+            detail: String,
+        ) {
+            let mut c = self.rank(rank);
+            c.m.faults_injected += 1;
+            c.events.push(Event {
+                name: label.to_string(),
+                cat: Cat::Fault,
+                ts_ns: t0_ns,
+                dur_ns: dur_ns.max(1),
+                tid: rank as u32,
+                bytes: bytes as u64,
+                detail,
+            });
+        }
+
+        /// Record recovery-protocol activity on `rank`'s lane and bump
+        /// the matching counter: `retry/nack` → NACKs sent,
+        /// `retry/resend` → frames retransmitted, `retry/backoff` →
+        /// backoff virtual time.
+        pub fn retry_span(
+            &self,
+            rank: usize,
+            label: &'static str,
+            t0_ns: u64,
+            dur_ns: u64,
+            bytes: usize,
+            detail: String,
+        ) {
+            let mut c = self.rank(rank);
+            match label {
+                "retry/nack" => c.m.nacks_sent += 1,
+                "retry/resend" => c.m.retransmits += 1,
+                "retry/backoff" => c.m.backoff_ns += dur_ns,
+                _ => {}
+            }
+            c.events.push(Event {
+                name: label.to_string(),
+                cat: Cat::Retry,
+                ts_ns: t0_ns,
+                dur_ns: dur_ns.max(1),
+                tid: rank as u32,
+                bytes: bytes as u64,
+                detail,
+            });
+        }
+
         /// Enter an operation scope (`bcast/binomial`, `p2p/eager`...).
         pub fn push_op(&self, rank: usize, label: &'static str) {
             self.rank(rank).ops.push(label);
@@ -696,6 +770,30 @@ mod imp {
         }
 
         #[inline]
+        pub fn fault_span(
+            &self,
+            _rank: usize,
+            _label: &'static str,
+            _t0: u64,
+            _dur: u64,
+            _bytes: usize,
+            _detail: String,
+        ) {
+        }
+
+        #[inline]
+        pub fn retry_span(
+            &self,
+            _rank: usize,
+            _label: &'static str,
+            _t0: u64,
+            _dur: u64,
+            _bytes: usize,
+            _detail: String,
+        ) {
+        }
+
+        #[inline]
         pub fn push_op(&self, _rank: usize, _label: &'static str) {}
 
         #[inline]
@@ -875,6 +973,33 @@ mod tests {
         let json = r.to_chrome_json();
         assert!(json.contains("rank 0 crypto-core 1"), "{json}");
         assert!(json.contains("pipe/seal"));
+    }
+
+    #[test]
+    fn fault_and_retry_spans_count_and_label() {
+        let t = Tracer::new(2);
+        t.fault_span(0, "fault/bitflip", 100, 0, 512, "0->1 chunk 3".into());
+        t.fault_span(0, "fault/jitter", 200, 5_000, 512, "0->1".into());
+        t.retry_span(1, "retry/nack", 300, 0, 16, "msg 7 chunks [3]".into());
+        t.retry_span(0, "retry/backoff", 310, 2_000, 0, "attempt 1".into());
+        t.retry_span(0, "retry/resend", 2_310, 0, 512, "msg 7 chunk 3".into());
+        let r = t.take_report();
+        assert_eq!(r.per_rank[0].faults_injected, 2);
+        assert_eq!(r.per_rank[1].nacks_sent, 1);
+        assert_eq!(r.per_rank[0].retransmits, 1);
+        assert_eq!(r.per_rank[0].backoff_ns, 2_000);
+        // Every injection is auditable: nonzero-duration spans on the
+        // rank lanes with fault/retry names.
+        let faults: Vec<_> = r.events.iter().filter(|e| e.cat == Cat::Fault).collect();
+        assert_eq!(faults.len(), 2);
+        assert!(faults.iter().all(|e| e.dur_ns >= 1 && e.tid == 0));
+        assert!(faults.iter().all(|e| e.name.starts_with("fault/")));
+        let retries: Vec<_> = r.events.iter().filter(|e| e.cat == Cat::Retry).collect();
+        assert_eq!(retries.len(), 3);
+        assert!(retries.iter().all(|e| e.name.starts_with("retry/")));
+        let json = r.to_chrome_json();
+        assert!(json.contains("fault/bitflip"), "{json}");
+        assert!(json.contains("retry/resend"), "{json}");
     }
 
     #[test]
