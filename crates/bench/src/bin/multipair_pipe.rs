@@ -1,0 +1,10 @@
+//! FIG-MULTIPAIR-PIPE and DECOMP-ALLOC: pipelined multi-pair bandwidth
+//! with the zero-copy pooled hot path, plus the allocation split.
+use empi_bench::{emit, multipair_pipe, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&multipair_pipe::run_net(net, &opts), &opts.out_dir);
+    }
+}

@@ -9,8 +9,14 @@
 //! the CI trace-smoke and chaos-smoke jobs; exits non-zero on the
 //! first invalid file.
 //!
-//! Usage: `tracecheck [FILE...]` — with no arguments, checks every
-//! `trace-*.json` under `results/`.
+//! Allocation markers (`alloc/fresh`, `alloc/pooled`, `alloc/reclaim`)
+//! must likewise sit on the rank lanes — buffer sourcing happens where
+//! the rank runs, never on a crypto worker — and `--require-alloc`
+//! additionally fails any file that carries no `alloc/*` spans at all
+//! (the allocation-decomposition traces must actually decompose).
+//!
+//! Usage: `tracecheck [--require-alloc] [FILE...]` — with no file
+//! arguments, checks every `trace-*.json` under `results/`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -18,7 +24,7 @@ use std::process::ExitCode;
 
 use empi_trace::json::{self, Value};
 
-fn check(path: &Path) -> Result<String, String> {
+fn check(path: &Path, require_alloc: bool) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     let events = doc
@@ -28,6 +34,7 @@ fn check(path: &Path) -> Result<String, String> {
 
     let mut lanes: BTreeMap<i64, f64> = BTreeMap::new();
     let mut spans = 0usize;
+    let mut alloc_spans = 0usize;
     for (i, e) in events.iter().enumerate() {
         let ph = e
             .get("ph")
@@ -51,16 +58,27 @@ fn check(path: &Path) -> Result<String, String> {
         if ts < 0.0 || dur < 0.0 {
             return Err(format!("event {i}: negative ts/dur ({ts}, {dur})"));
         }
-        if tid >= empi_trace::PIPELINE_TID_BASE as i64 {
-            let name = e
-                .get("name")
-                .and_then(Value::as_str)
-                .ok_or_else(|| format!("event {i}: missing name"))?;
-            if name != "pipe/seal" && name != "pipe/open" {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        if tid >= empi_trace::PIPELINE_TID_BASE as i64 && name != "pipe/seal" && name != "pipe/open"
+        {
+            return Err(format!(
+                "event {i}: unexpected span '{name}' on crypto-worker lane {tid}"
+            ));
+        }
+        if name.starts_with("alloc/") {
+            // Buffer sourcing happens on the rank, never on a worker.
+            if tid >= empi_trace::PIPELINE_TID_BASE as i64 {
                 return Err(format!(
-                    "event {i}: unexpected span '{name}' on crypto-worker lane {tid}"
+                    "event {i}: alloc span '{name}' on crypto-worker lane {tid}"
                 ));
             }
+            if !matches!(name, "alloc/fresh" | "alloc/pooled" | "alloc/reclaim") {
+                return Err(format!("event {i}: unknown alloc span '{name}'"));
+            }
+            alloc_spans += 1;
         }
         if let Some(&prev) = lanes.get(&tid) {
             if ts < prev {
@@ -75,11 +93,29 @@ fn check(path: &Path) -> Result<String, String> {
     if spans == 0 {
         return Err("no complete-span events".into());
     }
-    Ok(format!("{spans} spans across {} lanes", lanes.len()))
+    if require_alloc && alloc_spans == 0 {
+        return Err("no alloc/* spans (allocation decomposition missing)".into());
+    }
+    Ok(format!(
+        "{spans} spans ({alloc_spans} alloc) across {} lanes",
+        lanes.len()
+    ))
 }
 
 fn main() -> ExitCode {
-    let mut files: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let mut require_alloc = false;
+    let mut files: Vec<PathBuf> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--require-alloc" {
+                require_alloc = true;
+                false
+            } else {
+                true
+            }
+        })
+        .map(PathBuf::from)
+        .collect();
     if files.is_empty() {
         if let Ok(dir) = std::fs::read_dir("results") {
             for entry in dir.flatten() {
@@ -97,7 +133,7 @@ fn main() -> ExitCode {
     }
     let mut ok = true;
     for f in &files {
-        match check(f) {
+        match check(f, require_alloc) {
             Ok(msg) => println!("OK   {}: {msg}", f.display()),
             Err(e) => {
                 eprintln!("FAIL {}: {e}", f.display());

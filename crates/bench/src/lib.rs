@@ -15,6 +15,7 @@
 //! | [`nasbench`] | Table IV, Table VIII |
 //! | [`pipeline`] | FIG-PIPELINE-* (beyond the paper: chunked multi-core crypto offload) |
 //! | [`pipeline_nb`] | FIG-PIPELINE-NB, TAB-PIPELINE-COLL (pipelined nonblocking p2p + collectives) |
+//! | [`multipair_pipe`] | FIG-MULTIPAIR-PIPE, DECOMP-ALLOC (zero-copy pooled hot path under multi-pair contention) |
 //!
 //! [`stats`] implements the paper's repeat-until-stable methodology and
 //! Fleming–Wallace overhead aggregation; [`table`] renders paper-style
@@ -28,6 +29,7 @@ pub mod common;
 pub mod encdec;
 pub mod extensions;
 pub mod multipair;
+pub mod multipair_pipe;
 pub mod nasbench;
 pub mod pingpong;
 pub mod pipeline;

@@ -24,7 +24,7 @@ pub const PAIRS: [usize; 4] = [1, 2, 4, 8];
 /// Window size (messages in flight per iteration). OSU uses 64; for
 /// 2 MB messages we shrink it to bound simulator memory — aggregate
 /// bandwidth is insensitive to window depth beyond the pipeline depth.
-fn window_for(size: usize) -> usize {
+pub(crate) fn window_for(size: usize) -> usize {
     if size >= 1 << 20 {
         16
     } else {
@@ -89,7 +89,14 @@ pub fn multipair_trace(
         .expect("traced run must yield a report")
 }
 
-fn run_pairs(c: &Comm, is_sender: bool, peer: usize, size: usize, window: usize, iters: usize) {
+pub(crate) fn run_pairs(
+    c: &Comm,
+    is_sender: bool,
+    peer: usize,
+    size: usize,
+    window: usize,
+    iters: usize,
+) {
     let buf = vec![0x77u8; size];
     for _ in 0..iters {
         if is_sender {
@@ -104,7 +111,7 @@ fn run_pairs(c: &Comm, is_sender: bool, peer: usize, size: usize, window: usize,
     }
 }
 
-fn run_pairs_secure(
+pub(crate) fn run_pairs_secure(
     sc: &SecureComm,
     is_sender: bool,
     peer: usize,

@@ -101,6 +101,17 @@ pub struct SecurityConfig {
     /// NACK-driven retransmit/recovery layer (off by default; without
     /// it, injected faults surface as typed errors to the caller).
     pub retransmit: Option<RetransmitConfig>,
+    /// Zero-copy hot path: source wire buffers from the engine's
+    /// shared `BufferPool` and reclaim them after delivery. Changes
+    /// only where buffers come from — wire bytes stay bit-identical to
+    /// the unpooled path. Off by default.
+    pub pool: bool,
+    /// Cache per-peer cipher state (expanded AES key schedule + GHASH
+    /// tables + nonce counter) under a pair-derived key, built once per
+    /// (peer, epoch) instead of re-deriving per message. Changes keys
+    /// and nonces on the wire, so both endpoints must agree. Off by
+    /// default (single shared cipher, the paper's setup).
+    pub peer_cipher: bool,
 }
 
 impl SecurityConfig {
@@ -116,6 +127,8 @@ impl SecurityConfig {
             pipeline: PipelineConfig::disabled(),
             faults: None,
             retransmit: None,
+            pool: false,
+            peer_cipher: false,
         }
     }
 
@@ -146,6 +159,10 @@ impl SecurityConfig {
     /// Configure the chunked crypto pipeline (see `empi_pipeline`).
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
         self.pipeline = pipeline;
+        // Keep the pool toggle authoritative regardless of builder
+        // order: with_buffer_pool(true) then with_pipeline(..) must not
+        // silently revert the pipeline to heap buffers.
+        self.pipeline.pooled = self.pipeline.pooled || self.pool;
         self
     }
 
@@ -175,6 +192,24 @@ impl SecurityConfig {
         if let Some(rc) = &mut self.retransmit {
             rc.buffer_msgs = buffer_msgs.max(1);
         }
+        self
+    }
+
+    /// Toggle the pooled zero-copy hot path. Also flips the pipeline's
+    /// frame-buffer sourcing, so one call covers both the sequential
+    /// and the chunked paths.
+    pub fn with_buffer_pool(mut self, pooled: bool) -> Self {
+        self.pool = pooled;
+        self.pipeline.pooled = pooled;
+        self
+    }
+
+    /// Enable cached per-peer cipher state (see
+    /// [`SecurityConfig::peer_cipher`]). Both endpoints of every
+    /// conversation must enable it: the pair-derived keys change the
+    /// wire bytes.
+    pub fn with_peer_cipher(mut self, enabled: bool) -> Self {
+        self.peer_cipher = enabled;
         self
     }
 
@@ -247,6 +282,24 @@ mod tests {
         // Buffer override without retransmit enabled is a no-op.
         let plain = SecurityConfig::new(CryptoLibrary::BoringSsl).with_retransmit_buffer(3);
         assert!(plain.retransmit.is_none());
+    }
+
+    #[test]
+    fn pool_builder_covers_both_paths_in_any_order() {
+        let c = SecurityConfig::new(CryptoLibrary::BoringSsl);
+        assert!(!c.pool && !c.pipeline.pooled && !c.peer_cipher, "pool off by default");
+        // Pool first, pipeline second: the toggle must survive.
+        let c = SecurityConfig::new(CryptoLibrary::BoringSsl)
+            .with_buffer_pool(true)
+            .with_pipeline(PipelineConfig::enabled());
+        assert!(c.pool && c.pipeline.pooled);
+        // Pipeline first, pool second.
+        let c = SecurityConfig::new(CryptoLibrary::BoringSsl)
+            .with_pipeline(PipelineConfig::enabled())
+            .with_buffer_pool(true);
+        assert!(c.pool && c.pipeline.pooled);
+        let c = c.with_peer_cipher(true);
+        assert!(c.peer_cipher);
     }
 
     #[test]

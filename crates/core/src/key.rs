@@ -6,6 +6,9 @@
 //! pair its own subkey, which (a) makes per-sender counter nonces safe
 //! by construction and (b) confines a key compromise to one pair.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use empi_aead::sha256::Sha256;
 
 /// Derive a per-pair subkey: `SHA-256("empi-pair-kdf" ‖ master ‖ a ‖ b)`.
@@ -18,6 +21,55 @@ pub fn derive_pair_key(master: &[u8; 32], a: usize, b: usize) -> [u8; 32] {
     h.update(&(a as u64).to_be_bytes());
     h.update(&(b as u64).to_be_bytes());
     h.finalize()
+}
+
+/// Epoch-qualified pair KDF: `SHA-256("empi-pair-kdf" ‖ master ‖ a ‖ b
+/// ‖ epoch)`. Epoch 0 is *not* [`derive_pair_key`] — the epoch word is
+/// always hashed, so rolling into epochs can never collide with the
+/// legacy schedule.
+pub fn derive_pair_key_epoch(master: &[u8; 32], a: usize, b: usize, epoch: u64) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"empi-pair-kdf");
+    h.update(master);
+    h.update(&(a as u64).to_be_bytes());
+    h.update(&(b as u64).to_be_bytes());
+    h.update(&epoch.to_be_bytes());
+    h.finalize()
+}
+
+/// Memoizing front-end to the pair KDF: one derivation per
+/// `(a, b, epoch)` for the cache's lifetime, however many messages
+/// flow. Single-threaded by design (one cache per rank; the engine
+/// executes one rank at a time), hence `RefCell`, not a lock.
+pub struct KeyCache {
+    master: [u8; 32],
+    derived: RefCell<HashMap<(usize, usize, u64), [u8; 32]>>,
+    derivations: RefCell<u64>,
+}
+
+impl KeyCache {
+    pub fn new(master: [u8; 32]) -> Self {
+        KeyCache {
+            master,
+            derived: RefCell::new(HashMap::new()),
+            derivations: RefCell::new(0),
+        }
+    }
+
+    /// The subkey for ordered pair `(a, b)` in `epoch`, deriving it on
+    /// first use and serving every later call from the cache.
+    pub fn pair_key(&self, a: usize, b: usize, epoch: u64) -> [u8; 32] {
+        *self.derived.borrow_mut().entry((a, b, epoch)).or_insert_with(|| {
+            *self.derivations.borrow_mut() += 1;
+            derive_pair_key_epoch(&self.master, a, b, epoch)
+        })
+    }
+
+    /// How many times the underlying KDF actually ran (tests: must stay
+    /// at one per (pair, epoch) regardless of message count).
+    pub fn derivations(&self) -> u64 {
+        *self.derivations.borrow()
+    }
 }
 
 /// Derive the whole key table for an `n`-rank world, indexed
@@ -61,6 +113,35 @@ mod tests {
                 assert!(seen.insert(*k));
             }
         }
+    }
+
+    #[test]
+    fn cache_derives_once_per_pair_epoch() {
+        let cache = KeyCache::new([7u8; 32]);
+        let k = cache.pair_key(0, 1, 0);
+        for _ in 0..100 {
+            assert_eq!(cache.pair_key(0, 1, 0), k, "cached value is stable");
+        }
+        assert_eq!(cache.derivations(), 1, "one derivation, many messages");
+
+        // New pair and new epoch each cost exactly one more derivation.
+        let k10 = cache.pair_key(1, 0, 0);
+        let k_e1 = cache.pair_key(0, 1, 1);
+        assert_eq!(cache.derivations(), 3);
+        assert_ne!(k10, k);
+        assert_ne!(k_e1, k, "epoch separates keys");
+        assert_eq!(k_e1, derive_pair_key_epoch(&[7u8; 32], 0, 1, 1));
+    }
+
+    #[test]
+    fn epoch_kdf_never_collides_with_legacy() {
+        let master = [3u8; 32];
+        // Even epoch 0 hashes the epoch word, so it differs from the
+        // unqualified legacy schedule.
+        assert_ne!(
+            derive_pair_key_epoch(&master, 0, 1, 0),
+            derive_pair_key(&master, 0, 1)
+        );
     }
 
     #[test]

@@ -226,6 +226,8 @@ impl<'h> Comm<'h> {
     /// Typed broadcast convenience.
     pub fn bcast_t<T: Pod>(&self, buf: &mut [T], root: usize) {
         let me = self.rank();
+        // Required copy: typed↔byte marshalling through the byte-level
+        // bcast needs an owned, resizable staging buffer.
         let mut bytes = as_bytes(buf).to_vec();
         self.bcast(&mut bytes, root);
         if me != root {
@@ -349,7 +351,9 @@ impl<'h> Comm<'h> {
         } else {
             let (_, data) = self.recv(Src::Is(root), TagSel::Is(tag));
             assert_eq!(data.len(), chunk);
-            data.to_vec()
+            // Steal the arrived buffer when we are its unique owner;
+            // copy only if the transport still shares it.
+            data.try_into_vec().unwrap_or_else(|b| b.to_vec())
         }
     }
 
@@ -547,10 +551,12 @@ impl<'h> Comm<'h> {
         let me = self.rank();
         if me == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+            // Required copy: the result owns its payloads and the
+            // root's own contribution is a borrowed slice.
             out[root] = send.to_vec();
             for _ in 0..n - 1 {
                 let (st, data) = self.recv(Src::Any, TagSel::Is(tag));
-                out[st.source] = data.to_vec();
+                out[st.source] = data.try_into_vec().unwrap_or_else(|b| b.to_vec());
             }
             Some(out)
         } else {
@@ -574,9 +580,14 @@ impl<'h> Comm<'h> {
                     self.send(chunk, dst, tag);
                 }
             }
+            // Required copy: the root's own chunk is borrowed from the
+            // caller while the result must be owned.
             chunks[root].clone()
         } else {
-            self.recv(Src::Is(root), TagSel::Is(tag)).1.to_vec()
+            self.recv(Src::Is(root), TagSel::Is(tag))
+                .1
+                .try_into_vec()
+                .unwrap_or_else(|b| b.to_vec())
         }
     }
 

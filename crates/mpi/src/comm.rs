@@ -220,22 +220,39 @@ impl<'h> Comm<'h> {
     // Blocking point-to-point
     // ---------------------------------------------------------------
 
-    /// Blocking standard-mode send (`MPI_Send`).
-    pub fn send(&self, buf: &[u8], dst: usize, tag: Tag) {
-        self.send_impl(buf, dst, tag, true);
+    /// Copy a caller slice into an owned transport buffer, counting
+    /// the allocation against this rank's hot-path ledger. The
+    /// `*_bytes` send variants skip exactly this copy.
+    fn copy_in(&self, buf: &[u8]) -> Bytes {
+        if let Some(t) = self.h.tracer() {
+            t.count_alloc(self.rank(), true, buf.len());
+        }
+        Bytes::copy_from_slice(buf)
     }
 
-    fn send_impl(&self, buf: &[u8], dst: usize, tag: Tag, blocking: bool) {
+    /// Blocking standard-mode send (`MPI_Send`).
+    pub fn send(&self, buf: &[u8], dst: usize, tag: Tag) {
+        self.send_impl(self.copy_in(buf), dst, tag, true);
+    }
+
+    /// Blocking send of an already-owned buffer: the transport takes
+    /// `data` as-is, with no defensive copy. Zero-copy counterpart of
+    /// [`Comm::send`] for callers (the secure layer) that sealed the
+    /// message into a buffer the wire can own directly.
+    pub fn send_bytes(&self, data: Bytes, dst: usize, tag: Tag) {
+        self.send_impl(data, dst, tag, true);
+    }
+
+    fn send_impl(&self, data: Bytes, dst: usize, tag: Tag, blocking: bool) {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         assert_ne!(dst, self.rank(), "self-sends must use isend+recv");
         let me = self.rank();
-        let len = buf.len();
+        let len = data.len();
         let eager = len <= self.eager_threshold();
         let _op = self.op(if eager { "p2p/eager" } else { "p2p/rndv" });
         self.charge_host(self.side_overhead(dst, len, blocking));
         if eager {
             let now = self.h.now();
-            let data = Bytes::copy_from_slice(buf);
             {
                 let mut s = self.shared.lock();
                 s.p2p_ops += 1;
@@ -260,7 +277,6 @@ impl<'h> Comm<'h> {
                 s.p2p_ops += 1;
                 let req = s.alloc_req(ReqEntry::PendingSend { owner: me });
                 let now = self.h.now();
-                let data = Bytes::copy_from_slice(buf);
                 if let Some(pr) = s.take_posted(dst, me, tag) {
                     let (sender_done, arrival) =
                         Self::schedule_rndv(&mut s.fabric, me, dst, len, now, pr.posted_at);
@@ -299,10 +315,15 @@ impl<'h> Comm<'h> {
     /// its rendezvous drains, so it runs a control-aware wait loop on
     /// the returned request. Eager sends complete immediately.
     pub fn send_posted(&self, buf: &[u8], dst: usize, tag: Tag) -> Request {
+        self.send_posted_bytes(self.copy_in(buf), dst, tag)
+    }
+
+    /// [`Comm::send_posted`] for an already-owned buffer (no copy).
+    pub fn send_posted_bytes(&self, data: Bytes, dst: usize, tag: Tag) -> Request {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         assert_ne!(dst, self.rank(), "self-sends must use isend+recv");
         let me = self.rank();
-        let len = buf.len();
+        let len = data.len();
         let eager = len <= self.eager_threshold();
         let _op = self.op(if eager { "p2p/eager" } else { "p2p/rndv" });
         self.charge_host(self.side_overhead(dst, len, true));
@@ -310,7 +331,6 @@ impl<'h> Comm<'h> {
             let mut s = self.shared.lock();
             s.p2p_ops += 1;
             let now = self.h.now();
-            let data = Bytes::copy_from_slice(buf);
             if eager {
                 let arrive = s.fabric.transmit(me, dst, len, now);
                 if let Some(pr) = s.take_posted(dst, me, tag) {
@@ -590,14 +610,18 @@ impl<'h> Comm<'h> {
 
     /// Non-blocking send (`MPI_Isend`).
     pub fn isend(&self, buf: &[u8], dst: usize, tag: Tag) -> Request {
+        self.isend_bytes(self.copy_in(buf), dst, tag)
+    }
+
+    /// [`Comm::isend`] for an already-owned buffer (no copy).
+    pub fn isend_bytes(&self, data: Bytes, dst: usize, tag: Tag) -> Request {
         assert!(dst < self.size(), "isend to invalid rank {dst}");
         let me = self.rank();
-        let len = buf.len();
+        let len = data.len();
         let eager = len <= self.eager_threshold() || dst == me;
         let _op = self.op(if eager { "p2p/eager" } else { "p2p/rndv" });
         self.charge_host(self.side_overhead(dst, len, false));
         let now = self.h.now();
-        let data = Bytes::copy_from_slice(buf);
         let id = {
             let mut s = self.shared.lock();
             s.p2p_ops += 1;

@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn time_derivation() {
         let c = Curve::new(&[(1024, 1024.0)]); // 1024 MB/s flat
-        // 1 MiB at 1024 MB/s = 1 MiB / (1024e6 B/s) ≈ 1024 µs... check:
+                                               // 1 MiB at 1024 MB/s = 1 MiB / (1024e6 B/s) ≈ 1024 µs... check:
         let t = c.time_ns(1 << 20);
         let expect = (1u64 << 20) as f64 / (1024e6) * 1e9;
         assert!((t as f64 - expect).abs() < 2.0, "t={t} expect={expect}");

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use empi_pool::BufferPool;
 use empi_trace::{TraceReport, Tracer};
 use parking_lot::{Condvar, Mutex};
 
@@ -144,6 +145,11 @@ struct Shared {
     /// Lazily created on first use. The lock is uncontended (execution
     /// is exclusive); it only satisfies `Sync`.
     pools: Vec<Mutex<Option<CorePool>>>,
+    /// Engine-wide reusable wire-buffer pool (see
+    /// [`SimHandle::buffer_pool`]). One pool for all ranks because
+    /// frames cross ranks in-process: the receiver reclaims the very
+    /// allocation the sender drew, closing the recycle loop.
+    buf_pool: BufferPool,
 }
 
 impl Shared {
@@ -283,10 +289,7 @@ impl Engine {
     /// to the all-blocked deadlock report. The callback runs with the
     /// scheduler lock held, so it must not yield or block; use
     /// `try_lock` on any shared state it inspects.
-    pub fn diagnostics(
-        mut self,
-        f: impl Fn(usize) -> String + Send + Sync + 'static,
-    ) -> Self {
+    pub fn diagnostics(mut self, f: impl Fn(usize) -> String + Send + Sync + 'static) -> Self {
         self.diag = Some(Arc::new(f));
         self
     }
@@ -346,6 +349,7 @@ impl Engine {
             tracer: self.tracer.clone(),
             diag: self.diag.clone(),
             pools: (0..self.n_ranks).map(|_| Mutex::new(None)).collect(),
+            buf_pool: BufferPool::new(),
         });
 
         let mut results: Vec<Option<T>> = (0..self.n_ranks).map(|_| None).collect();
@@ -419,7 +423,10 @@ impl Engine {
                 .unwrap_or(0),
         );
         Ok(RunOutcome {
-            results: results.into_iter().map(|r| r.expect("rank result")).collect(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("rank result"))
+                .collect(),
             end_time,
             yields: shared.yields.load(Ordering::Relaxed),
             notifies: shared.notifies.load(Ordering::Relaxed),
@@ -572,6 +579,13 @@ impl SimHandle {
         f(pool)
     }
 
+    /// The engine-wide [`BufferPool`] backing the zero-copy hot path.
+    /// Shared by every rank (buffers travel sender → receiver within
+    /// one process); the handle is cheap to clone.
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.shared.buf_pool
+    }
+
     /// Wake `target` if it is parked in [`block_on`](Self::block_on),
     /// causing it to re-evaluate its condition.
     pub fn notify_rank(&self, target: usize) {
@@ -667,13 +681,19 @@ mod tests {
         assert!(msg.contains("deadlock"), "got: {msg}");
         // Every live rank appears with its reason, clock, and the
         // installed diagnostic line.
-        assert!(msg.contains("rank 0") && msg.contains("rank 1"), "got: {msg}");
+        assert!(
+            msg.contains("rank 0") && msg.contains("rank 1"),
+            "got: {msg}"
+        );
         assert!(msg.contains("recv"), "got: {msg}");
         assert!(
             msg.contains("queue-depth-of-0=0") && msg.contains("queue-depth-of-1=0"),
             "got: {msg}"
         );
-        assert!(msg.contains("t=100ns") && msg.contains("t=200ns"), "got: {msg}");
+        assert!(
+            msg.contains("t=100ns") && msg.contains("t=200ns"),
+            "got: {msg}"
+        );
     }
 
     #[test]
@@ -806,10 +826,7 @@ mod tests {
             })
             .results[0];
         // Allow generous jitter; the scaled run must be clearly longer.
-        assert!(
-            t10.as_nanos() > t1.as_nanos() * 3,
-            "t1={t1} t10={t10}"
-        );
+        assert!(t10.as_nanos() > t1.as_nanos() * 3, "t1={t1} t10={t10}");
     }
 
     #[test]

@@ -333,16 +333,16 @@ impl Fabric {
         // Sender NIC: serialize departures.
         let tx = &mut self.tx[src];
         let tx_flows = tx.touch_flow(dst_rank, t);
-        let tx_gap =
-            wire.max((self.model.min_gap_ns as f64 * self.model.contention_factor(tx_flows)) as u64);
+        let tx_gap = wire
+            .max((self.model.min_gap_ns as f64 * self.model.contention_factor(tx_flows)) as u64);
         let tx_start = t.max(tx.next_free);
         tx.next_free = tx_start + tx_gap;
 
         // Receiver NIC: serialize arrivals.
         let rx = &mut self.rx[dst];
         let rx_flows = rx.touch_flow(src_rank, tx_start);
-        let rx_gap =
-            wire.max((self.model.min_gap_ns as f64 * self.model.contention_factor(rx_flows)) as u64);
+        let rx_gap = wire
+            .max((self.model.min_gap_ns as f64 * self.model.contention_factor(rx_flows)) as u64);
         let earliest = tx_start + self.model.latency.as_nanos() + wire;
         let arrive = earliest.max(rx.next_free + wire);
         rx.next_free = (arrive - wire) + rx_gap;
@@ -366,10 +366,7 @@ mod tests {
     use super::*;
 
     fn eth_fabric(nodes: usize) -> Fabric {
-        Fabric::new(
-            NetModel::ethernet_10g(),
-            Topology::one_per_node(nodes),
-        )
+        Fabric::new(NetModel::ethernet_10g(), Topology::one_per_node(nodes))
     }
 
     #[test]
@@ -439,9 +436,8 @@ mod tests {
         for model in [NetModel::ethernet_10g(), NetModel::infiniband_40g()] {
             for s in [1usize, 256, 1 << 10, 16 << 10, 2 << 20] {
                 let total = model.pp_curve.time_ns(s);
-                let rebuilt = 2 * model.pp_overhead_ns(s)
-                    + model.latency.as_nanos()
-                    + model.wire_time_ns(s);
+                let rebuilt =
+                    2 * model.pp_overhead_ns(s) + model.latency.as_nanos() + model.wire_time_ns(s);
                 let err = (total as i64 - rebuilt as i64).abs();
                 assert!(err <= 2, "{} size {s}: {total} vs {rebuilt}", model.name);
             }

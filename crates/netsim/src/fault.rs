@@ -212,13 +212,7 @@ impl FaultPlan {
         }
         let mut s = mix(
             self.seed,
-            &[
-                src as u64,
-                dst as u64,
-                stream,
-                index as u64,
-                attempt as u64,
-            ],
+            &[src as u64, dst as u64, stream, index as u64, attempt as u64],
         );
         let r = self.rates;
         let p = unit(splitmix64(&mut s));

@@ -36,7 +36,7 @@ use empi_aead::gcm::AesGcm;
 use empi_aead::{NONCE_LEN, TAG_LEN};
 use empi_mpi::chunk::{
     ChunkError, ChunkFrame, ChunkedMessage, FrameHeader, Reassembly, FRAME_HEADER_LEN,
-    FRAME_NONCE_LEN,
+    FRAME_NONCE_LEN, FRAME_OVERHEAD,
 };
 use empi_mpi::{Comm, Request, Tag};
 use empi_netsim::{VDur, VTime};
@@ -58,6 +58,10 @@ pub struct PipelineConfig {
     pub chunk_size: usize,
     /// Crypto worker cores per rank.
     pub workers: usize,
+    /// Source frame buffers from the engine's shared `BufferPool`
+    /// instead of the heap. Changes only where buffers come from —
+    /// wire bytes are bit-identical either way. Off by default.
+    pub pooled: bool,
 }
 
 impl Default for PipelineConfig {
@@ -66,6 +70,7 @@ impl Default for PipelineConfig {
             enabled: false,
             chunk_size: DEFAULT_CHUNK_SIZE,
             workers: DEFAULT_WORKERS,
+            pooled: false,
         }
     }
 }
@@ -95,6 +100,12 @@ impl PipelineConfig {
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers > 0, "worker pool must be non-empty");
         self.workers = workers;
+        self
+    }
+
+    /// Toggle pooled frame buffers (see [`PipelineConfig::pooled`]).
+    pub fn with_pooled(mut self, pooled: bool) -> Self {
+        self.pooled = pooled;
         self
     }
 
@@ -196,20 +207,27 @@ impl From<empi_aead::Error> for PipelineError {
     }
 }
 
-/// Build the wire frame of one chunk: `header ‖ nonce ‖ ct ‖ tag`.
-fn build_frame(
+/// Assemble the wire frame of one chunk (`header ‖ nonce ‖ ct ‖ tag`)
+/// directly into `buf`: the plaintext is copied once into its final
+/// wire position and sealed there in place — no intermediate record
+/// `Vec`. `buf` may be a pooled or a fresh buffer; the bytes produced
+/// are identical either way (and identical to the historical
+/// seal-then-assemble path, which was this plus copies).
+fn build_frame_into(
     sealer: &ChunkedSealer<'_>,
     base_nonce: &[u8; NONCE_LEN],
     header: FrameHeader,
     plain: &[u8],
-) -> Vec<u8> {
-    let nonce = derive_chunk_nonce(base_nonce, header.index);
-    let record = sealer.seal_chunk(header.index, plain);
-    let mut f = Vec::with_capacity(FRAME_HEADER_LEN + FRAME_NONCE_LEN + record.len());
-    f.extend_from_slice(&header.encode());
-    f.extend_from_slice(&nonce);
-    f.extend_from_slice(&record);
-    f
+    buf: &mut Vec<u8>,
+) {
+    buf.clear();
+    buf.reserve(FRAME_OVERHEAD + plain.len());
+    buf.extend_from_slice(&header.encode());
+    buf.extend_from_slice(&derive_chunk_nonce(base_nonce, header.index));
+    buf.extend_from_slice(plain);
+    let ct_start = FRAME_HEADER_LEN + FRAME_NONCE_LEN;
+    let tag = sealer.seal_chunk_detached(header.index, &mut buf[ct_start..]);
+    buf.extend_from_slice(&tag);
 }
 
 /// A chunked message parsed and validated down to its AEAD records.
@@ -240,8 +258,9 @@ pub fn parse_frames(
     let (msg_id, total, total_len) = (re.msg_id(), re.total(), re.total_len());
     let mut arrivals = vec![VTime(0); total as usize];
     for (at, f) in std::iter::once((at0, f0)).chain(iter) {
-        let (h, body) = FrameHeader::decode(&f)?;
-        re.accept(&h, Bytes::copy_from_slice(body))?;
+        let (h, _) = FrameHeader::decode(&f)?;
+        // Zero-copy: the body is a subview of the frame allocation.
+        re.accept(&h, f.slice(FRAME_HEADER_LEN..))?;
         arrivals[h.index as usize] = at;
     }
     let bodies = re.finish()?;
@@ -257,7 +276,7 @@ pub fn parse_frames(
     let records = bodies
         .into_iter()
         .zip(arrivals)
-        .map(|(b, at)| (at, Bytes::copy_from_slice(&b[FRAME_NONCE_LEN..])))
+        .map(|(b, at)| (at, b.slice(FRAME_NONCE_LEN..)))
         .collect();
     Ok(ParsedMessage {
         msg_id,
@@ -288,12 +307,15 @@ pub fn seal_frames(
                 total,
                 total_len,
             };
-            build_frame(
+            let mut f = Vec::new();
+            build_frame_into(
                 &sealer,
                 &base_nonce,
                 header,
                 &buf[chunk_range(buf.len(), chunk_size, i)],
-            )
+                &mut f,
+            );
+            f
         })
         .collect()
 }
@@ -404,9 +426,30 @@ impl Pipeline {
                     total,
                     total_len,
                 };
-                let (frame, ns) = cost.run(plain.len(), || {
-                    build_frame(&sealer, &base_nonce, header, plain)
-                });
+                let frame_len = FRAME_OVERHEAD + plain.len();
+                // Buffer sourcing is the only pooled/unpooled split;
+                // the sealed bytes are identical either way.
+                let (data, ns) = if self.cfg.pooled {
+                    let mut b = h.buffer_pool().take(frame_len);
+                    let fresh = b.fresh();
+                    let (_, ns) = cost.run(plain.len(), || {
+                        build_frame_into(&sealer, &base_nonce, header, plain, &mut b);
+                    });
+                    if let Some(t) = h.tracer() {
+                        t.count_alloc(comm.rank(), fresh, frame_len);
+                    }
+                    (b.freeze(), ns)
+                } else {
+                    let (f, ns) = cost.run(plain.len(), || {
+                        let mut f = Vec::with_capacity(frame_len);
+                        build_frame_into(&sealer, &base_nonce, header, plain, &mut f);
+                        f
+                    });
+                    if let Some(t) = h.tracer() {
+                        t.count_alloc(comm.rank(), true, frame_len);
+                    }
+                    (Bytes::from(f), ns)
+                };
                 let slot = pool.schedule_limited(submit, VDur(ns), self.cfg.workers);
                 if let Some(t) = h.tracer() {
                     t.pipeline_span(
@@ -420,7 +463,7 @@ impl Pipeline {
                     );
                 }
                 frames.push(ChunkFrame {
-                    data: Bytes::from(frame),
+                    data,
                     ready: slot.end,
                 });
             }
@@ -490,20 +533,39 @@ impl Pipeline {
             parsed.total_len,
         );
         let h = comm.sim();
+        // One output allocation per message: each chunk's ciphertext is
+        // copied once into its final position and decrypted there in
+        // place (the buffer handed to the caller), instead of per-chunk
+        // plaintext Vecs re-copied into the result.
         let mut out = Vec::with_capacity(parsed.total_len as usize);
+        if let Some(t) = h.tracer() {
+            t.count_alloc(comm.rank(), true, parsed.total_len as usize);
+            t.alloc_span(
+                comm.rank(),
+                "alloc/fresh",
+                h.now().as_nanos(),
+                parsed.total_len as usize,
+                format!("chunked reassembly buffer ({} frames)", parsed.records.len()),
+            );
+        }
         let mut done = h.now();
         let mut failure = None;
         h.with_core_pool(self.cfg.workers, |pool| {
             for (i, (arrive, record)) in parsed.records.iter().enumerate() {
                 let plain_len = record.len().saturating_sub(TAG_LEN);
-                let (plain, ns) = cost.run(plain_len, || opener.open_chunk(i as u32, record));
-                let plain = match plain {
-                    Ok(p) => p,
-                    Err(e) => {
-                        failure = Some((i as u32, e));
-                        return;
-                    }
-                };
+                let start = out.len();
+                out.extend_from_slice(&record[..plain_len]);
+                let mut tag = [0u8; TAG_LEN];
+                tag.copy_from_slice(&record[plain_len..]);
+                let (opened, ns) = cost.run(plain_len, || {
+                    opener.open_chunk_detached(i as u32, &mut out[start..], &tag)
+                });
+                if let Err(e) = opened {
+                    // The failed chunk's bytes are still ciphertext.
+                    out.truncate(start);
+                    failure = Some((i as u32, e));
+                    return;
+                }
                 let slot = pool.schedule_limited(*arrive, VDur(ns), self.cfg.workers);
                 if let Some(t) = h.tracer() {
                     t.pipeline_span(
@@ -517,7 +579,6 @@ impl Pipeline {
                     );
                 }
                 done = done.max(slot.end);
-                out.extend_from_slice(&plain);
             }
         });
         if let Some((index, source)) = failure {

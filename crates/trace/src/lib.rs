@@ -66,6 +66,10 @@ pub enum Cat {
     /// Recovery-protocol activity (`retry/nack`, `retry/backoff`,
     /// `retry/resend`) on the recovering rank's lane.
     Retry,
+    /// Buffer sourcing on the hot path (`alloc/fresh`, `alloc/pooled`,
+    /// `alloc/reclaim`) on the owning rank's lane — one marker per
+    /// seal/open op, with the per-site counts in [`RankMetrics`].
+    Alloc,
 }
 
 impl Cat {
@@ -79,6 +83,7 @@ impl Cat {
             Cat::Pipeline => "pipeline",
             Cat::Fault => "fault",
             Cat::Retry => "retry",
+            Cat::Alloc => "alloc",
         }
     }
 }
@@ -143,6 +148,16 @@ pub struct RankMetrics {
     pub retransmits: u64,
     /// Virtual ns spent in capped exponential backoff before resends.
     pub backoff_ns: u64,
+    /// Happy-path heap allocations (and their bytes) for wire/frame
+    /// buffers: every `Vec` the stack materializes per message.
+    pub allocs_fresh: u64,
+    pub alloc_fresh_bytes: u64,
+    /// Buffer takes served from the engine's `BufferPool` instead of
+    /// the heap.
+    pub allocs_pooled: u64,
+    pub alloc_pooled_bytes: u64,
+    /// Wire buffers recovered into the pool after delivery.
+    pub pool_reclaims: u64,
 }
 
 /// Byte/message ledger for one ordered (src, dst) rank pair.
@@ -577,6 +592,52 @@ mod imp {
             });
         }
 
+        /// Count one hot-path buffer sourcing at its site: `fresh`
+        /// means a heap allocation, otherwise a pool hit. Counter-only
+        /// (no event), so per-chunk call rates cannot flood the ring.
+        pub fn count_alloc(&self, rank: usize, fresh: bool, bytes: usize) {
+            let mut c = self.rank(rank);
+            if fresh {
+                c.m.allocs_fresh += 1;
+                c.m.alloc_fresh_bytes += bytes as u64;
+            } else {
+                c.m.allocs_pooled += 1;
+                c.m.alloc_pooled_bytes += bytes as u64;
+            }
+        }
+
+        /// Count a wire buffer recovered into the pool after delivery
+        /// (`recovered` false when ARQ retention still shares it).
+        pub fn count_reclaim(&self, rank: usize, recovered: bool) {
+            if recovered {
+                self.rank(rank).m.pool_reclaims += 1;
+            }
+        }
+
+        /// Drop one `alloc/*` marker on `rank`'s lane summarizing how
+        /// one seal/open op sourced its buffers (`alloc/fresh`,
+        /// `alloc/pooled`, `alloc/reclaim`). Emitted per op, not per
+        /// chunk — the exact counts live in [`RankMetrics`].
+        pub fn alloc_span(
+            &self,
+            rank: usize,
+            label: &'static str,
+            ts_ns: u64,
+            bytes: usize,
+            detail: String,
+        ) {
+            let mut c = self.rank(rank);
+            c.events.push(Event {
+                name: label.to_string(),
+                cat: Cat::Alloc,
+                ts_ns,
+                dur_ns: 1,
+                tid: rank as u32,
+                bytes: bytes as u64,
+                detail,
+            });
+        }
+
         /// Enter an operation scope (`bcast/binomial`, `p2p/eager`...).
         pub fn push_op(&self, rank: usize, label: &'static str) {
             self.rank(rank).ops.push(label);
@@ -794,6 +855,23 @@ mod imp {
         }
 
         #[inline]
+        pub fn count_alloc(&self, _rank: usize, _fresh: bool, _bytes: usize) {}
+
+        #[inline]
+        pub fn count_reclaim(&self, _rank: usize, _recovered: bool) {}
+
+        #[inline]
+        pub fn alloc_span(
+            &self,
+            _rank: usize,
+            _label: &'static str,
+            _ts: u64,
+            _bytes: usize,
+            _detail: String,
+        ) {
+        }
+
+        #[inline]
         pub fn push_op(&self, _rank: usize, _label: &'static str) {}
 
         #[inline]
@@ -1000,6 +1078,32 @@ mod tests {
         let json = r.to_chrome_json();
         assert!(json.contains("fault/bitflip"), "{json}");
         assert!(json.contains("retry/resend"), "{json}");
+    }
+
+    #[test]
+    fn alloc_counters_and_markers() {
+        let t = Tracer::new(2);
+        // Three per-site counts on rank 0: two fresh, one pooled.
+        t.count_alloc(0, true, 4096);
+        t.count_alloc(0, true, 64);
+        t.count_alloc(0, false, 4096);
+        t.count_reclaim(1, true);
+        t.count_reclaim(1, false); // retained by ARQ — not recovered
+        // One per-op marker summarizing the seal.
+        t.alloc_span(0, "alloc/pooled", 500, 4096, "seal 0->1".into());
+        let r = t.take_report();
+        assert_eq!(r.per_rank[0].allocs_fresh, 2);
+        assert_eq!(r.per_rank[0].alloc_fresh_bytes, 4160);
+        assert_eq!(r.per_rank[0].allocs_pooled, 1);
+        assert_eq!(r.per_rank[0].alloc_pooled_bytes, 4096);
+        assert_eq!(r.per_rank[1].pool_reclaims, 1);
+        let marks: Vec<_> = r.events.iter().filter(|e| e.cat == Cat::Alloc).collect();
+        assert_eq!(marks.len(), 1);
+        // Markers live on the rank lane (tracecheck: worker lanes are
+        // pipe-only) and carry the alloc/ prefix.
+        assert_eq!(marks[0].tid, 0);
+        assert!(marks[0].name.starts_with("alloc/"));
+        assert!(r.to_chrome_json().contains("alloc/pooled"));
     }
 
     #[test]

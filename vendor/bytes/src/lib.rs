@@ -1,14 +1,23 @@
 //! Vendored, dependency-free shim providing the subset of
 //! `bytes::Bytes` this workspace uses: an immutable, cheaply
-//! cloneable (refcounted) byte buffer.
+//! cloneable (refcounted) byte buffer with zero-copy subslicing.
+//!
+//! Internally a `Bytes` is an `Arc<Vec<u8>>` plus an (offset, len)
+//! window. `From<Vec<u8>>` is a move (no copy), `slice()` produces a
+//! view sharing the same allocation, and `try_into_vec()` recovers the
+//! backing `Vec` when this handle is the sole owner of the full range
+//! — the hook the buffer pool uses to recycle wire buffers.
 
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -17,44 +26,103 @@ impl Bytes {
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: data.into() }
+        Self::from(data.to_vec())
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Zero-copy subview sharing the backing allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice out of range: {start}..{end} of {}",
+            self.len
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Recover the backing `Vec` without copying. Succeeds only when
+    /// this handle is the unique owner and spans the whole allocation;
+    /// otherwise hands `self` back unchanged (e.g. while the ARQ layer
+    /// still retains a clone for retransmission).
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        if self.off != 0 || self.len != self.data.len() {
+            return Err(self);
+        }
+        let off = self.off;
+        let len = self.len;
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => Ok(v),
+            Err(data) => Err(Bytes { data, off, len }),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self {
+            data: Arc::new(Vec::new()),
+            off: 0,
+            len: 0,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: v.into() }
+        let len = v.len();
+        Self {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
     }
 }
 
@@ -66,9 +134,36 @@ impl From<&[u8]> for Bytes {
 
 impl FromIterator<u8> for Bytes {
     fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
-        Self {
-            data: iter.into_iter().collect(),
-        }
+        Self::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+// Equality and ordering compare the viewed slice, not the backing
+// allocation, so sliced and freshly-copied handles with equal contents
+// agree (a field-wise derive would not).
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
@@ -87,7 +182,7 @@ impl PartialEq<Vec<u8>> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -110,5 +205,36 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert_eq!(b[1], 2);
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_vec_is_a_move_and_try_into_vec_recovers_it() {
+        let v = vec![9u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.try_into_vec().expect("unique owner");
+        assert_eq!(back.as_ptr(), ptr);
+        assert_eq!(back, vec![9u8; 64]);
+    }
+
+    #[test]
+    fn try_into_vec_fails_while_shared_or_sliced() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        let c = b.clone();
+        let b = b.try_into_vec().unwrap_err();
+        drop(c);
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
+        assert!(s.try_into_vec().is_err());
+        assert_eq!(b.try_into_vec().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slices_compare_by_contents() {
+        let b = Bytes::from(vec![0, 7, 8, 9]);
+        let s = b.slice(1..);
+        assert_eq!(s, Bytes::copy_from_slice(&[7, 8, 9]));
+        assert_eq!(s.slice(..2), Bytes::copy_from_slice(&[7, 8]));
+        assert!(b.slice(..0).is_empty());
     }
 }
