@@ -1,0 +1,13 @@
+//! TAB-TAIL / DECOMP-TAIL: latency percentiles (p50/p99/p999) and
+//! their service-stage decomposition from the metrics plane, for p2p
+//! streams and alltoall exchanges, all four backends on both fabrics,
+//! chaos off and on. Also exports `metrics-tail-<net>.{json,prom}`
+//! snapshots for `tracecheck --require-hist`.
+use empi_bench::{emit, tail, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&tail::run_net(net, &opts), &opts.out_dir);
+    }
+}

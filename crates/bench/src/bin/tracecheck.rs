@@ -15,13 +15,23 @@
 //! additionally fails any file that carries no `alloc/*` spans at all
 //! (the allocation-decomposition traces must actually decompose).
 //!
-//! Usage: `tracecheck [--require-alloc] [FILE...]` — with no file
-//! arguments, checks every `trace-*.json` under `results/`.
+//! `--require-hist` audits the metrics plane: every `metrics-*.json`
+//! snapshot must parse, carry non-empty histograms whose per-bucket
+//! counts sum to the advertised totals, conserve seal/open histogram
+//! sample counts against the per-rank ledgers, and its sibling `.prom`
+//! Prometheus export must pass the text-format validator. At least one
+//! snapshot file must exist, and at least one must show load (nonzero
+//! end-to-end samples).
+//!
+//! Usage: `tracecheck [--require-alloc] [--require-hist] [FILE...]` —
+//! with no file arguments, checks every `trace-*.json` (and with
+//! `--require-hist` every `metrics-*.json`) under `results/`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use empi_metrics::export::validate_prometheus;
 use empi_trace::json::{self, Value};
 
 fn check(path: &Path, require_alloc: bool) -> Result<String, String> {
@@ -102,17 +112,111 @@ fn check(path: &Path, require_alloc: bool) -> Result<String, String> {
     ))
 }
 
+/// Sum `field` over the objects of `arr`, optionally keeping only
+/// objects whose `filter_key` equals `filter_val`.
+fn sum_field(arr: &[Value], field: &str, filter: Option<(&str, &str)>) -> Result<u64, String> {
+    let mut total = 0u64;
+    for (i, e) in arr.iter().enumerate() {
+        if let Some((k, want)) = filter {
+            if e.get(k).and_then(Value::as_str) != Some(want) {
+                continue;
+            }
+        }
+        total += e
+            .get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("entry {i}: missing {field}"))? as u64;
+    }
+    Ok(total)
+}
+
+/// Audit one `metrics-*.json` snapshot (see module docs). Returns a
+/// summary plus whether the snapshot shows load (nonzero e2e samples).
+fn check_metrics(path: &Path) -> Result<(String, bool), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = doc
+        .get("version")
+        .and_then(Value::as_f64)
+        .ok_or("missing version")?;
+    if version != 1.0 {
+        return Err(format!("unsupported snapshot version {version}"));
+    }
+    let hists = doc
+        .get("hists")
+        .and_then(Value::as_array)
+        .ok_or("missing hists array")?;
+    if hists.is_empty() {
+        return Err("no histograms in snapshot".into());
+    }
+    for (i, h) in hists.iter().enumerate() {
+        let count = h
+            .get("count")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("hist {i}: missing count"))? as u64;
+        let buckets = h
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("hist {i}: missing buckets"))?;
+        if count == 0 || buckets.is_empty() {
+            return Err(format!("hist {i}: empty histogram in snapshot"));
+        }
+        let mut bucket_sum = 0u64;
+        for b in buckets {
+            let pair = b.as_array().ok_or_else(|| format!("hist {i}: bad bucket"))?;
+            bucket_sum += pair
+                .get(1)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("hist {i}: bad bucket count"))? as u64;
+        }
+        if bucket_sum != count {
+            return Err(format!(
+                "hist {i}: bucket counts sum to {bucket_sum}, advertised count is {count}"
+            ));
+        }
+    }
+    let per_rank = doc
+        .get("per_rank")
+        .and_then(Value::as_array)
+        .ok_or("missing per_rank array")?;
+    // Conservation: the merged histograms and the per-rank ledgers
+    // count the same record() calls through independent paths.
+    for (metric, ledger_field) in [("seal", "seal_samples"), ("open", "open_samples")] {
+        let hist_total = sum_field(hists, "count", Some(("metric", metric)))?;
+        let ledger_total = sum_field(per_rank, ledger_field, None)?;
+        if hist_total != ledger_total {
+            return Err(format!(
+                "{metric} histogram samples ({hist_total}) do not conserve against \
+                 the rank ledgers ({ledger_total})"
+            ));
+        }
+    }
+    let e2e = sum_field(hists, "count", Some(("metric", "e2e")))?;
+    let prom_path = path.with_extension("prom");
+    let prom = std::fs::read_to_string(&prom_path)
+        .map_err(|e| format!("missing Prometheus sibling {}: {e}", prom_path.display()))?;
+    validate_prometheus(&prom).map_err(|e| format!("invalid Prometheus export: {e}"))?;
+    Ok((
+        format!("{} histograms, {e2e} e2e samples, prometheus valid", hists.len()),
+        e2e > 0,
+    ))
+}
+
 fn main() -> ExitCode {
     let mut require_alloc = false;
+    let mut require_hist = false;
     let mut files: Vec<PathBuf> = std::env::args()
         .skip(1)
-        .filter(|a| {
-            if a == "--require-alloc" {
+        .filter(|a| match a.as_str() {
+            "--require-alloc" => {
                 require_alloc = true;
                 false
-            } else {
-                true
             }
+            "--require-hist" => {
+                require_hist = true;
+                false
+            }
+            _ => true,
         })
         .map(PathBuf::from)
         .collect();
@@ -120,7 +224,10 @@ fn main() -> ExitCode {
         if let Ok(dir) = std::fs::read_dir("results") {
             for entry in dir.flatten() {
                 let name = entry.file_name().to_string_lossy().into_owned();
-                if name.starts_with("trace-") && name.ends_with(".json") {
+                let is_trace = name.starts_with("trace-") && name.ends_with(".json");
+                let is_metrics =
+                    require_hist && name.starts_with("metrics-") && name.ends_with(".json");
+                if is_trace || is_metrics {
                     files.push(entry.path());
                 }
             }
@@ -132,14 +239,41 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut ok = true;
+    let mut metrics_files = 0usize;
+    let mut loaded_snapshots = 0usize;
     for f in &files {
-        match check(f, require_alloc) {
-            Ok(msg) => println!("OK   {}: {msg}", f.display()),
-            Err(e) => {
-                eprintln!("FAIL {}: {e}", f.display());
-                ok = false;
+        let is_metrics = f
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().starts_with("metrics-"));
+        if is_metrics {
+            metrics_files += 1;
+            match check_metrics(f) {
+                Ok((msg, loaded)) => {
+                    loaded_snapshots += loaded as usize;
+                    println!("OK   {}: {msg}", f.display());
+                }
+                Err(e) => {
+                    eprintln!("FAIL {}: {e}", f.display());
+                    ok = false;
+                }
+            }
+        } else {
+            match check(f, require_alloc) {
+                Ok(msg) => println!("OK   {}: {msg}", f.display()),
+                Err(e) => {
+                    eprintln!("FAIL {}: {e}", f.display());
+                    ok = false;
+                }
             }
         }
+    }
+    if require_hist && metrics_files == 0 {
+        eprintln!("tracecheck: --require-hist but no metrics-*.json snapshots checked");
+        ok = false;
+    }
+    if require_hist && metrics_files > 0 && loaded_snapshots == 0 {
+        eprintln!("tracecheck: --require-hist but every snapshot is empty of e2e samples");
+        ok = false;
     }
     if ok {
         ExitCode::SUCCESS

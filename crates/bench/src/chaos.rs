@@ -15,6 +15,7 @@
 
 use empi_aead::profile::CryptoLibrary;
 use empi_core::{ChaosStats, FaultRates, PipelineConfig, SecureComm};
+use empi_metrics::{export, ChaosCounters, Metric, MetricsSnapshot};
 use empi_mpi::{Src, TagSel, TraceReport, World};
 use empi_netsim::VDur;
 
@@ -60,6 +61,29 @@ pub struct ChaosPoint {
     pub sender: ChaosStats,
     /// Receiver-side chaos counters (NACKs, salvages, backoff).
     pub receiver: ChaosStats,
+    /// ARQ repair-latency percentiles (NACK round-trip until the
+    /// message opened), from the metrics plane; zero when metrics are
+    /// compiled out or nothing needed repair.
+    pub repair_p50_ns: u64,
+    pub repair_p99_ns: u64,
+    pub repair_p999_ns: u64,
+    /// Successful repairs the percentiles are over.
+    pub repairs: u64,
+}
+
+/// Fold sender- and receiver-side [`ChaosStats`] into the snapshot's
+/// [`ChaosCounters`] so retry counters ride the JSON/Prometheus
+/// exports next to the histograms.
+pub fn to_counters(sender: &ChaosStats, receiver: &ChaosStats) -> ChaosCounters {
+    ChaosCounters {
+        faults_injected: sender.faults_injected + receiver.faults_injected,
+        nacks_sent: sender.nacks_sent + receiver.nacks_sent,
+        nacks_received: sender.nacks_received + receiver.nacks_received,
+        retransmits: sender.retransmits + receiver.retransmits,
+        aborts: sender.aborts + receiver.aborts,
+        recoveries: sender.recoveries + receiver.recoveries,
+        backoff_ns: sender.backoff_ns + receiver.backoff_ns,
+    }
 }
 
 impl ChaosPoint {
@@ -81,12 +105,18 @@ pub fn chaos_point(net: Net, lib: CryptoLibrary, rate: f64, msgs: usize, seed: u
     chaos_run(net, lib, rate, msgs, seed, false).0
 }
 
-/// A traced chaos stream: same run, returning the trace report so the
-/// `fault/*` / `retry/*` spans can be audited (and `tracecheck`d).
-pub fn chaos_trace(net: Net, lib: CryptoLibrary, rate: f64, msgs: usize, seed: u64) -> TraceReport {
-    chaos_run(net, lib, rate, msgs, seed, true)
-        .1
-        .expect("traced run must yield a report")
+/// A traced chaos stream: same run, returning the trace report (so the
+/// `fault/*` / `retry/*` spans can be audited and `tracecheck`d) plus
+/// the metrics snapshot with the folded retry counters attached.
+pub fn chaos_trace(
+    net: Net,
+    lib: CryptoLibrary,
+    rate: f64,
+    msgs: usize,
+    seed: u64,
+) -> (TraceReport, MetricsSnapshot) {
+    let (_, trace, snap) = chaos_run(net, lib, rate, msgs, seed, true);
+    (trace.expect("traced run must yield a report"), snap)
 }
 
 fn chaos_run(
@@ -96,8 +126,8 @@ fn chaos_run(
     msgs: usize,
     seed: u64,
     traced: bool,
-) -> (ChaosPoint, Option<TraceReport>) {
-    let world = World::flat(net.model(), 2).traced(traced);
+) -> (ChaosPoint, Option<TraceReport>, MetricsSnapshot) {
+    let world = World::flat(net.model(), 2).traced(traced).with_metrics(true);
     let out = world.run(move |c| {
         let cfg = security_config(lib, net)
             .with_pipeline(
@@ -139,6 +169,9 @@ fn chaos_run(
     });
     let (_, _, _, _, sender) = out.results[0];
     let (secs, delivered, failed, bytes_ok, receiver) = out.results[1];
+    let mut snap = out.metrics.expect("metered world must snapshot");
+    snap.chaos = Some(to_counters(&sender, &receiver));
+    let repair = snap.merged(Metric::Repair, "arq/repair");
     (
         ChaosPoint {
             secs,
@@ -147,8 +180,13 @@ fn chaos_run(
             bytes_ok,
             sender,
             receiver,
+            repair_p50_ns: repair.p50(),
+            repair_p99_ns: repair.p99(),
+            repair_p999_ns: repair.p999(),
+            repairs: repair.count(),
         },
         out.trace,
+        snap,
     )
 }
 
@@ -232,6 +270,9 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
             "salvages",
             "aborts",
             "backoff us",
+            "repair p50 us",
+            "repair p99 us",
+            "repair p999 us",
             "failed msgs",
             "goodput MB/s",
         ]
@@ -275,6 +316,9 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
                         format!("{}", p.receiver.recoveries),
                         format!("{}", p.sender.aborts),
                         format!("{:.1}", p.receiver.backoff_ns as f64 / 1e3),
+                        format!("{:.1}", p.repair_p50_ns as f64 / 1e3),
+                        format!("{:.1}", p.repair_p99_ns as f64 / 1e3),
+                        format!("{:.1}", p.repair_p999_ns as f64 / 1e3),
                         format!("{}", p.failed),
                         format!("{:.1}", p.goodput_mb_s()),
                     ],
@@ -287,10 +331,23 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
     if trace_active(opts) {
         // One traced run at the top fault rate: the Chrome trace shows
         // the fault/* and retry/* spans interleaved with the pipeline
-        // lanes, and `tracecheck` audits the written file.
-        let r = chaos_trace(net, CryptoLibrary::BoringSsl, 0.10, msgs, SEED);
+        // lanes, and `tracecheck` audits the written file. The same
+        // run's metrics snapshot — retry counters folded in — goes out
+        // as JSON + validated Prometheus for `--require-hist`.
+        let (r, snap) = chaos_trace(net, CryptoLibrary::BoringSsl, 0.10, msgs, SEED);
         let stem = format!("trace-chaos-{}", net.name().to_lowercase());
         write_trace(&r, &opts.out_dir, &stem);
+        let stem = format!("metrics-chaos-{}", net.name().to_lowercase());
+        let json_path = opts.out_dir.join(format!("{stem}.json"));
+        if let Err(e) = std::fs::write(&json_path, export::snapshot_json(&snap)) {
+            eprintln!("warning: could not write {}: {e}", json_path.display());
+        }
+        let prom = export::prometheus(&snap);
+        export::validate_prometheus(&prom).expect("prometheus export must validate");
+        let prom_path = opts.out_dir.join(format!("{stem}.prom"));
+        if let Err(e) = std::fs::write(&prom_path, prom) {
+            eprintln!("warning: could not write {}: {e}", prom_path.display());
+        }
     }
     tables
 }

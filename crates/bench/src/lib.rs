@@ -16,6 +16,7 @@
 //! | [`pipeline`] | FIG-PIPELINE-* (beyond the paper: chunked multi-core crypto offload) |
 //! | [`pipeline_nb`] | FIG-PIPELINE-NB, TAB-PIPELINE-COLL (pipelined nonblocking p2p + collectives) |
 //! | [`multipair_pipe`] | FIG-MULTIPAIR-PIPE, DECOMP-ALLOC (zero-copy pooled hot path under multi-pair contention) |
+//! | [`tail`] | TAB-TAIL, DECOMP-TAIL (latency distributions from the metrics plane, chaos off/on) |
 //!
 //! [`stats`] implements the paper's repeat-until-stable methodology and
 //! Fleming–Wallace overhead aggregation; [`table`] renders paper-style
@@ -37,6 +38,7 @@ pub mod pipeline_nb;
 pub mod plot;
 pub mod stats;
 pub mod table;
+pub mod tail;
 pub mod tracing;
 
 use std::path::Path;

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use empi_metrics::BlackBox;
+
 /// Result alias for secure operations.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -33,6 +35,10 @@ pub enum Error {
         attempts: u32,
         /// Human-readable per-attempt failure log.
         ledger: Vec<String>,
+        /// Flight-recorder report for the failing `(peer, tag, seq)`
+        /// flow — present when the metrics plane recorded it; boxed to
+        /// keep `Error` small on the happy path.
+        black_box: Option<Box<BlackBox>>,
     },
     /// The retransmit layer waited out its full backoff schedule
     /// without any repair arriving (the sender is gone or the repair
@@ -42,6 +48,9 @@ pub enum Error {
         waited_ns: u64,
         /// The operation that timed out (e.g. `"recv"`).
         op: &'static str,
+        /// Flight-recorder report for the stalled flow (see
+        /// [`Error::DeliveryFailed::black_box`]).
+        black_box: Option<Box<BlackBox>>,
     },
 }
 
@@ -52,6 +61,17 @@ impl Error {
     pub fn chunk_index(&self) -> Option<u32> {
         match self {
             Error::Pipeline(e) => e.chunk_index(),
+            _ => None,
+        }
+    }
+
+    /// The flight-recorder black box attached to a delivery or timeout
+    /// failure, when the metrics plane recorded the failing flow.
+    pub fn black_box(&self) -> Option<&BlackBox> {
+        match self {
+            Error::DeliveryFailed { black_box, .. } | Error::Timeout { black_box, .. } => {
+                black_box.as_deref()
+            }
             _ => None,
         }
     }
@@ -66,15 +86,35 @@ impl fmt::Display for Error {
                 f,
                 "secure MPI length mismatch: local buffer is {local} bytes, remote message is {remote}"
             ),
-            Error::DeliveryFailed { attempts, ledger } => write!(
-                f,
-                "secure MPI delivery failed after {attempts} attempt(s): {}",
-                ledger.join("; ")
-            ),
-            Error::Timeout { waited_ns, op } => write!(
-                f,
-                "secure MPI {op} timed out after {waited_ns} ns waiting for retransmission"
-            ),
+            Error::DeliveryFailed {
+                attempts,
+                ledger,
+                black_box,
+            } => {
+                write!(
+                    f,
+                    "secure MPI delivery failed after {attempts} attempt(s): {}",
+                    ledger.join("; ")
+                )?;
+                if let Some(bb) = black_box {
+                    write!(f, "; {bb}")?;
+                }
+                Ok(())
+            }
+            Error::Timeout {
+                waited_ns,
+                op,
+                black_box,
+            } => {
+                write!(
+                    f,
+                    "secure MPI {op} timed out after {waited_ns} ns waiting for retransmission"
+                )?;
+                if let Some(bb) = black_box {
+                    write!(f, "; {bb}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -119,6 +159,7 @@ mod tests {
         let e = Error::DeliveryFailed {
             attempts: 3,
             ledger: vec!["attempt 0: auth failure".into(), "attempt 1: no repair".into()],
+            black_box: None,
         };
         let s = e.to_string();
         assert!(s.contains("after 3 attempt(s)"), "{s}");
@@ -131,11 +172,51 @@ mod tests {
 
     #[test]
     fn timeout_displays_op_and_wait() {
-        let e = Error::Timeout { waited_ns: 1_500_000, op: "recv" };
+        let e = Error::Timeout {
+            waited_ns: 1_500_000,
+            op: "recv",
+            black_box: None,
+        };
         let s = e.to_string();
         assert!(s.contains("recv timed out"), "{s}");
         assert!(s.contains("1500000 ns"), "{s}");
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn delivery_failure_carries_the_black_box() {
+        let bb = BlackBox {
+            rank: 1,
+            peer: 0,
+            tag: 7,
+            seq: 42,
+            total_events: 2,
+            events: vec![
+                empi_metrics::FlowEvent {
+                    t_ns: 100,
+                    kind: "post/plain".into(),
+                    bytes: 512,
+                    detail: String::new(),
+                },
+                empi_metrics::FlowEvent {
+                    t_ns: 900,
+                    kind: "nack/tx".into(),
+                    bytes: 0,
+                    detail: "attempt 0".into(),
+                },
+            ],
+        };
+        let e = Error::DeliveryFailed {
+            attempts: 1,
+            ledger: vec!["initial delivery: auth failure".into()],
+            black_box: Some(Box::new(bb)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("peer=0 tag=7 seq=42"), "{s}");
+        assert!(s.contains("nack/tx"), "{s}");
+        let got = e.black_box().expect("black box accessor");
+        assert_eq!((got.tag, got.seq), (7, 42));
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use empi_aead::nonce::NonceSource;
 use empi_aead::{NONCE_LEN, TAG_LEN, WIRE_OVERHEAD};
 use empi_mpi::chunk::{ChunkFrame, ChunkedMessage, RecvPayload, FRAME_OVERHEAD};
 use empi_mpi::ctrl::{pack_frames, unpack_frames};
+use empi_metrics::{BlackBox, Metric, Metrics};
 use empi_mpi::{
     AnyCtrl, Comm, Nack, RepairHeader, RepairKind, Request, Src, Status, Tag, TagSel, WaitCtrl,
     NACK_TAG, REPAIR_TAG,
@@ -420,6 +421,80 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         }
     }
 
+    // ---------------------------------------------------------------
+    // Metrics-plane hooks (compiled out without the `trace` feature;
+    // no-ops unless the world installed a recorder on the engine)
+    // ---------------------------------------------------------------
+
+    /// The engine's metrics recorder, when one is installed.
+    fn metrics(&self) -> Option<&Metrics> {
+        self.comm.sim().metrics()
+    }
+
+    /// Record one service-time sample (seal/open/repair). The seal and
+    /// open calls sit adjacent to the `count_seal`/`count_open` trace
+    /// counters so histogram sample counts conserve exactly against the
+    /// per-rank `RankMetrics` ledgers (`tracecheck --require-hist`
+    /// proves it). Recording never advances virtual time.
+    fn note_service(&self, metric: Metric, op: &'static str, peer: i32, bytes: usize, t0_ns: u64) {
+        if let Some(m) = self.metrics() {
+            let now = self.comm.sim().now().as_nanos();
+            m.record(
+                self.rank(),
+                metric,
+                op,
+                peer,
+                bytes,
+                now,
+                now.saturating_sub(t0_ns),
+            );
+        }
+    }
+
+    /// Record one caller-perspective end-to-end latency sample around a
+    /// public op.
+    fn op_span<T>(&self, op: &'static str, peer: i32, bytes: usize, f: impl FnOnce() -> T) -> T {
+        let t0 = self.comm.sim().now().as_nanos();
+        let out = f();
+        if let Some(m) = self.metrics() {
+            let now = self.comm.sim().now().as_nanos();
+            m.record(self.rank(), Metric::E2e, op, peer, bytes, now, now - t0);
+        }
+        out
+    }
+
+    /// Flight-recorder event on flow `(peer, tag, seq)`. The detail
+    /// string is only built when a recorder is installed.
+    fn note_flow(
+        &self,
+        peer: usize,
+        tag: Tag,
+        seq: u64,
+        kind: &'static str,
+        bytes: usize,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(m) = self.metrics() {
+            m.flow_event(
+                self.rank(),
+                peer,
+                tag,
+                seq,
+                self.comm.sim().now().as_nanos(),
+                kind,
+                bytes,
+                detail(),
+            );
+        }
+    }
+
+    /// Black-box report for a failing flow, boxed for error embedding.
+    fn black_box_for(&self, peer: usize, tag: Tag, seq: u64) -> Option<Box<BlackBox>> {
+        self.metrics()
+            .and_then(|m| m.black_box(self.rank(), peer, tag, seq))
+            .map(Box::new)
+    }
+
     /// Seal `buf` into chunked wire frames on the shared worker-core
     /// pool: one nonce block covers all chunks. `dst` selects the peer
     /// cipher when that extension is active (`None` = collective /
@@ -442,6 +517,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             );
         }
         let stats_before = self.cfg.pool.then(|| self.comm.sim().buffer_pool().stats());
+        let t0 = self.comm.sim().now().as_nanos();
         let frames = self.with_chunk_cost(|cost| {
             self.pipe.seal_timed(
                 self.comm,
@@ -452,6 +528,13 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 buf,
             )
         });
+        self.note_service(
+            Metric::Seal,
+            "seal/chunked",
+            dst.map_or(-1, |d| d as i32),
+            buf.len(),
+            t0,
+        );
         // One aggregate alloc/* marker per chunked message (the
         // per-chunk counters already carry the exact totals); the pool
         // stats delta is attributable because exactly one rank
@@ -521,10 +604,19 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 wire.saturating_sub(msg.frames.len() * FRAME_OVERHEAD),
             );
         }
-        Ok(self.with_chunk_cost(|cost| {
+        let t0 = self.comm.sim().now().as_nanos();
+        let r = self.with_chunk_cost(|cost| {
             self.pipe
                 .open(self.comm, cipher, cost, self.cfg.library.name(), msg)
-        })?)
+        });
+        self.note_service(
+            Metric::Open,
+            "open/chunked",
+            if peer { msg.src as i32 } else { -1 },
+            wire.saturating_sub(msg.frames.len() * FRAME_OVERHEAD),
+            t0,
+        );
+        Ok(r?)
     }
 
     /// Consuming chunked open for the clean receive path: after the
@@ -652,14 +744,23 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             t.count_seal(self.rank(), plaintext.len(), plaintext.len() + WIRE_OVERHEAD);
         }
         self.note_alloc(true, plaintext.len() + WIRE_OVERHEAD, "seal wire");
-        self.run_crypto(plaintext.len(), Dir::Enc, || {
+        let t0 = self.comm.sim().now().as_nanos();
+        let wire = self.run_crypto(plaintext.len(), Dir::Enc, || {
             let mut wire = Vec::with_capacity(plaintext.len() + WIRE_OVERHEAD);
             wire.extend_from_slice(&nonce);
             wire.extend_from_slice(plaintext);
             let tag = cipher.seal_detached(&nonce, b"", &mut wire[NONCE_LEN..]);
             wire.extend_from_slice(&tag);
             wire
-        })
+        });
+        self.note_service(
+            Metric::Seal,
+            "seal/plain",
+            dst.map_or(-1, |d| d as i32),
+            plaintext.len(),
+            t0,
+        );
+        wire
     }
 
     /// Pooled in-place seal for the zero-copy hot path: the wire image
@@ -682,12 +783,14 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             .buffer_pool()
             .take(plaintext.len() + WIRE_OVERHEAD);
         self.note_alloc(b.fresh(), plaintext.len() + WIRE_OVERHEAD, "seal wire");
+        let t0 = self.comm.sim().now().as_nanos();
         self.run_crypto(plaintext.len(), Dir::Enc, || {
             b.extend_from_slice(&nonce);
             b.extend_from_slice(plaintext);
             let tag = cipher.seal_detached(&nonce, b"", &mut b[NONCE_LEN..]);
             b.extend_from_slice(&tag);
         });
+        self.note_service(Metric::Seal, "seal/plain", dst as i32, plaintext.len(), t0);
         b.freeze()
     }
 
@@ -700,6 +803,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             t.count_nonce_draw(self.rank());
             t.count_seal(self.rank(), plaintext.len(), plaintext.len() + WIRE_OVERHEAD);
         }
+        let t0 = self.comm.sim().now().as_nanos();
         self.run_crypto(plaintext.len(), Dir::Enc, || {
             let start = out.len();
             out.extend_from_slice(&nonce);
@@ -709,6 +813,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 .seal_detached(&nonce, b"", &mut out[start + NONCE_LEN..]);
             out.extend_from_slice(&tag);
         });
+        self.note_service(Metric::Seal, "seal/coll", -1, plaintext.len(), t0);
     }
 
     /// Decrypt one wire message with the cluster cipher.
@@ -739,9 +844,14 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             t.count_open(self.rank(), wire.len(), plain_len);
         }
         self.note_alloc(true, plain_len, "open plaintext");
-        self.run_crypto(plain_len, Dir::Dec, || {
+        let t0 = self.comm.sim().now().as_nanos();
+        let r = self.run_crypto(plain_len, Dir::Dec, || {
             cipher.open(&nonce, b"", body).map_err(Error::Crypto)
-        })
+        });
+        // Recorded on failure too: `count_open` above already counted
+        // the attempt, and conservation tracks attempts, not successes.
+        self.note_service(Metric::Open, "open/plain", -1, plain_len, t0);
+        r
     }
 
     /// Decrypt one *owned* p2p wire buffer. When we are the unique
@@ -772,11 +882,14 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         }
         let ctx = self.p2p_cipher(src, self.rank());
         let cipher = ctx.as_ref().map_or(&self.cipher, |c| &c.cipher);
-        self.run_crypto(plain_len, Dir::Dec, || {
+        let t0 = self.comm.sim().now().as_nanos();
+        let r = self.run_crypto(plain_len, Dir::Dec, || {
             cipher
                 .open_detached(&nonce, b"", &mut v[NONCE_LEN..tag_start], &tag)
                 .map_err(Error::Crypto)
-        })?;
+        });
+        self.note_service(Metric::Open, "open/plain", src as i32, plain_len, t0);
+        r?;
         // The wire buffer *is* the plaintext buffer now: strip the
         // framing in place (one memmove, no allocation).
         v.truncate(tag_start);
@@ -805,11 +918,13 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         }
         let start = out.len();
         out.extend_from_slice(&wire[NONCE_LEN..tag_start]);
+        let t0 = self.comm.sim().now().as_nanos();
         let r = self.run_crypto(plain_len, Dir::Dec, || {
             self.cipher
                 .open_detached(&nonce, b"", &mut out[start..], &tag)
                 .map_err(Error::Crypto)
         });
+        self.note_service(Metric::Open, "open/coll", -1, plain_len, t0);
         if r.is_err() {
             out.truncate(start);
         }
@@ -1035,7 +1150,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let Some(arq) = &self.arq else { return };
         let mut sent = arq.sent.borrow_mut();
         while sent.len() >= arq.cfg.buffer_msgs.max(1) {
-            sent.pop_front();
+            if let Some(old) = sent.pop_front() {
+                // A later NACK for this flow now gets an abort.
+                self.note_flow(old.dst, old.tag, old.seq, "retire", 0, || {
+                    "evicted from retention".into()
+                });
+            }
         }
         sent.push_back(SentRecord {
             dst,
@@ -1051,6 +1171,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// plan. Shared by the blocking and non-blocking send paths.
     fn chaos_prepare_wire(&self, wire: &mut Vec<u8>, dst: usize, tag: Tag) {
         let seq = Self::bump_seq(&self.send_seq, dst, tag);
+        self.note_flow(dst, tag, seq, "post/plain", wire.len(), || {
+            format!("initial tx -> rank {dst}")
+        });
         // Required copy: the retransmit buffer must hold the pristine
         // sealed bytes while injection may corrupt `wire` in place.
         self.retain_sent(dst, tag, seq, || SentPayload::Plain(wire.clone()));
@@ -1061,6 +1184,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// per-frame counterpart of [`Self::chaos_prepare_wire`].
     fn chaos_prepare_frames(&self, frames: &mut Vec<ChunkFrame>, dst: usize, tag: Tag) {
         let seq = Self::bump_seq(&self.send_seq, dst, tag);
+        let wire: usize = frames.iter().map(|f| f.data.len()).sum();
+        self.note_flow(dst, tag, seq, "post/chunked", wire, || {
+            format!("{} frames -> rank {dst}", frames.len())
+        });
         self.retain_sent(dst, tag, seq, || {
             SentPayload::Chunked(frames.iter().map(|f| f.data.clone()).collect())
         });
@@ -1098,6 +1225,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 continue; // structurally invalid: drop, peer re-NACKs
             };
             let (tag, seq, attempt) = nack.flow();
+            self.note_flow(st.source, tag, seq, "nack/rx", raw.len(), || {
+                format!("attempt {attempt} from rank {}", st.source)
+            });
             let (kind, body) = {
                 let sent = arq.sent.borrow();
                 match sent
@@ -1129,6 +1259,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             let mut repair = hdr.encode_with(&body);
             if kind == RepairKind::Abort {
                 ChaosCounters::bump(&self.stats.aborts);
+                self.note_flow(st.source, tag, seq, "abort/tx", repair.len(), || {
+                    format!("flow not retained; abort -> rank {}", st.source)
+                });
                 self.note_retry(
                     "retry/abort",
                     1,
@@ -1142,6 +1275,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 // u32::MAX marks repair traffic). Header corruption or
                 // loss is healed by the receiver's next NACK round.
                 self.inject_wire(&mut repair, st.source, tag, seq, u32::MAX, attempt + 1);
+                self.note_flow(st.source, tag, seq, "repair/tx", repair.len(), || {
+                    format!("attempt {attempt} -> rank {}", st.source)
+                });
                 self.note_retry(
                     "retry/resend",
                     1,
@@ -1213,7 +1349,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         first_err: Error,
     ) -> Result<(Status, Vec<u8>)> {
         let rc = self.arq.as_ref().expect("recover needs the retransmit layer").cfg;
+        let t_enter = self.comm.sim().now().as_nanos();
         let mut ledger = vec![format!("initial delivery: {first_err}")];
+        self.note_flow(src, tag, seq, "recover/start", 0, || format!("{first_err}"));
         let mut salvage = Salvage::new();
         // What to ask for: `Some(indices)` → per-chunk NACK, `None` →
         // whole-message NACK (plain wire, or nothing salvageable yet).
@@ -1225,6 +1363,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             match self.salvage_pass(&mut salvage) {
                 SalvageResult::Done(plain) => {
                     ChaosCounters::bump(&self.stats.recoveries);
+                    self.note_flow(src, tag, seq, "recover/ok", plain.len(), || {
+                        "salvaged without wire traffic".into()
+                    });
+                    self.note_service(Metric::Repair, "arq/repair", src as i32, plain.len(), t_enter);
                     return Ok((
                         Status {
                             source: src,
@@ -1235,6 +1377,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                     ));
                 }
                 SalvageResult::Missing(m) => {
+                    self.note_flow(src, tag, seq, "salvage", 0, || {
+                        format!("missing chunks {m:?}")
+                    });
                     ledger.push(format!("salvaged all but chunks {m:?}"));
                     missing = Some(m);
                 }
@@ -1258,6 +1403,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             // FEC-protected datagrams in the fault model).
             let _ = self.comm.isend(&wire, src, NACK_TAG);
             ChaosCounters::bump(&self.stats.nacks_sent);
+            self.note_flow(src, tag, seq, "nack/tx", wire.len(), || {
+                format!("attempt {attempt} -> rank {src}")
+            });
             self.note_retry(
                 "retry/nack",
                 1,
@@ -1293,6 +1441,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                     continue; // stale repair for an earlier flow
                 }
                 repair_seen = true;
+                self.note_flow(src, tag, seq, "repair/rx", raw.len(), || {
+                    format!("attempt {attempt} from rank {src}")
+                });
                 match hdr.kind {
                     RepairKind::Abort => {
                         let waited = self.comm.sim().now() - t0;
@@ -1303,9 +1454,14 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                         ledger.push(format!(
                             "attempt {attempt}: sender aborted (message no longer retained)"
                         ));
+                        self.note_flow(src, tag, seq, "recover/abort", 0, || {
+                            "sender aborted".into()
+                        });
+                        self.note_service(Metric::Repair, "arq/fail", src as i32, 0, t_enter);
                         return Err(Error::DeliveryFailed {
                             attempts: attempt + 1,
                             ledger,
+                            black_box: self.black_box_for(src, tag, seq),
                         });
                     }
                     RepairKind::Plain => match self.open(body) {
@@ -1321,6 +1477,16 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                                 .backoff_ns
                                 .set(self.stats.backoff_ns.get() + waited.0);
                             ChaosCounters::bump(&self.stats.recoveries);
+                            self.note_flow(src, tag, seq, "recover/ok", plain.len(), || {
+                                format!("plain repair, attempt {attempt}")
+                            });
+                            self.note_service(
+                                Metric::Repair,
+                                "arq/repair",
+                                src as i32,
+                                plain.len(),
+                                t_enter,
+                            );
                             return Ok((
                                 Status {
                                     source: src,
@@ -1354,6 +1520,16 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                                     .backoff_ns
                                     .set(self.stats.backoff_ns.get() + waited.0);
                                 ChaosCounters::bump(&self.stats.recoveries);
+                                self.note_flow(src, tag, seq, "recover/ok", plain.len(), || {
+                                    format!("chunk repair, attempt {attempt}")
+                                });
+                                self.note_service(
+                                    Metric::Repair,
+                                    "arq/repair",
+                                    src as i32,
+                                    plain.len(),
+                                    t_enter,
+                                );
                                 return Ok((
                                     Status {
                                         source: src,
@@ -1387,15 +1563,25 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             self.note_retry("retry/backoff", waited.0, 0, format!("tag {tag} seq {seq}"));
         }
         if repair_seen {
+            self.note_flow(src, tag, seq, "recover/abort", 0, || {
+                "repair budget exhausted".into()
+            });
+            self.note_service(Metric::Repair, "arq/fail", src as i32, 0, t_enter);
             Err(Error::DeliveryFailed {
                 attempts: rc.max_retries + 1,
                 ledger,
+                black_box: self.black_box_for(src, tag, seq),
             })
         } else {
             ledger.push(format!("no repair within {waited_ns} ns"));
+            self.note_flow(src, tag, seq, "recover/timeout", 0, || {
+                format!("no repair within {waited_ns} ns")
+            });
+            self.note_service(Metric::Repair, "arq/fail", src as i32, 0, t_enter);
             Err(Error::Timeout {
                 waited_ns,
                 op: "recv",
+                black_box: self.black_box_for(src, tag, seq),
             })
         }
     }
@@ -1413,6 +1599,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// `isend` + a NACK-serving wait, so a sender parked in rendezvous
     /// still answers its peers' repair requests.
     pub fn send(&self, buf: &[u8], dst: usize, tag: Tag) {
+        self.op_span("p2p/send", dst as i32, buf.len(), || {
+            self.send_impl(buf, dst, tag)
+        });
+    }
+
+    fn send_impl(&self, buf: &[u8], dst: usize, tag: Tag) {
         if !self.chaos_on() {
             if self.pipe.applies_to(buf.len()) {
                 self.send_pipelined(buf, dst, tag);
@@ -1457,6 +1649,20 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// disabled. Mixed sender/receiver configurations therefore always
     /// interoperate.
     pub fn recv(&self, src: Src, tag: TagSel) -> Result<(Status, Vec<u8>)> {
+        let t0 = self.comm.sim().now().as_nanos();
+        let out = self.recv_impl(src, tag);
+        if let Some(m) = self.metrics() {
+            let (peer, bytes) = match &out {
+                Ok((st, data)) => (st.source as i32, data.len()),
+                Err(_) => (-1, 0),
+            };
+            let now = self.comm.sim().now().as_nanos();
+            m.record(self.rank(), Metric::E2e, "p2p/recv", peer, bytes, now, now - t0);
+        }
+        out
+    }
+
+    fn recv_impl(&self, src: Src, tag: TagSel) -> Result<(Status, Vec<u8>)> {
         if !self.chaos_on() {
             return self.open_payload_owned(self.comm.recv_maybe_chunked(src, tag));
         }
@@ -1485,6 +1691,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// virtual time except for the per-chunk host overhead, mirroring
     /// the sequential path.
     pub fn isend(&self, buf: &[u8], dst: usize, tag: Tag) -> SecureRequest {
+        self.op_span("p2p/isend", dst as i32, buf.len(), || {
+            self.isend_impl(buf, dst, tag)
+        })
+    }
+
+    fn isend_impl(&self, buf: &[u8], dst: usize, tag: Tag) -> SecureRequest {
         let inner = if self.pipe.applies_to(buf.len()) {
             let frames = self.seal_chunked_frames(buf, Some(dst));
             self.chaos_isend_chunked(frames, dst, tag)
@@ -1533,6 +1745,23 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// pipelined sender's chunked train is opened on the worker pool
     /// even if this rank never enabled pipelining.
     pub fn wait(&self, req: SecureRequest) -> Result<(Status, Option<Vec<u8>>)> {
+        let t0 = self.comm.sim().now().as_nanos();
+        let out = self.wait_impl(req);
+        if let Some(m) = self.metrics() {
+            let (peer, bytes) = match &out {
+                Ok((st, data)) => (
+                    st.source as i32,
+                    data.as_ref().map_or(0, Vec::len),
+                ),
+                Err(_) => (-1, 0),
+            };
+            let now = self.comm.sim().now().as_nanos();
+            m.record(self.rank(), Metric::E2e, "p2p/wait", peer, bytes, now, now - t0);
+        }
+        out
+    }
+
+    fn wait_impl(&self, req: SecureRequest) -> Result<(Status, Option<Vec<u8>>)> {
         if !self.chaos_on() {
             let (status, payload) = self.comm.wait_payload(req.inner);
             return match payload {
@@ -1591,6 +1820,34 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         &self,
         reqs: &mut Vec<SecureRequest>,
     ) -> Result<(usize, Status, Option<Vec<u8>>)> {
+        let t0 = self.comm.sim().now().as_nanos();
+        let out = self.waitany_impl(reqs);
+        if let Some(m) = self.metrics() {
+            let (peer, bytes) = match &out {
+                Ok((_, st, data)) => (
+                    st.source as i32,
+                    data.as_ref().map_or(0, Vec::len),
+                ),
+                Err(_) => (-1, 0),
+            };
+            let now = self.comm.sim().now().as_nanos();
+            m.record(
+                self.rank(),
+                Metric::E2e,
+                "p2p/waitany",
+                peer,
+                bytes,
+                now,
+                now - t0,
+            );
+        }
+        out
+    }
+
+    fn waitany_impl(
+        &self,
+        reqs: &mut Vec<SecureRequest>,
+    ) -> Result<(usize, Status, Option<Vec<u8>>)> {
         let mut hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
         let mut inner: Vec<Request> = reqs.drain(..).map(|r| r.inner).collect();
         let (idx, status, payload) = if self.arq_on() {
@@ -1646,10 +1903,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         src: Src,
         recv_tag: TagSel,
     ) -> Result<(Status, Vec<u8>)> {
-        let sreq = self.isend(sendbuf, dst, send_tag);
-        let out = self.recv(src, recv_tag);
-        self.wait(sreq)?;
-        out
+        self.op_span("p2p/sendrecv", dst as i32, sendbuf.len(), || {
+            let sreq = self.isend(sendbuf, dst, send_tag);
+            let out = self.recv(src, recv_tag);
+            self.wait(sreq)?;
+            out
+        })
     }
 
     // ---------------------------------------------------------------
@@ -1676,6 +1935,11 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// root; the wire format is the root's choice and receivers follow
     /// it regardless of their local pipeline config.
     pub fn bcast(&self, buf: &mut Vec<u8>, root: usize) -> Result<()> {
+        let len = buf.len();
+        self.op_span("coll/bcast", root as i32, len, || self.bcast_impl(buf, root))
+    }
+
+    fn bcast_impl(&self, buf: &mut Vec<u8>, root: usize) -> Result<()> {
         let me = self.rank();
         let mut hdr = [0u8; 17];
         if me == root {
@@ -2016,6 +2280,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// Encrypted_Allgather: seal own block, plain allgather of
     /// `(len+28)`-byte blocks, open all `n` received blocks.
     pub fn allgather(&self, send: &[u8]) -> Result<Vec<u8>> {
+        self.op_span("coll/allgather", -1, send.len(), || self.allgather_impl(send))
+    }
+
+    fn allgather_impl(&self, send: &[u8]) -> Result<Vec<u8>> {
         let n = self.size();
         let wire_block = send.len() + WIRE_OVERHEAD;
         let sealed = self.seal(send);
@@ -2060,6 +2328,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// across ranks (the shape must agree, like any MPI collective);
     /// point-to-point interoperates across mixed configs regardless.
     pub fn alltoall(&self, send: &[u8], block: usize) -> Result<Vec<u8>> {
+        self.op_span("coll/alltoall", -1, send.len(), || {
+            self.alltoall_impl(send, block)
+        })
+    }
+
+    fn alltoall_impl(&self, send: &[u8], block: usize) -> Result<Vec<u8>> {
         let n = self.size();
         assert_eq!(send.len(), block * n, "alltoall buffer size mismatch");
         if self.pipe.applies_to(block) && n > 1 {
@@ -2130,6 +2404,17 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// [`SecureComm::alltoall`], the pipeline config must be uniform
     /// across ranks for collectives.
     pub fn alltoallv(
+        &self,
+        send: &[u8],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Vec<u8>> {
+        self.op_span("coll/alltoallv", -1, send.len(), || {
+            self.alltoallv_impl(send, send_counts, recv_counts)
+        })
+    }
+
+    fn alltoallv_impl(
         &self,
         send: &[u8],
         send_counts: &[usize],
@@ -2243,7 +2528,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
 
     /// Plain barrier (no payload to protect).
     pub fn barrier(&self) {
-        self.comm.barrier();
+        self.op_span("coll/barrier", -1, 0, || self.comm.barrier());
     }
 
     /// Plain allreduce passthrough (see module note).
@@ -3232,7 +3517,7 @@ mod tests {
                 )
                 .unwrap();
                 match sc.recv(Src::Is(0), TagSel::Is(9)) {
-                    Err(Error::Timeout { waited_ns, op }) => op == "recv" && waited_ns > 0,
+                    Err(Error::Timeout { waited_ns, op, .. }) => op == "recv" && waited_ns > 0,
                     other => panic!("expected timeout, got {other:?}"),
                 }
             }

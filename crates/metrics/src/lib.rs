@@ -1,0 +1,599 @@
+//! # empi-metrics — flight recorder and live metrics plane
+//!
+//! Distribution-grade observability for the encrypted-MPI stack,
+//! complementing `empi-trace`'s per-rank *totals* with per-message
+//! *distributions* and per-flow *forensics*:
+//!
+//! - [`Histogram`]: log-linear HDR-style latency histograms with a
+//!   fixed bucket layout (zero deps, mergeable), recording end-to-end
+//!   op latency, seal/open service time, wait/park time, and ARQ
+//!   repair latency, keyed by [`Key`] `(metric, op, communicator,
+//!   peer, size class)`.
+//! - [`flight::FlightRecorder`]: a bounded ring of recent protocol
+//!   events per `(peer, tag, seq)` flow, serialized into a
+//!   [`BlackBox`] report attached to delivery/timeout errors and
+//!   referenced from deadlock diagnostics.
+//! - [`slo`]: SLO watchdogs evaluated in virtual time (p99 budgets
+//!   per op/size-class, flow-stall heartbeat age) that emit `health/*`
+//!   trace events and a verdict in the snapshot.
+//! - [`export`]: Prometheus text format, a versioned JSON snapshot,
+//!   and Chrome-trace counter events.
+//!
+//! Like `empi-trace`, the recorder ([`Metrics`]) follows the two-gate
+//! zero-cost pattern: the `enabled` cargo feature swaps in a
+//! zero-sized no-op implementation, and at runtime recording only
+//! happens when a recorder was installed on the engine. Recording
+//! never advances virtual time, so clocks and wire bytes are
+//! bit-identical with metrics on or off. The report *types* (snapshot,
+//! black box) are always compiled so errors can embed them
+//! unconditionally.
+
+pub mod export;
+pub mod flight;
+pub mod hist;
+pub mod slo;
+
+pub use flight::{BlackBox, FlowEvent, FlowKey};
+pub use hist::Histogram;
+pub use slo::{SloConfig, SloReport, SloViolation};
+
+/// JSON snapshot schema version (`"version"` field).
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Samples between percentile checkpoints on a histogram series.
+pub const CHECKPOINT_EVERY: u64 = 64;
+
+/// Checkpoints retained per `(rank, key)` series.
+pub const MAX_POINTS: usize = 512;
+
+/// What a histogram sample measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Metric {
+    /// Caller-perspective end-to-end op latency (API entry to return).
+    E2e,
+    /// Seal (encrypt+tag) service time, one sample per counted seal.
+    Seal,
+    /// Open (decrypt+verify) service time, one sample per counted open.
+    Open,
+    /// Scheduler park time (one sample per `block_on` wait).
+    Wait,
+    /// ARQ repair latency (recovery-loop entry to resolution).
+    Repair,
+}
+
+impl Metric {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Metric::E2e => "e2e",
+            Metric::Seal => "seal",
+            Metric::Open => "open",
+            Metric::Wait => "wait",
+            Metric::Repair => "repair",
+        }
+    }
+
+    pub const ALL: [Metric; 5] = [
+        Metric::E2e,
+        Metric::Seal,
+        Metric::Open,
+        Metric::Wait,
+        Metric::Repair,
+    ];
+}
+
+/// Histogram key. Derives `Ord` so snapshots iterate in a stable,
+/// deterministic order (byte-identical output for a fixed seed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    pub metric: Metric,
+    /// Static op name, e.g. `p2p/send`, `coll/alltoall`, `seal/chunked`.
+    pub op: &'static str,
+    /// Communicator id (0 = world).
+    pub comm: u32,
+    /// Peer rank, or -1 for collectives / not-peer-specific samples.
+    pub peer: i32,
+    /// `ceil(log2(bytes))` size class (0 for empty payloads).
+    pub size_class: u8,
+}
+
+/// Size class of a payload: 0 for 0/1 bytes, else `ceil(log2(bytes))`.
+#[inline]
+pub fn size_class(bytes: usize) -> u8 {
+    if bytes <= 1 {
+        0
+    } else {
+        (usize::BITS - (bytes - 1).leading_zeros()) as u8
+    }
+}
+
+/// One percentile checkpoint on a histogram series (Chrome counter
+/// tracks are built from these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterPoint {
+    pub t_ns: u64,
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+}
+
+/// Per-rank sample totals, used by `tracecheck --require-hist` to
+/// prove histogram counts conserve against the `RankMetrics` ledgers
+/// (seals == seal-histogram samples, opens == open-histogram samples).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankLedger {
+    pub rank: usize,
+    pub e2e_samples: u64,
+    pub seal_samples: u64,
+    pub open_samples: u64,
+    pub wait_samples: u64,
+    pub repair_samples: u64,
+    pub flow_events: u64,
+    pub dropped_flow_events: u64,
+    pub dropped_points: u64,
+}
+
+/// An open (non-terminal) flow at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowSnap {
+    pub rank: usize,
+    pub peer: usize,
+    pub tag: u32,
+    pub seq: u64,
+    pub last_kind: String,
+    pub last_ns: u64,
+    pub total_events: u64,
+}
+
+/// Mirror of `empi-core`'s `ChaosStats` (the dependency points the
+/// other way, so the bench injects the values via
+/// [`MetricsSnapshot::chaos`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosCounters {
+    pub faults_injected: u64,
+    pub nacks_sent: u64,
+    pub nacks_received: u64,
+    pub retransmits: u64,
+    pub aborts: u64,
+    pub recoveries: u64,
+    pub backoff_ns: u64,
+}
+
+/// Everything the recorder knows, merged across ranks at end of run.
+/// Always compiled; the feature-gated recorder produces an empty one
+/// when metrics are compiled out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub version: u64,
+    pub n_ranks: usize,
+    pub end_time_ns: u64,
+    /// Merged histograms in key order.
+    pub hists: Vec<(Key, Histogram)>,
+    /// Percentile checkpoint series in key order (ranks interleaved,
+    /// sorted by time).
+    pub series: Vec<(Key, Vec<CounterPoint>)>,
+    pub per_rank: Vec<RankLedger>,
+    /// Flows still open at snapshot time.
+    pub flows: Vec<FlowSnap>,
+    pub slo: SloReport,
+    /// Chaos counters injected by the harness (see [`ChaosCounters`]).
+    pub chaos: Option<ChaosCounters>,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            n_ranks: 0,
+            end_time_ns: 0,
+            hists: Vec::new(),
+            series: Vec::new(),
+            per_rank: Vec::new(),
+            flows: Vec::new(),
+            slo: SloReport::default(),
+            chaos: None,
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Merged histogram for `(metric, op)` across all keys (any comm,
+    /// peer, size class). Empty histogram when nothing matched.
+    pub fn merged(&self, metric: Metric, op_prefix: &str) -> Histogram {
+        let mut h = Histogram::new();
+        for (k, v) in &self.hists {
+            if k.metric == metric && k.op.starts_with(op_prefix) {
+                h.merge(v);
+            }
+        }
+        h
+    }
+
+    /// Total samples per metric kind across ranks, from the ledgers.
+    pub fn ledger_total(&self, metric: Metric) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|l| match metric {
+                Metric::E2e => l.e2e_samples,
+                Metric::Seal => l.seal_samples,
+                Metric::Open => l.open_samples,
+                Metric::Wait => l.wait_samples,
+                Metric::Repair => l.repair_samples,
+            })
+            .sum()
+    }
+}
+
+pub use imp::Metrics;
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+
+    use empi_trace::Tracer;
+
+    use crate::flight::{FlightRecorder, FlowEvent, FlowKey};
+    use crate::slo::{self, SloConfig};
+    use crate::{
+        BlackBox, CounterPoint, FlowSnap, Histogram, Key, Metric, MetricsSnapshot, RankLedger,
+        CHECKPOINT_EVERY, MAX_POINTS,
+    };
+
+    #[derive(Default)]
+    struct Series {
+        pts: Vec<CounterPoint>,
+        dropped: u64,
+    }
+
+    #[derive(Default)]
+    struct RankRec {
+        hists: BTreeMap<Key, Histogram>,
+        series: BTreeMap<Key, Series>,
+        flights: FlightRecorder,
+        ledger: RankLedger,
+    }
+
+    struct Inner {
+        n_ranks: usize,
+        ranks: Vec<Mutex<RankRec>>,
+        slo: Mutex<Option<SloConfig>>,
+        tracer: Mutex<Option<Tracer>>,
+    }
+
+    /// The metrics recorder (real implementation). Clone-shared across
+    /// rank threads; per-rank cells are independently locked and only
+    /// ever touched by their own rank's thread during a run, so the
+    /// locks are uncontended.
+    #[derive(Clone)]
+    pub struct Metrics {
+        inner: Arc<Inner>,
+    }
+
+    impl Metrics {
+        pub fn new(n_ranks: usize) -> Self {
+            Metrics {
+                inner: Arc::new(Inner {
+                    n_ranks,
+                    ranks: (0..n_ranks).map(|_| Mutex::new(RankRec::default())).collect(),
+                    slo: Mutex::new(None),
+                    tracer: Mutex::new(None),
+                }),
+            }
+        }
+
+        /// Is the real recorder compiled in?
+        pub const fn compiled_in() -> bool {
+            true
+        }
+
+        /// Install an SLO watchdog config, evaluated at snapshot.
+        pub fn install_slo(&self, cfg: SloConfig) {
+            *self.inner.slo.lock().unwrap() = Some(cfg);
+        }
+
+        /// Install a tracer for `health/*` event emission at snapshot.
+        pub fn install_tracer(&self, t: Tracer) {
+            *self.inner.tracer.lock().unwrap() = Some(t);
+        }
+
+        /// Record one latency sample taken at virtual time `now_ns`.
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        pub fn record(
+            &self,
+            rank: usize,
+            metric: Metric,
+            op: &'static str,
+            peer: i32,
+            bytes: usize,
+            now_ns: u64,
+            dur_ns: u64,
+        ) {
+            let key = Key {
+                metric,
+                op,
+                comm: 0,
+                peer,
+                size_class: crate::size_class(bytes),
+            };
+            let mut rec = self.inner.ranks[rank].lock().unwrap();
+            match metric {
+                Metric::E2e => rec.ledger.e2e_samples += 1,
+                Metric::Seal => rec.ledger.seal_samples += 1,
+                Metric::Open => rec.ledger.open_samples += 1,
+                Metric::Wait => rec.ledger.wait_samples += 1,
+                Metric::Repair => rec.ledger.repair_samples += 1,
+            }
+            let h = rec.hists.entry(key).or_default();
+            h.record(dur_ns);
+            let due = h.count() == 1 || h.count().is_multiple_of(CHECKPOINT_EVERY);
+            if due {
+                let pt = CounterPoint {
+                    t_ns: now_ns,
+                    count: h.count(),
+                    p50_ns: h.p50(),
+                    p99_ns: h.p99(),
+                    p999_ns: h.p999(),
+                };
+                let s = rec.series.entry(key).or_default();
+                if s.pts.len() < MAX_POINTS {
+                    s.pts.push(pt);
+                } else {
+                    s.dropped += 1;
+                }
+            }
+        }
+
+        /// Record a flight-recorder event on `rank`'s view of the flow
+        /// `(peer, tag, seq)`.
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        pub fn flow_event(
+            &self,
+            rank: usize,
+            peer: usize,
+            tag: u32,
+            seq: u64,
+            now_ns: u64,
+            kind: &'static str,
+            bytes: usize,
+            detail: String,
+        ) {
+            let mut rec = self.inner.ranks[rank].lock().unwrap();
+            rec.ledger.flow_events += 1;
+            rec.flights.record(
+                FlowKey { peer, tag, seq },
+                FlowEvent {
+                    t_ns: now_ns,
+                    kind: kind.to_string(),
+                    bytes: bytes as u64,
+                    detail,
+                },
+            );
+        }
+
+        /// Black-box report for `rank`'s view of a flow, if recorded.
+        pub fn black_box(&self, rank: usize, peer: usize, tag: u32, seq: u64) -> Option<BlackBox> {
+            let rec = self.inner.ranks[rank].lock().unwrap();
+            rec.flights.black_box(rank, FlowKey { peer, tag, seq })
+        }
+
+        /// Tail of `rank`'s most recently touched open flow, rendered
+        /// for deadlock diagnostics. Uses `try_lock` so it is safe to
+        /// call from a panic/diagnostic path that may already hold
+        /// other locks.
+        pub fn flight_tail(&self, rank: usize, n: usize) -> Option<String> {
+            let rec = self.inner.ranks.get(rank)?.try_lock().ok()?;
+            rec.flights.tail_line(n)
+        }
+
+        /// Merge all rank recorders into a deterministic snapshot,
+        /// evaluate SLOs, and emit `health/*` events on the installed
+        /// tracer. Call once, at end of run.
+        pub fn snapshot(&self, end_time_ns: u64) -> MetricsSnapshot {
+            let mut hists: BTreeMap<Key, Histogram> = BTreeMap::new();
+            let mut series: BTreeMap<Key, Vec<CounterPoint>> = BTreeMap::new();
+            let mut per_rank = Vec::with_capacity(self.inner.n_ranks);
+            let mut flows = Vec::new();
+            for (r, cell) in self.inner.ranks.iter().enumerate() {
+                let rec = cell.lock().unwrap();
+                for (k, h) in &rec.hists {
+                    hists.entry(*k).or_default().merge(h);
+                }
+                let mut dropped_points = 0;
+                for (k, s) in &rec.series {
+                    series.entry(*k).or_default().extend(s.pts.iter().copied());
+                    dropped_points += s.dropped;
+                }
+                let mut ledger = rec.ledger;
+                ledger.rank = r;
+                ledger.dropped_flow_events = rec.flights.dropped();
+                ledger.dropped_points = dropped_points;
+                per_rank.push(ledger);
+                for (k, last, total) in rec.flights.open_flows() {
+                    flows.push(FlowSnap {
+                        rank: r,
+                        peer: k.peer,
+                        tag: k.tag,
+                        seq: k.seq,
+                        last_kind: last.kind.clone(),
+                        last_ns: last.t_ns,
+                        total_events: total,
+                    });
+                }
+            }
+            for pts in series.values_mut() {
+                pts.sort_by_key(|p| p.t_ns);
+            }
+            let hists: Vec<(Key, Histogram)> = hists.into_iter().collect();
+            let cfg = self.inner.slo.lock().unwrap();
+            let slo = match cfg.as_ref() {
+                Some(c) => slo::evaluate(c, &hists, &flows, end_time_ns),
+                None => Default::default(),
+            };
+            if slo.evaluated {
+                if let Some(t) = self.inner.tracer.lock().unwrap().as_ref() {
+                    for v in &slo.violations {
+                        t.health_event(
+                            v.rank,
+                            end_time_ns,
+                            &format!("health/{}", v.kind),
+                            &format!(
+                                "{} observed={}ns budget={}ns",
+                                v.subject, v.observed_ns, v.budget_ns
+                            ),
+                        );
+                    }
+                    t.health_event(
+                        0,
+                        end_time_ns,
+                        "health/verdict",
+                        &format!("{} ({} violations)", slo.verdict(), slo.violations.len()),
+                    );
+                }
+            }
+            MetricsSnapshot {
+                version: crate::SNAPSHOT_VERSION,
+                n_ranks: self.inner.n_ranks,
+                end_time_ns,
+                hists,
+                series: series.into_iter().collect(),
+                per_rank,
+                flows,
+                slo,
+                chaos: None,
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use empi_trace::Tracer;
+
+    use crate::slo::SloConfig;
+    use crate::{BlackBox, Metric, MetricsSnapshot};
+
+    /// No-op metrics recorder (feature `enabled` is off). Every hook
+    /// is an empty `#[inline]` body on a zero-sized type, so the
+    /// whole metrics plane compiles away.
+    #[derive(Clone, Copy, Default)]
+    pub struct Metrics;
+
+    impl Metrics {
+        #[inline]
+        pub fn new(_n_ranks: usize) -> Self {
+            Metrics
+        }
+
+        pub const fn compiled_in() -> bool {
+            false
+        }
+
+        #[inline]
+        pub fn install_slo(&self, _cfg: SloConfig) {}
+
+        #[inline]
+        pub fn install_tracer(&self, _t: Tracer) {}
+
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        pub fn record(
+            &self,
+            _rank: usize,
+            _metric: Metric,
+            _op: &'static str,
+            _peer: i32,
+            _bytes: usize,
+            _now_ns: u64,
+            _dur_ns: u64,
+        ) {
+        }
+
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        pub fn flow_event(
+            &self,
+            _rank: usize,
+            _peer: usize,
+            _tag: u32,
+            _seq: u64,
+            _now_ns: u64,
+            _kind: &'static str,
+            _bytes: usize,
+            _detail: String,
+        ) {
+        }
+
+        #[inline]
+        pub fn black_box(
+            &self,
+            _rank: usize,
+            _peer: usize,
+            _tag: u32,
+            _seq: u64,
+        ) -> Option<BlackBox> {
+            None
+        }
+
+        #[inline]
+        pub fn flight_tail(&self, _rank: usize, _n: usize) -> Option<String> {
+            None
+        }
+
+        #[inline]
+        pub fn snapshot(&self, end_time_ns: u64) -> MetricsSnapshot {
+            MetricsSnapshot {
+                end_time_ns,
+                ..Default::default()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(1), 0);
+        assert_eq!(size_class(2), 1);
+        assert_eq!(size_class(3), 2);
+        assert_eq!(size_class(4), 2);
+        assert_eq!(size_class(5), 3);
+        assert_eq!(size_class(1 << 18), 18);
+        assert_eq!(size_class((1 << 18) + 1), 19);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn recorder_round_trip() {
+        let m = Metrics::new(2);
+        assert!(Metrics::compiled_in());
+        for i in 0..200u64 {
+            m.record(0, Metric::E2e, "p2p/send", 1, 4096, i * 10, 100 + i);
+            m.record(1, Metric::Seal, "seal/plain", 0, 4096, i * 10, 50);
+        }
+        m.flow_event(1, 0, 9, 3, 500, "nack/tx", 0, "chunk 2".into());
+        let snap = m.snapshot(5_000);
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.n_ranks, 2);
+        assert_eq!(snap.ledger_total(Metric::E2e), 200);
+        assert_eq!(snap.ledger_total(Metric::Seal), 200);
+        let e2e = snap.merged(Metric::E2e, "p2p/");
+        assert_eq!(e2e.count(), 200);
+        assert!(e2e.p99() >= 100);
+        // Checkpoints at count 1, 64, 128, 192.
+        let (_, pts) = &snap.series[0];
+        assert_eq!(pts.len(), 4);
+        assert_eq!(snap.flows.len(), 1);
+        assert_eq!(snap.flows[0].last_kind, "nack/tx");
+        let bb = m.black_box(1, 0, 9, 3).unwrap();
+        assert_eq!((bb.peer, bb.tag, bb.seq), (0, 9, 3));
+        assert!(m.black_box(0, 0, 9, 3).is_none());
+        assert!(m.flight_tail(1, 4).unwrap().contains("nack/tx"));
+    }
+}

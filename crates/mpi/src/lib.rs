@@ -46,6 +46,6 @@ pub use chunk::{
 pub use coll::ops;
 pub use comm::{AnyCtrl, Comm, Request, WaitCtrl};
 pub use ctrl::{Nack, RepairHeader, RepairKind, CTRL_TAG_BASE, NACK_TAG, REPAIR_TAG};
-pub use empi_netsim::{RankDiag, SimError, TraceReport, Tracer};
+pub use empi_netsim::{Metrics, MetricsSnapshot, RankDiag, SimError, SloConfig, TraceReport, Tracer};
 pub use types::{as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel, RESERVED_TAG_BASE};
 pub use world::{World, WorldOutcome};

@@ -4,7 +4,8 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use empi_netsim::{
-    Engine, Fabric, FabricStats, NetModel, SimError, Topology, TraceReport, Tracer, VTime,
+    Engine, Fabric, FabricStats, Metrics, MetricsSnapshot, NetModel, SimError, SloConfig,
+    Topology, TraceReport, Tracer, VTime,
 };
 use parking_lot::Mutex;
 
@@ -17,6 +18,8 @@ pub struct World {
     topology: Topology,
     time_scale: f64,
     traced: bool,
+    metered: bool,
+    slo: Option<SloConfig>,
 }
 
 /// What a finished run returns.
@@ -33,6 +36,10 @@ pub struct WorldOutcome<T> {
     /// Per-rank metrics, event timeline, and byte ledgers; `Some` only
     /// when the world was built with [`World::traced`].
     pub trace: Option<TraceReport>,
+    /// Latency histograms, flight-recorder flows, and the SLO verdict;
+    /// `Some` only when the world was built with
+    /// [`World::with_metrics`] (empty with the feature compiled out).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl World {
@@ -43,6 +50,8 @@ impl World {
             topology,
             time_scale: 1.0,
             traced: false,
+            metered: false,
+            slo: None,
         }
     }
 
@@ -66,6 +75,27 @@ impl World {
         self
     }
 
+    /// Collect a [`MetricsSnapshot`] for the run: per-message latency
+    /// histograms, seal/open service times, ARQ repair tails, and the
+    /// per-flow flight recorder. Off by default; with the `trace`
+    /// feature compiled out this is accepted but yields an empty
+    /// snapshot. Recording never moves a virtual clock, so timing and
+    /// wire bytes are bit-identical to an unmetered run.
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metered = on;
+        self
+    }
+
+    /// Install an SLO watchdog (implies [`World::with_metrics`]):
+    /// evaluated in virtual time at end of run, with violations
+    /// emitted as `health/*` trace events when tracing is also on and
+    /// a verdict embedded in the snapshot.
+    pub fn with_slo(mut self, cfg: SloConfig) -> Self {
+        self.metered = true;
+        self.slo = Some(cfg);
+        self
+    }
+
     /// Number of ranks.
     pub fn n_ranks(&self) -> usize {
         self.topology.n_ranks()
@@ -80,26 +110,49 @@ impl World {
             fabric.set_tracer(t.clone());
         }
         let shared = Arc::new(Mutex::new(SharedState::new(fabric)));
+        let metrics = self.metered.then(|| {
+            let m = Metrics::new(n);
+            if let Some(cfg) = &self.slo {
+                m.install_slo(cfg.clone());
+            }
+            if let Some(t) = &tracer {
+                m.install_tracer(t.clone());
+            }
+            m
+        });
         let diag_shared = Arc::clone(&shared);
+        let diag_metrics = metrics.clone();
         let mut engine = Engine::new(n).time_scale(self.time_scale).diagnostics(
             // Runs inside the scheduler's deadlock panic, where a rank
-            // may still hold the state lock — try_lock, never lock.
-            move |r| match diag_shared.try_lock() {
-                Some(s) => {
-                    let q = &s.queues[r];
-                    format!(
-                        "unexpected={} posted={} rndv={} chunked={}",
-                        q.unexpected.len(),
-                        q.posted.len(),
-                        q.rndv.len(),
-                        q.chunked.len()
-                    )
+            // may still hold the state lock — try_lock, never lock
+            // (flight_tail uses try_lock internally for the same
+            // reason).
+            move |r| {
+                let mut line = match diag_shared.try_lock() {
+                    Some(s) => {
+                        let q = &s.queues[r];
+                        format!(
+                            "unexpected={} posted={} rndv={} chunked={}",
+                            q.unexpected.len(),
+                            q.posted.len(),
+                            q.rndv.len(),
+                            q.chunked.len()
+                        )
+                    }
+                    None => "state locked".to_string(),
+                };
+                if let Some(tail) = diag_metrics.as_ref().and_then(|m| m.flight_tail(r, 4)) {
+                    line.push_str("; ");
+                    line.push_str(&tail);
                 }
-                None => "state locked".to_string(),
+                line
             },
         );
         if let Some(t) = &tracer {
             engine = engine.tracer(t.clone());
+        }
+        if let Some(m) = &metrics {
+            engine = engine.metrics(m.clone());
         }
         (shared, engine)
     }
@@ -142,6 +195,7 @@ impl World {
             fabric,
             yields: out.yields,
             trace: out.trace,
+            metrics: out.metrics,
         })
     }
 }

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use empi_metrics::{Metric, Metrics, MetricsSnapshot};
 use empi_pool::BufferPool;
 use empi_trace::{TraceReport, Tracer};
 use parking_lot::{Condvar, Mutex};
@@ -137,6 +138,9 @@ struct Shared {
     notifies: AtomicU64,
     /// Installed trace collector, if any.
     tracer: Option<Tracer>,
+    /// Installed metrics recorder, if any (histograms + flight
+    /// recorder; see [`Engine::metrics`]).
+    metrics: Option<Metrics>,
     /// Extra per-rank context for the deadlock report.
     diag: Option<DiagFn>,
     /// Per-rank shared crypto worker pool (see
@@ -252,6 +256,7 @@ pub struct Engine {
     n_ranks: usize,
     time_scale: f64,
     tracer: Option<Tracer>,
+    metrics: Option<Metrics>,
     diag: Option<DiagFn>,
 }
 
@@ -263,6 +268,7 @@ impl Engine {
             n_ranks,
             time_scale: 1.0,
             tracer: None,
+            metrics: None,
             diag: None,
         }
     }
@@ -282,6 +288,18 @@ impl Engine {
     /// feature is disabled).
     pub fn tracer(mut self, t: Tracer) -> Self {
         self.tracer = Some(t);
+        self
+    }
+
+    /// Install a metrics recorder. `block_on` park intervals become
+    /// wait-latency histogram samples, higher layers reach the
+    /// recorder through [`SimHandle::metrics`], and
+    /// [`RunOutcome::metrics`] carries the merged
+    /// [`MetricsSnapshot`] taken at end time. Recording never moves a
+    /// virtual clock, so results are bit-identical with or without a
+    /// recorder installed.
+    pub fn metrics(mut self, m: Metrics) -> Self {
+        self.metrics = Some(m);
         self
     }
 
@@ -347,6 +365,7 @@ impl Engine {
             yields: AtomicU64::new(0),
             notifies: AtomicU64::new(0),
             tracer: self.tracer.clone(),
+            metrics: self.metrics.clone(),
             diag: self.diag.clone(),
             pools: (0..self.n_ranks).map(|_| Mutex::new(None)).collect(),
             buf_pool: BufferPool::new(),
@@ -431,6 +450,7 @@ impl Engine {
             yields: shared.yields.load(Ordering::Relaxed),
             notifies: shared.notifies.load(Ordering::Relaxed),
             trace: shared.tracer.as_ref().map(|t| t.take_report()),
+            metrics: shared.metrics.as_ref().map(|m| m.snapshot(end_time.0)),
         })
     }
 }
@@ -448,6 +468,9 @@ pub struct RunOutcome<T> {
     pub notifies: u64,
     /// Trace data, when a collector was installed via [`Engine::tracer`].
     pub trace: Option<TraceReport>,
+    /// Metrics snapshot (merged at `end_time`), when a recorder was
+    /// installed via [`Engine::metrics`].
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -543,6 +566,10 @@ impl SimHandle {
                     // satisfied at a future timestamp.
                     tracer.wait_span(self.rank, entered.0, self.now().0, reason);
                 }
+                if let Some(m) = &self.shared.metrics {
+                    let now = self.now().0;
+                    m.record(self.rank, Metric::Wait, reason, -1, 0, now, now - entered.0);
+                }
                 return v;
             }
             self.shared.release(self.rank, Status::Blocked, reason);
@@ -553,6 +580,11 @@ impl SimHandle {
     /// The trace collector installed on this engine, if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.shared.tracer.as_ref()
+    }
+
+    /// The metrics recorder installed on this engine, if any.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.shared.metrics.as_ref()
     }
 
     /// The engine's measured-time multiplier (see [`Engine::time_scale`]).

@@ -37,6 +37,7 @@ pub mod topology;
 pub use cores::{CorePool, CoreSlot};
 pub use curve::Curve;
 pub use empi_pool::{BufferPool, PooledBuf};
+pub use empi_metrics::{Metrics, MetricsSnapshot, SloConfig};
 pub use empi_trace::{TraceReport, Tracer};
 pub use engine::{Engine, RankDiag, RunOutcome, SimError, SimHandle};
 pub use fabric::{Fabric, FabricStats, NetModel};

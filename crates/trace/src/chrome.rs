@@ -30,7 +30,14 @@ fn us(ns: u64) -> f64 {
 
 /// Serialize a report to a Chrome trace-event JSON document.
 pub fn to_chrome_json(report: &TraceReport) -> String {
-    let mut out = String::with_capacity(128 + report.events.len() * 160);
+    to_chrome_json_with_extra(report, &[])
+}
+
+/// Like [`to_chrome_json`], appending pre-rendered raw trace events
+/// (each a complete JSON object, e.g. the `ph:"C"` counter events from
+/// `empi-metrics`) after the report's own events.
+pub fn to_chrome_json_with_extra(report: &TraceReport, extra: &[String]) -> String {
+    let mut out = String::with_capacity(128 + (report.events.len() + extra.len()) * 160);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
     let mut push = |out: &mut String, item: String| {
@@ -113,6 +120,9 @@ pub fn to_chrome_json(report: &TraceReport) -> String {
                 args
             ),
         );
+    }
+    for e in extra {
+        push(&mut out, e.clone());
     }
     out.push_str("]}");
     out

@@ -70,6 +70,9 @@ pub enum Cat {
     /// `alloc/reclaim`) on the owning rank's lane — one marker per
     /// seal/open op, with the per-site counts in [`RankMetrics`].
     Alloc,
+    /// SLO watchdog verdicts (`health/p99-budget`, `health/flow-stall`,
+    /// `health/verdict`) emitted by the metrics plane at snapshot.
+    Health,
 }
 
 impl Cat {
@@ -84,6 +87,7 @@ impl Cat {
             Cat::Fault => "fault",
             Cat::Retry => "retry",
             Cat::Alloc => "alloc",
+            Cat::Health => "health",
         }
     }
 }
@@ -638,6 +642,21 @@ mod imp {
             });
         }
 
+        /// Drop one `health/*` marker on `rank`'s lane — SLO watchdog
+        /// verdicts and violations from the metrics plane.
+        pub fn health_event(&self, rank: usize, ts_ns: u64, name: &str, detail: &str) {
+            let mut c = self.rank(rank);
+            c.events.push(Event {
+                name: name.to_string(),
+                cat: Cat::Health,
+                ts_ns,
+                dur_ns: 1,
+                tid: rank as u32,
+                bytes: 0,
+                detail: detail.to_string(),
+            });
+        }
+
         /// Enter an operation scope (`bcast/binomial`, `p2p/eager`...).
         pub fn push_op(&self, rank: usize, label: &'static str) {
             self.rank(rank).ops.push(label);
@@ -870,6 +889,9 @@ mod imp {
             _detail: String,
         ) {
         }
+
+        #[inline]
+        pub fn health_event(&self, _rank: usize, _ts_ns: u64, _name: &str, _detail: &str) {}
 
         #[inline]
         pub fn push_op(&self, _rank: usize, _label: &'static str) {}
