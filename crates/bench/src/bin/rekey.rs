@@ -1,0 +1,14 @@
+//! TAB-REKEY / DECOMP-REKEY: the price of managed keys — seeded group
+//! handshake, epoch-rotation sweep up to a rekey storm, 128 vs 256-bit
+//! key schedules, message-rate amortisation, and a revocation drill,
+//! all four backends on both fabrics. Also exports
+//! `metrics-rekey-<net>.{json,prom}` snapshots (with the `key/*`
+//! counter block) for `tracecheck --require-keys`.
+use empi_bench::{emit, rekey, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&rekey::run_net(net, &opts), &opts.out_dir);
+    }
+}

@@ -23,9 +23,20 @@
 //! snapshot file must exist, and at least one must show load (nonzero
 //! end-to-end samples).
 //!
-//! Usage: `tracecheck [--require-alloc] [--require-hist] [FILE...]` —
-//! with no file arguments, checks every `trace-*.json` (and with
-//! `--require-hist` every `metrics-*.json`) under `results/`.
+//! `key/*` spans (handshake, rotate, revoke, reject) must sit on the
+//! rank lanes — the key plane lives where the rank runs, never on a
+//! crypto worker — and `--require-keys` additionally fails any trace
+//! file without a `key/handshake` span and any metrics snapshot whose
+//! `keys` counter block is absent or shows no completed handshake (the
+//! key-lifecycle artifacts must actually exercise the key plane).
+//! `--forbid-rotate` checks the converse invariant — with rotation
+//! disabled zero epochs may roll: any `key/rotate` span, or a snapshot
+//! reporting nonzero `rekeys`, fails.
+//!
+//! Usage: `tracecheck [--require-alloc] [--require-hist]
+//! [--require-keys] [--forbid-rotate] [FILE...]` — with no file
+//! arguments, checks every `trace-*.json` (and with `--require-hist`
+//! or `--require-keys` every `metrics-*.json`) under `results/`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -34,7 +45,16 @@ use std::process::ExitCode;
 use empi_metrics::export::validate_prometheus;
 use empi_trace::json::{self, Value};
 
-fn check(path: &Path, require_alloc: bool) -> Result<String, String> {
+/// The optional invariants selected on the command line.
+#[derive(Clone, Copy, Default)]
+struct Flags {
+    require_alloc: bool,
+    require_hist: bool,
+    require_keys: bool,
+    forbid_rotate: bool,
+}
+
+fn check(path: &Path, flags: Flags) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     let events = doc
@@ -45,6 +65,8 @@ fn check(path: &Path, require_alloc: bool) -> Result<String, String> {
     let mut lanes: BTreeMap<i64, f64> = BTreeMap::new();
     let mut spans = 0usize;
     let mut alloc_spans = 0usize;
+    let mut handshake_spans = 0usize;
+    let mut rotate_spans = 0usize;
     for (i, e) in events.iter().enumerate() {
         let ph = e
             .get("ph")
@@ -90,6 +112,20 @@ fn check(path: &Path, require_alloc: bool) -> Result<String, String> {
             }
             alloc_spans += 1;
         }
+        if name.starts_with("key/") {
+            // The key plane lives on the rank, never on a worker.
+            if tid >= empi_trace::PIPELINE_TID_BASE as i64 {
+                return Err(format!(
+                    "event {i}: key span '{name}' on crypto-worker lane {tid}"
+                ));
+            }
+            match name {
+                "key/handshake" => handshake_spans += 1,
+                "key/rotate" => rotate_spans += 1,
+                "key/revoke" | "key/reject" => {}
+                _ => return Err(format!("event {i}: unknown key span '{name}'")),
+            }
+        }
         if let Some(&prev) = lanes.get(&tid) {
             if ts < prev {
                 return Err(format!(
@@ -103,11 +139,20 @@ fn check(path: &Path, require_alloc: bool) -> Result<String, String> {
     if spans == 0 {
         return Err("no complete-span events".into());
     }
-    if require_alloc && alloc_spans == 0 {
+    if flags.require_alloc && alloc_spans == 0 {
         return Err("no alloc/* spans (allocation decomposition missing)".into());
     }
+    if flags.require_keys && handshake_spans == 0 {
+        return Err("no key/handshake spans (key lifecycle missing)".into());
+    }
+    if flags.forbid_rotate && rotate_spans > 0 {
+        return Err(format!(
+            "{rotate_spans} key/rotate spans, but rotation is disabled"
+        ));
+    }
     Ok(format!(
-        "{spans} spans ({alloc_spans} alloc) across {} lanes",
+        "{spans} spans ({alloc_spans} alloc, {} key) across {} lanes",
+        handshake_spans + rotate_spans,
         lanes.len()
     ))
 }
@@ -132,7 +177,7 @@ fn sum_field(arr: &[Value], field: &str, filter: Option<(&str, &str)>) -> Result
 
 /// Audit one `metrics-*.json` snapshot (see module docs). Returns a
 /// summary plus whether the snapshot shows load (nonzero e2e samples).
-fn check_metrics(path: &Path) -> Result<(String, bool), String> {
+fn check_metrics(path: &Path, flags: Flags) -> Result<(String, bool), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     let version = doc
@@ -192,6 +237,29 @@ fn check_metrics(path: &Path) -> Result<(String, bool), String> {
         }
     }
     let e2e = sum_field(hists, "count", Some(("metric", "e2e")))?;
+    let keys = doc.get("keys").filter(|v| **v != Value::Null);
+    let key_counter = |field: &str| -> Result<u64, String> {
+        keys.and_then(|k| k.get(field))
+            .and_then(Value::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("keys block missing {field}"))
+    };
+    if flags.require_keys {
+        if keys.is_none() {
+            return Err("no keys counter block (key plane not exercised)".into());
+        }
+        if key_counter("handshakes")? == 0 {
+            return Err("keys block shows zero completed handshakes".into());
+        }
+    }
+    if flags.forbid_rotate && keys.is_some() {
+        let rekeys = key_counter("rekeys")?;
+        if rekeys > 0 {
+            return Err(format!(
+                "{rekeys} epoch rolls reported, but rotation is disabled"
+            ));
+        }
+    }
     let prom_path = path.with_extension("prom");
     let prom = std::fs::read_to_string(&prom_path)
         .map_err(|e| format!("missing Prometheus sibling {}: {e}", prom_path.display()))?;
@@ -203,17 +271,24 @@ fn check_metrics(path: &Path) -> Result<(String, bool), String> {
 }
 
 fn main() -> ExitCode {
-    let mut require_alloc = false;
-    let mut require_hist = false;
+    let mut flags = Flags::default();
     let mut files: Vec<PathBuf> = std::env::args()
         .skip(1)
         .filter(|a| match a.as_str() {
             "--require-alloc" => {
-                require_alloc = true;
+                flags.require_alloc = true;
                 false
             }
             "--require-hist" => {
-                require_hist = true;
+                flags.require_hist = true;
+                false
+            }
+            "--require-keys" => {
+                flags.require_keys = true;
+                false
+            }
+            "--forbid-rotate" => {
+                flags.forbid_rotate = true;
                 false
             }
             _ => true,
@@ -221,12 +296,13 @@ fn main() -> ExitCode {
         .map(PathBuf::from)
         .collect();
     if files.is_empty() {
+        let want_metrics = flags.require_hist || flags.require_keys;
         if let Ok(dir) = std::fs::read_dir("results") {
             for entry in dir.flatten() {
                 let name = entry.file_name().to_string_lossy().into_owned();
                 let is_trace = name.starts_with("trace-") && name.ends_with(".json");
                 let is_metrics =
-                    require_hist && name.starts_with("metrics-") && name.ends_with(".json");
+                    want_metrics && name.starts_with("metrics-") && name.ends_with(".json");
                 if is_trace || is_metrics {
                     files.push(entry.path());
                 }
@@ -247,7 +323,7 @@ fn main() -> ExitCode {
             .is_some_and(|n| n.to_string_lossy().starts_with("metrics-"));
         if is_metrics {
             metrics_files += 1;
-            match check_metrics(f) {
+            match check_metrics(f, flags) {
                 Ok((msg, loaded)) => {
                     loaded_snapshots += loaded as usize;
                     println!("OK   {}: {msg}", f.display());
@@ -258,7 +334,7 @@ fn main() -> ExitCode {
                 }
             }
         } else {
-            match check(f, require_alloc) {
+            match check(f, flags) {
                 Ok(msg) => println!("OK   {}: {msg}", f.display()),
                 Err(e) => {
                     eprintln!("FAIL {}: {e}", f.display());
@@ -267,12 +343,16 @@ fn main() -> ExitCode {
             }
         }
     }
-    if require_hist && metrics_files == 0 {
+    if flags.require_hist && metrics_files == 0 {
         eprintln!("tracecheck: --require-hist but no metrics-*.json snapshots checked");
         ok = false;
     }
-    if require_hist && metrics_files > 0 && loaded_snapshots == 0 {
+    if flags.require_hist && metrics_files > 0 && loaded_snapshots == 0 {
         eprintln!("tracecheck: --require-hist but every snapshot is empty of e2e samples");
+        ok = false;
+    }
+    if flags.require_keys && metrics_files == 0 {
+        eprintln!("tracecheck: --require-keys but no metrics-*.json snapshots checked");
         ok = false;
     }
     if ok {

@@ -3,6 +3,7 @@
 
 use empi_aead::nonce::NoncePolicy;
 use empi_aead::profile::{CompilerBuild, CryptoLibrary, KeySize};
+use empi_keys::KeyPlaneConfig;
 use empi_netsim::{FaultRates, NetModel, VDur};
 use empi_pipeline::PipelineConfig;
 
@@ -112,6 +113,14 @@ pub struct SecurityConfig {
     /// and nonces on the wire, so both endpoints must agree. Off by
     /// default (single shared cipher, the paper's setup).
     pub peer_cipher: bool,
+    /// In-band key lifecycle (`empi_keys`): a seeded group handshake
+    /// at startup replaces the hardcoded cluster key with a fresh
+    /// session master (the configured key is demoted to a bootstrap
+    /// KEK), optionally rotating group epochs on a virtual-time
+    /// schedule. Changes the wire format (records grow an
+    /// authenticated epoch prefix), so all ranks must agree. Off by
+    /// default (the paper's hardcoded-key setup).
+    pub key_plane: Option<KeyPlaneConfig>,
 }
 
 impl SecurityConfig {
@@ -129,6 +138,7 @@ impl SecurityConfig {
             retransmit: None,
             pool: false,
             peer_cipher: false,
+            key_plane: None,
         }
     }
 
@@ -210,6 +220,15 @@ impl SecurityConfig {
     /// wire bytes.
     pub fn with_peer_cipher(mut self, enabled: bool) -> Self {
         self.peer_cipher = enabled;
+        self
+    }
+
+    /// Enable the in-band key lifecycle (see
+    /// [`SecurityConfig::key_plane`]). Every rank of the world must
+    /// carry the same [`KeyPlaneConfig`]: the handshake seed and
+    /// rotation schedule shape the wire bytes.
+    pub fn with_key_plane(mut self, key_plane: KeyPlaneConfig) -> Self {
+        self.key_plane = Some(key_plane);
         self
     }
 
@@ -300,6 +319,18 @@ mod tests {
         assert!(c.pool && c.pipeline.pooled);
         let c = c.with_peer_cipher(true);
         assert!(c.peer_cipher);
+    }
+
+    #[test]
+    fn key_plane_builder() {
+        let c = SecurityConfig::new(CryptoLibrary::BoringSsl);
+        assert!(c.key_plane.is_none(), "key plane off by default");
+        let c = c.with_key_plane(
+            KeyPlaneConfig::new(42).with_rotation(VDur::from_micros(500)),
+        );
+        let kp = c.key_plane.unwrap();
+        assert_eq!(kp.handshake_seed, 42);
+        assert_eq!(kp.rotate_every, Some(VDur::from_micros(500)));
     }
 
     #[test]

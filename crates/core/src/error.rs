@@ -40,6 +40,12 @@ pub enum Error {
         /// keep `Error` small on the happy path.
         black_box: Option<Box<BlackBox>>,
     },
+    /// The key-management plane rejected the operation: stale-epoch
+    /// replay, future-epoch forgery, downgrade to the legacy record
+    /// format, traffic touching a revoked rank, or a failed group
+    /// handshake. Distinct from [`Error::Crypto`] so callers can tell
+    /// a key-lifecycle rejection from plain ciphertext corruption.
+    Key(empi_keys::KeyError),
     /// The retransmit layer waited out its full backoff schedule
     /// without any repair arriving (the sender is gone or the repair
     /// path itself keeps losing frames).
@@ -82,6 +88,7 @@ impl fmt::Display for Error {
         match self {
             Error::Crypto(e) => write!(f, "secure MPI crypto failure: {e}"),
             Error::Pipeline(e) => write!(f, "secure MPI pipeline failure: {e}"),
+            Error::Key(e) => write!(f, "secure MPI key-plane failure: {e}"),
             Error::LengthMismatch { local, remote } => write!(
                 f,
                 "secure MPI length mismatch: local buffer is {local} bytes, remote message is {remote}"
@@ -124,6 +131,7 @@ impl std::error::Error for Error {
         match self {
             Error::Crypto(e) => Some(e),
             Error::Pipeline(e) => Some(e),
+            Error::Key(e) => Some(e),
             Error::LengthMismatch { .. }
             | Error::DeliveryFailed { .. }
             | Error::Timeout { .. } => None,
@@ -140,6 +148,12 @@ impl From<empi_aead::Error> for Error {
 impl From<empi_pipeline::PipelineError> for Error {
     fn from(e: empi_pipeline::PipelineError) -> Self {
         Error::Pipeline(e)
+    }
+}
+
+impl From<empi_keys::KeyError> for Error {
+    fn from(e: empi_keys::KeyError) -> Self {
+        Error::Key(e)
     }
 }
 
@@ -217,6 +231,17 @@ mod tests {
         let got = e.black_box().expect("black box accessor");
         assert_eq!((got.tag, got.seq), (7, 42));
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn key_errors_convert_and_display() {
+        let e: Error = empi_keys::KeyError::RevokedPeer { rank: 3 }.into();
+        assert_eq!(e, Error::Key(empi_keys::KeyError::RevokedPeer { rank: 3 }));
+        let s = e.to_string();
+        assert!(s.contains("key-plane"), "{s}");
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(e.chunk_index(), None);
     }
 
     #[test]

@@ -1,154 +1,11 @@
-//! Key utilities.
+//! Key utilities — canonical home is now [`empi_keys::kdf`].
 //!
-//! The paper hardcodes one cluster-wide key and explicitly defers key
-//! distribution to future work. [`derive_pair_key`] is our documented
-//! *extension* (DESIGN.md §7): a toy KDF that gives each ordered rank
-//! pair its own subkey, which (a) makes per-sender counter nonces safe
-//! by construction and (b) confines a key compromise to one pair.
+//! This module used to define the pair KDF and [`KeyCache`] directly;
+//! the key-management subsystem (handshake, epoch rotation,
+//! revocation) grew its own crate and the derivation path moved there
+//! so there is exactly one KDF in the workspace. Existing
+//! `empi_core::key::…` callers keep compiling via these re-exports.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-
-use empi_aead::sha256::Sha256;
-
-/// Derive a per-pair subkey: `SHA-256("empi-pair-kdf" ‖ master ‖ a ‖ b)`.
-///
-/// The (a, b) pair is ordered so each direction gets its own key.
-pub fn derive_pair_key(master: &[u8; 32], a: usize, b: usize) -> [u8; 32] {
-    let mut h = Sha256::new();
-    h.update(b"empi-pair-kdf");
-    h.update(master);
-    h.update(&(a as u64).to_be_bytes());
-    h.update(&(b as u64).to_be_bytes());
-    h.finalize()
-}
-
-/// Epoch-qualified pair KDF: `SHA-256("empi-pair-kdf" ‖ master ‖ a ‖ b
-/// ‖ epoch)`. Epoch 0 is *not* [`derive_pair_key`] — the epoch word is
-/// always hashed, so rolling into epochs can never collide with the
-/// legacy schedule.
-pub fn derive_pair_key_epoch(master: &[u8; 32], a: usize, b: usize, epoch: u64) -> [u8; 32] {
-    let mut h = Sha256::new();
-    h.update(b"empi-pair-kdf");
-    h.update(master);
-    h.update(&(a as u64).to_be_bytes());
-    h.update(&(b as u64).to_be_bytes());
-    h.update(&epoch.to_be_bytes());
-    h.finalize()
-}
-
-/// Memoizing front-end to the pair KDF: one derivation per
-/// `(a, b, epoch)` for the cache's lifetime, however many messages
-/// flow. Single-threaded by design (one cache per rank; the engine
-/// executes one rank at a time), hence `RefCell`, not a lock.
-pub struct KeyCache {
-    master: [u8; 32],
-    derived: RefCell<HashMap<(usize, usize, u64), [u8; 32]>>,
-    derivations: RefCell<u64>,
-}
-
-impl KeyCache {
-    pub fn new(master: [u8; 32]) -> Self {
-        KeyCache {
-            master,
-            derived: RefCell::new(HashMap::new()),
-            derivations: RefCell::new(0),
-        }
-    }
-
-    /// The subkey for ordered pair `(a, b)` in `epoch`, deriving it on
-    /// first use and serving every later call from the cache.
-    pub fn pair_key(&self, a: usize, b: usize, epoch: u64) -> [u8; 32] {
-        *self.derived.borrow_mut().entry((a, b, epoch)).or_insert_with(|| {
-            *self.derivations.borrow_mut() += 1;
-            derive_pair_key_epoch(&self.master, a, b, epoch)
-        })
-    }
-
-    /// How many times the underlying KDF actually ran (tests: must stay
-    /// at one per (pair, epoch) regardless of message count).
-    pub fn derivations(&self) -> u64 {
-        *self.derivations.borrow()
-    }
-}
-
-/// Derive the whole key table for an `n`-rank world, indexed
-/// `[src][dst]`.
-pub fn derive_key_table(master: &[u8; 32], n: usize) -> Vec<Vec<[u8; 32]>> {
-    (0..n)
-        .map(|a| (0..n).map(|b| derive_pair_key(master, a, b)).collect())
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pair_keys_are_distinct_and_directional() {
-        let master = [1u8; 32];
-        let k01 = derive_pair_key(&master, 0, 1);
-        let k10 = derive_pair_key(&master, 1, 0);
-        let k02 = derive_pair_key(&master, 0, 2);
-        assert_ne!(k01, k10, "directionality");
-        assert_ne!(k01, k02);
-        assert_ne!(k01, master);
-    }
-
-    #[test]
-    fn deterministic() {
-        let master = [2u8; 32];
-        assert_eq!(derive_pair_key(&master, 3, 4), derive_pair_key(&master, 3, 4));
-    }
-
-    #[test]
-    fn table_shape() {
-        let t = derive_key_table(&[0u8; 32], 4);
-        assert_eq!(t.len(), 4);
-        assert!(t.iter().all(|row| row.len() == 4));
-        // All 16 entries distinct.
-        let mut seen = std::collections::HashSet::new();
-        for row in &t {
-            for k in row {
-                assert!(seen.insert(*k));
-            }
-        }
-    }
-
-    #[test]
-    fn cache_derives_once_per_pair_epoch() {
-        let cache = KeyCache::new([7u8; 32]);
-        let k = cache.pair_key(0, 1, 0);
-        for _ in 0..100 {
-            assert_eq!(cache.pair_key(0, 1, 0), k, "cached value is stable");
-        }
-        assert_eq!(cache.derivations(), 1, "one derivation, many messages");
-
-        // New pair and new epoch each cost exactly one more derivation.
-        let k10 = cache.pair_key(1, 0, 0);
-        let k_e1 = cache.pair_key(0, 1, 1);
-        assert_eq!(cache.derivations(), 3);
-        assert_ne!(k10, k);
-        assert_ne!(k_e1, k, "epoch separates keys");
-        assert_eq!(k_e1, derive_pair_key_epoch(&[7u8; 32], 0, 1, 1));
-    }
-
-    #[test]
-    fn epoch_kdf_never_collides_with_legacy() {
-        let master = [3u8; 32];
-        // Even epoch 0 hashes the epoch word, so it differs from the
-        // unqualified legacy schedule.
-        assert_ne!(
-            derive_pair_key_epoch(&master, 0, 1, 0),
-            derive_pair_key(&master, 0, 1)
-        );
-    }
-
-    #[test]
-    fn master_sensitivity() {
-        assert_ne!(
-            derive_pair_key(&[0u8; 32], 0, 1),
-            derive_pair_key(&[1u8; 32], 0, 1)
-        );
-    }
-}
+pub use empi_keys::kdf::{
+    derive_group_key, derive_key_table, derive_pair_key, derive_pair_key_epoch, KeyCache,
+};

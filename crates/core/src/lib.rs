@@ -43,6 +43,7 @@ mod recovery;
 pub mod secure_comm;
 
 pub use config::{FaultConfig, RetransmitConfig, SecurityConfig, TimingMode, HARDCODED_KEY};
+pub use empi_keys::{KeyError, KeyPlaneConfig, KeyStats};
 pub use empi_netsim::{FaultPlan, FaultRates};
 pub use empi_pipeline::PipelineConfig;
 pub use error::{Error, Result};

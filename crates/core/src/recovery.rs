@@ -131,6 +131,17 @@ impl Salvage {
         self.cands.iter().map(|c| c.record.len()).sum()
     }
 
+    /// The message id the next trial open would run under — the locked
+    /// geometry's if one chunk already authenticated, otherwise the
+    /// current majority vote. The key plane reads the epoch out of its
+    /// top bits to pick the trial cipher.
+    pub(crate) fn candidate_msg_id(&self) -> Option<u64> {
+        self.geom
+            .as_ref()
+            .map(|g| g.msg_id)
+            .or_else(|| self.vote().map(|g| g.msg_id))
+    }
+
     /// Majority-vote a geometry from the current candidates.
     fn vote(&self) -> Option<Geometry> {
         let mut counts: HashMap<(u64, u32, u64), usize> = HashMap::new();

@@ -18,12 +18,17 @@ use empi_aead::chunked::chunk_count;
 use empi_aead::gcm::AesGcm;
 use empi_aead::nonce::NonceSource;
 use empi_aead::{NONCE_LEN, TAG_LEN, WIRE_OVERHEAD};
+use empi_keys::{
+    derive_group_key, epoch_aad, handshake, msg_id_epoch, split_epoch, widen_epoch16, KeyError,
+    KeyFrame, KeyPlane, KeyPlaneConfig, KeyStats, EPOCH_PREFIX_LEN,
+};
+use empi_keys::suite::cointoss;
 use empi_mpi::chunk::{ChunkFrame, ChunkedMessage, RecvPayload, FRAME_OVERHEAD};
 use empi_mpi::ctrl::{pack_frames, unpack_frames};
 use empi_metrics::{BlackBox, Metric, Metrics};
 use empi_mpi::{
-    AnyCtrl, Comm, Nack, RepairHeader, RepairKind, Request, Src, Status, Tag, TagSel, WaitCtrl,
-    NACK_TAG, REPAIR_TAG,
+    AnyCtrl, Comm, FrameHeader, Nack, RepairHeader, RepairKind, Request, Src, Status, Tag, TagSel,
+    WaitCtrl, KEY_COMMIT_TAG, KEY_REVEAL_TAG, NACK_TAG, REPAIR_TAG,
 };
 use empi_netsim::{FaultPlan, VDur, Verdict};
 use empi_pipeline::{ChunkCost, Pipeline};
@@ -46,6 +51,11 @@ enum Dir {
     Enc,
     Dec,
 }
+
+/// Open-side key resolution: cipher context (None = legacy cluster
+/// cipher), epoch AAD bytes (None = legacy prefix-free format), and
+/// how many epoch-prefix bytes to skip in the wire record.
+type OpenKeyCtx = (Option<Rc<PeerCtx>>, Option<[u8; 8]>, usize);
 
 /// Virtual-time quantum of the repair-wait poll loops: only the
 /// recovery path spins on this (the normal data path always blocks on
@@ -173,6 +183,15 @@ pub struct SecureComm<'a, 'h> {
     peer_ctxs: RefCell<HashMap<(usize, usize, u64), Rc<PeerCtx>>>,
     /// Current pair-key epoch (see [`SecureComm::advance_epoch`]).
     epoch: Cell<u64>,
+    /// The key plane, installed after the startup handshake when
+    /// [`SecurityConfig::with_key_plane`] is set. `None` keeps the
+    /// legacy bit-identical wire format and the configured cluster key.
+    keys: Option<KeyPlane>,
+    /// Per-epoch *group* cipher contexts derived from the session
+    /// master — the key-plane replacement for the cluster cipher
+    /// (which with the plane on is demoted to a bootstrap KEK that
+    /// only ever protects handshake frames).
+    group_ctxs: RefCell<HashMap<u64, Rc<PeerCtx>>>,
 }
 
 /// Handle to an outstanding encrypted non-blocking operation.
@@ -268,7 +287,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             master[..n].copy_from_slice(&kb[..n]);
             KeyCache::new(master)
         });
-        Ok(SecureComm {
+        let mut sc = SecureComm {
             comm,
             cipher,
             cfg,
@@ -282,7 +301,123 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             peer_keys,
             peer_ctxs: RefCell::new(HashMap::new()),
             epoch: Cell::new(0),
-        })
+            keys: None,
+            group_ctxs: RefCell::new(HashMap::new()),
+        };
+        if let Some(kp) = sc.cfg.key_plane {
+            // The handshake runs on the legacy wire format (keys not
+            // installed yet): the configured cluster key acts as the
+            // bootstrap KEK and never protects data traffic again.
+            let plane = sc.run_handshake(kp)?;
+            if let Some(kc) = &sc.peer_keys {
+                kc.rekey(plane.master());
+            }
+            sc.keys = Some(plane);
+        }
+        Ok(sc)
+    }
+
+    /// The seeded commit/reveal group key agreement (see
+    /// `empi_keys::handshake`): round 1 exchanges commitments on the
+    /// ctrl-plane commit tag, round 2 exchanges reveals; every rank
+    /// verifies each reveal against its commitment and folds the
+    /// bootstrap key with all contributions into the session master.
+    fn run_handshake(&self, kp: KeyPlaneConfig) -> Result<KeyPlane> {
+        let me = self.rank();
+        let n = self.size();
+        let t0 = self.comm.sim().now().as_nanos();
+        let contrib = handshake::contribution(kp.handshake_seed, me);
+        let my_commit = handshake::commitment(&contrib);
+
+        // Round 1: commitments. Sends are posted before the in-order
+        // receives, so the all-to-all round cannot deadlock.
+        let wire = self.seal(
+            &KeyFrame::Commit {
+                rank: me as u32,
+                commitment: my_commit,
+            }
+            .encode(),
+        );
+        let reqs: Vec<Request> = (0..n)
+            .filter(|&r| r != me)
+            .map(|r| self.comm.isend(&wire, r, KEY_COMMIT_TAG))
+            .collect();
+        let mut commits = vec![[0u8; 32]; n];
+        commits[me] = my_commit;
+        for r in (0..n).filter(|&r| r != me) {
+            let (_, raw) = self.comm.recv(Src::Is(r), TagSel::Is(KEY_COMMIT_TAG));
+            match KeyFrame::decode(&self.open(&raw)?) {
+                Some(KeyFrame::Commit { rank, commitment }) if rank as usize == r => {
+                    commits[r] = commitment;
+                }
+                _ => {
+                    return Err(Error::Key(KeyError::HandshakeFailed {
+                        rank: r,
+                        reason: "malformed commit frame",
+                    }))
+                }
+            }
+        }
+        for req in reqs {
+            let _ = self.comm.wait_payload(req);
+        }
+
+        // Round 2: reveals, only after every commitment is in.
+        let wire = self.seal(
+            &KeyFrame::Reveal {
+                rank: me as u32,
+                value: contrib.value,
+                blind: contrib.blind,
+            }
+            .encode(),
+        );
+        let reqs: Vec<Request> = (0..n)
+            .filter(|&r| r != me)
+            .map(|r| self.comm.isend(&wire, r, KEY_REVEAL_TAG))
+            .collect();
+        let mut values = vec![[0u8; 32]; n];
+        values[me] = contrib.value;
+        for r in (0..n).filter(|&r| r != me) {
+            let (_, raw) = self.comm.recv(Src::Is(r), TagSel::Is(KEY_REVEAL_TAG));
+            match KeyFrame::decode(&self.open(&raw)?) {
+                Some(KeyFrame::Reveal { rank, value, blind }) if rank as usize == r => {
+                    if !cointoss::verify(&commits[r], &value, &blind) {
+                        return Err(Error::Key(KeyError::HandshakeFailed {
+                            rank: r,
+                            reason: "reveal does not open the commitment",
+                        }));
+                    }
+                    values[r] = value;
+                }
+                _ => {
+                    return Err(Error::Key(KeyError::HandshakeFailed {
+                        rank: r,
+                        reason: "malformed reveal frame",
+                    }))
+                }
+            }
+        }
+        for req in reqs {
+            let _ = self.comm.wait_payload(req);
+        }
+
+        let mut bootstrap = [0u8; 32];
+        let kb = self.cfg.key_bytes();
+        bootstrap[..kb.len().min(32)].copy_from_slice(&kb[..kb.len().min(32)]);
+        let master = handshake::session_master(&bootstrap, &values);
+        let now = self.comm.sim().now().as_nanos();
+        if let Some(t) = self.comm.sim().tracer() {
+            t.key_span(
+                me,
+                "key/handshake",
+                t0,
+                now.saturating_sub(t0),
+                0,
+                format!("{n} ranks, commit/reveal, seed {}", kp.handshake_seed),
+            );
+        }
+        self.note_service(Metric::Key, "key/handshake", -1, 0, t0);
+        Ok(KeyPlane::new(kp, master))
     }
 
     /// This rank.
@@ -323,8 +458,14 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// current epoch, building it (one KDF + one key schedule) on
     /// first use.
     fn peer_ctx(&self, src: usize, dst: usize) -> Rc<PeerCtx> {
+        self.peer_ctx_at(src, dst, self.epoch.get())
+    }
+
+    /// Cached pair cipher context at an explicit epoch — the key plane
+    /// resolves wire epochs here so drain-window stragglers open under
+    /// the epoch they were sealed in.
+    fn peer_ctx_at(&self, src: usize, dst: usize, epoch: u64) -> Rc<PeerCtx> {
         let keys = self.peer_keys.as_ref().expect("peer_ctx requires peer_cipher");
-        let epoch = self.epoch.get();
         if let Some(ctx) = self.peer_ctxs.borrow().get(&(src, dst, epoch)) {
             return ctx.clone();
         }
@@ -349,6 +490,196 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// key) always use the shared cipher.
     fn p2p_cipher(&self, src: usize, dst: usize) -> Option<Rc<PeerCtx>> {
         (self.peer_keys.is_some() && !self.chaos_on()).then(|| self.peer_ctx(src, dst))
+    }
+
+    // ---------------------------------------------------------------
+    // Key plane: epoch-qualified wire format, rotation, revocation
+    // ---------------------------------------------------------------
+
+    /// Wire bytes added per plain sealed record: the paper's 28, plus
+    /// the 8-byte epoch prefix once the key plane is on.
+    fn wire_overhead(&self) -> usize {
+        WIRE_OVERHEAD + if self.keys.is_some() { EPOCH_PREFIX_LEN } else { 0 }
+    }
+
+    /// The epoch this rank seals under *now*: the clock-derived
+    /// schedule epoch plus the manual bump counter (advance_epoch and
+    /// revocations). 0 without the key plane.
+    fn current_epoch(&self) -> u64 {
+        match &self.keys {
+            None => 0,
+            Some(plane) => {
+                self.epoch.get() + plane.schedule_epoch(self.comm.sim().now())
+            }
+        }
+    }
+
+    /// Per-epoch group cipher context, derived lazily from the session
+    /// master (one KDF + one key schedule per epoch). Distinct epochs
+    /// get distinct keys, so each context's nonce source restarting is
+    /// harmless.
+    fn group_ctx(&self, epoch: u64) -> Rc<PeerCtx> {
+        if let Some(ctx) = self.group_ctxs.borrow().get(&epoch) {
+            return ctx.clone();
+        }
+        let plane = self.keys.as_ref().expect("group_ctx requires the key plane");
+        let full = derive_group_key(&plane.master(), epoch);
+        let cipher = AesGcm::new(&full[..self.cfg.key_size.bytes()])
+            .expect("truncated group key has a supported length");
+        let ctx = Rc::new(PeerCtx {
+            cipher,
+            nonces: RefCell::new(NonceSource::new(self.cfg.nonce_policy)),
+        });
+        self.group_ctxs.borrow_mut().insert(epoch, ctx.clone());
+        ctx
+    }
+
+    /// Observe an epoch being sealed or opened under; a new local
+    /// high-water mark is an epoch rotation — traced on the `key/*`
+    /// lane and counted in [`KeyStats::rekeys`].
+    fn note_rotation(&self, epoch: u64) {
+        let Some(plane) = &self.keys else { return };
+        let rolls = plane.note_epoch(epoch);
+        if rolls > 0 {
+            let now = self.comm.sim().now().as_nanos();
+            if let Some(t) = self.comm.sim().tracer() {
+                t.key_span(
+                    self.rank(),
+                    "key/rotate",
+                    now,
+                    1,
+                    0,
+                    format!("rolled into epoch {epoch} (+{rolls})"),
+                );
+            }
+            self.note_service(Metric::Key, "key/rotate", -1, 0, now);
+        }
+    }
+
+    /// Resolve the cipher context for one record at `epoch`, after the
+    /// receive-side gates: revoked peers are quarantined with a typed
+    /// error and the epoch must sit inside the drain window. `pair`
+    /// selects the per-pair cipher for p2p traffic (when that
+    /// extension is on and chaos is off — the same rule as the legacy
+    /// [`Self::p2p_cipher`]); collectives and repairs use the group
+    /// cipher.
+    fn epoch_ctx(&self, src: Option<usize>, pair: bool, epoch: u64) -> Result<Rc<PeerCtx>> {
+        let plane = self.keys.as_ref().expect("epoch_ctx requires the key plane");
+        if let Some(s) = src {
+            if plane.is_revoked(s) {
+                plane.note_revoked_rejection();
+                if let Some(t) = self.comm.sim().tracer() {
+                    t.key_span(
+                        self.rank(),
+                        "key/reject",
+                        self.comm.sim().now().as_nanos(),
+                        1,
+                        0,
+                        format!("quarantined traffic from revoked rank {s}"),
+                    );
+                }
+                return Err(Error::Key(KeyError::RevokedPeer { rank: s }));
+            }
+        }
+        plane.accept(epoch, self.current_epoch()).map_err(Error::Key)?;
+        self.note_rotation(epoch);
+        Ok(match (pair, src) {
+            (true, Some(s)) if self.peer_keys.is_some() && !self.chaos_on() => {
+                self.peer_ctx_at(s, self.rank(), epoch)
+            }
+            _ => self.group_ctx(epoch),
+        })
+    }
+
+    /// Seal-side context resolution: the cipher context (None = legacy
+    /// cluster cipher) and the epoch-prefix/AAD bytes (None = legacy
+    /// prefix-free format). `dst` selects the pair cipher exactly as
+    /// the legacy path does.
+    fn seal_key_ctx(&self, dst: Option<usize>) -> (Option<Rc<PeerCtx>>, Option<[u8; 8]>) {
+        if self.keys.is_none() {
+            return (dst.and_then(|d| self.p2p_cipher(self.rank(), d)), None);
+        }
+        let epoch = self.current_epoch();
+        self.note_rotation(epoch);
+        let ctx = match dst {
+            Some(d) if self.peer_keys.is_some() && !self.chaos_on() => {
+                self.peer_ctx_at(self.rank(), d, epoch)
+            }
+            _ => self.group_ctx(epoch),
+        };
+        (Some(ctx), Some(epoch_aad(epoch)))
+    }
+
+    /// Open-side context resolution for a plain record: split the
+    /// epoch prefix (typed [`KeyError::Downgrade`] when absent), gate
+    /// it, and pick the cipher. Returns the context, the AAD, and how
+    /// many prefix bytes to skip.
+    fn open_key_ctx(&self, src: Option<usize>, pair: bool, wire: &[u8]) -> Result<OpenKeyCtx> {
+        if self.keys.is_none() {
+            let ctx = match (pair, src) {
+                (true, Some(s)) => self.p2p_cipher(s, self.rank()),
+                _ => None,
+            };
+            return Ok((ctx, None, 0));
+        }
+        let (epoch, _) = split_epoch(wire).map_err(Error::Key)?;
+        let ctx = self.epoch_ctx(src, pair, epoch)?;
+        Ok((Some(ctx), Some(epoch_aad(epoch)), EPOCH_PREFIX_LEN))
+    }
+
+    /// Key-plane counters (None without [`SecurityConfig::with_key_plane`]).
+    pub fn key_stats(&self) -> Option<KeyStats> {
+        self.keys.as_ref().map(|p| p.stats())
+    }
+
+    /// The epoch this rank currently seals under (0 without the key
+    /// plane or before the first rotation).
+    pub fn sealing_epoch(&self) -> u64 {
+        self.current_epoch()
+    }
+
+    /// Ranks revoked so far, in rank order.
+    pub fn revoked_ranks(&self) -> Vec<usize> {
+        self.keys.as_ref().map_or_else(Vec::new, |p| p.revoked_ranks())
+    }
+
+    /// Revoke `target`: quarantine its flows (its records are rejected
+    /// with [`KeyError::RevokedPeer`] from now on) and re-key the
+    /// survivors — the session master folds in the revoked set, the
+    /// epoch bumps so fresh traffic seals under a key the revoked rank
+    /// cannot derive, and the memoized pair keys are rebuilt from the
+    /// new master. Every *surviving* rank must call this with the same
+    /// target (the re-key is deterministic, so survivors converge
+    /// without a wire round). Typed errors: [`KeyError::NoKeyPlane`]
+    /// without the plane, [`KeyError::RevokedPeer`] on double-revoke.
+    pub fn revoke(&self, target: usize) -> Result<()> {
+        let plane = self
+            .keys
+            .as_ref()
+            .ok_or(Error::Key(KeyError::NoKeyPlane))?;
+        let new_master = plane.revoke(target).map_err(Error::Key)?;
+        // Bump the manual epoch component: survivors roll forward onto
+        // keys derived from the post-revocation master. Contexts cached
+        // for *older* epochs are kept — they were derived from the old
+        // master and still open drain-window stragglers sealed before
+        // the revocation.
+        self.epoch.set(self.epoch.get() + 1);
+        if let Some(kc) = &self.peer_keys {
+            kc.rekey(new_master);
+        }
+        let now = self.comm.sim().now().as_nanos();
+        if let Some(t) = self.comm.sim().tracer() {
+            t.key_span(
+                self.rank(),
+                "key/revoke",
+                now,
+                1,
+                0,
+                format!("rank {target} revoked; survivors re-keyed"),
+            );
+        }
+        self.note_service(Metric::Key, "key/revoke", target as i32, 0, now);
+        Ok(())
     }
 
     /// Tracer bookkeeping for one wire-buffer materialization: the
@@ -503,7 +834,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// `chunks_sealed` and the pipeline trace lanes).
     fn seal_chunked_frames(&self, buf: &[u8], dst: Option<usize>) -> Vec<ChunkFrame> {
         let total = chunk_count(buf.len(), self.cfg.pipeline.chunk_size);
-        let ctx = dst.and_then(|d| self.p2p_cipher(self.rank(), d));
+        let (ctx, _) = self.seal_key_ctx(dst);
+        if self.keys.is_some() {
+            // Chunked records carry the epoch in the (AAD-bound) top
+            // bits of the message id instead of a prefix.
+            self.pipe.set_epoch(self.current_epoch());
+        }
         let (cipher, base) = match &ctx {
             Some(c) => (&c.cipher, c.nonces.borrow_mut().next_nonce_block(total)),
             None => (&self.cipher, self.nonces.borrow_mut().next_nonce_block(total)),
@@ -590,7 +926,17 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// `peer` selects the pair cipher for p2p traffic (collectives
     /// relaying root-sealed frames pass `false`).
     fn open_chunked(&self, msg: &ChunkedMessage, peer: bool) -> Result<Vec<u8>> {
-        let ctx = if peer {
+        let ctx = if self.keys.is_some() {
+            // The epoch rides the (AAD-bound) top bits of the message
+            // id; widen the 16-bit wire value against the local clock.
+            let local = self.current_epoch();
+            let e16 = msg
+                .frames
+                .iter()
+                .find_map(|(_, f)| FrameHeader::decode(f).ok().map(|(h, _)| msg_id_epoch(h.msg_id)));
+            let epoch = widen_epoch16(e16.unwrap_or(local & 0xFFFF), local);
+            Some(self.epoch_ctx(Some(msg.src), peer, epoch)?)
+        } else if peer {
             self.p2p_cipher(msg.src, self.rank())
         } else {
             None
@@ -732,8 +1078,11 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// Encrypt one message, selecting the peer cipher when `dst` is
     /// given and the extension is active. The wire image is assembled
     /// once and encrypted in place — no intermediate ciphertext buffer.
+    /// With the key plane on, the record grows the authenticated
+    /// 8-byte epoch prefix (`epoch ‖ nonce ‖ ct ‖ tag`, AAD = epoch).
     fn seal_for(&self, plaintext: &[u8], dst: Option<usize>) -> Vec<u8> {
-        let ctx = dst.and_then(|d| self.p2p_cipher(self.rank(), d));
+        let (ctx, prefix) = self.seal_key_ctx(dst);
+        let overhead = self.wire_overhead();
         let nonce = match &ctx {
             Some(c) => c.nonces.borrow_mut().next_nonce(),
             None => self.nonces.borrow_mut().next_nonce(),
@@ -741,15 +1090,20 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let cipher = ctx.as_ref().map_or(&self.cipher, |c| &c.cipher);
         if let Some(t) = self.comm.sim().tracer() {
             t.count_nonce_draw(self.rank());
-            t.count_seal(self.rank(), plaintext.len(), plaintext.len() + WIRE_OVERHEAD);
+            t.count_seal(self.rank(), plaintext.len(), plaintext.len() + overhead);
         }
-        self.note_alloc(true, plaintext.len() + WIRE_OVERHEAD, "seal wire");
+        self.note_alloc(true, plaintext.len() + overhead, "seal wire");
         let t0 = self.comm.sim().now().as_nanos();
         let wire = self.run_crypto(plaintext.len(), Dir::Enc, || {
-            let mut wire = Vec::with_capacity(plaintext.len() + WIRE_OVERHEAD);
+            let mut wire = Vec::with_capacity(plaintext.len() + overhead);
+            if let Some(p) = &prefix {
+                wire.extend_from_slice(p);
+            }
+            let body = wire.len() + NONCE_LEN;
             wire.extend_from_slice(&nonce);
             wire.extend_from_slice(plaintext);
-            let tag = cipher.seal_detached(&nonce, b"", &mut wire[NONCE_LEN..]);
+            let aad: &[u8] = prefix.as_ref().map_or(&[], |p| &p[..]);
+            let tag = cipher.seal_detached(&nonce, aad, &mut wire[body..]);
             wire.extend_from_slice(&tag);
             wire
         });
@@ -767,7 +1121,8 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// is assembled and encrypted directly inside a recycled pool
     /// buffer and shipped as [`Bytes`] with no further copy.
     fn seal_pooled(&self, plaintext: &[u8], dst: usize) -> Bytes {
-        let ctx = self.p2p_cipher(self.rank(), dst);
+        let (ctx, prefix) = self.seal_key_ctx(Some(dst));
+        let overhead = self.wire_overhead();
         let nonce = match &ctx {
             Some(c) => c.nonces.borrow_mut().next_nonce(),
             None => self.nonces.borrow_mut().next_nonce(),
@@ -775,19 +1130,24 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let cipher = ctx.as_ref().map_or(&self.cipher, |c| &c.cipher);
         if let Some(t) = self.comm.sim().tracer() {
             t.count_nonce_draw(self.rank());
-            t.count_seal(self.rank(), plaintext.len(), plaintext.len() + WIRE_OVERHEAD);
+            t.count_seal(self.rank(), plaintext.len(), plaintext.len() + overhead);
         }
         let mut b = self
             .comm
             .sim()
             .buffer_pool()
-            .take(plaintext.len() + WIRE_OVERHEAD);
-        self.note_alloc(b.fresh(), plaintext.len() + WIRE_OVERHEAD, "seal wire");
+            .take(plaintext.len() + overhead);
+        self.note_alloc(b.fresh(), plaintext.len() + overhead, "seal wire");
         let t0 = self.comm.sim().now().as_nanos();
         self.run_crypto(plaintext.len(), Dir::Enc, || {
+            if let Some(p) = &prefix {
+                b.extend_from_slice(p);
+            }
+            let body = b.len() + NONCE_LEN;
             b.extend_from_slice(&nonce);
             b.extend_from_slice(plaintext);
-            let tag = cipher.seal_detached(&nonce, b"", &mut b[NONCE_LEN..]);
+            let aad: &[u8] = prefix.as_ref().map_or(&[], |p| &p[..]);
+            let tag = cipher.seal_detached(&nonce, aad, &mut b[body..]);
             b.extend_from_slice(&tag);
         });
         self.note_service(Metric::Seal, "seal/plain", dst as i32, plaintext.len(), t0);
@@ -795,62 +1155,80 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     }
 
     /// Seal `plaintext` appending `nonce ‖ ct ‖ tag` directly onto
-    /// `out` (cluster cipher) — the collective blocks assemble into
-    /// one send buffer without a per-block wire Vec.
+    /// `out` (cluster cipher, or the epoch group cipher with the key
+    /// plane on) — the collective blocks assemble into one send buffer
+    /// without a per-block wire Vec.
     fn seal_append(&self, plaintext: &[u8], out: &mut Vec<u8>) {
-        let nonce = self.nonces.borrow_mut().next_nonce();
+        let (ctx, prefix) = self.seal_key_ctx(None);
+        let overhead = self.wire_overhead();
+        let nonce = match &ctx {
+            Some(c) => c.nonces.borrow_mut().next_nonce(),
+            None => self.nonces.borrow_mut().next_nonce(),
+        };
+        let cipher = ctx.as_ref().map_or(&self.cipher, |c| &c.cipher);
         if let Some(t) = self.comm.sim().tracer() {
             t.count_nonce_draw(self.rank());
-            t.count_seal(self.rank(), plaintext.len(), plaintext.len() + WIRE_OVERHEAD);
+            t.count_seal(self.rank(), plaintext.len(), plaintext.len() + overhead);
         }
         let t0 = self.comm.sim().now().as_nanos();
         self.run_crypto(plaintext.len(), Dir::Enc, || {
-            let start = out.len();
+            if let Some(p) = &prefix {
+                out.extend_from_slice(p);
+            }
+            let body = out.len() + NONCE_LEN;
             out.extend_from_slice(&nonce);
             out.extend_from_slice(plaintext);
-            let tag = self
-                .cipher
-                .seal_detached(&nonce, b"", &mut out[start + NONCE_LEN..]);
+            let aad: &[u8] = prefix.as_ref().map_or(&[], |p| &p[..]);
+            let tag = cipher.seal_detached(&nonce, aad, &mut out[body..]);
             out.extend_from_slice(&tag);
         });
         self.note_service(Metric::Seal, "seal/coll", -1, plaintext.len(), t0);
     }
 
-    /// Decrypt one wire message with the cluster cipher.
+    /// Decrypt one wire message with the cluster cipher (group epoch
+    /// cipher with the key plane on; the sender is unknown here, so no
+    /// revocation gate — use [`Self::open_coll`] when it is known).
     fn open(&self, wire: &[u8]) -> Result<Vec<u8>> {
-        self.open_with(&self.cipher, wire)
+        self.open_any(None, false, wire)
+    }
+
+    /// Decrypt one collective wire record whose sender is known:
+    /// shared/group cipher, but the revocation gate applies.
+    fn open_coll(&self, src: usize, wire: &[u8]) -> Result<Vec<u8>> {
+        self.open_any(Some(src), false, wire)
     }
 
     /// Decrypt one p2p wire message from `src` (peer cipher when
     /// active).
     fn open_from(&self, src: usize, wire: &[u8]) -> Result<Vec<u8>> {
-        match self.p2p_cipher(src, self.rank()) {
-            Some(ctx) => self.open_with(&ctx.cipher, wire),
-            None => self.open_with(&self.cipher, wire),
-        }
+        self.open_any(Some(src), true, wire)
     }
 
-    fn open_with(&self, cipher: &AesGcm, wire: &[u8]) -> Result<Vec<u8>> {
-        if wire.len() < WIRE_OVERHEAD {
+    fn open_any(&self, src: Option<usize>, pair: bool, wire: &[u8]) -> Result<Vec<u8>> {
+        let (ctx, prefix, skip) = self.open_key_ctx(src, pair, wire)?;
+        let cipher = ctx.as_ref().map_or(&self.cipher, |c| &c.cipher);
+        let rec = &wire[skip..];
+        if rec.len() < WIRE_OVERHEAD {
             return Err(Error::Crypto(empi_aead::Error::CiphertextTooShort {
                 got: wire.len(),
             }));
         }
         let mut nonce = [0u8; NONCE_LEN];
-        nonce.copy_from_slice(&wire[..NONCE_LEN]);
-        let body = &wire[NONCE_LEN..];
+        nonce.copy_from_slice(&rec[..NONCE_LEN]);
+        let body = &rec[NONCE_LEN..];
         let plain_len = body.len() - TAG_LEN;
         if let Some(t) = self.comm.sim().tracer() {
             t.count_open(self.rank(), wire.len(), plain_len);
         }
         self.note_alloc(true, plain_len, "open plaintext");
         let t0 = self.comm.sim().now().as_nanos();
+        let aad: &[u8] = prefix.as_ref().map_or(&[], |p| &p[..]);
         let r = self.run_crypto(plain_len, Dir::Dec, || {
-            cipher.open(&nonce, b"", body).map_err(Error::Crypto)
+            cipher.open(&nonce, aad, body).map_err(Error::Crypto)
         });
         // Recorded on failure too: `count_open` above already counted
         // the attempt, and conservation tracks attempts, not successes.
-        self.note_service(Metric::Open, "open/plain", -1, plain_len, t0);
+        self.note_service(Metric::Open, "open/plain", src.map_or(-1, |s| s as i32), plain_len, t0);
         r
     }
 
@@ -864,15 +1242,17 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             Ok(v) => v,
             Err(shared) => return self.open_from(src, &shared),
         };
-        if v.len() < WIRE_OVERHEAD {
+        let (ctx, prefix, skip) = self.open_key_ctx(Some(src), true, &v)?;
+        let overhead = self.wire_overhead();
+        if v.len() < overhead {
             return Err(Error::Crypto(empi_aead::Error::CiphertextTooShort {
                 got: v.len(),
             }));
         }
         let mut nonce = [0u8; NONCE_LEN];
-        nonce.copy_from_slice(&v[..NONCE_LEN]);
-        let plain_len = v.len() - WIRE_OVERHEAD;
-        let tag_start = NONCE_LEN + plain_len;
+        nonce.copy_from_slice(&v[skip..skip + NONCE_LEN]);
+        let plain_len = v.len() - overhead;
+        let tag_start = skip + NONCE_LEN + plain_len;
         let mut tag = [0u8; TAG_LEN];
         tag.copy_from_slice(&v[tag_start..]);
         if let Some(t) = self.comm.sim().tracer() {
@@ -880,12 +1260,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             // buffer at all — the wire allocation is reused.
             t.count_open(self.rank(), v.len(), plain_len);
         }
-        let ctx = self.p2p_cipher(src, self.rank());
         let cipher = ctx.as_ref().map_or(&self.cipher, |c| &c.cipher);
         let t0 = self.comm.sim().now().as_nanos();
+        let aad: &[u8] = prefix.as_ref().map_or(&[], |p| &p[..]);
         let r = self.run_crypto(plain_len, Dir::Dec, || {
             cipher
-                .open_detached(&nonce, b"", &mut v[NONCE_LEN..tag_start], &tag)
+                .open_detached(&nonce, aad, &mut v[skip + NONCE_LEN..tag_start], &tag)
                 .map_err(Error::Crypto)
         });
         self.note_service(Metric::Open, "open/plain", src as i32, plain_len, t0);
@@ -893,38 +1273,44 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         // The wire buffer *is* the plaintext buffer now: strip the
         // framing in place (one memmove, no allocation).
         v.truncate(tag_start);
-        v.drain(..NONCE_LEN);
+        v.drain(..skip + NONCE_LEN);
         Ok(v)
     }
 
-    /// Decrypt one wire record (cluster cipher) appending the
-    /// plaintext directly onto `out` — the collective gather loops
-    /// decrypt into their result buffer without a per-block plaintext
-    /// Vec. `out` is restored to its prior length on failure.
-    fn open_append(&self, wire: &[u8], out: &mut Vec<u8>) -> Result<()> {
-        if wire.len() < WIRE_OVERHEAD {
+    /// Decrypt one wire record from `src` (cluster/group cipher, with
+    /// the revocation and epoch gates when the key plane is on)
+    /// appending the plaintext directly onto `out` — the collective
+    /// gather loops decrypt into their result buffer without a
+    /// per-block plaintext Vec. `out` is restored to its prior length
+    /// on failure.
+    fn open_append(&self, src: usize, wire: &[u8], out: &mut Vec<u8>) -> Result<()> {
+        let (ctx, prefix, skip) = self.open_key_ctx(Some(src), false, wire)?;
+        let overhead = self.wire_overhead();
+        if wire.len() < overhead {
             return Err(Error::Crypto(empi_aead::Error::CiphertextTooShort {
                 got: wire.len(),
             }));
         }
+        let cipher = ctx.as_ref().map_or(&self.cipher, |c| &c.cipher);
         let mut nonce = [0u8; NONCE_LEN];
-        nonce.copy_from_slice(&wire[..NONCE_LEN]);
-        let plain_len = wire.len() - WIRE_OVERHEAD;
-        let tag_start = NONCE_LEN + plain_len;
+        nonce.copy_from_slice(&wire[skip..skip + NONCE_LEN]);
+        let plain_len = wire.len() - overhead;
+        let tag_start = skip + NONCE_LEN + plain_len;
         let mut tag = [0u8; TAG_LEN];
         tag.copy_from_slice(&wire[tag_start..]);
         if let Some(t) = self.comm.sim().tracer() {
             t.count_open(self.rank(), wire.len(), plain_len);
         }
         let start = out.len();
-        out.extend_from_slice(&wire[NONCE_LEN..tag_start]);
+        out.extend_from_slice(&wire[skip + NONCE_LEN..tag_start]);
         let t0 = self.comm.sim().now().as_nanos();
+        let aad: &[u8] = prefix.as_ref().map_or(&[], |p| &p[..]);
         let r = self.run_crypto(plain_len, Dir::Dec, || {
-            self.cipher
-                .open_detached(&nonce, b"", &mut out[start..], &tag)
+            cipher
+                .open_detached(&nonce, aad, &mut out[start..], &tag)
                 .map_err(Error::Crypto)
         });
-        self.note_service(Metric::Open, "open/coll", -1, plain_len, t0);
+        self.note_service(Metric::Open, "open/coll", src as i32, plain_len, t0);
         if r.is_err() {
             out.truncate(start);
         }
@@ -1326,11 +1712,23 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// One salvage attempt, charged like any other decryption (the
     /// trial opens push the pending sealed records through AES-GCM).
     fn salvage_pass(&self, salvage: &mut Salvage) -> SalvageResult {
+        // Under the key plane the frames carry their epoch in the
+        // message id; resolve it to the matching group cipher (chaos
+        // disables pair ciphers, so group is what the sender used). A
+        // wrong guess just fails auth and NACKs — no typed gate here.
+        let ctx = self.keys.as_ref().map(|_| {
+            let local = self.current_epoch();
+            let epoch = salvage
+                .candidate_msg_id()
+                .map_or(local, |id| widen_epoch16(msg_id_epoch(id), local));
+            self.group_ctx(epoch)
+        });
+        let cipher = ctx.as_ref().map_or(&self.cipher, |c| &c.cipher);
         let bytes = salvage.pending_bytes();
         if bytes == 0 {
-            return salvage.try_open(&self.cipher);
+            return salvage.try_open(cipher);
         }
-        self.run_crypto(bytes, Dir::Dec, || salvage.try_open(&self.cipher))
+        self.run_crypto(bytes, Dir::Dec, || salvage.try_open(cipher))
     }
 
     /// Receiver-side recovery of one failed message: salvage what
@@ -1464,7 +1862,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                             black_box: self.black_box_for(src, tag, seq),
                         });
                     }
-                    RepairKind::Plain => match self.open(body) {
+                    RepairKind::Plain => match self.open_any(Some(src), true, body) {
                         Ok(plain) => {
                             let waited = self.comm.sim().now() - t0;
                             self.note_retry(
@@ -1973,7 +2371,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let mut wire = if me == root {
             self.seal(buf)
         } else {
-            vec![0u8; root_len + WIRE_OVERHEAD]
+            vec![0u8; root_len + self.wire_overhead()]
         };
         self.comm.bcast(&mut wire, root);
         if me != root {
@@ -1983,7 +2381,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                     remote: root_len,
                 });
             }
-            *buf = self.open(&wire)?;
+            *buf = self.open_coll(root, &wire)?;
         }
         Ok(())
     }
@@ -2285,7 +2683,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
 
     fn allgather_impl(&self, send: &[u8]) -> Result<Vec<u8>> {
         let n = self.size();
-        let wire_block = send.len() + WIRE_OVERHEAD;
+        let wire_block = send.len() + self.wire_overhead();
         let sealed = self.seal(send);
         let gathered = self.comm.allgather(&sealed);
         debug_assert_eq!(gathered.len(), wire_block * n);
@@ -2311,7 +2709,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                     );
                 }
             } else {
-                self.open_append(block, &mut out)?;
+                self.open_append(i, block, &mut out)?;
             }
         }
         Ok(out)
@@ -2339,7 +2737,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         if self.pipe.applies_to(block) && n > 1 {
             return self.alltoall_pipelined(send, block);
         }
-        let wire_block = block + WIRE_OVERHEAD;
+        let wire_block = block + self.wire_overhead();
         let mut enc_send = Vec::with_capacity(wire_block * n);
         for i in 0..n {
             self.seal_append(&send[i * block..(i + 1) * block], &mut enc_send);
@@ -2347,7 +2745,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let enc_recv = self.comm.alltoall(&enc_send, wire_block);
         let mut out = Vec::with_capacity(block * n);
         for i in 0..n {
-            self.open_append(&enc_recv[i * wire_block..(i + 1) * wire_block], &mut out)?;
+            self.open_append(i, &enc_recv[i * wire_block..(i + 1) * wire_block], &mut out)?;
         }
         Ok(out)
     }
@@ -2426,11 +2824,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         if self.cfg.pipeline.enabled && n > 1 {
             return self.alltoallv_pipelined(send, send_counts, recv_counts);
         }
-        let mut enc_send = Vec::with_capacity(send.len() + n * WIRE_OVERHEAD);
-        let enc_send_counts: Vec<usize> =
-            send_counts.iter().map(|c| c + WIRE_OVERHEAD).collect();
-        let enc_recv_counts: Vec<usize> =
-            recv_counts.iter().map(|c| c + WIRE_OVERHEAD).collect();
+        let overhead = self.wire_overhead();
+        let mut enc_send = Vec::with_capacity(send.len() + n * overhead);
+        let enc_send_counts: Vec<usize> = send_counts.iter().map(|c| c + overhead).collect();
+        let enc_recv_counts: Vec<usize> = recv_counts.iter().map(|c| c + overhead).collect();
         let mut off = 0;
         for &c in send_counts {
             self.seal_append(&send[off..off + c], &mut enc_send);
@@ -2439,9 +2836,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let enc_recv = self.comm.alltoallv(&enc_send, &enc_send_counts, &enc_recv_counts);
         let mut out = Vec::with_capacity(recv_counts.iter().sum());
         let mut off = 0;
-        for &c in recv_counts {
-            self.open_append(&enc_recv[off..off + c + WIRE_OVERHEAD], &mut out)?;
-            off += c + WIRE_OVERHEAD;
+        for (i, &c) in recv_counts.iter().enumerate() {
+            self.open_append(i, &enc_recv[off..off + c + overhead], &mut out)?;
+            off += c + overhead;
         }
         Ok(out)
     }
@@ -3950,5 +4347,373 @@ mod tests {
             tr.events.iter().any(|e| e.name == "alloc/reclaim"),
             "alloc/reclaim marker expected"
         );
+    }
+
+    // -- key plane: handshake, rotation, revocation, misuse ----------
+
+    fn keys_cfg(seed: u64) -> SecurityConfig {
+        cfg().with_key_plane(empi_keys::KeyPlaneConfig::new(seed))
+    }
+
+    #[test]
+    fn key_plane_handshake_agrees_and_round_trips() {
+        let w = World::flat(NetModel::ethernet_10g(), 4);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, keys_cfg(42)).unwrap();
+            let stats = sc.key_stats().unwrap();
+            assert_eq!(stats.handshakes, 1);
+            assert_eq!(sc.sealing_epoch(), 0, "no rotation configured");
+            // P2p both ways plus a collective, all under the session
+            // master the handshake agreed on.
+            let me = c.rank();
+            let next = (me + 1) % 4;
+            let prev = (me + 3) % 4;
+            sc.send(format!("from {me}").as_bytes(), next, 5);
+            let (_, got) = sc.recv(Src::Is(prev), TagSel::Is(5)).unwrap();
+            assert_eq!(got, format!("from {prev}").into_bytes());
+            let mut buf = if me == 0 { b"bcast".to_vec() } else { vec![0u8; 5] };
+            sc.bcast(&mut buf, 0).unwrap();
+            assert_eq!(buf, b"bcast");
+            1
+        });
+        assert_eq!(out.results, vec![1; 4]);
+    }
+
+    #[test]
+    fn key_plane_wire_grows_epoch_prefix_and_differs_per_seed() {
+        // Same plaintext, same deterministic nonces, two handshake
+        // seeds: the ciphertexts must differ (fresh session masters)
+        // and carry the 8-byte epoch prefix.
+        let run = |seed: u64| {
+            let w = World::flat(NetModel::ethernet_10g(), 2);
+            let out = w.run(move |c| {
+                let sc = SecureComm::new(
+                    c,
+                    keys_cfg(seed).with_deterministic_nonces(9),
+                )
+                .unwrap();
+                if c.rank() == 0 {
+                    sc.send(b"epoch-prefixed", 1, 3);
+                    Vec::new()
+                } else {
+                    // Peek below the secure layer.
+                    let (st, wire) = c.recv(Src::Is(0), TagSel::Is(3));
+                    assert_eq!(st.len, 14 + WIRE_OVERHEAD + EPOCH_PREFIX_LEN);
+                    assert_eq!(&wire[..EPOCH_PREFIX_LEN], &0u64.to_be_bytes());
+                    wire.to_vec()
+                }
+            });
+            out.results[1].clone()
+        };
+        let a = run(1);
+        let b = run(2);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b, "different handshake seeds must yield different masters");
+        assert_eq!(run(1), a, "same seed + seeded nonces replays bit-exact");
+    }
+
+    #[test]
+    fn rotation_under_pipelined_traffic_is_bit_exact() {
+        // Fixed seed, rotation on vs off: every delivered plaintext is
+        // byte-identical, rotation merely rolls the sealing epoch.
+        let run = |rotate: bool| {
+            let w = World::flat(NetModel::ethernet_10g(), 2);
+            w.run(move |c| {
+                let mut kp = empi_keys::KeyPlaneConfig::new(7).with_drain(2);
+                if rotate {
+                    kp = kp.with_rotation(VDur::from_micros(40));
+                }
+                let sc = SecureComm::new(
+                    c,
+                    cfg()
+                        .with_key_plane(kp)
+                        .with_deterministic_nonces(11)
+                        .with_pipeline(
+                            crate::PipelineConfig::enabled()
+                                .with_chunk_size(1 << 12)
+                                .with_workers(2),
+                        ),
+                )
+                .unwrap();
+                let mut delivered = Vec::new();
+                for i in 0..24u32 {
+                    // Mix of plain (small) and chunked (large) records
+                    // so both wire formats cross epoch boundaries.
+                    let len = if i % 3 == 0 { 6000 } else { 64 };
+                    let msg: Vec<u8> = (0..len).map(|j| (i as u8) ^ (j as u8)).collect();
+                    if c.rank() == 0 {
+                        sc.send(&msg, 1, i);
+                        delivered.push(msg);
+                    } else {
+                        let (_, got) = sc.recv(Src::Is(0), TagSel::Is(i)).unwrap();
+                        assert_eq!(got, msg, "message {i} corrupted");
+                        delivered.push(got);
+                    }
+                }
+                let rekeys = sc.key_stats().unwrap().rekeys;
+                (delivered, rekeys, sc.sealing_epoch())
+            })
+        };
+        let with_rot = run(true);
+        let without = run(false);
+        for r in 0..2 {
+            assert_eq!(
+                with_rot.results[r].0, without.results[r].0,
+                "rank {r}: rotation changed delivered plaintexts"
+            );
+            assert_eq!(without.results[r].2, 0, "no-rotation world stays at epoch 0");
+        }
+        assert!(
+            with_rot.results[0].1 > 0,
+            "clock-driven rotation never rolled an epoch"
+        );
+        assert!(with_rot.results[0].2 > 0, "sealing epoch never advanced");
+    }
+
+    #[test]
+    fn revoked_rank_is_quarantined_and_survivors_rekey() {
+        let w = World::flat(NetModel::ethernet_10g(), 3);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, keys_cfg(13)).unwrap();
+            let me = c.rank();
+            // Epoch-0 traffic flows everywhere first.
+            if me == 2 {
+                sc.send(b"pre-revocation", 1, 1);
+            } else if me == 1 {
+                let (_, got) = sc.recv(Src::Is(2), TagSel::Is(1)).unwrap();
+                assert_eq!(got, b"pre-revocation");
+            }
+            c.barrier();
+            // Survivors 0 and 1 revoke rank 2; rank 2 doesn't know.
+            if me != 2 {
+                sc.revoke(2).unwrap();
+                assert_eq!(sc.revoked_ranks(), vec![2]);
+                assert_eq!(sc.sealing_epoch(), 1, "revocation bumps the epoch");
+                assert!(matches!(
+                    sc.revoke(2),
+                    Err(Error::Key(KeyError::RevokedPeer { rank: 2 }))
+                ));
+            }
+            c.barrier();
+            match me {
+                2 => {
+                    // The revoked rank still seals under the old master.
+                    sc.send(b"stowaway", 1, 2);
+                    0
+                }
+                1 => {
+                    let got = sc.recv(Src::Is(2), TagSel::Is(2));
+                    assert!(
+                        matches!(got, Err(Error::Key(KeyError::RevokedPeer { rank: 2 }))),
+                        "revoked traffic must be quarantined, got {got:?}"
+                    );
+                    assert_eq!(sc.key_stats().unwrap().rejected_revoked, 1);
+                    // Survivor traffic under the re-keyed master flows.
+                    let (_, ok) = sc.recv(Src::Is(0), TagSel::Is(3)).unwrap();
+                    assert_eq!(ok, b"survivors");
+                    1
+                }
+                _ => {
+                    sc.send(b"survivors", 1, 3);
+                    let s = sc.key_stats().unwrap();
+                    assert_eq!((s.revocations, s.rekeys), (1, 1));
+                    0
+                }
+            }
+        });
+        assert_eq!(out.results[1], 1);
+    }
+
+    #[test]
+    fn stale_epoch_replay_is_rejected() {
+        let w = World::flat(NetModel::ethernet_10g(), 4);
+        w.run(|c| {
+            let sc = SecureComm::new(c, keys_cfg(3)).unwrap();
+            let me = c.rank();
+            // Rank 0 seals a record at epoch 0; rank 1 captures the raw
+            // wire without opening it.
+            let mut captured = Vec::new();
+            if me == 0 {
+                sc.send(b"replay me", 1, 4);
+            } else if me == 1 {
+                let (_, wire) = c.recv(Src::Is(0), TagSel::Is(4));
+                captured = wire.to_vec();
+            }
+            c.barrier();
+            // Two revocations push every survivor to epoch 2: the
+            // drain window (half-width 1) now excludes epoch 0.
+            if me < 2 {
+                sc.revoke(2).unwrap();
+                sc.revoke(3).unwrap();
+                assert_eq!(sc.sealing_epoch(), 2);
+            }
+            c.barrier();
+            if me == 1 {
+                // Replay the epoch-0 record below the secure layer.
+                c.send(&captured, 0, 4);
+            } else if me == 0 {
+                let got = sc.recv(Src::Is(1), TagSel::Is(4));
+                assert!(
+                    matches!(
+                        got,
+                        Err(Error::Key(KeyError::StaleEpoch { wire: 0, local: 2, .. }))
+                    ),
+                    "stale replay must be typed, got {got:?}"
+                );
+                assert_eq!(sc.key_stats().unwrap().rejected_stale, 1);
+            }
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn downgrade_and_forged_epochs_are_rejected() {
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        w.run(|c| {
+            let sc = SecureComm::new(c, keys_cfg(5)).unwrap();
+            if c.rank() == 0 {
+                // A legacy prefix-free record sealed under the (known!)
+                // bootstrap cluster key: structurally too short to be
+                // epoch-qualified — a downgrade attempt.
+                let legacy = AesGcm::new(cfg().key_bytes()).unwrap();
+                let nonce = [7u8; NONCE_LEN];
+                let mut body = b"dg".to_vec();
+                let tag = legacy.seal_detached(&nonce, b"", &mut body);
+                let mut wire = nonce.to_vec();
+                wire.extend_from_slice(&body);
+                wire.extend_from_slice(&tag);
+                c.send(&wire, 1, 6);
+
+                // A forged far-future epoch prefix on otherwise valid
+                // framing: rejected by the window before any open.
+                let mut forged = vec![0u8; EPOCH_PREFIX_LEN];
+                forged[..8].copy_from_slice(&u64::MAX.to_be_bytes());
+                forged.extend_from_slice(&[0u8; NONCE_LEN]);
+                forged.extend_from_slice(&[0u8; 32]); // ct + tag
+                c.send(&forged, 1, 7);
+            } else {
+                let dg = sc.recv(Src::Is(0), TagSel::Is(6));
+                assert!(
+                    matches!(dg, Err(Error::Key(KeyError::Downgrade))),
+                    "downgrade must be typed, got {dg:?}"
+                );
+                let forged = sc.recv(Src::Is(0), TagSel::Is(7));
+                assert!(
+                    matches!(forged, Err(Error::Key(KeyError::FutureEpoch { .. }))),
+                    "forged epoch must be typed, got {forged:?}"
+                );
+                let s = sc.key_stats().unwrap();
+                assert_eq!(s.rejected_future, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn epoch_splice_fails_authentication_end_to_end() {
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        w.run(|c| {
+            let sc = SecureComm::new(c, keys_cfg(8)).unwrap();
+            if c.rank() == 0 {
+                sc.send(b"spliceable", 1, 9);
+            } else {
+                let (_, raw) = c.recv(Src::Is(0), TagSel::Is(9));
+                // Corrupt the tag of a record whose epoch passes the
+                // window: the AEAD gate (prefix bound as AAD) still
+                // rejects it, so splice/tamper can't ride a valid epoch.
+                let mut wire = raw.to_vec();
+                let n = wire.len();
+                wire[n - 1] ^= 0x80;
+                c.send(&wire, 0, 9);
+            }
+            c.barrier();
+            // Re-deliver the tampered record to rank 0's secure layer.
+            if c.rank() == 0 {
+                let got = sc.recv(Src::Is(1), TagSel::Is(9));
+                assert!(
+                    matches!(got, Err(Error::Crypto(_))),
+                    "tampered epoch-qualified record must fail auth, got {got:?}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn key_plane_collectives_round_trip() {
+        let w = World::flat(NetModel::ethernet_10g(), 4);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(c, keys_cfg(21)).unwrap();
+            let me = c.rank() as u8;
+            let gathered = sc.allgather(&[me; 8]).unwrap();
+            let want: Vec<u8> = (0..4).flat_map(|r| [r as u8; 8]).collect();
+            assert_eq!(gathered, want);
+            let send: Vec<u8> = (0..4).flat_map(|dst| [me * 16 + dst as u8; 4]).collect();
+            let recv = sc.alltoall(&send, 4).unwrap();
+            let want: Vec<u8> = (0..4).flat_map(|src| [(src * 16) as u8 + me; 4]).collect();
+            assert_eq!(recv, want);
+            let counts: Vec<usize> = (0..4).map(|r| 3 + r).collect();
+            let sendv: Vec<u8> = counts
+                .iter()
+                .enumerate()
+                .flat_map(|(dst, &c0)| vec![me * 10 + dst as u8; c0])
+                .collect();
+            let my_count = 3 + c.rank();
+            let recvv = sc
+                .alltoallv(&sendv, &counts, &[my_count; 4])
+                .unwrap();
+            let want: Vec<u8> = (0..4).flat_map(|src| vec![src * 10 + me; my_count]).collect();
+            assert_eq!(recvv, want);
+            1
+        });
+        assert_eq!(out.results, vec![1; 4]);
+    }
+
+    #[test]
+    fn rotation_survives_chaos_with_arq() {
+        // Faults + retransmit + rotation: delivery is bit-exact or a
+        // typed error; the run never panics or deadlocks.
+        let w = World::flat(NetModel::ethernet_10g(), 2);
+        let out = w.run(|c| {
+            let sc = SecureComm::new(
+                c,
+                cfg()
+                    .with_key_plane(
+                        empi_keys::KeyPlaneConfig::new(17)
+                            .with_rotation(VDur::from_micros(60))
+                            .with_drain(2),
+                    )
+                    .with_faults(99, empi_netsim::FaultRates::uniform(0.04))
+                    .with_retransmit(4, VDur::from_micros(150))
+                    .with_pipeline(
+                        crate::PipelineConfig::enabled()
+                            .with_chunk_size(1 << 12)
+                            .with_workers(2),
+                    ),
+            )
+            .unwrap();
+            let mut ok = 0u32;
+            for i in 0..16u32 {
+                let msg: Vec<u8> = (0..5000).map(|j| (i as u8).wrapping_add(j as u8)).collect();
+                if c.rank() == 0 {
+                    sc.send(&msg, 1, i);
+                    ok += 1;
+                } else {
+                    match sc.recv(Src::Is(0), TagSel::Is(i)) {
+                        Ok((_, got)) => {
+                            assert_eq!(got, msg, "message {i} silently corrupted");
+                            ok += 1;
+                        }
+                        Err(
+                            Error::Crypto(_)
+                            | Error::DeliveryFailed { .. }
+                            | Error::Timeout { .. }
+                            | Error::Key(_),
+                        ) => {}
+                        Err(e) => panic!("untyped failure on message {i}: {e}"),
+                    }
+                }
+            }
+            ok
+        });
+        assert!(out.results[1] > 0, "chaos+rotation delivered nothing at all");
     }
 }

@@ -45,7 +45,8 @@ fn check_outcome(tag: &str, got: &Result<Vec<u8>, Error>, want: &[u8]) {
             | Error::Pipeline(_)
             | Error::LengthMismatch { .. }
             | Error::DeliveryFailed { .. }
-            | Error::Timeout { .. },
+            | Error::Timeout { .. }
+            | Error::Key(_),
         ) => {}
     }
 }

@@ -1,0 +1,97 @@
+//! The epoch drain window.
+//!
+//! Rotation is clock-derived locally on each rank — there is no wire
+//! synchronization round. The cost of that choice is skew: a chunked
+//! message sealed just before a boundary can arrive just after it, and
+//! a pipelined in-flight window can legitimately straddle a roll. The
+//! [`EpochWindow`] is the receive-side policy that absorbs exactly that
+//! skew and nothing more: a wire epoch within `drain` of the local
+//! epoch (either side) opens under its own epoch's key; anything
+//! staler is a replay, anything further ahead is forged or the peer's
+//! clock is broken. Both rejections are typed, not silent.
+
+use crate::plane::KeyError;
+
+/// Accept-window policy for incoming wire epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochWindow {
+    drain: u64,
+}
+
+impl EpochWindow {
+    /// A window accepting wire epochs in
+    /// `[local − drain, local + drain]` (saturating at 0).
+    pub fn new(drain: u64) -> EpochWindow {
+        EpochWindow { drain }
+    }
+
+    /// The window half-width in epochs.
+    pub fn drain(&self) -> u64 {
+        self.drain
+    }
+
+    /// Check a record's wire epoch against the local epoch. Saturating
+    /// arithmetic: a forged `u64::MAX` prefix must reject, not overflow.
+    pub fn accept(&self, wire: u64, local: u64) -> Result<(), KeyError> {
+        if wire.saturating_add(self.drain) < local {
+            Err(KeyError::StaleEpoch {
+                wire,
+                local,
+                drain: self.drain,
+            })
+        } else if wire > local.saturating_add(self.drain) {
+            Err(KeyError::FutureEpoch { wire, local })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_accepts_within_drain() {
+        let w = EpochWindow::new(1);
+        assert_eq!(w.accept(5, 5), Ok(()));
+        assert_eq!(w.accept(4, 5), Ok(()), "one behind drains");
+        assert_eq!(w.accept(6, 5), Ok(()), "one ahead absorbs skew");
+    }
+
+    #[test]
+    fn window_rejects_stale_and_future() {
+        let w = EpochWindow::new(1);
+        assert_eq!(
+            w.accept(3, 5),
+            Err(KeyError::StaleEpoch {
+                wire: 3,
+                local: 5,
+                drain: 1
+            })
+        );
+        assert_eq!(
+            w.accept(7, 5),
+            Err(KeyError::FutureEpoch { wire: 7, local: 5 })
+        );
+    }
+
+    #[test]
+    fn zero_drain_is_exact_match() {
+        let w = EpochWindow::new(0);
+        assert_eq!(w.accept(2, 2), Ok(()));
+        assert!(w.accept(1, 2).is_err());
+        assert!(w.accept(3, 2).is_err());
+        // No underflow near zero, no overflow at the top.
+        assert_eq!(w.accept(0, 0), Ok(()));
+        assert!(EpochWindow::new(2).accept(0, 1).is_ok());
+        assert!(matches!(
+            EpochWindow::new(2).accept(u64::MAX, 1),
+            Err(KeyError::FutureEpoch { .. })
+        ));
+        assert!(matches!(
+            EpochWindow::new(2).accept(1, u64::MAX),
+            Err(KeyError::StaleEpoch { .. })
+        ));
+    }
+}

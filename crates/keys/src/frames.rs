@@ -1,0 +1,131 @@
+//! Wire encoding of the key-lifecycle control frames.
+//!
+//! These ride the ctrl-plane tag channel (tag bit 25) like NACK and
+//! repair frames do, sealed under the bootstrap KEK in the legacy
+//! (prefix-free) record format — a rank must be able to join the
+//! handshake *before* any session epoch exists. Each frame starts with
+//! a one-byte kind discriminant under a shared magic so a decoder can
+//! reject garbage cheaply before the AEAD layer ever gets involved.
+
+/// Frame magic: "eK" — distinguishes key frames from any other ctrl
+/// payload that might share the channel in a buggy build.
+const MAGIC: [u8; 2] = *b"eK";
+
+const KIND_COMMIT: u8 = 1;
+const KIND_REVEAL: u8 = 2;
+const KIND_REVOKE: u8 = 3;
+
+/// A key-lifecycle control frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyFrame {
+    /// Handshake round 1: `rank` commits to its (hidden) contribution.
+    Commit { rank: u32, commitment: [u8; 32] },
+    /// Handshake round 2: `rank` opens its commitment.
+    Reveal {
+        rank: u32,
+        value: [u8; 32],
+        blind: [u8; 32],
+    },
+    /// Rank `by` declares `target` compromised as of `epoch`.
+    Revoke { by: u32, target: u32, epoch: u64 },
+}
+
+impl KeyFrame {
+    /// Serialize to the ctrl-plane payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(80);
+        out.extend_from_slice(&MAGIC);
+        match self {
+            KeyFrame::Commit { rank, commitment } => {
+                out.push(KIND_COMMIT);
+                out.extend_from_slice(&rank.to_be_bytes());
+                out.extend_from_slice(commitment);
+            }
+            KeyFrame::Reveal { rank, value, blind } => {
+                out.push(KIND_REVEAL);
+                out.extend_from_slice(&rank.to_be_bytes());
+                out.extend_from_slice(value);
+                out.extend_from_slice(blind);
+            }
+            KeyFrame::Revoke { by, target, epoch } => {
+                out.push(KIND_REVOKE);
+                out.extend_from_slice(&by.to_be_bytes());
+                out.extend_from_slice(&target.to_be_bytes());
+                out.extend_from_slice(&epoch.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a ctrl-plane payload; `None` on wrong magic, unknown
+    /// kind, or wrong length for the kind (trailing bytes rejected).
+    pub fn decode(buf: &[u8]) -> Option<KeyFrame> {
+        if buf.len() < 3 || buf[..2] != MAGIC {
+            return None;
+        }
+        let body = &buf[3..];
+        match buf[2] {
+            KIND_COMMIT if body.len() == 4 + 32 => Some(KeyFrame::Commit {
+                rank: u32::from_be_bytes(body[..4].try_into().unwrap()),
+                commitment: body[4..36].try_into().unwrap(),
+            }),
+            KIND_REVEAL if body.len() == 4 + 32 + 32 => Some(KeyFrame::Reveal {
+                rank: u32::from_be_bytes(body[..4].try_into().unwrap()),
+                value: body[4..36].try_into().unwrap(),
+                blind: body[36..68].try_into().unwrap(),
+            }),
+            KIND_REVOKE if body.len() == 4 + 4 + 8 => Some(KeyFrame::Revoke {
+                by: u32::from_be_bytes(body[..4].try_into().unwrap()),
+                target: u32::from_be_bytes(body[4..8].try_into().unwrap()),
+                epoch: u64::from_be_bytes(body[8..16].try_into().unwrap()),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            KeyFrame::Commit {
+                rank: 3,
+                commitment: [0xaa; 32],
+            },
+            KeyFrame::Reveal {
+                rank: 7,
+                value: [1; 32],
+                blind: [2; 32],
+            },
+            KeyFrame::Revoke {
+                by: 0,
+                target: 5,
+                epoch: 12,
+            },
+        ];
+        for f in &frames {
+            let wire = f.encode();
+            assert_eq!(KeyFrame::decode(&wire).as_ref(), Some(f));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(KeyFrame::decode(b""), None);
+        assert_eq!(KeyFrame::decode(b"eK"), None, "magic alone");
+        assert_eq!(KeyFrame::decode(b"xK\x01aaaa"), None, "wrong magic");
+        assert_eq!(KeyFrame::decode(b"eK\x09aaaa"), None, "unknown kind");
+        // Right kind, wrong length — short and long both rejected.
+        let mut wire = KeyFrame::Commit {
+            rank: 1,
+            commitment: [0; 32],
+        }
+        .encode();
+        assert!(KeyFrame::decode(&wire[..wire.len() - 1]).is_none());
+        wire.push(0);
+        assert!(KeyFrame::decode(&wire).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Seeded group key agreement.
+//!
+//! At `World` startup every rank derives a *contribution* (a value and
+//! a commitment blind) deterministically from the world's handshake
+//! seed and its own rank, broadcasts the commitment, then — only after
+//! every commitment is in — reveals. Each rank verifies every opening
+//! against its commitment and folds the bootstrap key with all
+//! contributions (in rank order) into the *session master*. The
+//! commit-before-reveal order is what makes the toss fair: no rank can
+//! pick its contribution after seeing the others'. Determinism from
+//! the seed is what makes it testable: any rank (or test) can recompute
+//! the whole protocol offline and the transcript must match.
+
+use std::collections::BTreeSet;
+
+use empi_aead::sha256::Sha256;
+
+use crate::suite::{cointoss, AesRng};
+
+/// One rank's secret handshake input: the coin-toss value and the
+/// commitment blind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contribution {
+    pub value: [u8; 32],
+    pub blind: [u8; 32],
+}
+
+/// Derive rank `rank`'s contribution from the world seed. The per-rank
+/// RNG seed mixes the rank with an odd constant so adjacent ranks land
+/// on well-separated CTR streams.
+pub fn contribution(seed: u64, rank: usize) -> Contribution {
+    let mut rng = AesRng::from_seed(seed ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut value = [0u8; 32];
+    let mut blind = [0u8; 32];
+    rng.fill(&mut value);
+    rng.fill(&mut blind);
+    Contribution { value, blind }
+}
+
+/// The commitment a rank broadcasts in round 1.
+pub fn commitment(c: &Contribution) -> [u8; 32] {
+    cointoss::commit(&c.value, &c.blind)
+}
+
+/// Fold the bootstrap key and all revealed values (rank order) into
+/// the session master:
+/// `SHA-256("empi-session-master" ‖ bootstrap ‖ n ‖ v_0 ‖ … ‖ v_{n-1})`.
+pub fn session_master(bootstrap: &[u8; 32], values: &[[u8; 32]]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"empi-session-master");
+    h.update(bootstrap);
+    h.update(&(values.len() as u64).to_be_bytes());
+    for v in values {
+        h.update(v);
+    }
+    h.finalize()
+}
+
+/// Re-key after revocation: fold the revoked set into the master so
+/// survivors land on a key the revoked rank (which knew `master`)
+/// cannot derive without being told.
+/// `SHA-256("empi-revoked-master" ‖ master ‖ k ‖ r_0 ‖ … ‖ r_{k-1})`.
+pub fn revoked_master(master: &[u8; 32], revoked: &BTreeSet<usize>) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"empi-revoked-master");
+    h.update(master);
+    h.update(&(revoked.len() as u64).to_be_bytes());
+    for r in revoked {
+        h.update(&(*r as u64).to_be_bytes());
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contributions_are_deterministic_and_per_rank() {
+        let a = contribution(99, 0);
+        assert_eq!(a, contribution(99, 0));
+        assert_ne!(a, contribution(99, 1), "ranks separate");
+        assert_ne!(a, contribution(100, 0), "seeds separate");
+        assert_ne!(a.value, a.blind);
+    }
+
+    #[test]
+    fn commitments_verify_and_bind() {
+        let c = contribution(7, 2);
+        let com = commitment(&c);
+        assert!(cointoss::verify(&com, &c.value, &c.blind));
+        let other = contribution(7, 3);
+        assert!(!cointoss::verify(&com, &other.value, &other.blind));
+    }
+
+    #[test]
+    fn session_master_is_order_and_input_sensitive() {
+        let boot = [1u8; 32];
+        let v: Vec<[u8; 32]> = (0..4).map(|r| contribution(5, r).value).collect();
+        let m = session_master(&boot, &v);
+        assert_eq!(m, session_master(&boot, &v), "deterministic");
+        assert_ne!(m, session_master(&[2u8; 32], &v), "bootstrap folded in");
+        let mut swapped = v.clone();
+        swapped.swap(0, 1);
+        assert_ne!(m, session_master(&boot, &swapped), "rank order matters");
+        assert_ne!(m, session_master(&boot, &v[..3]), "count matters");
+        assert_ne!(m, boot, "fresh key, not the bootstrap");
+    }
+
+    #[test]
+    fn revoked_master_departs_per_revocation() {
+        let m = [9u8; 32];
+        let none = BTreeSet::new();
+        let one: BTreeSet<usize> = [2].into_iter().collect();
+        let two: BTreeSet<usize> = [2, 3].into_iter().collect();
+        let rm0 = revoked_master(&m, &none);
+        let rm1 = revoked_master(&m, &one);
+        let rm2 = revoked_master(&m, &two);
+        assert_ne!(rm0, m, "even the empty set domain-separates");
+        assert_ne!(rm1, rm0);
+        assert_ne!(rm2, rm1);
+        assert_eq!(rm1, revoked_master(&m, &one), "deterministic");
+    }
+}

@@ -1,0 +1,175 @@
+//! The epoch-qualified wire format.
+//!
+//! Legacy records are `nonce(12) ‖ ct ‖ tag(16)`. Once the key plane
+//! is on, plain records grow an 8-byte big-endian epoch prefix —
+//! `epoch(8) ‖ nonce(12) ‖ ct ‖ tag(16)` — and the prefix doubles as
+//! the record's AAD, so flipping it (epoch splice) or stripping it
+//! (downgrade to the legacy format) fails authentication rather than
+//! decrypting under the wrong key. Chunked messages don't grow at all:
+//! the epoch rides the top 16 bits of the message id, which the chunk
+//! layer already binds into every frame's AAD.
+
+use empi_aead::{AesGcm, Error as AeadError, NONCE_LEN, TAG_LEN};
+
+use crate::plane::KeyError;
+
+/// Bytes of epoch prefix on an epoch-qualified plain record.
+pub const EPOCH_PREFIX_LEN: usize = 8;
+
+/// Bit position of the epoch field inside a chunked message id:
+/// `msg_id = (epoch & 0xFFFF) << 48 | (rank & 0xFFFF) << 32 | seq`.
+pub const EPOCH_MSG_ID_SHIFT: u32 = 48;
+
+/// The AAD of an epoch-qualified record: the epoch prefix itself.
+pub fn epoch_aad(epoch: u64) -> [u8; EPOCH_PREFIX_LEN] {
+    epoch.to_be_bytes()
+}
+
+/// Fold `epoch` into the top 16 bits of a chunked message id. The id's
+/// own layout (`rank << 32 | seq`) leaves those bits zero until a rank
+/// has issued 2^16 sequence windows, which the simulator never does.
+pub fn embed_epoch_msg_id(epoch: u64, msg_id: u64) -> u64 {
+    ((epoch & 0xFFFF) << EPOCH_MSG_ID_SHIFT) | (msg_id & ((1u64 << EPOCH_MSG_ID_SHIFT) - 1))
+}
+
+/// Recover the epoch from a chunked message id's top 16 bits.
+pub fn msg_id_epoch(msg_id: u64) -> u64 {
+    msg_id >> EPOCH_MSG_ID_SHIFT
+}
+
+/// Widen a 16-bit wire epoch (from a chunked message id) back to the
+/// full 64-bit epoch, picking the candidate congruent to `wire` mod
+/// 2^16 that lies closest to the receiver's `local` epoch. Unambiguous
+/// whenever the true sender/receiver skew is under 2^15 epochs — far
+/// beyond any drain window the plane accepts.
+pub fn widen_epoch16(wire: u64, local: u64) -> u64 {
+    let wire = wire & 0xFFFF;
+    let base = local & !0xFFFF;
+    [
+        base.checked_sub(0x1_0000).map(|b| b | wire),
+        Some(base | wire),
+        base.checked_add(0x1_0000).map(|b| b | wire),
+    ]
+    .into_iter()
+    .flatten()
+    .min_by_key(|&c| c.abs_diff(local))
+    .expect("candidate list is never empty")
+}
+
+/// Split an epoch-qualified record into `(epoch, legacy_record)`.
+/// A record too short to even hold the prefix plus a legacy frame is a
+/// downgrade attempt (or corruption), typed as such.
+pub fn split_epoch(wire: &[u8]) -> Result<(u64, &[u8]), KeyError> {
+    if wire.len() < EPOCH_PREFIX_LEN + NONCE_LEN + TAG_LEN {
+        return Err(KeyError::Downgrade);
+    }
+    let epoch = u64::from_be_bytes(wire[..EPOCH_PREFIX_LEN].try_into().unwrap());
+    Ok((epoch, &wire[EPOCH_PREFIX_LEN..]))
+}
+
+/// Seal `plaintext` as an epoch-qualified record under `cipher` with a
+/// caller-supplied nonce: `epoch ‖ nonce ‖ ct ‖ tag`, AAD = epoch.
+pub fn seal_record(cipher: &AesGcm, epoch: u64, nonce: [u8; NONCE_LEN], pt: &[u8]) -> Vec<u8> {
+    let aad = epoch_aad(epoch);
+    let mut out = Vec::with_capacity(EPOCH_PREFIX_LEN + NONCE_LEN + pt.len() + TAG_LEN);
+    out.extend_from_slice(&aad);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(pt);
+    let tag = cipher.seal_detached(&nonce, &aad, &mut out[EPOCH_PREFIX_LEN + NONCE_LEN..]);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Open an epoch-qualified record sealed by [`seal_record`]. The
+/// caller resolves the epoch to a cipher first (via [`split_epoch`]);
+/// this re-checks framing and authenticates the prefix as AAD.
+pub fn open_record(cipher: &AesGcm, wire: &[u8]) -> Result<Vec<u8>, AeadError> {
+    if wire.len() < EPOCH_PREFIX_LEN + NONCE_LEN + TAG_LEN {
+        return Err(AeadError::CiphertextTooShort { got: wire.len() });
+    }
+    let (aad, rest) = wire.split_at(EPOCH_PREFIX_LEN);
+    let (nonce, ct_and_tag) = rest.split_at(NONCE_LEN);
+    let nonce: &[u8; NONCE_LEN] = nonce.try_into().expect("nonce length");
+    cipher.open(nonce, aad, ct_and_tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher(byte: u8) -> AesGcm {
+        AesGcm::new(&[byte; 32]).unwrap()
+    }
+
+    #[test]
+    fn record_round_trips_and_carries_epoch() {
+        let c = cipher(1);
+        let wire = seal_record(&c, 42, [9; NONCE_LEN], b"hello");
+        let (epoch, rest) = split_epoch(&wire).unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(rest.len(), NONCE_LEN + 5 + TAG_LEN);
+        assert_eq!(open_record(&c, &wire).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn epoch_splice_fails_authentication() {
+        let c = cipher(1);
+        let mut wire = seal_record(&c, 3, [9; NONCE_LEN], b"payload");
+        // Rewrite the epoch prefix without re-sealing: the AAD no
+        // longer matches the tag.
+        wire[..EPOCH_PREFIX_LEN].copy_from_slice(&7u64.to_be_bytes());
+        assert!(open_record(&c, &wire).is_err(), "spliced epoch must fail");
+    }
+
+    #[test]
+    fn downgrade_strip_is_typed_or_fails_auth() {
+        let c = cipher(1);
+        let wire = seal_record(&c, 3, [9; NONCE_LEN], b"p");
+        // Stripping the prefix yields a structurally-valid legacy
+        // record, but one whose tag was computed with AAD — opening it
+        // AAD-free under any key must fail; and a runt can't even be
+        // split.
+        let stripped = &wire[EPOCH_PREFIX_LEN..];
+        let nonce: &[u8; NONCE_LEN] = stripped[..NONCE_LEN].try_into().unwrap();
+        assert!(
+            c.open(nonce, b"", &stripped[NONCE_LEN..]).is_err(),
+            "stripped record fails auth"
+        );
+        assert_eq!(
+            split_epoch(&wire[..EPOCH_PREFIX_LEN + NONCE_LEN + TAG_LEN - 1]),
+            Err(KeyError::Downgrade)
+        );
+    }
+
+    #[test]
+    fn wrong_epoch_key_fails() {
+        let c3 = cipher(3);
+        let c4 = cipher(4);
+        let wire = seal_record(&c3, 5, [0; NONCE_LEN], b"x");
+        assert!(open_record(&c4, &wire).is_err());
+    }
+
+    #[test]
+    fn msg_id_embedding_round_trips() {
+        let msg_id = (7u64 << 32) | 12345; // rank 7, seq 12345
+        let tagged = embed_epoch_msg_id(9, msg_id);
+        assert_eq!(msg_id_epoch(tagged), 9);
+        assert_eq!(tagged & ((1 << EPOCH_MSG_ID_SHIFT) - 1), msg_id);
+        assert_eq!(embed_epoch_msg_id(0, msg_id), msg_id, "epoch 0 is identity");
+        assert_eq!(msg_id_epoch(msg_id), 0, "legacy ids read as epoch 0");
+    }
+
+    #[test]
+    fn widening_tracks_the_local_epoch() {
+        assert_eq!(widen_epoch16(5, 5), 5);
+        assert_eq!(widen_epoch16(4, 5), 4, "drain-window straggler");
+        assert_eq!(widen_epoch16(6, 5), 6, "skewed-ahead peer");
+        // Around a 2^16 boundary the congruent candidate nearest to
+        // local wins, in both directions.
+        assert_eq!(widen_epoch16(0xFFFF, 0x1_0000), 0xFFFF);
+        assert_eq!(widen_epoch16(0, 0xFFFF), 0x1_0000);
+        assert_eq!(widen_epoch16(1, 0x2_FFFE), 0x3_0001);
+        // Saturation at zero: no negative candidates.
+        assert_eq!(widen_epoch16(3, 0), 3);
+    }
+}

@@ -84,6 +84,23 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
         None => out.push_str(",\"chaos\":null"),
     }
 
+    match &snap.keys {
+        Some(k) => {
+            let _ = write!(
+                out,
+                ",\"keys\":{{\"handshakes\":{},\"rekeys\":{},\"revocations\":{},\
+                 \"rejected_stale\":{},\"rejected_future\":{},\"rejected_revoked\":{}}}",
+                k.handshakes,
+                k.rekeys,
+                k.revocations,
+                k.rejected_stale,
+                k.rejected_future,
+                k.rejected_revoked
+            );
+        }
+        None => out.push_str(",\"keys\":null"),
+    }
+
     out.push_str(",\"per_rank\":[");
     for (i, l) in snap.per_rank.iter().enumerate() {
         if i > 0 {
@@ -92,7 +109,7 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
         let _ = write!(
             out,
             "{{\"rank\":{},\"e2e_samples\":{},\"seal_samples\":{},\"open_samples\":{},\
-             \"wait_samples\":{},\"repair_samples\":{},\"flow_events\":{},\
+             \"wait_samples\":{},\"repair_samples\":{},\"key_samples\":{},\"flow_events\":{},\
              \"dropped_flow_events\":{},\"dropped_points\":{}}}",
             l.rank,
             l.e2e_samples,
@@ -100,6 +117,7 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
             l.open_samples,
             l.wait_samples,
             l.repair_samples,
+            l.key_samples,
             l.flow_events,
             l.dropped_flow_events,
             l.dropped_points
@@ -229,6 +247,21 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
             ("backoff_ns", c.backoff_ns),
         ] {
             let _ = writeln!(out, "empi_chaos_total{{counter=\"{name}\"}} {v}");
+        }
+    }
+
+    if let Some(k) = &snap.keys {
+        out.push_str("# HELP empi_keys_total Key-lifecycle counters (handshake/rotate/revoke).\n");
+        out.push_str("# TYPE empi_keys_total counter\n");
+        for (name, v) in [
+            ("handshakes", k.handshakes),
+            ("rekeys", k.rekeys),
+            ("revocations", k.revocations),
+            ("rejected_stale", k.rejected_stale),
+            ("rejected_future", k.rejected_future),
+            ("rejected_revoked", k.rejected_revoked),
+        ] {
+            let _ = writeln!(out, "empi_keys_total{{counter=\"{name}\"}} {v}");
         }
     }
 
@@ -389,7 +422,7 @@ pub fn chrome_counters(snap: &MetricsSnapshot) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ChaosCounters, CounterPoint, Histogram, Metric, RankLedger};
+    use crate::{ChaosCounters, CounterPoint, Histogram, KeyCounters, Metric, RankLedger};
 
     fn sample_snapshot() -> MetricsSnapshot {
         let mut h = Histogram::new();
@@ -432,6 +465,11 @@ mod tests {
                 faults_injected: 3,
                 ..Default::default()
             }),
+            keys: Some(KeyCounters {
+                handshakes: 2,
+                rekeys: 7,
+                ..Default::default()
+            }),
             ..Default::default()
         }
     }
@@ -451,6 +489,10 @@ mod tests {
             Some(3.0)
         );
         assert_eq!(
+            v.get("keys").unwrap().get("rekeys").unwrap().as_f64(),
+            Some(7.0)
+        );
+        assert_eq!(
             v.get("slo").unwrap().get("verdict").unwrap().as_str(),
             Some("unevaluated")
         );
@@ -462,6 +504,7 @@ mod tests {
         assert!(text.contains("empi_latency_ns_bucket"));
         assert!(text.contains("le=\"+Inf\"} 5"));
         assert!(text.contains("empi_latency_ns_count"));
+        assert!(text.contains("empi_keys_total{counter=\"rekeys\"} 7"));
         validate_prometheus(&text).expect("valid prometheus");
     }
 

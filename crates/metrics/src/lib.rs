@@ -59,6 +59,8 @@ pub enum Metric {
     Wait,
     /// ARQ repair latency (recovery-loop entry to resolution).
     Repair,
+    /// Key-lifecycle event latency (handshake, rotation, revocation).
+    Key,
 }
 
 impl Metric {
@@ -69,15 +71,17 @@ impl Metric {
             Metric::Open => "open",
             Metric::Wait => "wait",
             Metric::Repair => "repair",
+            Metric::Key => "key",
         }
     }
 
-    pub const ALL: [Metric; 5] = [
+    pub const ALL: [Metric; 6] = [
         Metric::E2e,
         Metric::Seal,
         Metric::Open,
         Metric::Wait,
         Metric::Repair,
+        Metric::Key,
     ];
 }
 
@@ -128,6 +132,7 @@ pub struct RankLedger {
     pub open_samples: u64,
     pub wait_samples: u64,
     pub repair_samples: u64,
+    pub key_samples: u64,
     pub flow_events: u64,
     pub dropped_flow_events: u64,
     pub dropped_points: u64,
@@ -159,6 +164,18 @@ pub struct ChaosCounters {
     pub backoff_ns: u64,
 }
 
+/// Mirror of `empi-keys`' `KeyStats` (the dependency points the other
+/// way, so the bench injects the values via [`MetricsSnapshot::keys`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KeyCounters {
+    pub handshakes: u64,
+    pub rekeys: u64,
+    pub revocations: u64,
+    pub rejected_stale: u64,
+    pub rejected_future: u64,
+    pub rejected_revoked: u64,
+}
+
 /// Everything the recorder knows, merged across ranks at end of run.
 /// Always compiled; the feature-gated recorder produces an empty one
 /// when metrics are compiled out.
@@ -178,6 +195,8 @@ pub struct MetricsSnapshot {
     pub slo: SloReport,
     /// Chaos counters injected by the harness (see [`ChaosCounters`]).
     pub chaos: Option<ChaosCounters>,
+    /// Key-plane counters injected by the harness (see [`KeyCounters`]).
+    pub keys: Option<KeyCounters>,
 }
 
 impl Default for MetricsSnapshot {
@@ -192,6 +211,7 @@ impl Default for MetricsSnapshot {
             flows: Vec::new(),
             slo: SloReport::default(),
             chaos: None,
+            keys: None,
         }
     }
 }
@@ -219,6 +239,7 @@ impl MetricsSnapshot {
                 Metric::Open => l.open_samples,
                 Metric::Wait => l.wait_samples,
                 Metric::Repair => l.repair_samples,
+                Metric::Key => l.key_samples,
             })
             .sum()
     }
@@ -324,6 +345,7 @@ mod imp {
                 Metric::Open => rec.ledger.open_samples += 1,
                 Metric::Wait => rec.ledger.wait_samples += 1,
                 Metric::Repair => rec.ledger.repair_samples += 1,
+                Metric::Key => rec.ledger.key_samples += 1,
             }
             let h = rec.hists.entry(key).or_default();
             h.record(dur_ns);
@@ -463,6 +485,7 @@ mod imp {
                 flows,
                 slo,
                 chaos: None,
+                keys: None,
             }
         }
     }

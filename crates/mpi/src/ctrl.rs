@@ -28,6 +28,12 @@ pub const CTRL_TAG_BASE: Tag = 1 << 25;
 pub const NACK_TAG: Tag = CTRL_TAG_BASE | 1;
 /// Sender → receiver: repair payload (or abort notice).
 pub const REPAIR_TAG: Tag = CTRL_TAG_BASE | 2;
+/// Key handshake round 1: commitment frames (`empi-keys`).
+pub const KEY_COMMIT_TAG: Tag = CTRL_TAG_BASE | 4;
+/// Key handshake round 2: reveal frames.
+pub const KEY_REVEAL_TAG: Tag = CTRL_TAG_BASE | 5;
+/// Revocation notices.
+pub const KEY_REVOKE_TAG: Tag = CTRL_TAG_BASE | 6;
 
 const NACK_MAGIC: u32 = 0x4E41_434B; // "NACK"
 const REPAIR_MAGIC: u32 = 0x5250_4152; // "RPAR"
@@ -235,6 +241,14 @@ mod tests {
         assert_eq!(NACK_TAG & (1 << 25), 1 << 25);
         assert_eq!(REPAIR_TAG & (1 << 25), 1 << 25);
         assert_ne!(NACK_TAG, REPAIR_TAG);
+        // Key-plane tags share the region without colliding with ARQ.
+        let key_tags = [KEY_COMMIT_TAG, KEY_REVEAL_TAG, KEY_REVOKE_TAG];
+        for t in key_tags {
+            assert_eq!(t & (1 << 25), 1 << 25);
+            assert_ne!(t, NACK_TAG);
+            assert_ne!(t, REPAIR_TAG);
+        }
+        assert!(key_tags.windows(2).all(|w| w[0] != w[1]));
         let worst_coll = crate::RESERVED_TAG_BASE | (255 << 16) | 0xffff;
         assert_eq!(worst_coll & (1 << 25), 0);
     }

@@ -45,7 +45,10 @@ pub use chunk::{
 };
 pub use coll::ops;
 pub use comm::{AnyCtrl, Comm, Request, WaitCtrl};
-pub use ctrl::{Nack, RepairHeader, RepairKind, CTRL_TAG_BASE, NACK_TAG, REPAIR_TAG};
+pub use ctrl::{
+    Nack, RepairHeader, RepairKind, CTRL_TAG_BASE, KEY_COMMIT_TAG, KEY_REVEAL_TAG, KEY_REVOKE_TAG,
+    NACK_TAG, REPAIR_TAG,
+};
 pub use empi_netsim::{Metrics, MetricsSnapshot, RankDiag, SimError, SloConfig, TraceReport, Tracer};
 pub use types::{as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel, RESERVED_TAG_BASE};
 pub use world::{World, WorldOutcome};

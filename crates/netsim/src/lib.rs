@@ -42,5 +42,5 @@ pub use empi_trace::{TraceReport, Tracer};
 pub use engine::{Engine, RankDiag, RunOutcome, SimError, SimHandle};
 pub use fabric::{Fabric, FabricStats, NetModel};
 pub use fault::{FaultPlan, FaultRates, Verdict};
-pub use time::{VDur, VTime};
+pub use time::{Schedule, VDur, VTime};
 pub use topology::Topology;

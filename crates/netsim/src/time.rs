@@ -80,6 +80,48 @@ impl VDur {
     }
 }
 
+/// A fixed-period schedule on the virtual clock: the timeline is tiled
+/// into intervals of `period` ns and every instant maps to the index of
+/// the interval containing it. Ranks that share a period agree on the
+/// index to within their mutual clock skew, which is what lets the key
+/// plane rotate epochs without any wire synchronization — each rank
+/// derives the current epoch locally from its own clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    period: VDur,
+}
+
+impl Schedule {
+    /// A schedule ticking every `period` (clamped to ≥ 1 ns so a
+    /// zero-period schedule cannot divide by zero).
+    pub fn every(period: VDur) -> Schedule {
+        Schedule {
+            period: VDur(period.0.max(1)),
+        }
+    }
+
+    /// The tick period.
+    pub fn period(&self) -> VDur {
+        self.period
+    }
+
+    /// The interval index containing `t` (interval `i` spans
+    /// `[i*period, (i+1)*period)`).
+    pub fn index_at(&self, t: VTime) -> u64 {
+        t.0 / self.period.0
+    }
+
+    /// The instant interval `index` begins.
+    pub fn boundary(&self, index: u64) -> VTime {
+        VTime(index.saturating_mul(self.period.0))
+    }
+
+    /// The first boundary strictly after `t`.
+    pub fn next_boundary(&self, t: VTime) -> VTime {
+        self.boundary(self.index_at(t) + 1)
+    }
+}
+
 impl Add<VDur> for VTime {
     type Output = VTime;
     fn add(self, d: VDur) -> VTime {
@@ -137,6 +179,19 @@ mod tests {
         assert_eq!(VTime(5).since(VTime(10)), VDur::ZERO, "saturating");
         assert_eq!(VDur::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
         assert_eq!(VDur::from_micros_f64(-3.0), VDur::ZERO, "clamped");
+    }
+
+    #[test]
+    fn schedule_indexes_and_boundaries() {
+        let s = Schedule::every(VDur::from_micros(10));
+        assert_eq!(s.index_at(VTime::ZERO), 0);
+        assert_eq!(s.index_at(VTime(9_999)), 0);
+        assert_eq!(s.index_at(VTime(10_000)), 1, "boundary belongs to the next interval");
+        assert_eq!(s.boundary(3), VTime(30_000));
+        assert_eq!(s.next_boundary(VTime(10_000)), VTime(20_000));
+        assert_eq!(s.next_boundary(VTime(10_001)), VTime(20_000));
+        // Degenerate period is clamped, never a divide-by-zero.
+        assert_eq!(Schedule::every(VDur::ZERO).period(), VDur(1));
     }
 
     #[test]

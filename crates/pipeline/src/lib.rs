@@ -359,6 +359,11 @@ pub struct Pipeline {
     cfg: PipelineConfig,
     next_seq: Cell<u64>,
     rank: u64,
+    /// Key-plane epoch folded into the top 16 bits of every minted
+    /// message id (0 = legacy ids, bit-identical to pre-key-plane
+    /// builds). The chunk layer binds the id into each frame's AAD,
+    /// which is what makes the epoch tamper-evident on chunked wire.
+    epoch: Cell<u64>,
 }
 
 impl Pipeline {
@@ -369,6 +374,7 @@ impl Pipeline {
             cfg,
             next_seq: Cell::new(0),
             rank: rank as u64,
+            epoch: Cell::new(0),
         }
     }
 
@@ -382,12 +388,26 @@ impl Pipeline {
         self.cfg.applies_to(len)
     }
 
+    /// Set the key-plane epoch stamped into subsequent message ids.
+    /// Only the key plane calls this; legacy worlds keep epoch 0 and
+    /// mint the exact ids they always did.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.set(epoch);
+    }
+
     /// Next sender-unique message id (rank in the high 32 bits, so ids
-    /// never collide across senders sharing one key).
+    /// never collide across senders sharing one key; key-plane epoch
+    /// in the top 16).
     fn next_msg_id(&self) -> u64 {
         let seq = self.next_seq.get();
         self.next_seq.set(seq + 1);
-        (self.rank << 32) | seq
+        let id = (self.rank << 32) | seq;
+        match self.epoch.get() {
+            // Epoch 0 mints the raw id — bit-identical to builds that
+            // predate the key plane, whatever the rank width.
+            0 => id,
+            e => empi_keys::embed_epoch_msg_id(e, id),
+        }
     }
 
     /// Seal `buf` into timed wire frames: greedily schedule every

@@ -73,6 +73,9 @@ pub enum Cat {
     /// SLO watchdog verdicts (`health/p99-budget`, `health/flow-stall`,
     /// `health/verdict`) emitted by the metrics plane at snapshot.
     Health,
+    /// Key-lifecycle activity (`key/handshake`, `key/rotate`,
+    /// `key/revoke`, `key/reject`) on the acting rank's lane.
+    Key,
 }
 
 impl Cat {
@@ -88,6 +91,7 @@ impl Cat {
             Cat::Retry => "retry",
             Cat::Alloc => "alloc",
             Cat::Health => "health",
+            Cat::Key => "key",
         }
     }
 }
@@ -162,6 +166,12 @@ pub struct RankMetrics {
     pub alloc_pooled_bytes: u64,
     /// Wire buffers recovered into the pool after delivery.
     pub pool_reclaims: u64,
+    /// Group handshakes this rank completed (key plane).
+    pub handshakes: u64,
+    /// Key epochs this rank rolled into (0 when rotation is off).
+    pub rekeys: u64,
+    /// Peers this rank revoked and re-keyed away from.
+    pub revocations: u64,
 }
 
 /// Byte/message ledger for one ordered (src, dst) rank pair.
@@ -565,6 +575,38 @@ mod imp {
             });
         }
 
+        /// Record key-lifecycle activity on `rank`'s lane and bump the
+        /// matching counter: `key/handshake` → handshakes completed,
+        /// `key/rotate` → epochs rolled into, `key/revoke` → peers
+        /// revoked (`key/reject` spans count nothing — rejects are
+        /// per-message, tracked by the metrics plane).
+        pub fn key_span(
+            &self,
+            rank: usize,
+            label: &'static str,
+            t0_ns: u64,
+            dur_ns: u64,
+            bytes: usize,
+            detail: String,
+        ) {
+            let mut c = self.rank(rank);
+            match label {
+                "key/handshake" => c.m.handshakes += 1,
+                "key/rotate" => c.m.rekeys += 1,
+                "key/revoke" => c.m.revocations += 1,
+                _ => {}
+            }
+            c.events.push(Event {
+                name: label.to_string(),
+                cat: Cat::Key,
+                ts_ns: t0_ns,
+                dur_ns: dur_ns.max(1),
+                tid: rank as u32,
+                bytes: bytes as u64,
+                detail,
+            });
+        }
+
         /// Record recovery-protocol activity on `rank`'s lane and bump
         /// the matching counter: `retry/nack` → NACKs sent,
         /// `retry/resend` → frames retransmitted, `retry/backoff` →
@@ -862,6 +904,17 @@ mod imp {
         }
 
         #[inline]
+        pub fn key_span(
+            &self,
+            _rank: usize,
+            _label: &'static str,
+            _t0: u64,
+            _dur: u64,
+            _bytes: usize,
+            _detail: String,
+        ) {
+        }
+
         pub fn retry_span(
             &self,
             _rank: usize,

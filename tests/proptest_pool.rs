@@ -225,7 +225,8 @@ proptest! {
                     | Error::Pipeline(_)
                     | Error::LengthMismatch { .. }
                     | Error::DeliveryFailed { .. }
-                    | Error::Timeout { .. },
+                    | Error::Timeout { .. }
+                    | Error::Key(_),
                 ) => {}
             }
             Ok(())
