@@ -1,0 +1,9 @@
+//! FIG-INFLIGHT: goodput vs in-flight window, per backend, chaos off/on.
+use empi_bench::{emit, inflight, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&inflight::run_net(net, &opts), &opts.out_dir);
+    }
+}

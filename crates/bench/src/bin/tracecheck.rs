@@ -33,8 +33,14 @@
 //! disabled zero epochs may roll: any `key/rotate` span, or a snapshot
 //! reporting nonzero `rekeys`, fails.
 //!
+//! `waitset` spans — the completion-set poller's block reason — must
+//! sit on the rank lanes (a wait happens where the rank blocks, never
+//! on a crypto worker), and `--require-wait` additionally fails any
+//! trace file that carries none at all (the nonblocking harnesses must
+//! actually drive their waits through the set poller).
+//!
 //! Usage: `tracecheck [--require-alloc] [--require-hist]
-//! [--require-keys] [--forbid-rotate] [FILE...]` — with no file
+//! [--require-keys] [--forbid-rotate] [--require-wait] [FILE...]` — with no file
 //! arguments, checks every `trace-*.json` (and with `--require-hist`
 //! or `--require-keys` every `metrics-*.json`) under `results/`.
 
@@ -49,6 +55,7 @@ use empi_trace::json::{self, Value};
 #[derive(Clone, Copy, Default)]
 struct Flags {
     require_alloc: bool,
+    require_wait: bool,
     require_hist: bool,
     require_keys: bool,
     forbid_rotate: bool,
@@ -65,6 +72,7 @@ fn check(path: &Path, flags: Flags) -> Result<String, String> {
     let mut lanes: BTreeMap<i64, f64> = BTreeMap::new();
     let mut spans = 0usize;
     let mut alloc_spans = 0usize;
+    let mut waitset_spans = 0usize;
     let mut handshake_spans = 0usize;
     let mut rotate_spans = 0usize;
     for (i, e) in events.iter().enumerate() {
@@ -112,6 +120,15 @@ fn check(path: &Path, flags: Flags) -> Result<String, String> {
             }
             alloc_spans += 1;
         }
+        if name == "waitset" {
+            // A wait happens where the rank blocks, never on a worker.
+            if tid >= empi_trace::PIPELINE_TID_BASE as i64 {
+                return Err(format!(
+                    "event {i}: waitset span on crypto-worker lane {tid}"
+                ));
+            }
+            waitset_spans += 1;
+        }
         if name.starts_with("key/") {
             // The key plane lives on the rank, never on a worker.
             if tid >= empi_trace::PIPELINE_TID_BASE as i64 {
@@ -142,6 +159,9 @@ fn check(path: &Path, flags: Flags) -> Result<String, String> {
     if flags.require_alloc && alloc_spans == 0 {
         return Err("no alloc/* spans (allocation decomposition missing)".into());
     }
+    if flags.require_wait && waitset_spans == 0 {
+        return Err("no waitset spans (completion-set waits missing)".into());
+    }
     if flags.require_keys && handshake_spans == 0 {
         return Err("no key/handshake spans (key lifecycle missing)".into());
     }
@@ -151,7 +171,7 @@ fn check(path: &Path, flags: Flags) -> Result<String, String> {
         ));
     }
     Ok(format!(
-        "{spans} spans ({alloc_spans} alloc, {} key) across {} lanes",
+        "{spans} spans ({alloc_spans} alloc, {} key, {waitset_spans} waitset) across {} lanes",
         handshake_spans + rotate_spans,
         lanes.len()
     ))
@@ -277,6 +297,10 @@ fn main() -> ExitCode {
         .filter(|a| match a.as_str() {
             "--require-alloc" => {
                 flags.require_alloc = true;
+                false
+            }
+            "--require-wait" => {
+                flags.require_wait = true;
                 false
             }
             "--require-hist" => {

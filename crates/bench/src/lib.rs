@@ -17,6 +17,7 @@
 //! | [`pipeline_nb`] | FIG-PIPELINE-NB, TAB-PIPELINE-COLL (pipelined nonblocking p2p + collectives) |
 //! | [`multipair_pipe`] | FIG-MULTIPAIR-PIPE, DECOMP-ALLOC (zero-copy pooled hot path under multi-pair contention) |
 //! | [`tail`] | TAB-TAIL, DECOMP-TAIL (latency distributions from the metrics plane, chaos off/on) |
+//! | [`inflight`] | FIG-INFLIGHT, FIG-INFLIGHT-CHAOS (goodput vs outstanding-isend window via the completion-set API) |
 //! | [`rekey`] | TAB-REKEY, DECOMP-REKEY (seeded handshake, epoch-rotation storms, revocation drill) |
 //!
 //! [`stats`] implements the paper's repeat-until-stable methodology and
@@ -30,6 +31,7 @@ pub mod collectives;
 pub mod common;
 pub mod encdec;
 pub mod extensions;
+pub mod inflight;
 pub mod multipair;
 pub mod multipair_pipe;
 pub mod nasbench;

@@ -47,4 +47,4 @@ pub use empi_keys::{KeyError, KeyPlaneConfig, KeyStats};
 pub use empi_netsim::{FaultPlan, FaultRates};
 pub use empi_pipeline::PipelineConfig;
 pub use error::{Error, Result};
-pub use secure_comm::{ChaosStats, SecureComm, SecureRequest};
+pub use secure_comm::{ChaosStats, SecureComm, SecureRequest, SetCompletion};

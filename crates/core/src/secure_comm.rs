@@ -27,8 +27,8 @@ use empi_mpi::chunk::{ChunkFrame, ChunkedMessage, RecvPayload, FRAME_OVERHEAD};
 use empi_mpi::ctrl::{pack_frames, unpack_frames};
 use empi_metrics::{BlackBox, Metric, Metrics};
 use empi_mpi::{
-    AnyCtrl, Comm, FrameHeader, Nack, RepairHeader, RepairKind, Request, Src, Status, Tag, TagSel,
-    WaitCtrl, KEY_COMMIT_TAG, KEY_REVEAL_TAG, NACK_TAG, REPAIR_TAG,
+    Comm, FrameHeader, Nack, RepairHeader, RepairKind, Request, SetPoll, Src, Status, Tag, TagSel,
+    KEY_COMMIT_TAG, KEY_REVEAL_TAG, NACK_TAG, REPAIR_TAG,
 };
 use empi_netsim::{FaultPlan, VDur, Verdict};
 use empi_pipeline::{ChunkCost, Pipeline};
@@ -208,6 +208,11 @@ pub struct SecureRequest {
     /// completion — see [`SecureComm::irecv`]).
     recv_seq_hint: Option<u64>,
 }
+
+/// One retired set-completion: `(index at call time, status, plaintext
+/// for receives)` — the element type of [`SecureComm::waitsome`] /
+/// [`SecureComm::testany`] results.
+pub type SetCompletion = (usize, Status, Option<Vec<u8>>);
 
 impl<'a, 'h> SecureComm<'a, 'h> {
     /// Wrap `comm` with the given security configuration.
@@ -1675,22 +1680,59 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         }
     }
 
+    /// The control-aware set-completion poller every encrypted wait
+    /// runs on: drive the transport's completion funnel
+    /// ([`Comm::poll_set`]) over `slots`, servicing NACKs whenever a
+    /// control frame becomes available strictly before a completion
+    /// (ties prefer data). With ARQ off the control filter is absent
+    /// and this is a plain set poll. Never returns [`SetPoll::Ctrl`] —
+    /// control frames are consumed here, in exactly one place, so the
+    /// single-request and set waits cannot diverge on control-plane
+    /// behavior.
+    fn set_poll(&self, slots: &mut [Option<Request>], block: bool) -> SetPoll {
+        let ctrl = self.arq_on().then_some((Src::Any, TagSel::Is(NACK_TAG)));
+        loop {
+            match self.comm.poll_set(slots, ctrl, block) {
+                SetPoll::Ctrl => self.service_nacks(),
+                other => return other,
+            }
+        }
+    }
+
+    /// Open one completed receive payload through the sender's wire
+    /// format, recovering via ARQ when authentication fails. `hint` is
+    /// the flow sequence drawn at post time (fully-specified receives
+    /// under chaos); wildcards draw it here, at completion.
+    fn open_completion(
+        &self,
+        status: Status,
+        payload: Option<RecvPayload>,
+        hint: Option<u64>,
+    ) -> Result<(Status, Option<Vec<u8>>)> {
+        let Some(p) = payload else {
+            return Ok((status, None));
+        };
+        if !self.chaos_on() {
+            let (status, plain) = self.open_payload_owned(p)?;
+            return Ok((status, Some(plain)));
+        }
+        let seq =
+            hint.unwrap_or_else(|| Self::bump_seq(&self.recv_seq, status.source, status.tag));
+        match self.open_payload(&p) {
+            Ok((status, plain)) => Ok((status, Some(plain))),
+            Err(e) if self.arq_on() => self
+                .recover(status.source, status.tag, seq, &p, e)
+                .map(|(st, plain)| (st, Some(plain))),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Wait for a send to complete while staying responsive to NACKs —
     /// a sender parked in rendezvous must still answer repairs or two
     /// mutually-recovering ranks deadlock.
-    fn arq_wait_send(&self, mut req: Request) {
-        loop {
-            match self
-                .comm
-                .wait_or_ctrl(req, (Src::Any, TagSel::Is(NACK_TAG)))
-            {
-                WaitCtrl::Ctrl(back) => {
-                    req = back;
-                    self.service_nacks();
-                }
-                WaitCtrl::Done(..) => return,
-            }
-        }
+    fn arq_wait_send(&self, req: Request) {
+        let mut slots = [Some(req)];
+        let _ = self.set_poll(&mut slots, true);
     }
 
     /// Blocking receive that services NACKs while parked on data.
@@ -2160,54 +2202,139 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     }
 
     fn wait_impl(&self, req: SecureRequest) -> Result<(Status, Option<Vec<u8>>)> {
-        if !self.chaos_on() {
-            let (status, payload) = self.comm.wait_payload(req.inner);
-            return match payload {
-                None => Ok((status, None)),
-                Some(p) => {
-                    let (status, plain) = self.open_payload_owned(p)?;
-                    Ok((status, Some(plain)))
-                }
-            };
-        }
         let hint = req.recv_seq_hint;
-        let (status, payload) = if self.arq_on() {
-            let mut inner = req.inner;
-            loop {
-                match self
-                    .comm
-                    .wait_or_ctrl(inner, (Src::Any, TagSel::Is(NACK_TAG)))
-                {
-                    WaitCtrl::Ctrl(back) => {
-                        inner = back;
-                        self.service_nacks();
-                    }
-                    WaitCtrl::Done(status, payload) => break (status, payload),
-                }
-            }
-        } else {
-            self.comm.wait_payload(req.inner)
-        };
-        match payload {
-            None => Ok((status, None)),
-            Some(p) => {
-                let seq = hint.unwrap_or_else(|| {
-                    Self::bump_seq(&self.recv_seq, status.source, status.tag)
-                });
-                match self.open_payload(&p) {
-                    Ok((status, plain)) => Ok((status, Some(plain))),
-                    Err(e) if self.arq_on() => self
-                        .recover(status.source, status.tag, seq, &p, e)
-                        .map(|(st, plain)| (st, Some(plain))),
-                    Err(e) => Err(e),
-                }
-            }
+        let mut slots = [Some(req.inner)];
+        match self.set_poll(&mut slots, true) {
+            SetPoll::Done(_, status, payload) => self.open_completion(status, payload, hint),
+            _ => unreachable!("blocking poll on one live request"),
         }
     }
 
-    /// Wait on all requests in order (Encrypted_Waitall).
+    /// Wait on all requests as a true completion set
+    /// (Encrypted_Waitall): requests retire in completion order —
+    /// earliest virtual time first, NACKs serviced between completions
+    /// under ARQ — with results returned in request order. Each
+    /// completion records a `Metric::E2e` sample under `p2p/waitall`
+    /// (latency measured from the call, the tail a waitall-heavy
+    /// workload actually observes). On a decryption/delivery error the
+    /// error is returned and the requests not yet retired are dropped,
+    /// like the sequential wait loop it replaces.
     pub fn waitall(&self, reqs: Vec<SecureRequest>) -> Result<Vec<(Status, Option<Vec<u8>>)>> {
-        reqs.into_iter().map(|r| self.wait(r)).collect()
+        let t0 = self.comm.sim().now().as_nanos();
+        let hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
+        let mut slots: Vec<Option<Request>> = reqs.into_iter().map(|r| Some(r.inner)).collect();
+        let mut out: Vec<Option<(Status, Option<Vec<u8>>)>> =
+            (0..slots.len()).map(|_| None).collect();
+        loop {
+            match self.set_poll(&mut slots, true) {
+                SetPoll::Done(idx, status, payload) => {
+                    let opened = self.open_completion(status, payload, hints[idx]);
+                    self.record_wait_sample("p2p/waitall", t0, &opened);
+                    out[idx] = Some(opened?);
+                }
+                SetPoll::Empty => break,
+                SetPoll::Ctrl | SetPoll::Pending => {
+                    unreachable!("blocking set_poll yields Done or Empty")
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("set poller retires every slot"))
+            .collect())
+    }
+
+    /// Wait until at least one request completes, then drain every
+    /// other request already complete at that virtual time
+    /// (Encrypted_Waitsome). Completed entries are removed from `reqs`
+    /// (survivors keep their order); each reported index refers to the
+    /// position in `reqs` at call time. An empty `reqs` returns an
+    /// empty vector. Records one `p2p/waitsome` sample per completion.
+    pub fn waitsome(
+        &self,
+        reqs: &mut Vec<SecureRequest>,
+    ) -> Result<Vec<SetCompletion>> {
+        let t0 = self.comm.sim().now().as_nanos();
+        let hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
+        let mut slots: Vec<Option<Request>> =
+            reqs.drain(..).map(|r| Some(r.inner)).collect();
+        let mut done: Vec<(usize, Status, Option<RecvPayload>)> = Vec::new();
+        match self.set_poll(&mut slots, true) {
+            SetPoll::Done(idx, status, payload) => done.push((idx, status, payload)),
+            SetPoll::Empty => return Ok(Vec::new()),
+            SetPoll::Ctrl | SetPoll::Pending => {
+                unreachable!("blocking set_poll yields Done or Empty")
+            }
+        }
+        while let SetPoll::Done(idx, status, payload) = self.set_poll(&mut slots, false) {
+            done.push((idx, status, payload));
+        }
+        // Survivors go back before any payload is opened: recovery can
+        // fail, and the caller keeps its outstanding requests either way.
+        reqs.extend(slots.into_iter().zip(&hints).filter_map(|(slot, &hint)| {
+            slot.map(|inner| SecureRequest {
+                inner,
+                recv_seq_hint: hint,
+            })
+        }));
+        let mut out = Vec::with_capacity(done.len());
+        for (idx, status, payload) in done {
+            let opened = self.open_completion(status, payload, hints[idx]);
+            self.record_wait_sample("p2p/waitsome", t0, &opened);
+            let (status, plain) = opened?;
+            out.push((idx, status, plain));
+        }
+        Ok(out)
+    }
+
+    /// Non-blocking: retire one request that has already completed, if
+    /// any (Encrypted_Testany). Never advances virtual time; NACKs
+    /// that have already arrived are serviced even when nothing
+    /// completes. `Ok(None)` means no request has completed at the
+    /// current virtual time (or `reqs` is empty).
+    pub fn testany(
+        &self,
+        reqs: &mut Vec<SecureRequest>,
+    ) -> Result<Option<SetCompletion>> {
+        let t0 = self.comm.sim().now().as_nanos();
+        let hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
+        let mut slots: Vec<Option<Request>> =
+            reqs.drain(..).map(|r| Some(r.inner)).collect();
+        let polled = self.set_poll(&mut slots, false);
+        reqs.extend(slots.into_iter().zip(&hints).filter_map(|(slot, &hint)| {
+            slot.map(|inner| SecureRequest {
+                inner,
+                recv_seq_hint: hint,
+            })
+        }));
+        match polled {
+            SetPoll::Done(idx, status, payload) => {
+                let opened = self.open_completion(status, payload, hints[idx]);
+                self.record_wait_sample("p2p/testany", t0, &opened);
+                opened.map(|(status, plain)| Some((idx, status, plain)))
+            }
+            SetPoll::Pending | SetPoll::Empty => Ok(None),
+            SetPoll::Ctrl => unreachable!("set_poll consumes control frames"),
+        }
+    }
+
+    /// Record one end-to-end latency sample for a set-completion call
+    /// (same shape as the `wait`/`waitany` wrappers: peer −1 and zero
+    /// bytes on error).
+    fn record_wait_sample(
+        &self,
+        op: &'static str,
+        t0: u64,
+        out: &Result<(Status, Option<Vec<u8>>)>,
+    ) {
+        if let Some(m) = self.metrics() {
+            let (peer, bytes) = match out {
+                Ok((st, data)) => (st.source as i32, data.as_ref().map_or(0, Vec::len)),
+                Err(_) => (-1, 0),
+            };
+            let now = self.comm.sim().now().as_nanos();
+            m.record(self.rank(), Metric::E2e, op, peer, bytes, now, now - t0);
+        }
     }
 
     /// Wait for *any* one request to complete (Encrypted_Waitany): the
@@ -2246,49 +2373,24 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         &self,
         reqs: &mut Vec<SecureRequest>,
     ) -> Result<(usize, Status, Option<Vec<u8>>)> {
-        let mut hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
-        let mut inner: Vec<Request> = reqs.drain(..).map(|r| r.inner).collect();
-        let (idx, status, payload) = if self.arq_on() {
-            loop {
-                match self
-                    .comm
-                    .waitany_or_ctrl(&mut inner, (Src::Any, TagSel::Is(NACK_TAG)))
-                {
-                    AnyCtrl::Ctrl => self.service_nacks(),
-                    AnyCtrl::Done(idx, status, payload) => break (idx, status, payload),
-                }
-            }
-        } else {
-            self.comm.waitany_payload(&mut inner)
-        };
-        let hint = hints.remove(idx);
-        reqs.extend(
-            inner
-                .into_iter()
-                .zip(hints)
-                .map(|(inner, recv_seq_hint)| SecureRequest {
-                    inner,
-                    recv_seq_hint,
-                }),
-        );
-        match payload {
-            None => Ok((idx, status, None)),
-            Some(p) => {
-                if !self.chaos_on() {
-                    let (status, plain) = self.open_payload_owned(p)?;
-                    return Ok((idx, status, Some(plain)));
-                }
-                let seq = hint.unwrap_or_else(|| {
-                    Self::bump_seq(&self.recv_seq, status.source, status.tag)
-                });
-                match self.open_payload(&p) {
-                    Ok((status, plain)) => Ok((idx, status, Some(plain))),
-                    Err(e) if self.arq_on() => self
-                        .recover(status.source, status.tag, seq, &p, e)
-                        .map(|(st, plain)| (idx, st, Some(plain))),
-                    Err(e) => Err(e),
-                }
-            }
+        assert!(!reqs.is_empty(), "waitany on an empty request set");
+        let hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
+        let mut slots: Vec<Option<Request>> =
+            reqs.drain(..).map(|r| Some(r.inner)).collect();
+        let polled = self.set_poll(&mut slots, true);
+        // Survivors go back before the payload is opened: recovery can
+        // fail, and the caller keeps its outstanding requests either way.
+        reqs.extend(slots.into_iter().zip(&hints).filter_map(|(slot, &hint)| {
+            slot.map(|inner| SecureRequest {
+                inner,
+                recv_seq_hint: hint,
+            })
+        }));
+        match polled {
+            SetPoll::Done(idx, status, payload) => self
+                .open_completion(status, payload, hints[idx])
+                .map(|(status, plain)| (idx, status, plain)),
+            _ => unreachable!("blocking poll on a non-empty set"),
         }
     }
 

@@ -213,6 +213,24 @@ impl ChunkedMessage {
     pub fn wire_bytes(&self) -> usize {
         self.frames.iter().map(|(_, f)| f.len()).sum()
     }
+
+    /// Concatenate the raw frame bytes, in transmission order, into one
+    /// contiguous buffer. Framing stays intact (headers, nonces, and
+    /// auth tags are preserved — this never decrypts); a single-frame
+    /// train moves its buffer out without copying. This is how the
+    /// byte-level waits hand a chunked train to callers that asked for
+    /// plain bytes: always well-defined, so no wait path needs to fail
+    /// on a valid peer wire format.
+    pub fn into_contiguous(mut self) -> Bytes {
+        if self.frames.len() == 1 {
+            return self.frames.pop().unwrap().1;
+        }
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        for (_, f) in &self.frames {
+            out.extend_from_slice(f);
+        }
+        Bytes::from(out)
+    }
 }
 
 /// What a protocol-agnostic receive produced: either an ordinary
@@ -221,6 +239,21 @@ impl ChunkedMessage {
 pub enum RecvPayload {
     Plain(crate::types::Status, Bytes),
     Chunked(ChunkedMessage),
+}
+
+impl RecvPayload {
+    /// Collapse either wire format into contiguous bytes: a plain
+    /// message yields its buffer as-is, a chunked train is assembled in
+    /// transmission order with framing intact (see
+    /// [`ChunkedMessage::into_contiguous`]). Per-frame arrival times are
+    /// dropped — callers that overlap decryption with reception keep
+    /// the `RecvPayload` instead.
+    pub fn into_bytes(self) -> Bytes {
+        match self {
+            RecvPayload::Plain(_, data) => data,
+            RecvPayload::Chunked(msg) => msg.into_contiguous(),
+        }
+    }
 }
 
 #[cfg(test)]

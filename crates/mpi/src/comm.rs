@@ -61,6 +61,24 @@ pub enum AnyCtrl {
     Ctrl,
 }
 
+/// One step of [`Comm::poll_set`] — the single completion funnel every
+/// wait/test/set call drives.
+#[derive(Debug)]
+pub enum SetPoll {
+    /// Slot `idx` completed: its request was consumed (the slot is now
+    /// `None`) and its payload dispatched on the sender's actual wire
+    /// format, with receive-side host overhead charged.
+    Done(usize, Status, Option<RecvPayload>),
+    /// A control frame matching the filter became available strictly
+    /// before any request in the set; nothing was consumed.
+    Ctrl,
+    /// Non-blocking poll: nothing has completed at the current virtual
+    /// time. Never returned by a blocking poll.
+    Pending,
+    /// Every slot is `None` — there is nothing to wait for.
+    Empty,
+}
+
 /// A rank's endpoint in the simulated world.
 ///
 /// Obtained from [`crate::World::run`]; all MPI operations go through
@@ -756,12 +774,25 @@ impl<'h> Comm<'h> {
     pub fn wait_payload(&self, req: Request) -> (Status, Option<RecvPayload>) {
         let shared = Arc::clone(&self.shared);
         let id = req.id;
-        let (src, tag, data) = self.h.block_on("wait", || {
-            shared
-                .lock()
-                .try_take_done(id)
-                .map(|(at, src, tag, data)| (at, (src, tag, data)))
-        });
+        self.h
+            .block_on("wait", || shared.lock().peek_done(id).map(|at| (at, ())));
+        self.take_completed(req)
+    }
+
+    /// Consume an already-completed request through the format funnel:
+    /// take its slab entry, charge the receive-side host overhead on
+    /// the delivered bytes (plain or chunked), and hand the payload
+    /// back. Every wait/test/set call bottoms out here, so no
+    /// completion path can bypass the format dispatch.
+    ///
+    /// Panics if the request has not completed — pollers must observe
+    /// `peek_done` first.
+    fn take_completed(&self, req: Request) -> (Status, Option<RecvPayload>) {
+        let (_, src, tag, data) = self
+            .shared
+            .lock()
+            .try_take_done(req.id)
+            .expect("take_completed on an incomplete request");
         match data {
             DonePayload::None => {
                 if req.kind == ReqKind::Recv {
@@ -801,26 +832,48 @@ impl<'h> Comm<'h> {
     }
 
     /// Wait for one request (`MPI_Wait`). For receives, returns the
-    /// payload and charges the receive-side host overhead.
+    /// payload bytes and charges the receive-side host overhead.
     ///
-    /// Panics if the matched sender used the chunked (pipelined) wire
-    /// format — callers that may face either format use
+    /// Format-agnostic: a chunked (pipelined) train is assembled into
+    /// one contiguous buffer in transmission order, framing intact —
+    /// see [`RecvPayload::into_bytes`]. Callers that need per-frame
+    /// arrival times (to overlap decryption with reception) use
     /// [`Comm::wait_payload`].
     pub fn wait(&self, req: Request) -> (Status, Option<Bytes>) {
         let (status, payload) = self.wait_payload(req);
-        match payload {
-            None => (status, None),
-            Some(RecvPayload::Plain(_, data)) => (status, Some(data)),
-            Some(RecvPayload::Chunked(_)) => panic!(
-                "wait: sender used the chunked (pipelined) wire format; \
-                 dispatch through wait_payload instead"
-            ),
-        }
+        (status, payload.map(RecvPayload::into_bytes))
     }
 
-    /// Wait for all requests (`MPI_Waitall`), in order.
+    /// Wait for all requests (`MPI_Waitall`) as a true completion set:
+    /// requests are retired in completion order (earliest virtual time
+    /// first), not slot order. Results are returned in slot order;
+    /// payload bytes are format-agnostic like [`Comm::wait`].
     pub fn waitall(&self, reqs: Vec<Request>) -> Vec<(Status, Option<Bytes>)> {
-        reqs.into_iter().map(|r| self.wait(r)).collect()
+        self.waitall_payload(reqs)
+            .into_iter()
+            .map(|(status, payload)| (status, payload.map(RecvPayload::into_bytes)))
+            .collect()
+    }
+
+    /// [`Comm::waitall`] with full payload dispatch: one blocking set
+    /// poll per completion, retiring whichever request finishes next in
+    /// virtual time. Results land at their request's original index.
+    pub fn waitall_payload(&self, reqs: Vec<Request>) -> Vec<(Status, Option<RecvPayload>)> {
+        let mut slots: Vec<Option<Request>> = reqs.into_iter().map(Some).collect();
+        let mut out: Vec<Option<(Status, Option<RecvPayload>)>> =
+            (0..slots.len()).map(|_| None).collect();
+        loop {
+            match self.poll_set(&mut slots, None, true) {
+                SetPoll::Done(i, status, payload) => out[i] = Some((status, payload)),
+                SetPoll::Empty => break,
+                SetPoll::Ctrl | SetPoll::Pending => {
+                    unreachable!("blocking poll without a ctrl filter")
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("poll_set retires every slot before Empty"))
+            .collect()
     }
 
     /// Wait for whichever request completes first (`MPI_Waitany`),
@@ -829,33 +882,102 @@ impl<'h> Comm<'h> {
     /// along with the result.
     pub fn waitany_payload(&self, reqs: &mut Vec<Request>) -> (usize, Status, Option<RecvPayload>) {
         assert!(!reqs.is_empty(), "waitany on an empty request set");
-        let shared = Arc::clone(&self.shared);
-        let ids: Vec<usize> = reqs.iter().map(|r| r.id).collect();
-        let idx = self.h.block_on("waitany", || {
-            let s = shared.lock();
-            ids.iter()
-                .enumerate()
-                .filter_map(|(i, &id)| s.peek_done(id).map(|at| (at, i)))
-                .min()
-        });
-        let req = reqs.remove(idx);
-        let (status, payload) = self.wait_payload(req);
-        (idx, status, payload)
+        let mut slots: Vec<Option<Request>> = reqs.drain(..).map(Some).collect();
+        let polled = self.poll_set(&mut slots, None, true);
+        reqs.extend(slots.into_iter().flatten());
+        match polled {
+            SetPoll::Done(idx, status, payload) => (idx, status, payload),
+            _ => unreachable!("blocking poll on a non-empty set without a ctrl filter"),
+        }
     }
 
     /// Wait for whichever request completes first (`MPI_Waitany`).
     /// Removes the completed request from `reqs` and returns its index
-    /// along with the result. Panics on a chunked payload, like
+    /// along with the result; payload bytes are format-agnostic like
     /// [`Comm::wait`].
     pub fn waitany(&self, reqs: &mut Vec<Request>) -> (usize, Status, Option<Bytes>) {
         let (idx, status, payload) = self.waitany_payload(reqs);
-        match payload {
-            None => (idx, status, None),
-            Some(RecvPayload::Plain(_, data)) => (idx, status, Some(data)),
-            Some(RecvPayload::Chunked(_)) => panic!(
-                "waitany: sender used the chunked (pipelined) wire format; \
-                 dispatch through waitany_payload instead"
-            ),
+        (idx, status, payload.map(RecvPayload::into_bytes))
+    }
+
+    /// Has `req` completed at (or before) the current virtual time?
+    /// Non-blocking and non-consuming (`MPI_Test`'s flag check); a
+    /// `true` answer means a wait on it returns without advancing the
+    /// clock past already-scheduled arrivals.
+    pub fn test_ready(&self, req: &Request) -> bool {
+        let now = self.h.now();
+        self.shared
+            .lock()
+            .peek_done(req.id)
+            .is_some_and(|at| at <= now)
+    }
+
+    /// The completion funnel: poll a set of request slots, optionally
+    /// watching for a control frame, blocking or not.
+    ///
+    /// Live slots compete on completion time; the earliest wins and is
+    /// consumed through [`Comm::take_completed`] (its slot becomes
+    /// `None`, its index is reported). With a `ctrl` filter the poll
+    /// doubles as a control-plane server: a matching incoming frame
+    /// that is available *strictly earlier* than every completion wins
+    /// instead ([`SetPoll::Ctrl`], nothing consumed) — ties prefer
+    /// data, so a request completing at the same instant as a NACK is
+    /// retired first. Non-blocking polls only observe events at or
+    /// before the current virtual time and never advance the clock
+    /// ([`SetPoll::Pending`] otherwise).
+    ///
+    /// Every set call — `waitall`/`waitany`/`waitsome`/`testany`/
+    /// `testall`, with or without control awareness — is a thin driver
+    /// of this one poller.
+    pub fn poll_set(
+        &self,
+        slots: &mut [Option<Request>],
+        ctrl: Option<(Src, TagSel)>,
+        block: bool,
+    ) -> SetPoll {
+        let ids: Vec<(usize, usize)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (i, r.id)))
+            .collect();
+        if ids.is_empty() {
+            return SetPoll::Empty;
+        }
+        let me = self.rank();
+        let shared = Arc::clone(&self.shared);
+        // `Some(i)` = slot `i` completes earliest; `None` = ctrl frame
+        // strictly earlier than every completion.
+        let decide = |s: &SharedState| -> Option<(VTime, Option<usize>)> {
+            let done = ids
+                .iter()
+                .filter_map(|&(i, id)| s.peek_done(id).map(|at| (at, i)))
+                .min();
+            let c = ctrl
+                .and_then(|(src, tag)| s.peek_incoming(me, src, tag))
+                .map(|(.., at)| at);
+            match (done, c) {
+                (Some((d, _)), Some(c)) if c < d => Some((c, None)),
+                (Some((d, i)), _) => Some((d, Some(i))),
+                (None, Some(c)) => Some((c, None)),
+                (None, None) => None,
+            }
+        };
+        let which = if block {
+            self.h.block_on("waitset", || decide(&shared.lock()))
+        } else {
+            let now = self.h.now();
+            match decide(&shared.lock()) {
+                Some((at, which)) if at <= now => which,
+                _ => return SetPoll::Pending,
+            }
+        };
+        match which {
+            None => SetPoll::Ctrl,
+            Some(i) => {
+                let req = slots[i].take().expect("poll_set picked a live slot");
+                let (status, payload) = self.take_completed(req);
+                SetPoll::Done(i, status, payload)
+            }
         }
     }
 
@@ -918,60 +1040,37 @@ impl<'h> Comm<'h> {
     }
 
     /// Wait for `req` like [`Comm::wait_payload`], but return early if
-    /// a control frame matching `ctrl` becomes available first.
+    /// a control frame matching `ctrl` becomes available first (ties
+    /// prefer the data completion — see [`Comm::poll_set`]).
     pub fn wait_or_ctrl(&self, req: Request, ctrl: (Src, TagSel)) -> WaitCtrl {
-        let me = self.rank();
-        let shared = Arc::clone(&self.shared);
-        let id = req.id;
-        let is_ctrl = self.h.block_on("wait", || {
-            let s = shared.lock();
-            let done = s.peek_done(id);
-            let c = s.peek_incoming(me, ctrl.0, ctrl.1).map(|(.., at)| at);
-            match (done, c) {
-                (Some(d), Some(c)) if c < d => Some((c, true)),
-                (Some(d), _) => Some((d, false)),
-                (None, Some(c)) => Some((c, true)),
-                (None, None) => None,
+        let mut slots = [Some(req)];
+        match self.poll_set(&mut slots, Some(ctrl), true) {
+            SetPoll::Done(_, status, payload) => WaitCtrl::Done(status, payload),
+            SetPoll::Ctrl => {
+                let [req] = slots;
+                WaitCtrl::Ctrl(req.expect("ctrl outcome leaves the request untouched"))
             }
-        });
-        if is_ctrl {
-            WaitCtrl::Ctrl(req)
-        } else {
-            let (status, payload) = self.wait_payload(req);
-            WaitCtrl::Done(status, payload)
+            SetPoll::Pending | SetPoll::Empty => {
+                unreachable!("blocking poll on one live request")
+            }
         }
     }
 
     /// Wait for the first of `reqs` like [`Comm::waitany_payload`],
     /// but return early if a control frame matching `ctrl` becomes
-    /// available first.
+    /// available first (ties prefer the data completion — see
+    /// [`Comm::poll_set`]).
     pub fn waitany_or_ctrl(&self, reqs: &mut Vec<Request>, ctrl: (Src, TagSel)) -> AnyCtrl {
         assert!(!reqs.is_empty(), "waitany on an empty request set");
-        let me = self.rank();
-        let shared = Arc::clone(&self.shared);
-        let ids: Vec<usize> = reqs.iter().map(|r| r.id).collect();
-        let which = self.h.block_on("waitany", || {
-            let s = shared.lock();
-            let done = ids
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &id)| s.peek_done(id).map(|at| (at, i)))
-                .min();
-            let c = s.peek_incoming(me, ctrl.0, ctrl.1).map(|(.., at)| at);
-            match (done, c) {
-                (Some((d, _)), Some(c)) if c < d => Some((c, None)),
-                (Some((d, i)), _) => Some((d, Some(i))),
-                (None, Some(c)) => Some((c, None)),
-                (None, None) => None,
+        let mut slots: Vec<Option<Request>> = reqs.drain(..).map(Some).collect();
+        let polled = self.poll_set(&mut slots, Some(ctrl), true);
+        reqs.extend(slots.into_iter().flatten());
+        match polled {
+            SetPoll::Done(idx, status, payload) => AnyCtrl::Done(idx, status, payload),
+            SetPoll::Ctrl => AnyCtrl::Ctrl,
+            SetPoll::Pending | SetPoll::Empty => {
+                unreachable!("blocking poll on a non-empty set")
             }
-        });
-        match which {
-            Some(idx) => {
-                let req = reqs.remove(idx);
-                let (status, payload) = self.wait_payload(req);
-                AnyCtrl::Done(idx, status, payload)
-            }
-            None => AnyCtrl::Ctrl,
         }
     }
 

@@ -35,6 +35,7 @@ pub mod chunk;
 pub mod coll;
 pub mod comm;
 pub mod ctrl;
+pub mod request;
 mod state;
 pub mod types;
 pub mod world;
@@ -44,11 +45,12 @@ pub use chunk::{
     FRAME_NONCE_LEN, FRAME_OVERHEAD, FRAME_TAG_LEN,
 };
 pub use coll::ops;
-pub use comm::{AnyCtrl, Comm, Request, WaitCtrl};
+pub use comm::{AnyCtrl, Comm, Request, SetPoll, WaitCtrl};
 pub use ctrl::{
     Nack, RepairHeader, RepairKind, CTRL_TAG_BASE, KEY_COMMIT_TAG, KEY_REVEAL_TAG, KEY_REVOKE_TAG,
     NACK_TAG, REPAIR_TAG,
 };
 pub use empi_netsim::{Metrics, MetricsSnapshot, RankDiag, SimError, SloConfig, TraceReport, Tracer};
+pub use request::{CompletionSet, Scope, ScopedRequest};
 pub use types::{as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel, RESERVED_TAG_BASE};
 pub use world::{World, WorldOutcome};
