@@ -1,8 +1,8 @@
 //! Reproduce every table and figure of the paper in one run.
 use empi_bench::collectives::CollOp;
 use empi_bench::{
-    chaos, collectives, emit, encdec, extensions, inflight, multipair, multipair_pipe, nasbench,
-    pingpong, pipeline, pipeline_nb, BenchOpts,
+    chaos, collectives, emit, encdec, extensions, ftol, inflight, multipair, multipair_pipe,
+    nasbench, pingpong, pipeline, pipeline_nb, BenchOpts,
 };
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
         emit(&multipair_pipe::run_net(net, &opts), out);
         emit(&chaos::run_net(net, &opts), out);
         emit(&inflight::run_net(net, &opts), out);
+        emit(&ftol::run_net(net, &opts), out);
         emit(&[extensions::keysize_table(net, &opts)], out);
         if !opts.quick {
             emit(&[extensions::scale_table(net, &opts)], out);

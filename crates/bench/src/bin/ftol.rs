@@ -1,0 +1,15 @@
+//! TAB-FTOL / TAB-FTOL-COLL: the price of survivable rank failure —
+//! lease-based detection latency, survivor re-key, agreement-backed
+//! communicator shrink, and restored encrypted service, swept over
+//! lease period x world size; plus the collectives-under-crash
+//! overhead for every backend on both fabrics. Also exports
+//! `metrics-ftol-<net>.{json,prom}` snapshots (with the `ftol`
+//! counter block) for `tracecheck --require-ftol`.
+use empi_bench::{emit, ftol, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    for net in opts.nets.clone() {
+        emit(&ftol::run_net(net, &opts), &opts.out_dir);
+    }
+}

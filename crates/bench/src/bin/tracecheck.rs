@@ -39,10 +39,20 @@
 //! trace file that carries none at all (the nonblocking harnesses must
 //! actually drive their waits through the set poller).
 //!
+//! `ftol/*` spans (detect, notice, probe, shrink, rekey, plus the
+//! `ftol/recv` / `ftol/send` lease-wait block reasons) must sit on the
+//! rank lanes — failure detection happens where the rank blocks, never
+//! on a crypto worker — and `--require-ftol` additionally fails any
+//! trace file without a confirmed detection (`ftol/detect`) and a
+//! completed shrink (`ftol/shrink`), and any metrics snapshot whose
+//! `ftol` counter block is absent or shows no detection (the
+//! fault-tolerance artifacts must actually ride the recovery ladder).
+//!
 //! Usage: `tracecheck [--require-alloc] [--require-hist]
-//! [--require-keys] [--forbid-rotate] [--require-wait] [FILE...]` — with no file
-//! arguments, checks every `trace-*.json` (and with `--require-hist`
-//! or `--require-keys` every `metrics-*.json`) under `results/`.
+//! [--require-keys] [--forbid-rotate] [--require-wait] [--require-ftol]
+//! [FILE...]` — with no file arguments, checks every `trace-*.json`
+//! (and with `--require-hist`, `--require-keys`, or `--require-ftol`
+//! every `metrics-*.json`) under `results/`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -58,6 +68,7 @@ struct Flags {
     require_wait: bool,
     require_hist: bool,
     require_keys: bool,
+    require_ftol: bool,
     forbid_rotate: bool,
 }
 
@@ -75,6 +86,8 @@ fn check(path: &Path, flags: Flags) -> Result<String, String> {
     let mut waitset_spans = 0usize;
     let mut handshake_spans = 0usize;
     let mut rotate_spans = 0usize;
+    let mut detect_spans = 0usize;
+    let mut shrink_spans = 0usize;
     for (i, e) in events.iter().enumerate() {
         let ph = e
             .get("ph")
@@ -143,6 +156,23 @@ fn check(path: &Path, flags: Flags) -> Result<String, String> {
                 _ => return Err(format!("event {i}: unknown key span '{name}'")),
             }
         }
+        if name.starts_with("ftol/") {
+            // Failure detection happens where the rank blocks, never
+            // on a crypto worker.
+            if tid >= empi_trace::PIPELINE_TID_BASE as i64 {
+                return Err(format!(
+                    "event {i}: ftol span '{name}' on crypto-worker lane {tid}"
+                ));
+            }
+            match name {
+                "ftol/detect" => detect_spans += 1,
+                "ftol/shrink" => shrink_spans += 1,
+                // notice/probe/rekey activity plus the lease-wait
+                // block reasons of the ft verbs.
+                "ftol/notice" | "ftol/probe" | "ftol/rekey" | "ftol/recv" | "ftol/send" => {}
+                _ => return Err(format!("event {i}: unknown ftol span '{name}'")),
+            }
+        }
         if let Some(&prev) = lanes.get(&tid) {
             if ts < prev {
                 return Err(format!(
@@ -165,14 +195,22 @@ fn check(path: &Path, flags: Flags) -> Result<String, String> {
     if flags.require_keys && handshake_spans == 0 {
         return Err("no key/handshake spans (key lifecycle missing)".into());
     }
+    if flags.require_ftol && detect_spans == 0 {
+        return Err("no ftol/detect spans (failure detection missing)".into());
+    }
+    if flags.require_ftol && shrink_spans == 0 {
+        return Err("no ftol/shrink spans (communicator shrink missing)".into());
+    }
     if flags.forbid_rotate && rotate_spans > 0 {
         return Err(format!(
             "{rotate_spans} key/rotate spans, but rotation is disabled"
         ));
     }
     Ok(format!(
-        "{spans} spans ({alloc_spans} alloc, {} key, {waitset_spans} waitset) across {} lanes",
+        "{spans} spans ({alloc_spans} alloc, {} key, {waitset_spans} waitset, {} ftol) \
+         across {} lanes",
         handshake_spans + rotate_spans,
+        detect_spans + shrink_spans,
         lanes.len()
     ))
 }
@@ -228,11 +266,13 @@ fn check_metrics(path: &Path, flags: Flags) -> Result<(String, bool), String> {
         }
         let mut bucket_sum = 0u64;
         for b in buckets {
-            let pair = b.as_array().ok_or_else(|| format!("hist {i}: bad bucket"))?;
-            bucket_sum += pair
-                .get(1)
-                .and_then(Value::as_f64)
-                .ok_or_else(|| format!("hist {i}: bad bucket count"))? as u64;
+            let pair = b
+                .as_array()
+                .ok_or_else(|| format!("hist {i}: bad bucket"))?;
+            bucket_sum +=
+                pair.get(1)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("hist {i}: bad bucket count"))? as u64;
         }
         if bucket_sum != count {
             return Err(format!(
@@ -272,6 +312,24 @@ fn check_metrics(path: &Path, flags: Flags) -> Result<(String, bool), String> {
             return Err("keys block shows zero completed handshakes".into());
         }
     }
+    let ftol = doc.get("ftol").filter(|v| **v != Value::Null);
+    if flags.require_ftol {
+        let ftol_counter = |field: &str| -> Result<u64, String> {
+            ftol.and_then(|f| f.get(field))
+                .and_then(Value::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("ftol block missing {field}"))
+        };
+        if ftol.is_none() {
+            return Err("no ftol counter block (recovery ladder not exercised)".into());
+        }
+        if ftol_counter("detected")? == 0 {
+            return Err("ftol block shows zero confirmed detections".into());
+        }
+        if ftol_counter("shrinks")? == 0 {
+            return Err("ftol block shows zero completed shrinks".into());
+        }
+    }
     if flags.forbid_rotate && keys.is_some() {
         let rekeys = key_counter("rekeys")?;
         if rekeys > 0 {
@@ -285,7 +343,10 @@ fn check_metrics(path: &Path, flags: Flags) -> Result<(String, bool), String> {
         .map_err(|e| format!("missing Prometheus sibling {}: {e}", prom_path.display()))?;
     validate_prometheus(&prom).map_err(|e| format!("invalid Prometheus export: {e}"))?;
     Ok((
-        format!("{} histograms, {e2e} e2e samples, prometheus valid", hists.len()),
+        format!(
+            "{} histograms, {e2e} e2e samples, prometheus valid",
+            hists.len()
+        ),
         e2e > 0,
     ))
 }
@@ -311,6 +372,10 @@ fn main() -> ExitCode {
                 flags.require_keys = true;
                 false
             }
+            "--require-ftol" => {
+                flags.require_ftol = true;
+                false
+            }
             "--forbid-rotate" => {
                 flags.forbid_rotate = true;
                 false
@@ -320,7 +385,7 @@ fn main() -> ExitCode {
         .map(PathBuf::from)
         .collect();
     if files.is_empty() {
-        let want_metrics = flags.require_hist || flags.require_keys;
+        let want_metrics = flags.require_hist || flags.require_keys || flags.require_ftol;
         if let Ok(dir) = std::fs::read_dir("results") {
             for entry in dir.flatten() {
                 let name = entry.file_name().to_string_lossy().into_owned();
@@ -377,6 +442,10 @@ fn main() -> ExitCode {
     }
     if flags.require_keys && metrics_files == 0 {
         eprintln!("tracecheck: --require-keys but no metrics-*.json snapshots checked");
+        ok = false;
+    }
+    if flags.require_ftol && metrics_files == 0 {
+        eprintln!("tracecheck: --require-ftol but no metrics-*.json snapshots checked");
         ok = false;
     }
     if ok {

@@ -127,7 +127,9 @@ fn chaos_run(
     seed: u64,
     traced: bool,
 ) -> (ChaosPoint, Option<TraceReport>, MetricsSnapshot) {
-    let world = World::flat(net.model(), 2).traced(traced).with_metrics(true);
+    let world = World::flat(net.model(), 2)
+        .traced(traced)
+        .with_metrics(true);
     let out = world.run(move |c| {
         let cfg = security_config(lib, net)
             .with_pipeline(
@@ -138,7 +140,9 @@ fn chaos_run(
             .with_faults(seed, FaultRates::uniform(rate))
             .with_retransmit(MAX_RETRIES, VDur::from_micros(200));
         let sc = SecureComm::new(c, cfg).unwrap();
-        let want: Vec<u8> = (0..MSG_SIZE).map(|i| (i.wrapping_mul(131) ^ (i >> 7)) as u8).collect();
+        let want: Vec<u8> = (0..MSG_SIZE)
+            .map(|i| (i.wrapping_mul(131) ^ (i >> 7)) as u8)
+            .collect();
         let t0 = c.now();
         if c.rank() == 0 {
             for _ in 0..msgs {
@@ -365,8 +369,16 @@ mod tests {
         let p = chaos_point(Net::Ethernet, CryptoLibrary::BoringSsl, 0.0, msgs, SEED);
         assert_eq!(p.delivered, msgs);
         assert_eq!(p.failed, 0);
-        assert_eq!(p.sender, ChaosStats::default(), "sender counters must stay zero");
-        assert_eq!(p.receiver, ChaosStats::default(), "receiver counters must stay zero");
+        assert_eq!(
+            p.sender,
+            ChaosStats::default(),
+            "sender counters must stay zero"
+        );
+        assert_eq!(
+            p.receiver,
+            ChaosStats::default(),
+            "receiver counters must stay zero"
+        );
         let base = plain_secs(Net::Ethernet, CryptoLibrary::BoringSsl, msgs);
         let delta = (p.secs - base).abs() / base;
         assert!(
@@ -386,7 +398,10 @@ mod tests {
         let msgs = 12;
         let p = chaos_point(Net::Ethernet, CryptoLibrary::BoringSsl, 0.10, msgs, SEED);
         assert_eq!(p.delivered + p.failed, msgs, "no message may vanish");
-        assert!(p.delivered > 0, "recovery must save at least part of the stream");
+        assert!(
+            p.delivered > 0,
+            "recovery must save at least part of the stream"
+        );
         assert!(
             p.sender.faults_injected + p.receiver.faults_injected > 0,
             "the seeded plan must inject at this rate"

@@ -67,7 +67,9 @@ fn secure_alltoall_streaming(sc: &SecureComm, size: usize) {
     for i in 1..n {
         let dst = (me + i) % n;
         let src = (me + n - i) % n;
-        let _ = sc.sendrecv(&buf, dst, 2, Src::Is(src), TagSel::Is(2)).unwrap();
+        let _ = sc
+            .sendrecv(&buf, dst, 2, Src::Is(src), TagSel::Is(2))
+            .unwrap();
     }
 }
 
@@ -229,7 +231,10 @@ pub fn run_net(net: Net, op: CollOp, opts: &BenchOpts) -> Vec<Table> {
     for (lib, times) in &measured {
         tab.push_row(
             row_label(*lib),
-            table_sizes.iter().map(|&s| fmt_value(times[col(s)])).collect(),
+            table_sizes
+                .iter()
+                .map(|&s| fmt_value(times[col(s)]))
+                .collect(),
         );
     }
 
@@ -372,8 +377,7 @@ mod tests {
     fn streaming_alltoall_equivalent_time_shape() {
         // The streaming path must cost at least as much as the
         // regular path's wire time and preserve the encrypted ranking.
-        let base =
-            collective_us(Net::Infiniband, None, CollOp::Alltoall, 128 << 10, 8, 4, 1);
+        let base = collective_us(Net::Infiniband, None, CollOp::Alltoall, 128 << 10, 8, 4, 1);
         let enc = collective_us(
             Net::Infiniband,
             Some(CryptoLibrary::BoringSsl),

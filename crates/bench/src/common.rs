@@ -117,55 +117,75 @@ impl Default for BenchOpts {
     }
 }
 
+/// One line of flag documentation, shared by `--help` and error paths.
+const USAGE: &str = "flags: --quick  --net ethernet|infiniband|both  --out DIR  \
+                     --reps MIN,MAX  --trace  --sizes small|large|all\n\
+                     env: EMPI_TRACE=1 implies --trace";
+
+/// Print a parse error plus the usage line to stderr and exit nonzero.
+/// A bad flag is operator error, not a program bug — no backtrace.
+fn usage_err(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
 impl BenchOpts {
     /// Parse the common flags: `--quick`, `--net ethernet|infiniband|both`,
     /// `--out DIR`, `--reps MIN,MAX`, `--trace`, `--sizes small|large|all`.
+    ///
+    /// Unknown flags or values print the usage to stderr and exit with
+    /// status 2 instead of panicking.
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        match Self::try_parse(args) {
+            Ok(opts) => opts,
+            Err(msg) => usage_err(&msg),
+        }
+    }
+
+    /// Fallible core of [`BenchOpts::parse`]; separated so tests can
+    /// exercise the error paths without a child process.
+    pub fn try_parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut opts = BenchOpts::default();
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => opts.quick = true,
                 "--net" => {
-                    let v = args.next().expect("--net needs a value");
+                    let v = args.next().ok_or("--net needs a value")?;
                     opts.nets = match v.as_str() {
                         "ethernet" => vec![Net::Ethernet],
                         "infiniband" => vec![Net::Infiniband],
                         "both" => Net::BOTH.to_vec(),
-                        other => panic!("unknown network '{other}'"),
+                        other => return Err(format!("unknown network '{other}'")),
                     };
                 }
                 "--out" => {
-                    opts.out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+                    opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
                 }
                 "--reps" => {
-                    let v = args.next().expect("--reps needs MIN,MAX");
-                    let (lo, hi) = v.split_once(',').expect("--reps MIN,MAX");
-                    opts.reps_min = lo.parse().expect("reps min");
-                    opts.reps_max = hi.parse().expect("reps max");
+                    let v = args.next().ok_or("--reps needs MIN,MAX")?;
+                    let (lo, hi) = v.split_once(',').ok_or("--reps needs MIN,MAX")?;
+                    opts.reps_min = lo.parse().map_err(|_| format!("--reps: bad MIN '{lo}'"))?;
+                    opts.reps_max = hi.parse().map_err(|_| format!("--reps: bad MAX '{hi}'"))?;
                 }
                 "--trace" => opts.trace = true,
                 "--sizes" => {
-                    let v = args.next().expect("--sizes needs a value");
+                    let v = args.next().ok_or("--sizes needs a value")?;
                     opts.sizes = match v.as_str() {
                         "small" => SizeSel::Small,
                         "large" => SizeSel::Large,
                         "all" => SizeSel::All,
-                        other => panic!("unknown size group '{other}'"),
+                        other => return Err(format!("unknown size group '{other}'")),
                     };
                 }
                 "--help" | "-h" => {
-                    println!(
-                        "flags: --quick  --net ethernet|infiniband|both  --out DIR  \
-                         --reps MIN,MAX  --trace  --sizes small|large|all\n\
-                         env: EMPI_TRACE=1 implies --trace"
-                    );
+                    println!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag '{other}' (try --help)"),
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
             }
         }
-        opts
+        Ok(opts)
     }
 }
 
@@ -189,6 +209,24 @@ mod tests {
         assert_eq!((o.reps_min, o.reps_max), (3, 7));
         assert!(o.trace);
         assert_eq!(o.sizes, SizeSel::Large);
+    }
+
+    #[test]
+    fn bad_input_reports_instead_of_panicking() {
+        let parse = |v: &[&str]| BenchOpts::try_parse(v.iter().map(|s| s.to_string()));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&["--net", "token-ring"])
+            .unwrap_err()
+            .contains("unknown network"));
+        assert!(parse(&["--sizes", "jumbo"])
+            .unwrap_err()
+            .contains("unknown size group"));
+        assert!(parse(&["--net"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--reps", "3"]).unwrap_err().contains("MIN,MAX"));
+        assert!(parse(&["--reps", "x,7"]).unwrap_err().contains("bad MIN"));
+        assert!(parse(&["--quick"]).is_ok());
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub fn keysize_table(net: Net, opts: &BenchOpts) -> Table {
         "",
         sizes.iter().map(|&s| size_label(s)).collect(),
     );
-    for (label, ks) in [("AES-128-GCM", KeySize::Aes128), ("AES-256-GCM", KeySize::Aes256)] {
+    for (label, ks) in [
+        ("AES-128-GCM", KeySize::Aes128),
+        ("AES-256-GCM", KeySize::Aes256),
+    ] {
         let cells = sizes
             .iter()
             .map(|&s| {

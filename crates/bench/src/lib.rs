@@ -19,6 +19,7 @@
 //! | [`tail`] | TAB-TAIL, DECOMP-TAIL (latency distributions from the metrics plane, chaos off/on) |
 //! | [`inflight`] | FIG-INFLIGHT, FIG-INFLIGHT-CHAOS (goodput vs outstanding-isend window via the completion-set API) |
 //! | [`rekey`] | TAB-REKEY, DECOMP-REKEY (seeded handshake, epoch-rotation storms, revocation drill) |
+//! | [`ftol`] | TAB-FTOL, TAB-FTOL-COLL (failure detection, ULFM-style shrink, survivor re-key, collectives under crash) |
 //!
 //! [`stats`] implements the paper's repeat-until-stable methodology and
 //! Fleming–Wallace overhead aggregation; [`table`] renders paper-style
@@ -31,6 +32,7 @@ pub mod collectives;
 pub mod common;
 pub mod encdec;
 pub mod extensions;
+pub mod ftol;
 pub mod inflight;
 pub mod multipair;
 pub mod multipair_pipe;

@@ -104,7 +104,9 @@ pub(crate) fn run_pairs(
             c.waitall(reqs);
             let _ = c.recv(Src::Is(peer), TagSel::Is(1));
         } else {
-            let reqs: Vec<_> = (0..window).map(|_| c.irecv(Src::Is(peer), TagSel::Is(0))).collect();
+            let reqs: Vec<_> = (0..window)
+                .map(|_| c.irecv(Src::Is(peer), TagSel::Is(0)))
+                .collect();
             c.waitall(reqs);
             c.send(&[1u8], peer, 1);
         }
@@ -126,8 +128,9 @@ pub(crate) fn run_pairs_secure(
             sc.waitall(reqs).unwrap();
             let _ = sc.recv(Src::Is(peer), TagSel::Is(1)).unwrap();
         } else {
-            let reqs: Vec<_> =
-                (0..window).map(|_| sc.irecv(Src::Is(peer), TagSel::Is(0))).collect();
+            let reqs: Vec<_> = (0..window)
+                .map(|_| sc.irecv(Src::Is(peer), TagSel::Is(0)))
+                .collect();
             sc.waitall(reqs).unwrap();
             sc.send(&[1u8], peer, 1);
         }
@@ -228,7 +231,10 @@ mod tests {
         let gap1 = b1 / e1;
         let gap4 = b4 / e4;
         assert!(gap1 > 1.3, "single pair must show a clear gap: {gap1:.2}");
-        assert!(gap4 < gap1, "gap must shrink with pairs: {gap1:.2} -> {gap4:.2}");
+        assert!(
+            gap4 < gap1,
+            "gap must shrink with pairs: {gap1:.2} -> {gap4:.2}"
+        );
     }
 
     #[test]
@@ -256,7 +262,13 @@ mod tests {
         // §V-A: "when there are 8 pairs, even CryptoPP can reach the
         // baseline performance, for 16KB messages".
         let b = multipair_mbs(Net::Ethernet, None, 16 << 10, 8, 10);
-        let cpp = multipair_mbs(Net::Ethernet, Some(CryptoLibrary::CryptoPp), 16 << 10, 8, 10);
+        let cpp = multipair_mbs(
+            Net::Ethernet,
+            Some(CryptoLibrary::CryptoPp),
+            16 << 10,
+            8,
+            10,
+        );
         assert!(cpp > 0.85 * b, "CryptoPP {cpp} vs baseline {b}");
     }
 }

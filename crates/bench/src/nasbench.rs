@@ -56,11 +56,7 @@ fn nas_run(
         c.barrier();
         ((c.now() - t0).as_secs_f64(), report.verified)
     });
-    let time = out
-        .results
-        .iter()
-        .map(|(t, _)| *t)
-        .fold(0.0f64, f64::max);
+    let time = out.results.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
     let verified = out.results.iter().all(|(_, v)| *v);
     ((time, verified), out.trace)
 }
@@ -93,7 +89,11 @@ pub fn nas_trace(
 
 /// Build TAB-4 or TAB-8 for one network.
 pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
-    let tab_id = if net == Net::Ethernet { "TAB-4" } else { "TAB-8" };
+    let tab_id = if net == Net::Ethernet {
+        "TAB-4"
+    } else {
+        "TAB-8"
+    };
     let class = if opts.quick { Class::S } else { Class::MiniC };
     let (ranks, nodes) = if opts.quick { (8, 4) } else { (64, 8) };
 
@@ -117,7 +117,13 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
         let mut times = Vec::new();
         for k in Kernel::ALL {
             let (secs, ok) = nas_seconds(net, lib, k, class, ranks, nodes);
-            assert!(ok, "{} failed verification under {:?} on {}", k.name(), lib, net.name());
+            assert!(
+                ok,
+                "{} failed verification under {:?} on {}",
+                k.name(),
+                lib,
+                net.name()
+            );
             times.push(secs);
         }
         let total: f64 = times.iter().sum();
@@ -184,10 +190,7 @@ pub fn scalability(net: Net, class: Class) -> Table {
             net.name()
         ),
         "",
-        settings
-            .iter()
-            .map(|(r, n)| format!("{r}r/{n}n"))
-            .collect(),
+        settings.iter().map(|(r, n)| format!("{r}r/{n}n")).collect(),
     );
     for lib in [None, Some(CryptoLibrary::BoringSsl)] {
         let cells: Vec<String> = settings

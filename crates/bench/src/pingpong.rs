@@ -98,13 +98,21 @@ pub fn run_net(net: Net, opts: &BenchOpts) -> Vec<Table> {
     let mut tables = Vec::new();
     for (tab_id, sizes, what, group) in [
         (
-            if net == Net::Ethernet { "TAB-1" } else { "TAB-5" },
+            if net == Net::Ethernet {
+                "TAB-1"
+            } else {
+                "TAB-5"
+            },
             &SMALL_SIZES[..],
             "small messages",
             SizeSel::Small,
         ),
         (
-            if net == Net::Ethernet { "FIG-3" } else { "FIG-10" },
+            if net == Net::Ethernet {
+                "FIG-3"
+            } else {
+                "FIG-10"
+            },
             &LARGE_SIZES[..],
             "medium/large messages",
             SizeSel::Large,
@@ -150,7 +158,11 @@ pub fn decomposition_net(net: Net, opts: &BenchOpts) -> Table {
     let sizes: Vec<usize> = SMALL_SIZES
         .iter()
         .filter(|_| opts.sizes.includes(SizeSel::Small))
-        .chain(LARGE_SIZES.iter().filter(|_| opts.sizes.includes(SizeSel::Large)))
+        .chain(
+            LARGE_SIZES
+                .iter()
+                .filter(|_| opts.sizes.includes(SizeSel::Large)),
+        )
         .copied()
         .collect();
     // The calibrated simulation is deterministic; a handful of

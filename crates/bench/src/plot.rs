@@ -15,7 +15,10 @@ pub struct Series {
 /// (plus axes). Y is linear unless `log_y`.
 pub fn render(title: &str, series: &[Series], width: usize, height: usize, log_y: bool) -> String {
     assert!(width >= 16 && height >= 4);
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("{title}\n(no data)\n");
     }
@@ -23,8 +26,16 @@ pub fn render(title: &str, series: &[Series], width: usize, height: usize, log_y
     let ty = |y: f64| if log_y { y.max(1e-12).log10() } else { y };
     let (x0, x1) = min_max(all.iter().map(|p| tx(p.0)));
     let (y0, y1) = min_max(all.iter().map(|p| ty(p.1)));
-    let xs = if (x1 - x0).abs() < 1e-12 { 1.0 } else { x1 - x0 };
-    let ys = if (y1 - y0).abs() < 1e-12 { 1.0 } else { y1 - y0 };
+    let xs = if (x1 - x0).abs() < 1e-12 {
+        1.0
+    } else {
+        x1 - x0
+    };
+    let ys = if (y1 - y0).abs() < 1e-12 {
+        1.0
+    } else {
+        y1 - y0
+    };
 
     let mut grid = vec![vec![' '; width]; height];
     let marks = ['*', 'o', '+', 'x', '#', '@'];
@@ -173,7 +184,8 @@ mod tests {
 
     #[test]
     fn csv_round_trip_to_series() {
-        let csv = "# FIG-X: demo\n,1B,16KB,2MB\nUnencrypted,0.05,200,\"1,038\"\nBoringSSL,0.04,170,592\n";
+        let csv =
+            "# FIG-X: demo\n,1B,16KB,2MB\nUnencrypted,0.05,200,\"1,038\"\nBoringSSL,0.04,170,592\n";
         let (title, series) = series_from_csv(csv);
         assert_eq!(title, "FIG-X: demo");
         assert_eq!(series.len(), 2);

@@ -23,11 +23,7 @@ pub struct Table {
 
 impl Table {
     /// Empty table.
-    pub fn new(
-        title: impl Into<String>,
-        row_key: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, row_key: impl Into<String>, columns: Vec<String>) -> Self {
         Table {
             title: title.into(),
             row_key: row_key.into(),
@@ -242,7 +238,11 @@ mod tests {
 
     #[test]
     fn json_round_trip_parses() {
-        let mut t = Table::new("TAB-X: demo \"quoted\"", "lib", vec!["1B".into(), "2MB".into()]);
+        let mut t = Table::new(
+            "TAB-X: demo \"quoted\"",
+            "lib",
+            vec!["1B".into(), "2MB".into()],
+        );
         t.push_row("Unencrypted", vec!["0.050".into(), "1038".into()]);
         t.push_row("BoringSSL", vec!["0.045".into(), "578".into()]);
         let v = empi_trace::json::parse(&t.to_json()).expect("valid JSON");

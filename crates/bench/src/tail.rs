@@ -126,7 +126,12 @@ pub fn p2p_run(
                     Err(_) => failed += 1,
                 }
             }
-            ((c.now() - t0).as_secs_f64(), delivered, failed, sc.chaos_stats())
+            (
+                (c.now() - t0).as_secs_f64(),
+                delivered,
+                failed,
+                sc.chaos_stats(),
+            )
         }
     });
     let secs = out.results.iter().map(|r| r.0).collect();
@@ -372,7 +377,14 @@ mod tests {
             return;
         }
         let traced = Tracer::compiled_in();
-        let (run, _, trace) = p2p_run(Net::Ethernet, CryptoLibrary::BoringSsl, true, 9, true, traced);
+        let (run, _, trace) = p2p_run(
+            Net::Ethernet,
+            CryptoLibrary::BoringSsl,
+            true,
+            9,
+            true,
+            traced,
+        );
         let e2e = run.snap.merged(Metric::E2e, "p2p/recv");
         assert!(e2e.count() > 0, "the stream must record recv latencies");
         assert!(e2e.p50() > 0, "virtual-time latencies are never zero");
@@ -392,8 +404,24 @@ mod tests {
         // The zero-overhead guard: a metered run must report the exact
         // same per-rank virtual times as the identical unmetered run
         // (recording happens outside the simulated clock).
-        let on = p2p_run(Net::Ethernet, CryptoLibrary::BoringSsl, true, 6, true, false).1;
-        let off = p2p_run(Net::Ethernet, CryptoLibrary::BoringSsl, true, 6, false, false).1;
+        let on = p2p_run(
+            Net::Ethernet,
+            CryptoLibrary::BoringSsl,
+            true,
+            6,
+            true,
+            false,
+        )
+        .1;
+        let off = p2p_run(
+            Net::Ethernet,
+            CryptoLibrary::BoringSsl,
+            true,
+            6,
+            false,
+            false,
+        )
+        .1;
         assert_eq!(on, off, "metrics must be invisible in virtual time");
     }
 
@@ -402,8 +430,24 @@ mod tests {
         if !Metrics::compiled_in() {
             return;
         }
-        let a = p2p_run(Net::Ethernet, CryptoLibrary::Libsodium, true, 6, true, false).0;
-        let b = p2p_run(Net::Ethernet, CryptoLibrary::Libsodium, true, 6, true, false).0;
+        let a = p2p_run(
+            Net::Ethernet,
+            CryptoLibrary::Libsodium,
+            true,
+            6,
+            true,
+            false,
+        )
+        .0;
+        let b = p2p_run(
+            Net::Ethernet,
+            CryptoLibrary::Libsodium,
+            true,
+            6,
+            true,
+            false,
+        )
+        .0;
         assert_eq!(
             export::snapshot_json(&a.snap),
             export::snapshot_json(&b.snap),
@@ -456,8 +500,8 @@ mod tests {
                 first
             }
         });
-        let (tag, n_events) = out.results[1]
-            .expect("the seeded plan must fail at least one delivery");
+        let (tag, n_events) =
+            out.results[1].expect("the seeded plan must fail at least one delivery");
         assert_eq!(tag, 5, "black box must name the failing flow's tag");
         assert!(n_events > 0, "black box must carry the flow's last events");
     }

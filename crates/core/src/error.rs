@@ -58,6 +58,17 @@ pub enum Error {
         /// [`Error::DeliveryFailed::black_box`]).
         black_box: Option<Box<BlackBox>>,
     },
+    /// The failure detector confirmed the peer process dead (crashed
+    /// or hung past its lease) while this operation depended on it.
+    /// The dead rank's key material has been revoked; recover with
+    /// `shrink` + survivor re-key.
+    RankFailed {
+        /// The rank confirmed dead.
+        rank: usize,
+        /// Failures known locally at confirmation time (the liveness
+        /// epoch, matching [`empi_mpi::RankFailed::epoch`]).
+        epoch: u32,
+    },
 }
 
 impl Error {
@@ -122,6 +133,10 @@ impl fmt::Display for Error {
                 }
                 Ok(())
             }
+            Error::RankFailed { rank, epoch } => write!(
+                f,
+                "secure MPI peer failure: rank {rank} confirmed dead (liveness epoch {epoch})"
+            ),
         }
     }
 }
@@ -134,7 +149,17 @@ impl std::error::Error for Error {
             Error::Key(e) => Some(e),
             Error::LengthMismatch { .. }
             | Error::DeliveryFailed { .. }
-            | Error::Timeout { .. } => None,
+            | Error::Timeout { .. }
+            | Error::RankFailed { .. } => None,
+        }
+    }
+}
+
+impl From<empi_mpi::RankFailed> for Error {
+    fn from(e: empi_mpi::RankFailed) -> Self {
+        Error::RankFailed {
+            rank: e.rank,
+            epoch: e.epoch,
         }
     }
 }
@@ -172,7 +197,10 @@ mod tests {
     fn delivery_failed_round_trips_ledger() {
         let e = Error::DeliveryFailed {
             attempts: 3,
-            ledger: vec!["attempt 0: auth failure".into(), "attempt 1: no repair".into()],
+            ledger: vec![
+                "attempt 0: auth failure".into(),
+                "attempt 1: no repair".into(),
+            ],
             black_box: None,
         };
         let s = e.to_string();
@@ -253,7 +281,10 @@ mod tests {
         assert_eq!(pe.chunk_index(), Some(7));
         let e: Error = pe.into();
         assert_eq!(e.chunk_index(), Some(7), "From must keep the failing chunk");
-        assert!(std::error::Error::source(&e).is_some(), "chains to the pipeline error");
+        assert!(
+            std::error::Error::source(&e).is_some(),
+            "chains to the pipeline error"
+        );
         // Whole-message pipeline failures carry no chunk.
         let e: Error = empi_pipeline::PipelineError::Crypto(empi_aead::Error::AuthFailure).into();
         assert_eq!(e.chunk_index(), None);

@@ -18,14 +18,14 @@ use empi_aead::chunked::chunk_count;
 use empi_aead::gcm::AesGcm;
 use empi_aead::nonce::NonceSource;
 use empi_aead::{NONCE_LEN, TAG_LEN, WIRE_OVERHEAD};
+use empi_keys::suite::cointoss;
 use empi_keys::{
     derive_group_key, epoch_aad, handshake, msg_id_epoch, split_epoch, widen_epoch16, KeyError,
     KeyFrame, KeyPlane, KeyPlaneConfig, KeyStats, EPOCH_PREFIX_LEN,
 };
-use empi_keys::suite::cointoss;
+use empi_metrics::{BlackBox, Metric, Metrics};
 use empi_mpi::chunk::{ChunkFrame, ChunkedMessage, RecvPayload, FRAME_OVERHEAD};
 use empi_mpi::ctrl::{pack_frames, unpack_frames};
-use empi_metrics::{BlackBox, Metric, Metrics};
 use empi_mpi::{
     Comm, FrameHeader, Nack, RepairHeader, RepairKind, Request, SetPoll, Src, Status, Tag, TagSel,
     KEY_COMMIT_TAG, KEY_REVEAL_TAG, NACK_TAG, REPAIR_TAG,
@@ -470,7 +470,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// resolves wire epochs here so drain-window stragglers open under
     /// the epoch they were sealed in.
     fn peer_ctx_at(&self, src: usize, dst: usize, epoch: u64) -> Rc<PeerCtx> {
-        let keys = self.peer_keys.as_ref().expect("peer_ctx requires peer_cipher");
+        let keys = self
+            .peer_keys
+            .as_ref()
+            .expect("peer_ctx requires peer_cipher");
         if let Some(ctx) = self.peer_ctxs.borrow().get(&(src, dst, epoch)) {
             return ctx.clone();
         }
@@ -504,7 +507,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// Wire bytes added per plain sealed record: the paper's 28, plus
     /// the 8-byte epoch prefix once the key plane is on.
     fn wire_overhead(&self) -> usize {
-        WIRE_OVERHEAD + if self.keys.is_some() { EPOCH_PREFIX_LEN } else { 0 }
+        WIRE_OVERHEAD
+            + if self.keys.is_some() {
+                EPOCH_PREFIX_LEN
+            } else {
+                0
+            }
     }
 
     /// The epoch this rank seals under *now*: the clock-derived
@@ -513,9 +521,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     fn current_epoch(&self) -> u64 {
         match &self.keys {
             None => 0,
-            Some(plane) => {
-                self.epoch.get() + plane.schedule_epoch(self.comm.sim().now())
-            }
+            Some(plane) => self.epoch.get() + plane.schedule_epoch(self.comm.sim().now()),
         }
     }
 
@@ -527,7 +533,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         if let Some(ctx) = self.group_ctxs.borrow().get(&epoch) {
             return ctx.clone();
         }
-        let plane = self.keys.as_ref().expect("group_ctx requires the key plane");
+        let plane = self
+            .keys
+            .as_ref()
+            .expect("group_ctx requires the key plane");
         let full = derive_group_key(&plane.master(), epoch);
         let cipher = AesGcm::new(&full[..self.cfg.key_size.bytes()])
             .expect("truncated group key has a supported length");
@@ -569,7 +578,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// [`Self::p2p_cipher`]); collectives and repairs use the group
     /// cipher.
     fn epoch_ctx(&self, src: Option<usize>, pair: bool, epoch: u64) -> Result<Rc<PeerCtx>> {
-        let plane = self.keys.as_ref().expect("epoch_ctx requires the key plane");
+        let plane = self
+            .keys
+            .as_ref()
+            .expect("epoch_ctx requires the key plane");
         if let Some(s) = src {
             if plane.is_revoked(s) {
                 plane.note_revoked_rejection();
@@ -586,7 +598,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 return Err(Error::Key(KeyError::RevokedPeer { rank: s }));
             }
         }
-        plane.accept(epoch, self.current_epoch()).map_err(Error::Key)?;
+        plane
+            .accept(epoch, self.current_epoch())
+            .map_err(Error::Key)?;
         self.note_rotation(epoch);
         Ok(match (pair, src) {
             (true, Some(s)) if self.peer_keys.is_some() && !self.chaos_on() => {
@@ -645,7 +659,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
 
     /// Ranks revoked so far, in rank order.
     pub fn revoked_ranks(&self) -> Vec<usize> {
-        self.keys.as_ref().map_or_else(Vec::new, |p| p.revoked_ranks())
+        self.keys
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.revoked_ranks())
     }
 
     /// Revoke `target`: quarantine its flows (its records are rejected
@@ -658,10 +674,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// without a wire round). Typed errors: [`KeyError::NoKeyPlane`]
     /// without the plane, [`KeyError::RevokedPeer`] on double-revoke.
     pub fn revoke(&self, target: usize) -> Result<()> {
-        let plane = self
-            .keys
-            .as_ref()
-            .ok_or(Error::Key(KeyError::NoKeyPlane))?;
+        let plane = self.keys.as_ref().ok_or(Error::Key(KeyError::NoKeyPlane))?;
         let new_master = plane.revoke(target).map_err(Error::Key)?;
         // Bump the manual epoch component: survivors roll forward onto
         // keys derived from the post-revocation master. Contexts cached
@@ -685,6 +698,52 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         }
         self.note_service(Metric::Key, "key/revoke", target as i32, 0, now);
         Ok(())
+    }
+
+    /// Hook a detector-confirmed rank failure into the key plane:
+    /// revoke the dead rank (quarantine its flows, re-key the
+    /// survivors) exactly as if it had been administratively expelled.
+    /// Idempotent — a rank already revoked (by an earlier caller or by
+    /// a peer-driven path) is not an error — and a no-op without the
+    /// key plane, so plaintext and pair-key configurations can still
+    /// use the ft verbs.
+    pub fn handle_rank_failure(&self, rank: usize) -> Result<()> {
+        if self.keys.is_none() {
+            return Ok(());
+        }
+        let t0 = self.comm.sim().now().as_nanos();
+        match self.revoke(rank) {
+            Ok(()) => {
+                // First confirmer on this rank: the survivors just
+                // re-keyed. Mark the roll on the ftol lane (the key
+                // plane's own revoke span prices the crypto).
+                let now = self.comm.sim().now().as_nanos();
+                if let Some(m) = self.comm.sim().metrics() {
+                    m.record(
+                        self.rank(),
+                        Metric::Ftol,
+                        "ftol/rekey",
+                        rank as i32,
+                        0,
+                        now,
+                        now - t0,
+                    );
+                }
+                if let Some(t) = self.comm.sim().tracer() {
+                    t.ftol_span(
+                        self.rank(),
+                        "ftol/rekey",
+                        t0,
+                        now - t0,
+                        0,
+                        format!("survivors re-keyed past dead rank {rank}"),
+                    );
+                }
+                Ok(())
+            }
+            Err(Error::Key(KeyError::RevokedPeer { .. })) => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     /// Tracer bookkeeping for one wire-buffer materialization: the
@@ -847,7 +906,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         }
         let (cipher, base) = match &ctx {
             Some(c) => (&c.cipher, c.nonces.borrow_mut().next_nonce_block(total)),
-            None => (&self.cipher, self.nonces.borrow_mut().next_nonce_block(total)),
+            None => (
+                &self.cipher,
+                self.nonces.borrow_mut().next_nonce_block(total),
+            ),
         };
         if let Some(t) = self.comm.sim().tracer() {
             t.count_nonce_draw(self.rank());
@@ -860,14 +922,8 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let stats_before = self.cfg.pool.then(|| self.comm.sim().buffer_pool().stats());
         let t0 = self.comm.sim().now().as_nanos();
         let frames = self.with_chunk_cost(|cost| {
-            self.pipe.seal_timed(
-                self.comm,
-                cipher,
-                cost,
-                self.cfg.library.name(),
-                base,
-                buf,
-            )
+            self.pipe
+                .seal_timed(self.comm, cipher, cost, self.cfg.library.name(), base, buf)
         });
         self.note_service(
             Metric::Seal,
@@ -935,10 +991,11 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             // The epoch rides the (AAD-bound) top bits of the message
             // id; widen the 16-bit wire value against the local clock.
             let local = self.current_epoch();
-            let e16 = msg
-                .frames
-                .iter()
-                .find_map(|(_, f)| FrameHeader::decode(f).ok().map(|(h, _)| msg_id_epoch(h.msg_id)));
+            let e16 = msg.frames.iter().find_map(|(_, f)| {
+                FrameHeader::decode(f)
+                    .ok()
+                    .map(|(h, _)| msg_id_epoch(h.msg_id))
+            });
             let epoch = widen_epoch16(e16.unwrap_or(local & 0xFFFF), local);
             Some(self.epoch_ctx(Some(msg.src), peer, epoch)?)
         } else if peer {
@@ -1233,7 +1290,13 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         });
         // Recorded on failure too: `count_open` above already counted
         // the attempt, and conservation tracks attempts, not successes.
-        self.note_service(Metric::Open, "open/plain", src.map_or(-1, |s| s as i32), plain_len, t0);
+        self.note_service(
+            Metric::Open,
+            "open/plain",
+            src.map_or(-1, |s| s as i32),
+            plain_len,
+            t0,
+        );
         r
     }
 
@@ -1360,8 +1423,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             Some(a) => {
                 let mut total = 0u64;
                 for attempt in 0..=a.cfg.max_retries {
-                    total = total
-                        .saturating_add(a.cfg.timeout.0 << attempt.min(BACKOFF_CAP_SHIFT));
+                    total = total.saturating_add(a.cfg.timeout.0 << attempt.min(BACKOFF_CAP_SHIFT));
                 }
                 VDur(total)
             }
@@ -1493,7 +1555,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             match v {
                 Verdict::Deliver => out.push(f),
                 Verdict::Duplicate => {
-                    self.note_fault(&v, f.data.len(), 1, format!("tag {tag} seq {seq} chunk {i}"));
+                    self.note_fault(
+                        &v,
+                        f.data.len(),
+                        1,
+                        format!("tag {tag} seq {seq} chunk {i}"),
+                    );
                     out.push(f.clone());
                     out.push(f);
                 }
@@ -1510,7 +1577,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                     });
                 }
                 Verdict::Drop => {
-                    self.note_fault(&v, f.data.len(), 1, format!("tag {tag} seq {seq} chunk {i}"));
+                    self.note_fault(
+                        &v,
+                        f.data.len(),
+                        1,
+                        format!("tag {tag} seq {seq} chunk {i}"),
+                    );
                 }
                 Verdict::BitFlip { .. } | Verdict::Truncate { .. } => {
                     // Required copy: the frame buffer may be shared with
@@ -1673,7 +1745,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                     "retry/resend",
                     1,
                     repair.len(),
-                    format!("tag {tag} seq {seq} attempt {attempt} -> rank {}", st.source),
+                    format!(
+                        "tag {tag} seq {seq} attempt {attempt} -> rank {}",
+                        st.source
+                    ),
                 );
             }
             let _ = self.comm.isend(&repair, st.source, REPAIR_TAG);
@@ -1716,8 +1791,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             let (status, plain) = self.open_payload_owned(p)?;
             return Ok((status, Some(plain)));
         }
-        let seq =
-            hint.unwrap_or_else(|| Self::bump_seq(&self.recv_seq, status.source, status.tag));
+        let seq = hint.unwrap_or_else(|| Self::bump_seq(&self.recv_seq, status.source, status.tag));
         match self.open_payload(&p) {
             Ok((status, plain)) => Ok((status, Some(plain))),
             Err(e) if self.arq_on() => self
@@ -1788,7 +1862,11 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         payload: &RecvPayload,
         first_err: Error,
     ) -> Result<(Status, Vec<u8>)> {
-        let rc = self.arq.as_ref().expect("recover needs the retransmit layer").cfg;
+        let rc = self
+            .arq
+            .as_ref()
+            .expect("recover needs the retransmit layer")
+            .cfg;
         let t_enter = self.comm.sim().now().as_nanos();
         let mut ledger = vec![format!("initial delivery: {first_err}")];
         self.note_flow(src, tag, seq, "recover/start", 0, || format!("{first_err}"));
@@ -1806,7 +1884,13 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                     self.note_flow(src, tag, seq, "recover/ok", plain.len(), || {
                         "salvaged without wire traffic".into()
                     });
-                    self.note_service(Metric::Repair, "arq/repair", src as i32, plain.len(), t_enter);
+                    self.note_service(
+                        Metric::Repair,
+                        "arq/repair",
+                        src as i32,
+                        plain.len(),
+                        t_enter,
+                    );
                     return Ok((
                         Status {
                             source: src,
@@ -1864,6 +1948,30 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             'wait: while self.comm.sim().now() < deadline {
                 // We may owe repairs to our own peers meanwhile.
                 self.service_nacks();
+                // A dead sender can never repair: once the failure
+                // detector confirms it, resolve the flow as a typed
+                // delivery failure (black box attached) instead of
+                // waiting out the whole backoff schedule, and burn the
+                // corpse's key material.
+                if self.comm.ftol_enabled() {
+                    if let Some(rf) = self.comm.ft_probe(src) {
+                        let _ = self.handle_rank_failure(rf.rank);
+                        ledger.push(format!(
+                            "attempt {attempt}: sender rank {src} confirmed dead \
+                             (liveness epoch {}); flow unrecoverable",
+                            rf.epoch
+                        ));
+                        self.note_flow(src, tag, seq, "recover/peer-dead", 0, || {
+                            format!("rank {src} dead at epoch {}", rf.epoch)
+                        });
+                        self.note_service(Metric::Repair, "arq/fail", src as i32, 0, t_enter);
+                        return Err(Error::DeliveryFailed {
+                            attempts: attempt + 1,
+                            ledger,
+                            black_box: self.black_box_for(src, tag, seq),
+                        });
+                    }
+                }
                 if self
                     .comm
                     .iprobe(Src::Is(src), TagSel::Is(REPAIR_TAG))
@@ -1887,7 +1995,12 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 match hdr.kind {
                     RepairKind::Abort => {
                         let waited = self.comm.sim().now() - t0;
-                        self.note_retry("retry/backoff", waited.0, 0, format!("tag {tag} seq {seq}"));
+                        self.note_retry(
+                            "retry/backoff",
+                            waited.0,
+                            0,
+                            format!("tag {tag} seq {seq}"),
+                        );
                         self.stats
                             .backoff_ns
                             .set(self.stats.backoff_ns.get() + waited.0);
@@ -2097,9 +2210,49 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                 Err(_) => (-1, 0),
             };
             let now = self.comm.sim().now().as_nanos();
-            m.record(self.rank(), Metric::E2e, "p2p/recv", peer, bytes, now, now - t0);
+            m.record(
+                self.rank(),
+                Metric::E2e,
+                "p2p/recv",
+                peer,
+                bytes,
+                now,
+                now - t0,
+            );
         }
         out
+    }
+
+    /// Fault-tolerant encrypted blocking send: seals like
+    /// [`SecureComm::send`], but a confirmed death of the receiver
+    /// surfaces as [`Error::RankFailed`] (after burning its keys via
+    /// the revocation path) instead of hanging the rendezvous. The
+    /// world must be built with `with_ftol`.
+    pub fn ft_send(&self, buf: &[u8], dst: usize, tag: Tag) -> Result<()> {
+        let wire = self.seal_for(buf, Some(dst));
+        match self.comm.ft_send_bytes(Bytes::from(wire), dst, tag) {
+            Ok(()) => Ok(()),
+            Err(rf) => {
+                let _ = self.handle_rank_failure(rf.rank);
+                Err(rf.into())
+            }
+        }
+    }
+
+    /// Fault-tolerant encrypted blocking receive: opens like
+    /// [`SecureComm::recv`], but a confirmed death of the awaited
+    /// source (or of any rank, for any-source receives) surfaces as
+    /// [`Error::RankFailed`] after the dead rank's key material is
+    /// revoked and the survivors re-keyed. The world must be built
+    /// with `with_ftol`.
+    pub fn ft_recv(&self, src: Src, tag: TagSel) -> Result<(Status, Vec<u8>)> {
+        match self.comm.ft_recv_payload(src, tag) {
+            Ok(payload) => self.open_payload_owned(payload),
+            Err(rf) => {
+                let _ = self.handle_rank_failure(rf.rank);
+                Err(rf.into())
+            }
+        }
     }
 
     fn recv_impl(&self, src: Src, tag: TagSel) -> Result<(Status, Vec<u8>)> {
@@ -2189,14 +2342,19 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let out = self.wait_impl(req);
         if let Some(m) = self.metrics() {
             let (peer, bytes) = match &out {
-                Ok((st, data)) => (
-                    st.source as i32,
-                    data.as_ref().map_or(0, Vec::len),
-                ),
+                Ok((st, data)) => (st.source as i32, data.as_ref().map_or(0, Vec::len)),
                 Err(_) => (-1, 0),
             };
             let now = self.comm.sim().now().as_nanos();
-            m.record(self.rank(), Metric::E2e, "p2p/wait", peer, bytes, now, now - t0);
+            m.record(
+                self.rank(),
+                Metric::E2e,
+                "p2p/wait",
+                peer,
+                bytes,
+                now,
+                now - t0,
+            );
         }
         out
     }
@@ -2250,14 +2408,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// (survivors keep their order); each reported index refers to the
     /// position in `reqs` at call time. An empty `reqs` returns an
     /// empty vector. Records one `p2p/waitsome` sample per completion.
-    pub fn waitsome(
-        &self,
-        reqs: &mut Vec<SecureRequest>,
-    ) -> Result<Vec<SetCompletion>> {
+    pub fn waitsome(&self, reqs: &mut Vec<SecureRequest>) -> Result<Vec<SetCompletion>> {
         let t0 = self.comm.sim().now().as_nanos();
         let hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
-        let mut slots: Vec<Option<Request>> =
-            reqs.drain(..).map(|r| Some(r.inner)).collect();
+        let mut slots: Vec<Option<Request>> = reqs.drain(..).map(|r| Some(r.inner)).collect();
         let mut done: Vec<(usize, Status, Option<RecvPayload>)> = Vec::new();
         match self.set_poll(&mut slots, true) {
             SetPoll::Done(idx, status, payload) => done.push((idx, status, payload)),
@@ -2292,14 +2446,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// that have already arrived are serviced even when nothing
     /// completes. `Ok(None)` means no request has completed at the
     /// current virtual time (or `reqs` is empty).
-    pub fn testany(
-        &self,
-        reqs: &mut Vec<SecureRequest>,
-    ) -> Result<Option<SetCompletion>> {
+    pub fn testany(&self, reqs: &mut Vec<SecureRequest>) -> Result<Option<SetCompletion>> {
         let t0 = self.comm.sim().now().as_nanos();
         let hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
-        let mut slots: Vec<Option<Request>> =
-            reqs.drain(..).map(|r| Some(r.inner)).collect();
+        let mut slots: Vec<Option<Request>> = reqs.drain(..).map(|r| Some(r.inner)).collect();
         let polled = self.set_poll(&mut slots, false);
         reqs.extend(slots.into_iter().zip(&hints).filter_map(|(slot, &hint)| {
             slot.map(|inner| SecureRequest {
@@ -2349,10 +2499,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let out = self.waitany_impl(reqs);
         if let Some(m) = self.metrics() {
             let (peer, bytes) = match &out {
-                Ok((_, st, data)) => (
-                    st.source as i32,
-                    data.as_ref().map_or(0, Vec::len),
-                ),
+                Ok((_, st, data)) => (st.source as i32, data.as_ref().map_or(0, Vec::len)),
                 Err(_) => (-1, 0),
             };
             let now = self.comm.sim().now().as_nanos();
@@ -2375,8 +2522,7 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     ) -> Result<(usize, Status, Option<Vec<u8>>)> {
         assert!(!reqs.is_empty(), "waitany on an empty request set");
         let hints: Vec<Option<u64>> = reqs.iter().map(|r| r.recv_seq_hint).collect();
-        let mut slots: Vec<Option<Request>> =
-            reqs.drain(..).map(|r| Some(r.inner)).collect();
+        let mut slots: Vec<Option<Request>> = reqs.drain(..).map(|r| Some(r.inner)).collect();
         let polled = self.set_poll(&mut slots, true);
         // Survivors go back before the payload is opened: recovery can
         // fail, and the caller keeps its outstanding requests either way.
@@ -2436,7 +2582,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// it regardless of their local pipeline config.
     pub fn bcast(&self, buf: &mut Vec<u8>, root: usize) -> Result<()> {
         let len = buf.len();
-        self.op_span("coll/bcast", root as i32, len, || self.bcast_impl(buf, root))
+        self.op_span("coll/bcast", root as i32, len, || {
+            self.bcast_impl(buf, root)
+        })
     }
 
     fn bcast_impl(&self, buf: &mut Vec<u8>, root: usize) -> Result<()> {
@@ -2513,7 +2661,10 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         while mask < n {
             if vrank & mask != 0 {
                 let parent = real(vrank - mask);
-                match self.comm.recv_maybe_chunked(Src::Is(parent), TagSel::Is(tag)) {
+                match self
+                    .comm
+                    .recv_maybe_chunked(Src::Is(parent), TagSel::Is(tag))
+                {
                     RecvPayload::Chunked(msg) => incoming = Some(msg),
                     RecvPayload::Plain(..) => unreachable!(
                         "pipelined bcast: root announced the chunked wire format \
@@ -2664,9 +2815,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
                             slots[gstart(rg) + off] = Some(ChunkFrame { data, ready: at });
                         }
                     }
-                    RecvPayload::Plain(..) => unreachable!(
-                        "pipelined bcast: ring peer sent a plain record"
-                    ),
+                    RecvPayload::Plain(..) => {
+                        unreachable!("pipelined bcast: ring peer sent a plain record")
+                    }
                 }
             }
             if let Some(r) = sreq {
@@ -2780,7 +2931,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
     /// Encrypted_Allgather: seal own block, plain allgather of
     /// `(len+28)`-byte blocks, open all `n` received blocks.
     pub fn allgather(&self, send: &[u8]) -> Result<Vec<u8>> {
-        self.op_span("coll/allgather", -1, send.len(), || self.allgather_impl(send))
+        self.op_span("coll/allgather", -1, send.len(), || {
+            self.allgather_impl(send)
+        })
     }
 
     fn allgather_impl(&self, send: &[u8]) -> Result<Vec<u8>> {
@@ -2935,7 +3088,9 @@ impl<'a, 'h> SecureComm<'a, 'h> {
             self.seal_append(&send[off..off + c], &mut enc_send);
             off += c;
         }
-        let enc_recv = self.comm.alltoallv(&enc_send, &enc_send_counts, &enc_recv_counts);
+        let enc_recv = self
+            .comm
+            .alltoallv(&enc_send, &enc_send_counts, &enc_recv_counts);
         let mut out = Vec::with_capacity(recv_counts.iter().sum());
         let mut off = 0;
         for (i, &c) in recv_counts.iter().enumerate() {
@@ -3100,7 +3255,10 @@ mod tests {
                 sc.recv(Src::Is(0), TagSel::Is(0)).is_err()
             }
         });
-        assert!(out.results[1], "tampered/wrong-key message must not decrypt");
+        assert!(
+            out.results[1],
+            "tampered/wrong-key message must not decrypt"
+        );
     }
 
     #[test]
@@ -3188,7 +3346,10 @@ mod tests {
             // Rank r sends r*dst bytes to dst (so some segments empty).
             let send_counts: Vec<usize> = (0..3).map(|dst| me * dst).collect();
             let recv_counts: Vec<usize> = (0..3).map(|src| src * me).collect();
-            let send: Vec<u8> = send_counts.iter().flat_map(|&n| vec![me as u8; n]).collect();
+            let send: Vec<u8> = send_counts
+                .iter()
+                .flat_map(|&n| vec![me as u8; n])
+                .collect();
             sc.alltoallv(&send, &send_counts, &recv_counts).unwrap()
         });
         // Rank 2 receives 0 from 0, 2 from 1, 4 from 2.
@@ -3227,7 +3388,10 @@ mod tests {
         let base = run(None);
         let boring = run(Some(CryptoLibrary::BoringSsl));
         let cpp = run(Some(CryptoLibrary::CryptoPp));
-        assert!(boring > base, "encryption must cost time: {boring} vs {base}");
+        assert!(
+            boring > base,
+            "encryption must cost time: {boring} vs {base}"
+        );
         assert!(cpp > boring, "CryptoPP must be slower: {cpp} vs {boring}");
     }
 
@@ -3277,9 +3441,7 @@ mod tests {
     #[test]
     fn pipelined_secure_ping_pong_round_trips() {
         let len = (1usize << 20) + 13; // uneven tail chunk
-        let pcfg = || {
-            cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4))
-        };
+        let pcfg = || cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4));
         let w = World::flat(NetModel::ethernet_10g(), 2);
         let out = w.run(move |c| {
             let sc = SecureComm::new(c, pcfg()).unwrap();
@@ -3309,11 +3471,8 @@ mod tests {
                 let sc = SecureComm::new(c, cfg()).unwrap();
                 sc.send(&vec![9u8; 100_000], 1, 0);
             } else {
-                let sc = SecureComm::new(
-                    c,
-                    cfg().with_pipeline(crate::PipelineConfig::enabled()),
-                )
-                .unwrap();
+                let sc = SecureComm::new(c, cfg().with_pipeline(crate::PipelineConfig::enabled()))
+                    .unwrap();
                 let (_, data) = sc.recv(Src::Is(0), TagSel::Is(0)).unwrap();
                 assert_eq!(data, vec![9u8; 100_000]);
             }
@@ -3370,10 +3529,17 @@ mod tests {
         // One logical seal/open and nonce draw per message; per-chunk
         // activity lands in the chunk counters.
         assert_eq!(
-            (tr.per_rank[0].seals, tr.per_rank[0].nonce_draws, tr.per_rank[0].chunks_sealed),
+            (
+                tr.per_rank[0].seals,
+                tr.per_rank[0].nonce_draws,
+                tr.per_rank[0].chunks_sealed
+            ),
             (1, 1, 16)
         );
-        assert_eq!((tr.per_rank[1].opens, tr.per_rank[1].chunks_opened), (1, 16));
+        assert_eq!(
+            (tr.per_rank[1].opens, tr.per_rank[1].chunks_opened),
+            (1, 16)
+        );
         // Wire byte conservation with 52 bytes framing per chunk.
         assert_eq!(tr.pair(0, 1).tx_bytes, (len + 16 * 52) as u64);
         assert_eq!(tr.pair(0, 1).rx_bytes, tr.pair(0, 1).tx_bytes);
@@ -3443,8 +3609,7 @@ mod tests {
         // isends return before the trains land, and each side's chunked
         // train is opened inside `wait`.
         let len = (1usize << 19) + 3;
-        let pcfg =
-            move || cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4));
+        let pcfg = move || cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4));
         let w = World::flat(NetModel::ethernet_10g(), 2);
         let out = w.run(move |c| {
             let sc = SecureComm::new(c, pcfg()).unwrap();
@@ -3477,7 +3642,13 @@ mod tests {
                 _ => vec![0u8; 32], // wrong count on rank 2
             };
             match (c.rank(), sc.bcast(&mut buf, 0)) {
-                (2, Err(Error::LengthMismatch { local: 32, remote: 64 })) => true,
+                (
+                    2,
+                    Err(Error::LengthMismatch {
+                        local: 32,
+                        remote: 64,
+                    }),
+                ) => true,
                 (2, _) => false,
                 (_, Ok(())) => buf == vec![7u8; 64],
                 _ => false,
@@ -3535,7 +3706,11 @@ mod tests {
             };
             let sc = SecureComm::new(c, local).unwrap();
             let pattern: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(17)) as u8).collect();
-            let mut buf = if c.rank() == 1 { pattern.clone() } else { vec![0u8; len] };
+            let mut buf = if c.rank() == 1 {
+                pattern.clone()
+            } else {
+                vec![0u8; len]
+            };
             sc.bcast(&mut buf, 1).unwrap();
             buf == pattern
         });
@@ -3551,7 +3726,11 @@ mod tests {
             let w = World::flat(NetModel::ethernet_10g(), 4);
             w.run(move |c| {
                 let sc = SecureComm::new(c, cfg().with_pipeline(pipeline)).unwrap();
-                let mut buf = if c.rank() == 0 { vec![3u8; len] } else { vec![0u8; len] };
+                let mut buf = if c.rank() == 0 {
+                    vec![3u8; len]
+                } else {
+                    vec![0u8; len]
+                };
                 sc.bcast(&mut buf, 0).unwrap();
             })
             .end_time
@@ -3628,8 +3807,7 @@ mod tests {
             )
             .unwrap();
             let send_counts = counts(me);
-            let recv_counts: Vec<usize> =
-                (0..n).map(|src| counts(src)[me]).collect();
+            let recv_counts: Vec<usize> = (0..n).map(|src| counts(src)[me]).collect();
             let send: Vec<u8> = send_counts
                 .iter()
                 .flat_map(|&k| vec![me as u8 + 1; k])
@@ -3653,8 +3831,7 @@ mod tests {
         let len = 1usize << 18; // 4 chunks
         let w = World::flat(NetModel::ethernet_10g(), 2).traced(true);
         let out = w.run(move |c| {
-            let pcfg =
-                || cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(2));
+            let pcfg = || cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(2));
             if c.rank() == 0 {
                 let sc1 = SecureComm::new(c, pcfg()).unwrap();
                 let sc2 = SecureComm::new(c, pcfg()).unwrap();
@@ -3760,29 +3937,34 @@ mod tests {
         // with zero NACK/repair wire frames and all-zero chaos counters.
         let w = World::flat(NetModel::ethernet_10g(), 2);
         let out = w.run(|c| {
-            let sc = SecureComm::new(
-                c,
-                cfg().with_retransmit(3, VDur::from_micros(100)),
-            )
-            .unwrap();
+            let sc = SecureComm::new(c, cfg().with_retransmit(3, VDur::from_micros(100))).unwrap();
             let me = c.rank();
-            let (st, echo) = sc.sendrecv(
-                &vec![me as u8; 2048],
-                1 - me,
-                4,
-                Src::Is(1 - me),
-                TagSel::Is(4),
-            )
-            .unwrap();
+            let (st, echo) = sc
+                .sendrecv(
+                    &vec![me as u8; 2048],
+                    1 - me,
+                    4,
+                    Src::Is(1 - me),
+                    TagSel::Is(4),
+                )
+                .unwrap();
             assert_eq!(st.len, 2048);
             assert_eq!(echo, vec![(1 - me) as u8; 2048]);
-            let mut b = if me == 0 { b"bcast".to_vec() } else { vec![0u8; 5] };
+            let mut b = if me == 0 {
+                b"bcast".to_vec()
+            } else {
+                vec![0u8; 5]
+            };
             sc.bcast(&mut b, 0).unwrap();
             assert_eq!(b, b"bcast");
             sc.chaos_stats()
         });
         for st in out.results {
-            assert_eq!(st, ChaosStats::default(), "ARQ at fault rate 0 must be free");
+            assert_eq!(
+                st,
+                ChaosStats::default(),
+                "ARQ at fault rate 0 must be free"
+            );
         }
     }
 
@@ -3963,8 +4145,7 @@ mod tests {
         use empi_mpi::{RepairKind, NACK_TAG, REPAIR_TAG};
         let w = World::flat(NetModel::instant(), 2);
         let out = w.run(|c| {
-            let sc =
-                SecureComm::new(c, cfg().with_retransmit(2, VDur::from_micros(50))).unwrap();
+            let sc = SecureComm::new(c, cfg().with_retransmit(2, VDur::from_micros(50))).unwrap();
             if c.rank() == 0 {
                 sc.pump(VDur::from_micros(20));
                 sc.chaos_stats().aborts == 1
@@ -4010,11 +4191,8 @@ mod tests {
                 sc.send(b"corrupted and never repaired", 1, 9);
                 true
             } else {
-                let sc = SecureComm::new(
-                    c,
-                    cfg().with_retransmit(2, VDur::from_micros(40)),
-                )
-                .unwrap();
+                let sc =
+                    SecureComm::new(c, cfg().with_retransmit(2, VDur::from_micros(40))).unwrap();
                 match sc.recv(Src::Is(0), TagSel::Is(9)) {
                     Err(Error::Timeout { waited_ns, op, .. }) => op == "recv" && waited_ns > 0,
                     other => panic!("expected timeout, got {other:?}"),
@@ -4032,8 +4210,8 @@ mod tests {
         let run = |degrade: bool| {
             let w = World::flat(NetModel::ethernet_10g(), 2);
             w.run(move |c| {
-                let mut local = cfg()
-                    .with_pipeline(crate::PipelineConfig::enabled().with_workers(4));
+                let mut local =
+                    cfg().with_pipeline(crate::PipelineConfig::enabled().with_workers(4));
                 if degrade {
                     local = local.with_faults(
                         21,
@@ -4138,13 +4316,16 @@ mod tests {
                     );
                 let sc = SecureComm::new(c, local).unwrap();
                 let me = c.rank();
-                let send: Vec<u8> = (0..n).flat_map(|d| vec![(me * n + d) as u8; block]).collect();
+                let send: Vec<u8> = (0..n)
+                    .flat_map(|d| vec![(me * n + d) as u8; block])
+                    .collect();
                 let res = sc.alltoall(&send, block);
                 sc.pump(sc.recovery_window());
                 match res {
                     Ok(out) => {
-                        let want: Vec<u8> =
-                            (0..n).flat_map(|s| vec![(s * n + me) as u8; block]).collect();
+                        let want: Vec<u8> = (0..n)
+                            .flat_map(|s| vec![(s * n + me) as u8; block])
+                            .collect();
                         assert_eq!(out, want, "seed {seed}: alltoall plaintext mismatch");
                         true
                     }
@@ -4473,7 +4654,11 @@ mod tests {
             sc.send(format!("from {me}").as_bytes(), next, 5);
             let (_, got) = sc.recv(Src::Is(prev), TagSel::Is(5)).unwrap();
             assert_eq!(got, format!("from {prev}").into_bytes());
-            let mut buf = if me == 0 { b"bcast".to_vec() } else { vec![0u8; 5] };
+            let mut buf = if me == 0 {
+                b"bcast".to_vec()
+            } else {
+                vec![0u8; 5]
+            };
             sc.bcast(&mut buf, 0).unwrap();
             assert_eq!(buf, b"bcast");
             1
@@ -4489,11 +4674,7 @@ mod tests {
         let run = |seed: u64| {
             let w = World::flat(NetModel::ethernet_10g(), 2);
             let out = w.run(move |c| {
-                let sc = SecureComm::new(
-                    c,
-                    keys_cfg(seed).with_deterministic_nonces(9),
-                )
-                .unwrap();
+                let sc = SecureComm::new(c, keys_cfg(seed).with_deterministic_nonces(9)).unwrap();
                 if c.rank() == 0 {
                     sc.send(b"epoch-prefixed", 1, 3);
                     Vec::new()
@@ -4510,7 +4691,10 @@ mod tests {
         let a = run(1);
         let b = run(2);
         assert_eq!(a.len(), b.len());
-        assert_ne!(a, b, "different handshake seeds must yield different masters");
+        assert_ne!(
+            a, b,
+            "different handshake seeds must yield different masters"
+        );
         assert_eq!(run(1), a, "same seed + seeded nonces replays bit-exact");
     }
 
@@ -4563,7 +4747,10 @@ mod tests {
                 with_rot.results[r].0, without.results[r].0,
                 "rank {r}: rotation changed delivered plaintexts"
             );
-            assert_eq!(without.results[r].2, 0, "no-rotation world stays at epoch 0");
+            assert_eq!(
+                without.results[r].2, 0,
+                "no-rotation world stays at epoch 0"
+            );
         }
         assert!(
             with_rot.results[0].1 > 0,
@@ -4658,7 +4845,11 @@ mod tests {
                 assert!(
                     matches!(
                         got,
-                        Err(Error::Key(KeyError::StaleEpoch { wire: 0, local: 2, .. }))
+                        Err(Error::Key(KeyError::StaleEpoch {
+                            wire: 0,
+                            local: 2,
+                            ..
+                        }))
                     ),
                     "stale replay must be typed, got {got:?}"
                 );
@@ -4759,10 +4950,10 @@ mod tests {
                 .flat_map(|(dst, &c0)| vec![me * 10 + dst as u8; c0])
                 .collect();
             let my_count = 3 + c.rank();
-            let recvv = sc
-                .alltoallv(&sendv, &counts, &[my_count; 4])
-                .unwrap();
-            let want: Vec<u8> = (0..4).flat_map(|src| vec![src * 10 + me; my_count]).collect();
+            let recvv = sc.alltoallv(&sendv, &counts, &[my_count; 4]).unwrap();
+            let want: Vec<u8> = (0..4)
+                .flat_map(|src| vec![src * 10 + me; my_count])
+                .collect();
             assert_eq!(recvv, want);
             1
         });
@@ -4816,6 +5007,9 @@ mod tests {
             }
             ok
         });
-        assert!(out.results[1] > 0, "chaos+rotation delivered nothing at all");
+        assert!(
+            out.results[1] > 0,
+            "chaos+rotation delivered nothing at all"
+        );
     }
 }

@@ -48,6 +48,10 @@ fn check_outcome(tag: &str, got: &Result<Vec<u8>, Error>, want: &[u8]) {
             | Error::Timeout { .. }
             | Error::Key(_),
         ) => {}
+        // Chaos worlds inject message faults, never process deaths.
+        Err(Error::RankFailed { rank, .. }) => {
+            panic!("{tag}: rank {rank} reported failed without a crash plan")
+        }
     }
 }
 

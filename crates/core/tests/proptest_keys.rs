@@ -157,6 +157,10 @@ proptest! {
                     | Error::Timeout { .. }
                     | Error::Key(_),
                 ) => {}
+                // No crash plan and no detector in this world.
+                Err(Error::RankFailed { .. }) => {
+                    prop_assert!(false, "rank failure without a crash plan")
+                }
             }
         }
     }

@@ -101,6 +101,18 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
         None => out.push_str(",\"keys\":null"),
     }
 
+    match &snap.ftol {
+        Some(f) => {
+            let _ = write!(
+                out,
+                ",\"ftol\":{{\"detected\":{},\"notices\":{},\"probes\":{},\"shrinks\":{},\
+                 \"rekeys\":{},\"delivery_failed\":{}}}",
+                f.detected, f.notices, f.probes, f.shrinks, f.rekeys, f.delivery_failed
+            );
+        }
+        None => out.push_str(",\"ftol\":null"),
+    }
+
     out.push_str(",\"per_rank\":[");
     for (i, l) in snap.per_rank.iter().enumerate() {
         if i > 0 {
@@ -109,8 +121,8 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
         let _ = write!(
             out,
             "{{\"rank\":{},\"e2e_samples\":{},\"seal_samples\":{},\"open_samples\":{},\
-             \"wait_samples\":{},\"repair_samples\":{},\"key_samples\":{},\"flow_events\":{},\
-             \"dropped_flow_events\":{},\"dropped_points\":{}}}",
+             \"wait_samples\":{},\"repair_samples\":{},\"key_samples\":{},\"ftol_samples\":{},\
+             \"flow_events\":{},\"dropped_flow_events\":{},\"dropped_points\":{}}}",
             l.rank,
             l.e2e_samples,
             l.seal_samples,
@@ -118,6 +130,7 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
             l.wait_samples,
             l.repair_samples,
             l.key_samples,
+            l.ftol_samples,
             l.flow_events,
             l.dropped_flow_events,
             l.dropped_points
@@ -262,6 +275,23 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
             ("rejected_revoked", k.rejected_revoked),
         ] {
             let _ = writeln!(out, "empi_keys_total{{counter=\"{name}\"}} {v}");
+        }
+    }
+
+    if let Some(f) = &snap.ftol {
+        out.push_str(
+            "# HELP empi_ftol_total Fault-tolerance counters (detect/notice/shrink/rekey).\n",
+        );
+        out.push_str("# TYPE empi_ftol_total counter\n");
+        for (name, v) in [
+            ("detected", f.detected),
+            ("notices", f.notices),
+            ("probes", f.probes),
+            ("shrinks", f.shrinks),
+            ("rekeys", f.rekeys),
+            ("delivery_failed", f.delivery_failed),
+        ] {
+            let _ = writeln!(out, "empi_ftol_total{{counter=\"{name}\"}} {v}");
         }
     }
 
@@ -422,7 +452,9 @@ pub fn chrome_counters(snap: &MetricsSnapshot) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ChaosCounters, CounterPoint, Histogram, KeyCounters, Metric, RankLedger};
+    use crate::{
+        ChaosCounters, CounterPoint, FtolCounters, Histogram, KeyCounters, Metric, RankLedger,
+    };
 
     fn sample_snapshot() -> MetricsSnapshot {
         let mut h = Histogram::new();
@@ -470,6 +502,13 @@ mod tests {
                 rekeys: 7,
                 ..Default::default()
             }),
+            ftol: Some(FtolCounters {
+                detected: 1,
+                notices: 2,
+                shrinks: 1,
+                rekeys: 1,
+                ..Default::default()
+            }),
             ..Default::default()
         }
     }
@@ -485,12 +524,20 @@ mod tests {
         assert_eq!(hists[0].get("count").unwrap().as_f64(), Some(5.0));
         assert_eq!(hists[0].get("op").unwrap().as_str(), Some("p2p/send"));
         assert_eq!(
-            v.get("chaos").unwrap().get("faults_injected").unwrap().as_f64(),
+            v.get("chaos")
+                .unwrap()
+                .get("faults_injected")
+                .unwrap()
+                .as_f64(),
             Some(3.0)
         );
         assert_eq!(
             v.get("keys").unwrap().get("rekeys").unwrap().as_f64(),
             Some(7.0)
+        );
+        assert_eq!(
+            v.get("ftol").unwrap().get("detected").unwrap().as_f64(),
+            Some(1.0)
         );
         assert_eq!(
             v.get("slo").unwrap().get("verdict").unwrap().as_str(),
@@ -505,6 +552,7 @@ mod tests {
         assert!(text.contains("le=\"+Inf\"} 5"));
         assert!(text.contains("empi_latency_ns_count"));
         assert!(text.contains("empi_keys_total{counter=\"rekeys\"} 7"));
+        assert!(text.contains("empi_ftol_total{counter=\"detected\"} 1"));
         validate_prometheus(&text).expect("valid prometheus");
     }
 

@@ -61,6 +61,10 @@ pub enum Metric {
     Repair,
     /// Key-lifecycle event latency (handshake, rotation, revocation).
     Key,
+    /// Fault-tolerance event latency: failure detection (death to
+    /// local confirmation), notice propagation, shrink, survivor
+    /// re-key.
+    Ftol,
 }
 
 impl Metric {
@@ -72,16 +76,18 @@ impl Metric {
             Metric::Wait => "wait",
             Metric::Repair => "repair",
             Metric::Key => "key",
+            Metric::Ftol => "ftol",
         }
     }
 
-    pub const ALL: [Metric; 6] = [
+    pub const ALL: [Metric; 7] = [
         Metric::E2e,
         Metric::Seal,
         Metric::Open,
         Metric::Wait,
         Metric::Repair,
         Metric::Key,
+        Metric::Ftol,
     ];
 }
 
@@ -133,6 +139,7 @@ pub struct RankLedger {
     pub wait_samples: u64,
     pub repair_samples: u64,
     pub key_samples: u64,
+    pub ftol_samples: u64,
     pub flow_events: u64,
     pub dropped_flow_events: u64,
     pub dropped_points: u64,
@@ -176,6 +183,25 @@ pub struct KeyCounters {
     pub rejected_revoked: u64,
 }
 
+/// Fault-tolerance counters injected by the harness (same inverted
+/// dependency as [`ChaosCounters`]/[`KeyCounters`]): exported as the
+/// `empi_ftol_total` Prometheus family.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FtolCounters {
+    /// Failures confirmed locally (lease expiry + probe/confirm).
+    pub detected: u64,
+    /// Failures learned from a peer's notice broadcast.
+    pub notices: u64,
+    /// Liveness probe rounds issued.
+    pub probes: u64,
+    /// Communicator shrinks completed.
+    pub shrinks: u64,
+    /// Survivor re-keys completed after a revocation.
+    pub rekeys: u64,
+    /// In-flight deliveries resolved as failed against a dead peer.
+    pub delivery_failed: u64,
+}
+
 /// Everything the recorder knows, merged across ranks at end of run.
 /// Always compiled; the feature-gated recorder produces an empty one
 /// when metrics are compiled out.
@@ -197,6 +223,9 @@ pub struct MetricsSnapshot {
     pub chaos: Option<ChaosCounters>,
     /// Key-plane counters injected by the harness (see [`KeyCounters`]).
     pub keys: Option<KeyCounters>,
+    /// Fault-tolerance counters injected by the harness (see
+    /// [`FtolCounters`]).
+    pub ftol: Option<FtolCounters>,
 }
 
 impl Default for MetricsSnapshot {
@@ -212,6 +241,7 @@ impl Default for MetricsSnapshot {
             slo: SloReport::default(),
             chaos: None,
             keys: None,
+            ftol: None,
         }
     }
 }
@@ -240,6 +270,7 @@ impl MetricsSnapshot {
                 Metric::Wait => l.wait_samples,
                 Metric::Repair => l.repair_samples,
                 Metric::Key => l.key_samples,
+                Metric::Ftol => l.ftol_samples,
             })
             .sum()
     }
@@ -296,7 +327,9 @@ mod imp {
             Metrics {
                 inner: Arc::new(Inner {
                     n_ranks,
-                    ranks: (0..n_ranks).map(|_| Mutex::new(RankRec::default())).collect(),
+                    ranks: (0..n_ranks)
+                        .map(|_| Mutex::new(RankRec::default()))
+                        .collect(),
                     slo: Mutex::new(None),
                     tracer: Mutex::new(None),
                 }),
@@ -346,6 +379,7 @@ mod imp {
                 Metric::Wait => rec.ledger.wait_samples += 1,
                 Metric::Repair => rec.ledger.repair_samples += 1,
                 Metric::Key => rec.ledger.key_samples += 1,
+                Metric::Ftol => rec.ledger.ftol_samples += 1,
             }
             let h = rec.hists.entry(key).or_default();
             h.record(dur_ns);
@@ -486,6 +520,7 @@ mod imp {
                 slo,
                 chaos: None,
                 keys: None,
+                ftol: None,
             }
         }
     }

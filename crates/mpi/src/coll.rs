@@ -19,8 +19,9 @@
 //! collectives from cross-matching.
 
 use crate::comm::Comm;
-use crate::types::{as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Tag, TagSel,
-    RESERVED_TAG_BASE};
+use crate::types::{
+    as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Tag, TagSel, RESERVED_TAG_BASE,
+};
 
 /// Message-size switch: binomial vs scatter-allgather broadcast.
 pub const BCAST_LONG_THRESHOLD: usize = 12 << 10;
@@ -476,8 +477,7 @@ impl<'h> Comm<'h> {
             for &i in &idxs {
                 payload.extend_from_slice(&tmp[i * block..(i + 1) * block]);
             }
-            let (_, data) =
-                self.sendrecv(&payload, dst, tag, Src::Is(src), TagSel::Is(tag));
+            let (_, data) = self.sendrecv(&payload, dst, tag, Src::Is(src), TagSel::Is(tag));
             assert_eq!(data.len(), payload.len());
             for (slot, &i) in idxs.iter().enumerate() {
                 tmp[i * block..(i + 1) * block]
@@ -501,12 +501,7 @@ impl<'h> Comm<'h> {
     /// `send` is the concatenation of per-destination segments of sizes
     /// `send_counts`; `recv_counts[j]` is the expected size from rank
     /// `j`. Returns the rank-ordered concatenation.
-    pub fn alltoallv(
-        &self,
-        send: &[u8],
-        send_counts: &[usize],
-        recv_counts: &[usize],
-    ) -> Vec<u8> {
+    pub fn alltoallv(&self, send: &[u8], send_counts: &[usize], recv_counts: &[usize]) -> Vec<u8> {
         let tag = self.coll_tag(Op::Alltoallv);
         let _op = self.op("alltoallv/pairwise");
         let n = self.size();
@@ -761,13 +756,16 @@ mod tests {
                 let g = c.gather(&[c.rank() as u8; 3], 0);
                 if c.rank() == 0 {
                     let g = g.unwrap();
-                    let expect: Vec<u8> =
-                        (0..n).flat_map(|r| [r as u8; 3]).collect();
+                    let expect: Vec<u8> = (0..n).flat_map(|r| [r as u8; 3]).collect();
                     assert_eq!(g, expect);
                 }
                 let root_buf: Vec<u8> = (0..n).flat_map(|r| [r as u8; 2]).collect();
                 c.scatter(
-                    if c.rank() == 0 { Some(&root_buf[..]) } else { None },
+                    if c.rank() == 0 {
+                        Some(&root_buf[..])
+                    } else {
+                        None
+                    },
                     2,
                     0,
                 )
@@ -817,7 +815,8 @@ mod tests {
                 for (me, v) in out.results.iter().enumerate() {
                     for src in 0..n {
                         assert_eq!(
-                            v[src * blk] as usize, src,
+                            v[src * blk] as usize,
+                            src,
                             "rank {me} block {src} blk {blk} n {n}"
                         );
                         if blk > 1 {
@@ -872,8 +871,8 @@ mod tests {
                         assert_eq!(v, &vec![r as u8; r + 1]);
                     }
                 }
-                let chunks: Option<Vec<Vec<u8>>> = (me == 0)
-                    .then(|| (0..n).map(|r| vec![(r * 2) as u8; r + 2]).collect());
+                let chunks: Option<Vec<Vec<u8>>> =
+                    (me == 0).then(|| (0..n).map(|r| vec![(r * 2) as u8; r + 2]).collect());
                 c.scatterv(chunks.as_deref(), 0)
             });
             for (r, v) in out.results.iter().enumerate() {
@@ -888,8 +887,7 @@ mod tests {
             let n = w.n_ranks();
             let out = w.run(|c| {
                 // data[i] = rank + i; reduced block b = Σ_ranks (r + b·2+k)
-                let data: Vec<i64> =
-                    (0..n * 2).map(|i| (c.rank() + i) as i64).collect();
+                let data: Vec<i64> = (0..n * 2).map(|i| (c.rank() + i) as i64).collect();
                 c.reduce_scatter_block(&data, crate::coll::ops::sum)
             });
             let rank_sum: i64 = (0..n as i64).sum();
@@ -1021,7 +1019,10 @@ mod tests {
                 ctrl_seen
             }
         });
-        assert_eq!(out.results[0], 1, "the ctrl frame must interrupt the wait once");
+        assert_eq!(
+            out.results[0], 1,
+            "the ctrl frame must interrupt the wait once"
+        );
     }
 
     #[test]

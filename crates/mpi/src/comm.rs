@@ -19,7 +19,9 @@ use empi_netsim::{Fabric, SimHandle, Tracer, VDur, VTime};
 use parking_lot::Mutex;
 
 use crate::chunk::{ChunkFrame, ChunkedMessage, RecvPayload};
-use crate::state::{ChunkedSend, DonePayload, Envelope, PostedRecv, ReqEntry, RndvSend, SharedState};
+use crate::state::{
+    ChunkedSend, DonePayload, Envelope, PostedRecv, ReqEntry, RndvSend, SharedState,
+};
 use crate::types::{as_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel};
 
 /// Handle to an outstanding non-blocking operation.
@@ -87,6 +89,10 @@ pub struct Comm<'h> {
     pub(crate) h: &'h SimHandle,
     pub(crate) shared: Arc<Mutex<SharedState>>,
     pub(crate) coll_seq: Cell<u32>,
+    /// Failure-detector state, when the world was built with
+    /// [`crate::World::with_ftol`]. `None` = fault tolerance off; the
+    /// ft verbs panic rather than silently running without a detector.
+    pub(crate) ftol: Option<crate::ftol::FtolState>,
 }
 
 /// Scope marker for the tracer's per-rank operation stack: pushes a
@@ -120,7 +126,7 @@ impl<'h> Comm<'h> {
 
     /// Advance the virtual clock by host-side messaging overhead,
     /// crediting it to the tracer's host-time bucket.
-    fn charge_host(&self, d: VDur) {
+    pub(crate) fn charge_host(&self, d: VDur) {
         if let Some(t) = self.h.tracer() {
             t.add_host_ns(self.rank(), d.as_nanos());
         }
@@ -130,7 +136,7 @@ impl<'h> Comm<'h> {
     /// Record that `bytes` of payload from `src` were handed to the
     /// application on this rank (the receive side of the conservation
     /// ledger; sends are counted at the fabric).
-    fn note_delivery(&self, src: usize, bytes: usize) {
+    pub(crate) fn note_delivery(&self, src: usize, bytes: usize) {
         if let Some(t) = self.h.tracer() {
             t.delivery(src, self.rank(), bytes);
         }
@@ -163,7 +169,7 @@ impl<'h> Comm<'h> {
 
     /// Host-side per-message overhead for this rank when talking to
     /// `peer` with an `len`-byte payload.
-    fn side_overhead(&self, peer: usize, len: usize, blocking: bool) -> VDur {
+    pub(crate) fn side_overhead(&self, peer: usize, len: usize, blocking: bool) -> VDur {
         let s = self.shared.lock();
         let model = s.fabric.model();
         if s.fabric.topology().same_node(self.rank(), peer) {
@@ -181,7 +187,7 @@ impl<'h> Comm<'h> {
 
     /// Schedule a rendezvous wire transfer once both sides are known.
     /// Returns `(sender_done, arrival)`.
-    fn schedule_rndv(
+    pub(crate) fn schedule_rndv(
         fabric: &mut Fabric,
         src: usize,
         dst: usize,
@@ -196,7 +202,11 @@ impl<'h> Comm<'h> {
         } else {
             // The sender's NIC finishes one latency before the receiver
             // sees the last byte.
-            VTime(arrival.as_nanos().saturating_sub(fabric.model().latency.as_nanos()))
+            VTime(
+                arrival
+                    .as_nanos()
+                    .saturating_sub(fabric.model().latency.as_nanos()),
+            )
         };
         (sender_done, arrival)
     }
@@ -206,7 +216,7 @@ impl<'h> Comm<'h> {
     /// the sender posted, and `earliest` (when the receive side became
     /// available). Returns per-frame arrivals in transmission order,
     /// the last arrival, and the sender-done time.
-    fn schedule_chunked(
+    pub(crate) fn schedule_chunked(
         s: &mut SharedState,
         src: usize,
         dst: usize,
@@ -473,10 +483,23 @@ impl<'h> Comm<'h> {
     /// (scheduling the frame train now — without this match a posted
     /// receive and a chunked send deadlock, the receiver's wait never
     /// pops the chunked queue) or enqueue the train for the receiver.
-    fn post_chunked(&self, frames: Vec<ChunkFrame>, dst: usize, tag: Tag, blocking: bool) -> Request {
+    fn post_chunked(
+        &self,
+        frames: Vec<ChunkFrame>,
+        dst: usize,
+        tag: Tag,
+        blocking: bool,
+    ) -> Request {
         assert!(dst < self.size(), "send_chunked to invalid rank {dst}");
-        assert_ne!(dst, self.rank(), "chunked self-sends are opened locally by the caller");
-        assert!(!frames.is_empty(), "chunked message needs at least one frame");
+        assert_ne!(
+            dst,
+            self.rank(),
+            "chunked self-sends are opened locally by the caller"
+        );
+        assert!(
+            !frames.is_empty(),
+            "chunked message needs at least one frame"
+        );
         let me = self.rank();
         let wire: usize = frames.iter().map(|f| f.data.len()).sum();
         let _op = self.op("p2p/chunked");
@@ -734,8 +757,7 @@ impl<'h> Comm<'h> {
             } else if let Some(cs) = s.take_chunked(me, src, tag) {
                 let (frames, last_arrive, sender_done) =
                     Self::schedule_chunked(&mut s, cs.src, me, cs.frames, cs.posted, now);
-                let owner =
-                    s.complete_req(cs.req, sender_done, cs.src, cs.tag, DonePayload::None);
+                let owner = s.complete_req(cs.req, sender_done, cs.src, cs.tag, DonePayload::None);
                 s.requests[req] = Some(ReqEntry::Done {
                     at: last_arrive,
                     src: cs.src,
@@ -787,7 +809,7 @@ impl<'h> Comm<'h> {
     ///
     /// Panics if the request has not completed — pollers must observe
     /// `peek_done` first.
-    fn take_completed(&self, req: Request) -> (Status, Option<RecvPayload>) {
+    pub(crate) fn take_completed(&self, req: Request) -> (Status, Option<RecvPayload>) {
         let (_, src, tag, data) = self
             .shared
             .lock()
@@ -799,7 +821,14 @@ impl<'h> Comm<'h> {
                     self.charge_host(self.side_overhead(src, 0, false));
                     self.note_delivery(src, 0);
                 }
-                (Status { source: src, tag, len: 0 }, None)
+                (
+                    Status {
+                        source: src,
+                        tag,
+                        len: 0,
+                    },
+                    None,
+                )
             }
             DonePayload::Plain(data) => {
                 let len = data.len();
@@ -988,8 +1017,16 @@ impl<'h> Comm<'h> {
         let shared = Arc::clone(&self.shared);
         self.h.block_on("probe", || {
             let s = shared.lock();
-            s.peek_incoming(me, src, tag)
-                .map(|(src, tag, len, at)| (at, Status { source: src, tag, len }))
+            s.peek_incoming(me, src, tag).map(|(src, tag, len, at)| {
+                (
+                    at,
+                    Status {
+                        source: src,
+                        tag,
+                        len,
+                    },
+                )
+            })
         })
     }
 
@@ -1001,7 +1038,11 @@ impl<'h> Comm<'h> {
         let s = self.shared.lock();
         s.peek_incoming(me, src, tag)
             .filter(|&(_, _, _, at)| at <= now)
-            .map(|(src, tag, len, _)| Status { source: src, tag, len })
+            .map(|(src, tag, len, _)| Status {
+                source: src,
+                tag,
+                len,
+            })
     }
 
     // ---------------------------------------------------------------
@@ -1028,7 +1069,17 @@ impl<'h> Comm<'h> {
             let d = s.peek_incoming(me, data.0, data.1);
             let c = s.peek_incoming(me, ctrl.0, ctrl.1);
             let pick = |(src, tag, len, at): (usize, Tag, usize, VTime), is_ctrl: bool| {
-                (at, (is_ctrl, Status { source: src, tag, len }))
+                (
+                    at,
+                    (
+                        is_ctrl,
+                        Status {
+                            source: src,
+                            tag,
+                            len,
+                        },
+                    ),
+                )
             };
             match (d, c) {
                 (Some(d), Some(c)) if c.3 < d.3 => Some(pick(c, true)),

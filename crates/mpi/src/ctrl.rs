@@ -34,9 +34,20 @@ pub const KEY_COMMIT_TAG: Tag = CTRL_TAG_BASE | 4;
 pub const KEY_REVEAL_TAG: Tag = CTRL_TAG_BASE | 5;
 /// Revocation notices.
 pub const KEY_REVOKE_TAG: Tag = CTRL_TAG_BASE | 6;
+/// Liveness probe (failure detector → suspected rank).
+pub const FT_PROBE_TAG: Tag = CTRL_TAG_BASE | 8;
+/// Failure notice: a rank that locally confirmed a death broadcasts a
+/// [`FtNotice`] to every live peer so knowledge of the failure
+/// converges without waiting for each peer's own lease to expire.
+pub const FT_NOTICE_TAG: Tag = CTRL_TAG_BASE | 9;
+/// Fault-aware agreement: participant → coordinator contributions.
+pub const FT_AGREE_TAG: Tag = CTRL_TAG_BASE | 10;
+/// Fault-aware agreement: coordinator → participant decided value.
+pub const FT_AGREE_RESULT_TAG: Tag = CTRL_TAG_BASE | 11;
 
 const NACK_MAGIC: u32 = 0x4E41_434B; // "NACK"
 const REPAIR_MAGIC: u32 = 0x5250_4152; // "RPAR"
+const FT_NOTICE_MAGIC: u32 = 0x4654_4E54; // "FTNT"
 
 /// What a receiver asks the sender to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +81,9 @@ impl Nack {
     pub fn flow(&self) -> (Tag, u64, u32) {
         match self {
             Nack::Whole { tag, seq, attempt } => (*tag, *seq, *attempt),
-            Nack::Chunks { tag, seq, attempt, .. } => (*tag, *seq, *attempt),
+            Nack::Chunks {
+                tag, seq, attempt, ..
+            } => (*tag, *seq, *attempt),
         }
     }
 
@@ -78,7 +91,12 @@ impl Nack {
     pub fn encode(&self) -> Vec<u8> {
         let (kind, tag, seq, attempt, missing): (u8, Tag, u64, u32, &[u32]) = match self {
             Nack::Whole { tag, seq, attempt } => (1, *tag, *seq, *attempt, &[]),
-            Nack::Chunks { tag, seq, attempt, missing } => (2, *tag, *seq, *attempt, missing),
+            Nack::Chunks {
+                tag,
+                seq,
+                attempt,
+                missing,
+            } => (2, *tag, *seq, *attempt, missing),
         };
         let mut out = Vec::with_capacity(28 + missing.len() * 4);
         out.extend_from_slice(&NACK_MAGIC.to_be_bytes());
@@ -115,7 +133,12 @@ impl Nack {
                 let missing = (0..count)
                     .map(|i| u32::from_be_bytes(buf[28 + i * 4..32 + i * 4].try_into().unwrap()))
                     .collect();
-                Some(Nack::Chunks { tag, seq, attempt, missing })
+                Some(Nack::Chunks {
+                    tag,
+                    seq,
+                    attempt,
+                    missing,
+                })
             }
             _ => None,
         }
@@ -198,7 +221,65 @@ impl RepairHeader {
         let tag = Tag::from_be_bytes(buf[8..12].try_into().ok()?);
         let seq = u64::from_be_bytes(buf[12..20].try_into().ok()?);
         let attempt = u32::from_be_bytes(buf[20..24].try_into().ok()?);
-        Some((RepairHeader { kind, tag, seq, attempt }, &buf[REPAIR_HEADER_LEN..]))
+        Some((
+            RepairHeader {
+                kind,
+                tag,
+                seq,
+                attempt,
+            },
+            &buf[REPAIR_HEADER_LEN..],
+        ))
+    }
+}
+
+/// Wire frame on [`FT_NOTICE_TAG`]: "rank `failed` is confirmed dead".
+///
+/// Sent by whichever rank first confirms a failure (lease expiry plus,
+/// for a wedged peer, the configured missed-probe rounds) to every
+/// other live rank. Receivers treat it as equivalent to local
+/// confirmation — ULFM's failure-notice propagation — which is what
+/// bounds detection latency at one confirmation plus one broadcast
+/// instead of N independent lease expiries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtNotice {
+    /// The rank confirmed dead.
+    pub failed: u32,
+    /// Liveness epoch at the announcing rank *after* registering this
+    /// failure (monotonic count of failures it knows of).
+    pub epoch: u32,
+    /// Virtual time (ns) at which the announcing rank confirmed the
+    /// death — feeds the detection-latency histogram at receivers.
+    pub confirmed_at: u64,
+}
+
+/// Bytes occupied by an encoded [`FtNotice`].
+pub const FT_NOTICE_LEN: usize = 20;
+
+impl FtNotice {
+    /// Serialize to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FT_NOTICE_LEN);
+        out.extend_from_slice(&FT_NOTICE_MAGIC.to_be_bytes());
+        out.extend_from_slice(&self.failed.to_be_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.confirmed_at.to_be_bytes());
+        out
+    }
+
+    /// Parse a notice; `None` on any structural violation (a corrupted
+    /// notice is dropped — the receiver's own lease still converges).
+    pub fn decode(buf: &[u8]) -> Option<FtNotice> {
+        if buf.len() != FT_NOTICE_LEN
+            || u32::from_be_bytes(buf[0..4].try_into().ok()?) != FT_NOTICE_MAGIC
+        {
+            return None;
+        }
+        Some(FtNotice {
+            failed: u32::from_be_bytes(buf[4..8].try_into().ok()?),
+            epoch: u32::from_be_bytes(buf[8..12].try_into().ok()?),
+            confirmed_at: u64::from_be_bytes(buf[12..20].try_into().ok()?),
+        })
     }
 }
 
@@ -249,20 +330,64 @@ mod tests {
             assert_ne!(t, REPAIR_TAG);
         }
         assert!(key_tags.windows(2).all(|w| w[0] != w[1]));
+        // Fault-tolerance tags live in the same protected region, and
+        // the whole ctrl plane stays pairwise distinct.
+        let all = [
+            NACK_TAG,
+            REPAIR_TAG,
+            KEY_COMMIT_TAG,
+            KEY_REVEAL_TAG,
+            KEY_REVOKE_TAG,
+            FT_PROBE_TAG,
+            FT_NOTICE_TAG,
+            FT_AGREE_TAG,
+            FT_AGREE_RESULT_TAG,
+        ];
+        for (i, &a) in all.iter().enumerate() {
+            assert_eq!(a & (1 << 25), 1 << 25);
+            for &b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
         let worst_coll = crate::RESERVED_TAG_BASE | (255 << 16) | 0xffff;
         assert_eq!(worst_coll & (1 << 25), 0);
     }
 
     #[test]
+    fn ft_notice_roundtrip() {
+        let n = FtNotice {
+            failed: 3,
+            epoch: 1,
+            confirmed_at: 77_000,
+        };
+        let wire = n.encode();
+        assert_eq!(wire.len(), FT_NOTICE_LEN);
+        assert_eq!(FtNotice::decode(&wire), Some(n));
+        assert_eq!(FtNotice::decode(&wire[..10]), None);
+        let mut bad = wire.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(FtNotice::decode(&bad), None);
+    }
+
+    #[test]
     fn nack_whole_roundtrip() {
-        let n = Nack::Whole { tag: 7, seq: 42, attempt: 3 };
+        let n = Nack::Whole {
+            tag: 7,
+            seq: 42,
+            attempt: 3,
+        };
         let wire = n.encode();
         assert_eq!(Nack::decode(&wire), Some(n));
     }
 
     #[test]
     fn nack_chunks_roundtrip() {
-        let n = Nack::Chunks { tag: 9, seq: 1, attempt: 0, missing: vec![0, 3, 17] };
+        let n = Nack::Chunks {
+            tag: 9,
+            seq: 1,
+            attempt: 0,
+            missing: vec![0, 3, 17],
+        };
         let wire = n.encode();
         assert_eq!(Nack::decode(&wire), Some(n.clone()));
         assert_eq!(n.flow(), (9, 1, 0));
@@ -272,22 +397,43 @@ mod tests {
     fn nack_rejects_garbage() {
         assert_eq!(Nack::decode(&[]), None);
         assert_eq!(Nack::decode(&[0u8; 28]), None);
-        let mut wire = Nack::Whole { tag: 1, seq: 2, attempt: 0 }.encode();
+        let mut wire = Nack::Whole {
+            tag: 1,
+            seq: 2,
+            attempt: 0,
+        }
+        .encode();
         wire[4] = 99; // unknown kind
         assert_eq!(Nack::decode(&wire), None);
-        let mut wire = Nack::Chunks { tag: 1, seq: 2, attempt: 0, missing: vec![5] }.encode();
+        let mut wire = Nack::Chunks {
+            tag: 1,
+            seq: 2,
+            attempt: 0,
+            missing: vec![5],
+        }
+        .encode();
         wire.truncate(wire.len() - 1); // count/body length mismatch
         assert_eq!(Nack::decode(&wire), None);
     }
 
     #[test]
     fn repair_header_roundtrip_with_body() {
-        let h = RepairHeader { kind: RepairKind::Plain, tag: 5, seq: 11, attempt: 2 };
+        let h = RepairHeader {
+            kind: RepairKind::Plain,
+            tag: 5,
+            seq: 11,
+            attempt: 2,
+        };
         let wire = h.encode_with(b"sealed-bytes");
         let (back, body) = RepairHeader::decode(&wire).unwrap();
         assert_eq!(back, h);
         assert_eq!(body, b"sealed-bytes");
-        let abort = RepairHeader { kind: RepairKind::Abort, tag: 5, seq: 11, attempt: 2 };
+        let abort = RepairHeader {
+            kind: RepairKind::Abort,
+            tag: 5,
+            seq: 11,
+            attempt: 2,
+        };
         let wire = abort.encode_with(&[]);
         let (back, body) = RepairHeader::decode(&wire).unwrap();
         assert_eq!(back.kind, RepairKind::Abort);

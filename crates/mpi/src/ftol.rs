@@ -1,0 +1,1262 @@
+//! Crash-stop fault tolerance, modeled on MPI ULFM.
+//!
+//! The stack survives *message-level* faults via the ARQ layer and
+//! manages keys in-band, but a *process-level* fault — a rank killed
+//! by the crash plan — must degrade a job, not the world. This module
+//! adds the three ULFM ingredients on top of the engine's typed death
+//! machinery ([`empi_netsim::CrashPlan`]):
+//!
+//! 1. **A lease-based failure detector.** Every fault-tolerant wait
+//!    (`ft_send`/`ft_recv`/`ft_wait`) arms a lease deadline
+//!    ([`DetectorConfig::lease`]) on the engine's quiescence timer.
+//!    On a healthy run some rank is always runnable, the timer never
+//!    fires, and the armed detector costs **zero** virtual time and
+//!    **zero** wire bytes — detection work happens only at the moment
+//!    the world would otherwise deadlock. When a lease does expire the
+//!    rank probes the suspects' node daemons (one
+//!    [`DetectorConfig::probe_rtt`] per round): a *crashed* process is
+//!    confirmed immediately (the OS saw it exit), a *hung* process
+//!    still holds its lease, so [`DetectorConfig::confirm`] missed
+//!    rounds are required. Live ranks always answer, so the detector
+//!    has zero false positives by construction.
+//! 2. **Failure-notice propagation.** The first rank to confirm a
+//!    death broadcasts an [`crate::ctrl::FtNotice`] on
+//!    [`crate::ctrl::FT_NOTICE_TAG`] to every live peer; ft waits
+//!    watch for notices, so knowledge of a failure converges in one
+//!    broadcast instead of N independent lease expiries. Every ft verb
+//!    surfaces the failure as a typed [`RankFailed`].
+//! 3. **Recovery verbs.** [`Comm::agree`] is a fault-aware agreement
+//!    (bitwise AND over contributions, coordinator = lowest live
+//!    rank, round-stamped against the liveness epoch);
+//!    [`Comm::shrink`] agrees on the survivor bitmap and rebuilds a
+//!    dense [`ShrunkComm`] over the survivors. The secure layer hooks
+//!    [`Comm::failed_ranks`] into its revocation path so a confirmed
+//!    death also burns the dead rank's key material.
+//!
+//! Known simplification vs. real ULFM: if the agreement coordinator
+//! dies *after* delivering its decision to some participants but
+//! before others, the survivors re-run the round under the next
+//! coordinator and may decide a different value. Real MPI_Comm_agree
+//! is uniform; the two-phase variant needed for that guarantee is out
+//! of scope here and flagged in DESIGN.md §14.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use empi_metrics::{FtolCounters, Metric};
+use empi_netsim::{CrashKind, VDur};
+
+use crate::chunk::{ChunkedMessage, RecvPayload};
+use crate::comm::{Comm, Request};
+use crate::ctrl::{FtNotice, CTRL_TAG_BASE, FT_AGREE_RESULT_TAG, FT_AGREE_TAG, FT_NOTICE_TAG};
+use crate::state::{DonePayload, Envelope};
+use crate::types::{Src, Status, Tag, TagSel};
+
+/// Lease periods an ft wait may spend probing *live-but-silent* peers
+/// before the wait is declared starved. A peer that is alive but never
+/// sends is an application-level hang, the moral equivalent of a
+/// deadlock — better a clear panic than a silent spin.
+const MAX_IDLE_ROUNDS: u32 = 64;
+
+/// Failure-detector timing knobs, all in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// How long an ft wait parks before suspecting its peers. Larger
+    /// leases cost nothing on healthy runs (the timer only fires at
+    /// quiescence) but bound detection latency from below.
+    pub lease: VDur,
+    /// Round trip to a suspect's node daemon for one probe round
+    /// (probes within a round go out in parallel).
+    pub probe_rtt: VDur,
+    /// Missed probe rounds before a *hung* rank is confirmed dead. A
+    /// crashed rank needs none — its node's OS observed the exit.
+    /// Crash detection latency ≤ lease + probe_rtt past the death;
+    /// hang detection ≤ confirm × (lease + probe_rtt) + lease.
+    pub confirm: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            lease: VDur::from_micros(500),
+            probe_rtt: VDur::from_micros(20),
+            confirm: 3,
+        }
+    }
+}
+
+/// Typed failure surfaced by every ft verb: `rank` was confirmed dead
+/// and the local liveness epoch (count of known failures) is `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankFailed {
+    /// The rank confirmed dead.
+    pub rank: usize,
+    /// Failures this rank knows of, including this one.
+    pub epoch: u32,
+}
+
+impl std::fmt::Display for RankFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} failed (liveness epoch {})",
+            self.rank, self.epoch
+        )
+    }
+}
+
+impl std::error::Error for RankFailed {}
+
+/// Per-rank detector state, created by the world when built with
+/// [`crate::World::with_ftol`].
+pub(crate) struct FtolState {
+    pub(crate) cfg: DetectorConfig,
+    /// Ranks confirmed dead (locally or via notice), monotone.
+    failed: RefCell<BTreeSet<usize>>,
+    /// Consecutive missed probe rounds per hung suspect.
+    misses: RefCell<BTreeMap<usize, u32>>,
+    /// Last poll-style probe per peer (ns), rate-limiting
+    /// [`Comm::ft_probe`] to one round per lease period.
+    last_probe: RefCell<BTreeMap<usize, u64>>,
+    detected: Cell<u64>,
+    notices: Cell<u64>,
+    probes: Cell<u64>,
+    shrinks: Cell<u64>,
+}
+
+impl FtolState {
+    pub(crate) fn new(cfg: DetectorConfig) -> Self {
+        FtolState {
+            cfg,
+            failed: RefCell::new(BTreeSet::new()),
+            misses: RefCell::new(BTreeMap::new()),
+            last_probe: RefCell::new(BTreeMap::new()),
+            detected: Cell::new(0),
+            notices: Cell::new(0),
+            probes: Cell::new(0),
+            shrinks: Cell::new(0),
+        }
+    }
+}
+
+/// Outcome of one ft wait step (internal): either the awaited payload,
+/// or "the failure set grew but the awaited peer is still live" — the
+/// caller decides whether that invalidates its round (agreement) or
+/// just re-arms the wait (point-to-point).
+enum FtGot {
+    Data(RecvPayload),
+    Epoch,
+}
+
+/// Tag region for [`ShrunkComm`] internal collectives: inside the
+/// ctrl-plane region (bit 25, unmintable by the collective tag
+/// minter), far above the named ctrl tags.
+const SHRINK_COLL_BASE: Tag = CTRL_TAG_BASE | (1 << 12);
+
+fn encode_agree(epoch: u32, value: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&epoch.to_be_bytes());
+    out.extend_from_slice(&value.to_be_bytes());
+    out
+}
+
+fn decode_agree(buf: &[u8]) -> Option<(u32, u64)> {
+    if buf.len() != 12 {
+        return None;
+    }
+    Some((
+        u32::from_be_bytes(buf[0..4].try_into().ok()?),
+        u64::from_be_bytes(buf[4..12].try_into().ok()?),
+    ))
+}
+
+impl<'h> Comm<'h> {
+    fn det(&self) -> &FtolState {
+        self.ftol
+            .as_ref()
+            .expect("fault tolerance is off; build the world with with_ftol(DetectorConfig)")
+    }
+
+    /// Was this world built with a failure detector
+    /// ([`crate::World::with_ftol`])?
+    pub fn ftol_enabled(&self) -> bool {
+        self.ftol.is_some()
+    }
+
+    /// The installed detector config, if any.
+    pub fn detector_config(&self) -> Option<DetectorConfig> {
+        self.ftol.as_ref().map(|s| s.cfg)
+    }
+
+    /// Ranks this rank has confirmed dead, in ascending order.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.det().failed.borrow().iter().copied().collect()
+    }
+
+    /// Count of failures this rank knows of (the liveness epoch).
+    pub fn liveness_epoch(&self) -> u32 {
+        self.det().failed.borrow().len() as u32
+    }
+
+    /// Detector counters for harness injection into
+    /// [`empi_metrics::MetricsSnapshot::ftol`] (`rekeys` and
+    /// `delivery_failed` belong to the secure layer and stay zero
+    /// here).
+    pub fn ftol_counters(&self) -> FtolCounters {
+        let st = self.det();
+        FtolCounters {
+            detected: st.detected.get(),
+            notices: st.notices.get(),
+            probes: st.probes.get(),
+            shrinks: st.shrinks.get(),
+            rekeys: 0,
+            delivery_failed: 0,
+        }
+    }
+
+    /// Poll-style liveness check on `peer`, for callers that run their
+    /// own wait loops (the secure layer's ARQ recovery): returns the
+    /// typed failure if `peer` is already confirmed dead, or — once
+    /// the peer's silence has outlived a full lease — runs probe
+    /// rounds (at most one per lease period, each charging one probe
+    /// RTT) until the death confirms. Never parks; returns `None`
+    /// while the peer is live or still inside its lease.
+    pub fn ft_probe(&self, peer: usize) -> Option<RankFailed> {
+        let st = self.det();
+        let epoch_err = |c: &Comm| RankFailed {
+            rank: peer,
+            epoch: c.liveness_epoch(),
+        };
+        if st.failed.borrow().contains(&peer) {
+            return Some(epoch_err(self));
+        }
+        self.service_notices();
+        if st.failed.borrow().contains(&peer) {
+            return Some(epoch_err(self));
+        }
+        let (died, _) = self.h.peer_dead(peer)?;
+        let now = self.now();
+        if now.since(died) < st.cfg.lease {
+            return None; // the lease has not lapsed yet
+        }
+        let since_last = now.as_nanos() - st.last_probe.borrow().get(&peer).copied().unwrap_or(0);
+        if since_last < st.cfg.lease.as_nanos() {
+            return None; // probed recently; let the round breathe
+        }
+        st.last_probe.borrow_mut().insert(peer, now.as_nanos());
+        let (dead, died_at) = self.probe_round(&[peer])?;
+        Some(self.register_failure_local(dead, died_at))
+    }
+
+    /// Register a locally confirmed death: record the detection
+    /// latency, then broadcast a notice so every live peer learns of
+    /// it in one hop instead of each waiting out its own lease.
+    fn register_failure_local(&self, rank: usize, died_at_ns: u64) -> RankFailed {
+        let st = self.det();
+        let newly = st.failed.borrow_mut().insert(rank);
+        if newly {
+            st.detected.set(st.detected.get() + 1);
+            let now = self.now().as_nanos();
+            let latency = now.saturating_sub(died_at_ns);
+            if let Some(m) = self.h.metrics() {
+                m.record(
+                    self.rank(),
+                    Metric::Ftol,
+                    "ftol/detect",
+                    rank as i32,
+                    0,
+                    now,
+                    latency,
+                );
+            }
+            if let Some(t) = self.h.tracer() {
+                t.ftol_span(
+                    self.rank(),
+                    "ftol/detect",
+                    died_at_ns,
+                    latency,
+                    0,
+                    format!("rank {rank} confirmed dead"),
+                );
+            }
+            self.broadcast_notice(rank);
+        }
+        RankFailed {
+            rank,
+            epoch: self.liveness_epoch(),
+        }
+    }
+
+    /// Register a death learned from a peer's notice broadcast.
+    fn register_failure_remote(&self, rank: usize, confirmed_at_ns: u64) -> RankFailed {
+        let st = self.det();
+        let newly = st.failed.borrow_mut().insert(rank);
+        if newly {
+            st.notices.set(st.notices.get() + 1);
+            let now = self.now().as_nanos();
+            let latency = now.saturating_sub(confirmed_at_ns);
+            if let Some(m) = self.h.metrics() {
+                m.record(
+                    self.rank(),
+                    Metric::Ftol,
+                    "ftol/notice",
+                    rank as i32,
+                    0,
+                    now,
+                    latency,
+                );
+            }
+            if let Some(t) = self.h.tracer() {
+                t.ftol_span(
+                    self.rank(),
+                    "ftol/notice",
+                    confirmed_at_ns,
+                    latency,
+                    0,
+                    format!("rank {rank} reported dead by a peer"),
+                );
+            }
+        }
+        RankFailed {
+            rank,
+            epoch: self.liveness_epoch(),
+        }
+    }
+
+    fn broadcast_notice(&self, failed: usize) {
+        let st = self.det();
+        let notice = FtNotice {
+            failed: failed as u32,
+            epoch: self.liveness_epoch(),
+            confirmed_at: self.now().as_nanos(),
+        };
+        let wire = Bytes::from(notice.encode());
+        let dead: BTreeSet<usize> = st.failed.borrow().clone();
+        let mut reqs = Vec::new();
+        for r in 0..self.size() {
+            if r == self.rank() || dead.contains(&r) {
+                continue;
+            }
+            reqs.push(self.isend_bytes(wire.clone(), r, FT_NOTICE_TAG));
+        }
+        // Notices are tiny (well under any eager threshold), so the
+        // isends completed locally on posting.
+        for req in reqs {
+            let _ = self.wait(req);
+        }
+    }
+
+    /// Drain every notice that has already arrived, registering the
+    /// failures. Returns the last *newly* registered failure, if any.
+    fn service_notices(&self) -> Option<RankFailed> {
+        let mut newest = None;
+        while self.iprobe(Src::Any, TagSel::Is(FT_NOTICE_TAG)).is_some() {
+            let (_, data) = self.recv(Src::Any, TagSel::Is(FT_NOTICE_TAG));
+            if let Some(n) = FtNotice::decode(&data) {
+                let r = n.failed as usize;
+                if !self.det().failed.borrow().contains(&r) {
+                    newest = Some(self.register_failure_remote(r, n.confirmed_at));
+                }
+            }
+        }
+        newest
+    }
+
+    /// One probe round against `suspects`: charge one daemon round
+    /// trip (probes go out in parallel), then consult each suspect's
+    /// node daemon. Returns the first confirmed death `(rank,
+    /// died_at_ns)`. A crashed suspect confirms immediately; a hung
+    /// one needs [`DetectorConfig::confirm`] consecutive missed
+    /// rounds; a live one always answers and resets its miss count.
+    fn probe_round(&self, suspects: &[usize]) -> Option<(usize, u64)> {
+        let st = self.det();
+        st.probes.set(st.probes.get() + 1);
+        let t0 = self.now().as_nanos();
+        self.h.advance(st.cfg.probe_rtt);
+        if let Some(t) = self.h.tracer() {
+            t.ftol_span(
+                self.rank(),
+                "ftol/probe",
+                t0,
+                st.cfg.probe_rtt.as_nanos(),
+                0,
+                format!("suspects {suspects:?}"),
+            );
+        }
+        for &p in suspects {
+            match self.h.peer_dead(p) {
+                Some((died, CrashKind::Crash)) => return Some((p, died.as_nanos())),
+                Some((died, CrashKind::Hang)) => {
+                    let mut misses = st.misses.borrow_mut();
+                    let c = misses.entry(p).or_insert(0);
+                    *c += 1;
+                    if *c >= st.cfg.confirm.max(1) {
+                        return Some((p, died.as_nanos()));
+                    }
+                }
+                None => {
+                    st.misses.borrow_mut().remove(&p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Map a newly registered failure onto an in-progress wait for
+    /// `src`: the wait fails if its source (or, for any-source waits,
+    /// *possibly* its source — ULFM's rule) is the dead rank.
+    fn after_new_failure(&self, src: Src, rf: RankFailed) -> Result<FtGot, RankFailed> {
+        match src {
+            Src::Is(p) if self.det().failed.borrow().contains(&p) => Err(RankFailed {
+                rank: p,
+                epoch: rf.epoch,
+            }),
+            // An any-source wait cannot know whether the dead rank was
+            // its sender; ULFM completes it in error.
+            Src::Any => Err(rf),
+            _ => Ok(FtGot::Epoch),
+        }
+    }
+
+    /// One ft receive step: park with the lease armed, watching for
+    /// the data, a failure notice, or lease expiry (probe round).
+    fn ft_recv_step(&self, src: Src, tag: TagSel) -> Result<FtGot, RankFailed> {
+        let st = self.det();
+        if let Src::Is(p) = src {
+            // A message the peer sent *before* dying is still
+            // deliverable (ULFM drains pre-failure traffic); only
+            // fail fast when nothing from it is pending.
+            if st.failed.borrow().contains(&p)
+                && self
+                    .shared
+                    .lock()
+                    .peek_incoming(self.rank(), src, tag)
+                    .is_none()
+            {
+                return Err(RankFailed {
+                    rank: p,
+                    epoch: self.liveness_epoch(),
+                });
+            }
+        }
+        let mut idle_rounds = 0u32;
+        loop {
+            let deadline = self.now() + st.cfg.lease;
+            let me = self.rank();
+            let shared = Arc::clone(&self.shared);
+            let h = self.h;
+            enum Got {
+                Env(Envelope, usize),
+                Chunk(ChunkedMessage),
+                Notice,
+            }
+            let got = h.block_on_deadline("ftol/recv", deadline, || {
+                let mut s = shared.lock();
+                if let Some(env) = s.take_unexpected(me, src, tag) {
+                    let peer = env.src;
+                    return Some((env.arrive, Got::Env(env, peer)));
+                }
+                if let Some(r) = s.take_rndv(me, src, tag) {
+                    let (sender_done, arrival) = Comm::schedule_rndv(
+                        &mut s.fabric,
+                        r.src,
+                        me,
+                        r.data.len(),
+                        r.ready,
+                        h.now(),
+                    );
+                    let owner = s.complete_req(r.req, sender_done, r.src, r.tag, DonePayload::None);
+                    let env = Envelope {
+                        src: r.src,
+                        tag: r.tag,
+                        data: r.data,
+                        arrive: arrival,
+                    };
+                    h.notify_rank(owner);
+                    let peer = env.src;
+                    return Some((arrival, Got::Env(env, peer)));
+                }
+                if let Some(cs) = s.take_chunked(me, src, tag) {
+                    let now = h.now();
+                    let (frames, last_arrive, last_sender_done) =
+                        Comm::schedule_chunked(&mut s, cs.src, me, cs.frames, cs.posted, now);
+                    let owner =
+                        s.complete_req(cs.req, last_sender_done, cs.src, cs.tag, DonePayload::None);
+                    h.notify_rank(owner);
+                    let msg = ChunkedMessage {
+                        src: cs.src,
+                        tag: cs.tag,
+                        frames,
+                    };
+                    return Some((last_arrive, Got::Chunk(msg)));
+                }
+                // Data beats notices on ties: checked last.
+                if let Some((.., at)) = s.peek_incoming(me, Src::Any, TagSel::Is(FT_NOTICE_TAG)) {
+                    return Some((at, Got::Notice));
+                }
+                None
+            });
+            match got {
+                Some(Got::Env(env, peer)) => {
+                    self.charge_host(self.side_overhead(peer, env.data.len(), true));
+                    self.note_delivery(env.src, env.data.len());
+                    let status = Status {
+                        source: env.src,
+                        tag: env.tag,
+                        len: env.data.len(),
+                    };
+                    return Ok(FtGot::Data(RecvPayload::Plain(status, env.data)));
+                }
+                Some(Got::Chunk(msg)) => {
+                    self.charge_host(self.side_overhead(msg.src, msg.wire_bytes(), true));
+                    for (_, f) in &msg.frames {
+                        self.note_delivery(msg.src, f.len());
+                    }
+                    return Ok(FtGot::Data(RecvPayload::Chunked(msg)));
+                }
+                Some(Got::Notice) => {
+                    if let Some(rf) = self.service_notices() {
+                        return self.after_new_failure(src, rf);
+                    }
+                    // Duplicate or corrupt notice: nothing new, rewait.
+                }
+                None => {
+                    // Lease expired on a quiescent world: probe.
+                    let suspects: Vec<usize> = match src {
+                        Src::Is(p) => vec![p],
+                        Src::Any => {
+                            let dead = st.failed.borrow();
+                            (0..self.size())
+                                .filter(|r| *r != me && !dead.contains(r))
+                                .collect()
+                        }
+                    };
+                    if let Some((dead, died_at)) = self.probe_round(&suspects) {
+                        let rf = self.register_failure_local(dead, died_at);
+                        return self.after_new_failure(src, rf);
+                    }
+                    idle_rounds += 1;
+                    assert!(
+                        idle_rounds <= MAX_IDLE_ROUNDS,
+                        "ft wait starved: rank {me} probed live peers {suspects:?} for \
+                         {idle_rounds} lease periods (src {src:?}) — peers are alive but never \
+                         send; this is an application-level hang, not a rank failure"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fault-tolerant blocking receive: like [`Comm::recv`], but a
+    /// confirmed death of the awaited source (or, for any-source
+    /// receives, of *any* rank) surfaces as [`RankFailed`] instead of
+    /// hanging the world. Panics if fault tolerance is off.
+    pub fn ft_recv(&self, src: Src, tag: TagSel) -> Result<(Status, Bytes), RankFailed> {
+        loop {
+            match self.ft_recv_step(src, tag)? {
+                FtGot::Data(RecvPayload::Plain(status, data)) => return Ok((status, data)),
+                FtGot::Data(RecvPayload::Chunked(msg)) => {
+                    let status = Status {
+                        source: msg.src,
+                        tag: msg.tag,
+                        len: msg.wire_bytes(),
+                    };
+                    let payload = RecvPayload::Chunked(msg);
+                    return Ok((status, payload.into_bytes()));
+                }
+                // Some *other* rank died; this wait's source is still
+                // live, so re-arm and keep waiting.
+                FtGot::Epoch => {}
+            }
+        }
+    }
+
+    /// [`Comm::ft_recv`] preserving the wire format (plain vs chunked
+    /// frame train), for the secure layer's chunked opens.
+    pub fn ft_recv_payload(&self, src: Src, tag: TagSel) -> Result<RecvPayload, RankFailed> {
+        loop {
+            match self.ft_recv_step(src, tag)? {
+                FtGot::Data(p) => return Ok(p),
+                FtGot::Epoch => {}
+            }
+        }
+    }
+
+    /// Fault-tolerant blocking send: [`Comm::send`]'s accounting, but
+    /// a rendezvous against a dead receiver resolves to [`RankFailed`]
+    /// instead of hanging. Sends to an already-confirmed-dead rank
+    /// fail immediately without touching the wire.
+    pub fn ft_send(&self, buf: &[u8], dst: usize, tag: Tag) -> Result<(), RankFailed> {
+        self.ft_send_bytes(Bytes::copy_from_slice(buf), dst, tag)
+    }
+
+    /// [`Comm::ft_send`] for an already-owned buffer (no copy).
+    pub fn ft_send_bytes(&self, data: Bytes, dst: usize, tag: Tag) -> Result<(), RankFailed> {
+        if self.det().failed.borrow().contains(&dst) {
+            return Err(RankFailed {
+                rank: dst,
+                epoch: self.liveness_epoch(),
+            });
+        }
+        let req = self.send_posted_bytes(data, dst, tag);
+        self.ft_wait_send(req, dst)
+    }
+
+    /// Lease-armed wait for a posted send's completion. On failure the
+    /// request slot is abandoned (the simulated NIC would never
+    /// complete it anyway).
+    fn ft_wait_send(&self, req: Request, peer: usize) -> Result<(), RankFailed> {
+        let st = self.det();
+        let id = req.id;
+        let mut idle_rounds = 0u32;
+        loop {
+            let deadline = self.now() + st.cfg.lease;
+            let me = self.rank();
+            let shared = Arc::clone(&self.shared);
+            enum Got {
+                Done,
+                Notice,
+            }
+            let got = self.h.block_on_deadline("ftol/send", deadline, || {
+                let s = shared.lock();
+                if let Some(at) = s.peek_done(id) {
+                    return Some((at, Got::Done));
+                }
+                if let Some((.., at)) = s.peek_incoming(me, Src::Any, TagSel::Is(FT_NOTICE_TAG)) {
+                    return Some((at, Got::Notice));
+                }
+                None
+            });
+            match got {
+                Some(Got::Done) => {
+                    let _ = self.take_completed(req);
+                    return Ok(());
+                }
+                Some(Got::Notice) => {
+                    if let Some(rf) = self.service_notices() {
+                        if self.det().failed.borrow().contains(&peer) {
+                            return Err(RankFailed {
+                                rank: peer,
+                                epoch: rf.epoch,
+                            });
+                        }
+                    }
+                }
+                None => {
+                    if let Some((dead, died_at)) = self.probe_round(&[peer]) {
+                        return Err(self.register_failure_local(dead, died_at));
+                    }
+                    idle_rounds += 1;
+                    assert!(
+                        idle_rounds <= MAX_IDLE_ROUNDS,
+                        "ft send starved: rank {me} waited {idle_rounds} lease periods for a \
+                         rendezvous with live rank {peer} — the peer never posts a matching \
+                         receive; this is an application-level hang, not a rank failure"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fault-tolerant wait on a posted receive request: like
+    /// [`Comm::wait_payload`], but lease-armed — if any rank is
+    /// confirmed dead while the request is pending the wait resolves
+    /// to [`RankFailed`] (the request may have matched the dead
+    /// sender; ULFM's any-source rule applies).
+    pub fn ft_wait(&self, req: Request) -> Result<(Status, Option<RecvPayload>), RankFailed> {
+        let st = self.det();
+        let id = req.id;
+        let mut idle_rounds = 0u32;
+        loop {
+            let deadline = self.now() + st.cfg.lease;
+            let me = self.rank();
+            let shared = Arc::clone(&self.shared);
+            enum Got {
+                Done,
+                Notice,
+            }
+            let got = self.h.block_on_deadline("ftol/wait", deadline, || {
+                let s = shared.lock();
+                if let Some(at) = s.peek_done(id) {
+                    return Some((at, Got::Done));
+                }
+                if let Some((.., at)) = s.peek_incoming(me, Src::Any, TagSel::Is(FT_NOTICE_TAG)) {
+                    return Some((at, Got::Notice));
+                }
+                None
+            });
+            match got {
+                Some(Got::Done) => return Ok(self.take_completed(req)),
+                Some(Got::Notice) => {
+                    if let Some(rf) = self.service_notices() {
+                        return Err(rf);
+                    }
+                }
+                None => {
+                    let suspects: Vec<usize> = {
+                        let dead = st.failed.borrow();
+                        (0..self.size())
+                            .filter(|r| *r != me && !dead.contains(r))
+                            .collect()
+                    };
+                    if let Some((dead, died_at)) = self.probe_round(&suspects) {
+                        return Err(self.register_failure_local(dead, died_at));
+                    }
+                    idle_rounds += 1;
+                    assert!(
+                        idle_rounds <= MAX_IDLE_ROUNDS,
+                        "ft wait starved: rank {me} probed live peers for {idle_rounds} lease \
+                         periods with the request still pending — an application-level hang"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fault-aware agreement (ULFM `MPI_Comm_agree`): bitwise AND of
+    /// every live rank's `contribution`, delivered to every survivor.
+    /// Failures discovered mid-round are absorbed — the round restarts
+    /// over the shrunken live set (round number = liveness epoch;
+    /// stale contributions are dropped, notices re-synchronize the
+    /// epoch) — so `agree` itself never fails; with every peer dead it
+    /// degenerates to the local contribution.
+    pub fn agree(&self, contribution: u64) -> u64 {
+        let me = self.rank();
+        'round: loop {
+            self.service_notices();
+            let epoch = self.liveness_epoch();
+            let live: Vec<usize> = {
+                let dead = self.det().failed.borrow();
+                (0..self.size()).filter(|r| !dead.contains(r)).collect()
+            };
+            let coord = live[0];
+            if me == coord {
+                let mut acc = contribution;
+                for &p in live.iter().filter(|&&p| p != me) {
+                    loop {
+                        match self.ft_recv_step(Src::Is(p), TagSel::Is(FT_AGREE_TAG)) {
+                            Ok(FtGot::Data(payload)) => {
+                                let data = payload.into_bytes();
+                                let Some((r_epoch, v)) = decode_agree(&data) else {
+                                    continue;
+                                };
+                                if r_epoch < epoch {
+                                    continue; // stale round: drop, re-receive
+                                }
+                                if r_epoch > epoch {
+                                    // The participant knows failures we
+                                    // have not registered yet; its notice
+                                    // is on the way — resynchronize.
+                                    continue 'round;
+                                }
+                                acc &= v;
+                                break;
+                            }
+                            Ok(FtGot::Epoch) | Err(_) => continue 'round,
+                        }
+                    }
+                }
+                // Decided. Deliver to the round's survivors; a failure
+                // during delivery doesn't invalidate the decision.
+                let wire = encode_agree(epoch, acc);
+                for &p in live.iter().filter(|&&p| p != me) {
+                    if self.det().failed.borrow().contains(&p) {
+                        continue;
+                    }
+                    let _ = self.ft_send_bytes(Bytes::from(wire.clone()), p, FT_AGREE_RESULT_TAG);
+                }
+                return acc;
+            }
+            // Participant: contribute, then wait for the decision.
+            if self
+                .ft_send_bytes(
+                    Bytes::from(encode_agree(epoch, contribution)),
+                    coord,
+                    FT_AGREE_TAG,
+                )
+                .is_err()
+            {
+                continue 'round;
+            }
+            loop {
+                match self.ft_recv_step(Src::Is(coord), TagSel::Is(FT_AGREE_RESULT_TAG)) {
+                    Ok(FtGot::Data(payload)) => {
+                        let data = payload.into_bytes();
+                        let Some((r_epoch, v)) = decode_agree(&data) else {
+                            continue;
+                        };
+                        if r_epoch < epoch {
+                            continue; // stale decision from a superseded round
+                        }
+                        return v;
+                    }
+                    // Epoch moved (someone else died): the coordinator
+                    // will stale-drop our contribution — resend it
+                    // under the new epoch. Coordinator death: next
+                    // round elects the new lowest live rank.
+                    Ok(FtGot::Epoch) | Err(_) => continue 'round,
+                }
+            }
+        }
+    }
+
+    /// ULFM `MPI_Comm_shrink`: agree on the survivor bitmap and build
+    /// a dense communicator over the survivors (world ranks in
+    /// ascending order become shrunk ranks `0..n_survivors`). Requires
+    /// a world of at most 64 ranks (the agreement value is one `u64`
+    /// liveness bitmap).
+    pub fn shrink(&self) -> ShrunkComm<'_, 'h> {
+        let st = self.det();
+        let t0 = self.now().as_nanos();
+        let n = self.size();
+        assert!(
+            n <= 64,
+            "shrink's liveness bitmap caps the world at 64 ranks (got {n})"
+        );
+        let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut bitmap = all;
+        for &f in st.failed.borrow().iter() {
+            bitmap &= !(1 << f);
+        }
+        let agreed = self.agree(bitmap);
+        let members: Vec<usize> = (0..n).filter(|r| agreed & (1 << r) != 0).collect();
+        let my_rank = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("shrink caller must be a survivor");
+        st.shrinks.set(st.shrinks.get() + 1);
+        let now = self.now().as_nanos();
+        if let Some(m) = self.h.metrics() {
+            m.record(
+                self.rank(),
+                Metric::Ftol,
+                "ftol/shrink",
+                -1,
+                0,
+                now,
+                now - t0,
+            );
+        }
+        if let Some(t) = self.h.tracer() {
+            t.ftol_span(
+                self.rank(),
+                "ftol/shrink",
+                t0,
+                now - t0,
+                0,
+                format!("{} survivors of {}", members.len(), n),
+            );
+        }
+        ShrunkComm {
+            parent: self,
+            members,
+            my_rank,
+            seq: Cell::new(0),
+        }
+    }
+}
+
+/// A dense communicator over the survivors of a [`Comm::shrink`]:
+/// ranks `0..size()` map onto the surviving world ranks in ascending
+/// order. Point-to-point ops delegate to the parent communicator with
+/// rank translation; the built-in collectives use deterministic
+/// member-order algorithms so survivor traffic is bit-exact against a
+/// world that never contained the dead ranks.
+pub struct ShrunkComm<'a, 'h> {
+    parent: &'a Comm<'h>,
+    members: Vec<usize>,
+    my_rank: usize,
+    /// Internal collective tag sequence (ctrl-region tags, so shrunk
+    /// collectives can never cross-match application traffic).
+    seq: Cell<u32>,
+}
+
+impl<'a, 'h> ShrunkComm<'a, 'h> {
+    /// This rank within the shrunk communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Survivor count.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The surviving world ranks, in shrunk-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Translate a shrunk rank to its world rank.
+    pub fn world_rank(&self, rank: usize) -> usize {
+        self.members[rank]
+    }
+
+    /// The parent (world) communicator.
+    pub fn parent(&self) -> &'a Comm<'h> {
+        self.parent
+    }
+
+    fn next_tag(&self) -> Tag {
+        let s = self.seq.get();
+        self.seq.set(s.wrapping_add(1));
+        SHRINK_COLL_BASE | (s & 0xfff)
+    }
+
+    /// Blocking send to a shrunk rank.
+    pub fn send(&self, buf: &[u8], dst: usize, tag: Tag) {
+        self.parent.send(buf, self.members[dst], tag);
+    }
+
+    /// Blocking receive from a shrunk rank (or any member), with the
+    /// status source translated back to shrunk numbering.
+    pub fn recv(&self, src: Src, tag: TagSel) -> (Status, Bytes) {
+        let world_src = match src {
+            Src::Is(r) => Src::Is(self.members[r]),
+            Src::Any => Src::Any,
+        };
+        let (st, data) = self.parent.recv(world_src, tag);
+        let source = self
+            .members
+            .iter()
+            .position(|&m| m == st.source)
+            .expect("message from outside the shrunk group");
+        (
+            Status {
+                source,
+                tag: st.tag,
+                len: st.len,
+            },
+            data,
+        )
+    }
+
+    /// Dissemination barrier over the survivors.
+    pub fn barrier(&self) {
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let me = self.my_rank;
+        let tag = self.next_tag();
+        let mut k = 1usize;
+        while k < n {
+            let dst = (me + k) % n;
+            let src = (me + n - k) % n;
+            let req = self.parent.isend(&[], self.members[dst], tag);
+            let _ = self
+                .parent
+                .recv(Src::Is(self.members[src]), TagSel::Is(tag));
+            let _ = self.parent.wait(req);
+            k <<= 1;
+        }
+    }
+
+    /// Broadcast `data` from shrunk rank `root` (linear, member
+    /// order — deterministic, so shrunk worlds and fresh worlds of the
+    /// same size produce identical bytes).
+    pub fn bcast(&self, root: usize, data: &mut Vec<u8>) {
+        let tag = self.next_tag();
+        if self.my_rank == root {
+            for r in 0..self.size() {
+                if r != root {
+                    self.parent.send(data, self.members[r], tag);
+                }
+            }
+        } else {
+            let (_, got) = self
+                .parent
+                .recv(Src::Is(self.members[root]), TagSel::Is(tag));
+            data.clear();
+            data.extend_from_slice(&got);
+        }
+    }
+
+    /// Sum-allreduce of one `f64` per rank: gather to shrunk rank 0 in
+    /// member order, reduce, broadcast. Member-order reduction makes
+    /// the result bit-exact against any communicator with the same
+    /// member count and per-rank inputs.
+    pub fn allreduce_sum_f64(&self, x: f64) -> f64 {
+        let tag = self.next_tag();
+        if self.my_rank == 0 {
+            let mut acc = x;
+            for r in 1..self.size() {
+                let (_, data) = self.parent.recv(Src::Is(self.members[r]), TagSel::Is(tag));
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&data);
+                acc += f64::from_be_bytes(b);
+            }
+            let mut out = acc.to_be_bytes().to_vec();
+            self.bcast(0, &mut out);
+            acc
+        } else {
+            self.parent.send(&x.to_be_bytes(), self.members[0], tag);
+            let mut out = Vec::new();
+            self.bcast(0, &mut out);
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&out);
+            f64::from_be_bytes(b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use empi_netsim::{CrashPlan, NetModel, VTime};
+
+    fn us(n: u64) -> VTime {
+        VTime(n * 1_000)
+    }
+
+    /// A rank killed mid-compute surfaces as a typed `RankFailed` at
+    /// every survivor waiting on it — never a panic or deadlock.
+    #[test]
+    fn crash_surfaces_as_rank_failed_at_every_survivor() {
+        let w = World::flat(NetModel::ethernet_10g(), 4)
+            .with_ftol(DetectorConfig::default())
+            .crash_plan(CrashPlan::new().crash_at(2, us(100)));
+        let out = w
+            .try_run_ft(|c| {
+                if c.rank() == 2 {
+                    // Dies 100µs into this compute block.
+                    c.compute(VDur::from_micros(10_000));
+                    unreachable!("rank 2 dies mid-compute");
+                }
+                let err = c
+                    .ft_recv(Src::Is(2), TagSel::Is(1))
+                    .expect_err("typed failure");
+                (err.rank, err.epoch)
+            })
+            .expect("survivors must finish");
+        assert_eq!(out.deaths[2], Some((us(100), CrashKind::Crash)));
+        for r in [0usize, 1, 3] {
+            assert_eq!(out.results[r], Some((2, 1)), "rank {r}");
+        }
+        assert!(out.results[2].is_none(), "dead rank has no result");
+    }
+
+    /// A hung rank needs `confirm` missed probe rounds; a crashed one
+    /// is confirmed on the first probe. Detection latency is bounded
+    /// by the lease arithmetic in both cases.
+    #[test]
+    fn hang_needs_confirm_rounds_crash_does_not() {
+        let cfg = DetectorConfig::default();
+        let run = |plan: CrashPlan| {
+            let w = World::flat(NetModel::ethernet_10g(), 2)
+                .with_ftol(cfg)
+                .crash_plan(plan);
+            w.try_run_ft(|c| {
+                if c.rank() == 1 {
+                    c.compute(VDur::from_micros(10_000));
+                    unreachable!("rank 1 dies mid-compute");
+                }
+                let err = c
+                    .ft_recv(Src::Is(1), TagSel::Is(0))
+                    .expect_err("rank 1 dies");
+                assert_eq!(err.rank, 1);
+                (c.now(), c.ftol_counters().probes)
+            })
+            .unwrap()
+        };
+        let crash = run(CrashPlan::new().crash_at(1, us(50)));
+        let hang = run(CrashPlan::new().hang_at(1, us(50)));
+        let (crash_t, crash_probes) = crash.results[0].expect("rank 0 survives");
+        let (hang_t, hang_probes) = hang.results[0].expect("rank 0 survives");
+        assert_eq!(crash_probes, 1, "crash confirms on the first probe");
+        assert_eq!(
+            hang_probes,
+            u64::from(cfg.confirm),
+            "hang needs confirm rounds"
+        );
+        assert!(
+            hang_t > crash_t,
+            "hang detection is slower ({hang_t:?} vs {crash_t:?})"
+        );
+        // Crash: one lease + one probe RTT past the wait start.
+        let bound = us(50).as_nanos() + cfg.lease.as_nanos() + cfg.probe_rtt.as_nanos();
+        assert!(
+            crash_t.as_nanos() <= bound + cfg.lease.as_nanos(),
+            "crash detected at {} > bound {}",
+            crash_t.as_nanos(),
+            bound + cfg.lease.as_nanos()
+        );
+    }
+
+    /// The armed-but-idle detector is free: a clean run over the ft
+    /// verbs is virtual-time- and wire-byte-identical to the same
+    /// traffic over the plain verbs with no detector installed.
+    #[test]
+    fn armed_idle_detector_costs_nothing() {
+        let traffic_ft = |c: &Comm| {
+            if c.rank() == 0 {
+                c.ft_send(&[7u8; 256], 1, 3).unwrap();
+                let (_, data) = c.ft_recv(Src::Is(1), TagSel::Is(4)).unwrap();
+                data.len()
+            } else {
+                let (_, data) = c.ft_recv(Src::Is(0), TagSel::Is(3)).unwrap();
+                c.ft_send(&data, 0, 4).unwrap();
+                data.len()
+            }
+        };
+        let traffic_plain = |c: &Comm| {
+            if c.rank() == 0 {
+                c.send(&[7u8; 256], 1, 3);
+                let (_, data) = c.recv(Src::Is(1), TagSel::Is(4));
+                data.len()
+            } else {
+                let (_, data) = c.recv(Src::Is(0), TagSel::Is(3));
+                c.send(&data, 0, 4);
+                data.len()
+            }
+        };
+        let armed = World::flat(NetModel::ethernet_10g(), 2)
+            .with_ftol(DetectorConfig::default())
+            .try_run_ft(traffic_ft)
+            .unwrap();
+        let plain = World::flat(NetModel::ethernet_10g(), 2).run(traffic_plain);
+        assert_eq!(
+            armed.end_time, plain.end_time,
+            "armed detector moved virtual time"
+        );
+        assert_eq!(
+            armed.fabric.bytes, plain.fabric.bytes,
+            "armed detector touched the wire"
+        );
+        assert_eq!(armed.fabric.messages, plain.fabric.messages);
+        assert_eq!(
+            armed
+                .results
+                .into_iter()
+                .map(Option::unwrap)
+                .collect::<Vec<_>>(),
+            plain.results
+        );
+    }
+
+    /// agree absorbs the death of the coordinator (lowest live rank):
+    /// survivors re-elect and all decide the same value.
+    #[test]
+    fn agree_survives_coordinator_death() {
+        let w = World::flat(NetModel::ethernet_10g(), 4)
+            .with_ftol(DetectorConfig::default())
+            .crash_plan(CrashPlan::new().crash_at(0, us(10)));
+        let out = w
+            .try_run_ft(|c| {
+                if c.rank() == 0 {
+                    c.compute(VDur::from_micros(10_000));
+                    unreachable!("rank 0 dies mid-compute");
+                }
+                c.agree(!(1u64 << c.rank()))
+            })
+            .unwrap();
+        let decisions: Vec<u64> = [1usize, 2, 3]
+            .iter()
+            .map(|&r| out.results[r].expect("survivor decided"))
+            .collect();
+        let expect = !(1u64 << 1) & !(1u64 << 2) & !(1u64 << 3);
+        assert!(
+            decisions.iter().all(|&d| d == expect),
+            "split decision: {decisions:x?}"
+        );
+    }
+
+    /// shrink after a crash produces a dense survivor communicator
+    /// whose collectives give bit-identical results to a fresh world
+    /// of the same size that never contained the dead rank.
+    #[test]
+    fn shrink_matches_world_born_without_the_dead_rank() {
+        let contributions = [1.5f64, -2.25, 4.125, 8.0625];
+        let w = World::flat(NetModel::ethernet_10g(), 4)
+            .with_ftol(DetectorConfig::default())
+            .crash_plan(CrashPlan::new().crash_at(1, us(20)));
+        let out = w
+            .try_run_ft(|c| {
+                if c.rank() == 1 {
+                    c.compute(VDur::from_micros(10_000));
+                    unreachable!("rank 1 dies mid-compute");
+                }
+                // Block on the doomed rank until the detector fires.
+                let err = c
+                    .ft_recv(Src::Is(1), TagSel::Is(0))
+                    .expect_err("rank 1 dies");
+                assert_eq!(err.rank, 1);
+                let sc = c.shrink();
+                assert_eq!(sc.members(), &[0, 2, 3]);
+                assert_eq!(sc.world_rank(sc.rank()), c.rank());
+                sc.barrier();
+                let sum = sc.allreduce_sum_f64(contributions[c.rank()]);
+                let mut payload = if sc.rank() == 0 {
+                    b"epoch".to_vec()
+                } else {
+                    Vec::new()
+                };
+                sc.bcast(0, &mut payload);
+                assert_eq!(payload, b"epoch");
+                sum.to_bits()
+            })
+            .unwrap();
+        // Reference: member-order reduction over the survivors.
+        let expect = (contributions[0] + contributions[2] + contributions[3]).to_bits();
+        for r in [0usize, 2, 3] {
+            assert_eq!(out.results[r], Some(expect), "rank {r} sum mismatch");
+        }
+        // Fresh 3-rank world, same member-order algorithm: bit-exact.
+        let survivors = [contributions[0], contributions[2], contributions[3]];
+        let fresh = World::flat(NetModel::ethernet_10g(), 3).run(move |c| {
+            let tag = SHRINK_COLL_BASE;
+            if c.rank() == 0 {
+                let mut acc = survivors[0];
+                for r in 1..3 {
+                    let (_, data) = c.recv(Src::Is(r), TagSel::Is(tag));
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&data);
+                    acc += f64::from_be_bytes(b);
+                }
+                acc.to_bits()
+            } else {
+                c.send(&survivors[c.rank()].to_be_bytes(), 0, tag);
+                expect
+            }
+        });
+        assert_eq!(fresh.results[0], expect, "fresh-world reduction diverges");
+    }
+
+    /// Sends to an already-confirmed-dead rank fail fast without
+    /// touching the wire; messages the dead rank sent *before* dying
+    /// are still deliverable (ULFM drains pre-failure traffic).
+    #[test]
+    fn dead_rank_fails_fast_but_predeath_traffic_drains() {
+        let w = World::flat(NetModel::ethernet_10g(), 2)
+            .with_ftol(DetectorConfig::default())
+            .crash_plan(CrashPlan::new().crash_at(1, us(200)));
+        let out = w
+            .try_run_ft(|c| {
+                if c.rank() == 1 {
+                    c.send(b"parting", 0, 9);
+                    c.compute(VDur::from_micros(10_000));
+                    unreachable!("rank 1 dies mid-compute");
+                }
+                // Learn of the death the hard way first.
+                let err = c
+                    .ft_recv(Src::Is(1), TagSel::Is(1))
+                    .expect_err("rank 1 dies");
+                assert_eq!(err.rank, 1);
+                // Fast-fail on new traffic to the corpse...
+                let t0 = c.now();
+                assert!(c.ft_send(b"x", 1, 2).is_err());
+                assert_eq!(c.now(), t0, "fast-fail must not advance time");
+                // ...but the pre-death message is still there.
+                let (st, data) = c
+                    .ft_recv(Src::Is(1), TagSel::Is(9))
+                    .expect("pre-death message");
+                assert_eq!(&data[..], b"parting");
+                assert_eq!(st.source, 1);
+            })
+            .unwrap();
+        assert!(out.results[0].is_some());
+    }
+}

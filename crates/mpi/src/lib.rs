@@ -35,6 +35,7 @@ pub mod chunk;
 pub mod coll;
 pub mod comm;
 pub mod ctrl;
+pub mod ftol;
 pub mod request;
 mod state;
 pub mod types;
@@ -47,10 +48,17 @@ pub use chunk::{
 pub use coll::ops;
 pub use comm::{AnyCtrl, Comm, Request, SetPoll, WaitCtrl};
 pub use ctrl::{
-    Nack, RepairHeader, RepairKind, CTRL_TAG_BASE, KEY_COMMIT_TAG, KEY_REVEAL_TAG, KEY_REVOKE_TAG,
-    NACK_TAG, REPAIR_TAG,
+    FtNotice, Nack, RepairHeader, RepairKind, CTRL_TAG_BASE, FT_AGREE_RESULT_TAG, FT_AGREE_TAG,
+    FT_NOTICE_TAG, FT_PROBE_TAG, KEY_COMMIT_TAG, KEY_REVEAL_TAG, KEY_REVOKE_TAG, NACK_TAG,
+    REPAIR_TAG,
 };
-pub use empi_netsim::{Metrics, MetricsSnapshot, RankDiag, SimError, SloConfig, TraceReport, Tracer};
+pub use empi_netsim::{
+    CrashEvent, CrashKind, CrashPlan, Metrics, MetricsSnapshot, RankDiag, SimError, SloConfig,
+    TraceReport, Tracer,
+};
+pub use ftol::{DetectorConfig, RankFailed, ShrunkComm};
 pub use request::{CompletionSet, Scope, ScopedRequest};
-pub use types::{as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel, RESERVED_TAG_BASE};
-pub use world::{World, WorldOutcome};
+pub use types::{
+    as_bytes, copy_from_bytes, vec_from_bytes, Pod, Src, Status, Tag, TagSel, RESERVED_TAG_BASE,
+};
+pub use world::{FtWorldOutcome, World, WorldOutcome};

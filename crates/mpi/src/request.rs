@@ -138,11 +138,7 @@ impl<'a, 'h> CompletionSet<'a, 'h> {
     /// (`MPI_Testall`): all-or-nothing, so a `None` consumes nothing.
     /// An empty set is trivially complete.
     pub fn testall(&mut self) -> Option<Vec<(usize, Status, Option<RecvPayload>)>> {
-        let all_ready = self
-            .slots
-            .iter()
-            .flatten()
-            .all(|r| self.comm.test_ready(r));
+        let all_ready = self.slots.iter().flatten().all(|r| self.comm.test_ready(r));
         if !all_ready {
             return None;
         }
@@ -300,9 +296,7 @@ mod tests {
                 })
                 .collect()
         };
-        let expect = |base: u8| -> Vec<u8> {
-            (0..3u8).flat_map(|i| vec![base + i; 4]).collect()
-        };
+        let expect = |base: u8| -> Vec<u8> { (0..3u8).flat_map(|i| vec![base + i; 4]).collect() };
         let w = World::flat(NetModel::ethernet_10g(), 2);
         let out = w.run(|c| {
             if c.rank() == 0 {
@@ -317,8 +311,7 @@ mod tests {
                 assert_eq!(st.source, 0);
                 assert_eq!(data.as_deref(), Some(&expect(10)[..]));
                 // waitany: chunked train through the set path.
-                let mut reqs =
-                    vec![c.irecv(crate::types::Src::Is(0), TagSel::Is(DATA_TAG + 1))];
+                let mut reqs = vec![c.irecv(crate::types::Src::Is(0), TagSel::Is(DATA_TAG + 1))];
                 let (idx, _, data) = c.waitany(&mut reqs);
                 assert_eq!((idx, reqs.len()), (0, 0));
                 assert_eq!(data.as_deref(), Some(&expect(40)[..]));
@@ -364,7 +357,9 @@ mod tests {
         });
         assert_eq!(
             out.results[1],
-            (0..4).map(|i| (i as usize, DATA_TAG + i)).collect::<Vec<_>>()
+            (0..4)
+                .map(|i| (i as usize, DATA_TAG + i))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -389,7 +384,10 @@ mod tests {
                 let mut got = [false; MSGS];
                 let mut n_done = 0usize;
                 while posted < WINDOW.min(MSGS) {
-                    set.add(c.irecv(crate::types::Src::Is(0), TagSel::Is(DATA_TAG + posted as u32)));
+                    set.add(c.irecv(
+                        crate::types::Src::Is(0),
+                        TagSel::Is(DATA_TAG + posted as u32),
+                    ));
                     posted += 1;
                 }
                 while n_done < MSGS {
@@ -400,9 +398,10 @@ mod tests {
                         got[i] = true;
                         n_done += 1;
                         if posted < MSGS {
-                            let idx = set.add(
-                                c.irecv(crate::types::Src::Is(0), TagSel::Is(DATA_TAG + posted as u32)),
-                            );
+                            let idx = set.add(c.irecv(
+                                crate::types::Src::Is(0),
+                                TagSel::Is(DATA_TAG + posted as u32),
+                            ));
                             assert_eq!(idx, posted);
                             posted += 1;
                         }
@@ -472,7 +471,10 @@ mod tests {
                 // All-null slots look empty to the funnel too.
                 let mut slots: Vec<Option<crate::comm::Request>> = vec![None, None, None];
                 assert!(matches!(c.poll_set(&mut slots, None, true), SetPoll::Empty));
-                assert!(matches!(c.poll_set(&mut slots, None, false), SetPoll::Empty));
+                assert!(matches!(
+                    c.poll_set(&mut slots, None, false),
+                    SetPoll::Empty
+                ));
                 // waitall on an empty vector is a no-op.
                 assert!(c.waitall(Vec::new()).is_empty());
                 c.send(b"go", 1, DATA_TAG);
@@ -499,7 +501,7 @@ mod tests {
                 c.scope(|s| {
                     let r = s.isend(&buf, 1, DATA_TAG);
                     assert!(!r.test()); // rendezvous cannot be done yet
-                    // Dropped unwaited: the scope must finish it.
+                                        // Dropped unwaited: the scope must finish it.
                 });
                 // The rendezvous only completes once the receiver
                 // arrives, so scope exit blocked until then.
@@ -529,7 +531,8 @@ mod tests {
                     let early = s.irecv(crate::types::Src::Is(0), TagSel::Is(DATA_TAG));
                     let (_, data) = early.wait();
                     assert_eq!(data.as_deref(), Some(&b"one"[..]));
-                    s.irecv(crate::types::Src::Is(0), TagSel::Is(DATA_TAG + 1)).detach()
+                    s.irecv(crate::types::Src::Is(0), TagSel::Is(DATA_TAG + 1))
+                        .detach()
                 });
                 let (_, data) = c.wait(detached);
                 assert_eq!(data.as_deref(), Some(&b"two"[..]));
@@ -572,18 +575,15 @@ mod tests {
 
                 // waitany_or_ctrl over a fresh data message, same tie.
                 let mut reqs = vec![c.irecv(crate::types::Src::Is(1), TagSel::Is(DATA_TAG + 1))];
-                match c.waitany_or_ctrl(
-                    &mut reqs,
-                    (crate::types::Src::Is(2), TagSel::Is(NACK_TAG)),
-                ) {
+                match c.waitany_or_ctrl(&mut reqs, (crate::types::Src::Is(2), TagSel::Is(NACK_TAG)))
+                {
                     crate::comm::AnyCtrl::Done(0, st, _) => assert_eq!(st.source, 1),
                     other => panic!("waitany_or_ctrl must prefer data on a tie: {other:?}"),
                 }
 
                 // With no data in flight the ctrl frame does win.
                 let r = c.irecv(crate::types::Src::Is(1), TagSel::Is(DATA_TAG + 2));
-                let r = match c.wait_or_ctrl(r, (crate::types::Src::Is(2), TagSel::Is(NACK_TAG)))
-                {
+                let r = match c.wait_or_ctrl(r, (crate::types::Src::Is(2), TagSel::Is(NACK_TAG))) {
                     crate::comm::WaitCtrl::Ctrl(r) => r,
                     crate::comm::WaitCtrl::Done(..) => {
                         panic!("no data posted yet: ctrl must win")

@@ -158,9 +158,7 @@ impl SharedState {
         data: DonePayload,
     ) -> usize {
         let owner = match self.requests[id].as_ref() {
-            Some(ReqEntry::PendingSend { owner }) | Some(ReqEntry::PendingRecv { owner }) => {
-                *owner
-            }
+            Some(ReqEntry::PendingSend { owner }) | Some(ReqEntry::PendingRecv { owner }) => *owner,
             other => panic!("completing non-pending request {id}: {other:?}"),
         };
         self.requests[id] = Some(ReqEntry::Done { at, src, tag, data });

@@ -99,11 +99,7 @@ pub fn copy_from_bytes<T: Pod>(dst: &mut [T], src: &[u8]) {
     );
     // SAFETY: same size; T is Pod so any bit pattern is valid.
     unsafe {
-        std::ptr::copy_nonoverlapping(
-            src.as_ptr(),
-            dst.as_mut_ptr() as *mut u8,
-            src.len(),
-        );
+        std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr() as *mut u8, src.len());
     }
 }
 
@@ -111,7 +107,11 @@ pub fn copy_from_bytes<T: Pod>(dst: &mut [T], src: &[u8]) {
 /// multiple of `size_of::<T>()`.
 pub fn vec_from_bytes<T: Pod + Default>(src: &[u8]) -> Vec<T> {
     let n = std::mem::size_of::<T>();
-    assert_eq!(src.len() % n, 0, "byte length not a multiple of element size");
+    assert_eq!(
+        src.len() % n,
+        0,
+        "byte length not a multiple of element size"
+    );
     let mut out = vec![T::default(); src.len() / n];
     copy_from_bytes(&mut out, src);
     out

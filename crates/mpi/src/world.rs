@@ -4,12 +4,13 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use empi_netsim::{
-    Engine, Fabric, FabricStats, Metrics, MetricsSnapshot, NetModel, SimError, SloConfig,
-    Topology, TraceReport, Tracer, VTime,
+    CrashKind, CrashPlan, Engine, Fabric, FabricStats, Metrics, MetricsSnapshot, NetModel,
+    SimError, SloConfig, Topology, TraceReport, Tracer, VTime,
 };
 use parking_lot::Mutex;
 
 use crate::comm::Comm;
+use crate::ftol::{DetectorConfig, FtolState};
 use crate::state::SharedState;
 
 /// A simulated MPI world: rank placement plus interconnect model.
@@ -20,6 +21,8 @@ pub struct World {
     traced: bool,
     metered: bool,
     slo: Option<SloConfig>,
+    ftol: Option<DetectorConfig>,
+    crash: CrashPlan,
 }
 
 /// What a finished run returns.
@@ -42,6 +45,29 @@ pub struct WorldOutcome<T> {
     pub metrics: Option<MetricsSnapshot>,
 }
 
+/// What a fault-tolerant run ([`World::try_run_ft`]) returns: like
+/// [`WorldOutcome`], but per-rank results are `None` for ranks the
+/// crash plan killed, and the executed deaths are reported.
+#[derive(Debug)]
+pub struct FtWorldOutcome<T> {
+    /// Per-rank results in rank order; `None` for ranks that died
+    /// before their closure returned.
+    pub results: Vec<Option<T>>,
+    /// Executed deaths in rank order: `Some((time, kind))` for ranks
+    /// the crash plan actually killed.
+    pub deaths: Vec<Option<(VTime, CrashKind)>>,
+    /// The virtual time at which the last rank finished.
+    pub end_time: VTime,
+    /// Transport statistics.
+    pub fabric: FabricStats,
+    /// Scheduler yields (simulation overhead metric).
+    pub yields: u64,
+    /// Per-rank metrics and timeline; `Some` only with [`World::traced`].
+    pub trace: Option<TraceReport>,
+    /// Histograms and counters; `Some` only with [`World::with_metrics`].
+    pub metrics: Option<MetricsSnapshot>,
+}
+
 impl World {
     /// A world with the given placement and network model.
     pub fn new(model: NetModel, topology: Topology) -> Self {
@@ -52,6 +78,8 @@ impl World {
             traced: false,
             metered: false,
             slo: None,
+            ftol: None,
+            crash: CrashPlan::new(),
         }
     }
 
@@ -96,6 +124,26 @@ impl World {
         self
     }
 
+    /// Arm the lease-based failure detector on every rank with the
+    /// given timing. Armed-but-idle it costs zero virtual time and
+    /// zero wire bytes (detection work happens only at quiescence, a
+    /// state a healthy run never reaches), so clean runs are
+    /// bit-identical to an unarmed world. Required for the ft verbs
+    /// ([`Comm::ft_send`], [`Comm::ft_recv`], [`Comm::agree`],
+    /// [`Comm::shrink`]).
+    pub fn with_ftol(mut self, cfg: DetectorConfig) -> Self {
+        self.ftol = Some(cfg);
+        self
+    }
+
+    /// Install a crash plan: the named ranks die (crash or hang) at
+    /// their scheduled virtual times. Use [`World::try_run_ft`] to run
+    /// under a plan — the plain runners treat any death as fatal.
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash = plan;
+        self
+    }
+
     /// Number of ranks.
     pub fn n_ranks(&self) -> usize {
         self.topology.n_ranks()
@@ -122,32 +170,35 @@ impl World {
         });
         let diag_shared = Arc::clone(&shared);
         let diag_metrics = metrics.clone();
-        let mut engine = Engine::new(n).time_scale(self.time_scale).diagnostics(
-            // Runs inside the scheduler's deadlock panic, where a rank
-            // may still hold the state lock — try_lock, never lock
-            // (flight_tail uses try_lock internally for the same
-            // reason).
-            move |r| {
-                let mut line = match diag_shared.try_lock() {
-                    Some(s) => {
-                        let q = &s.queues[r];
-                        format!(
-                            "unexpected={} posted={} rndv={} chunked={}",
-                            q.unexpected.len(),
-                            q.posted.len(),
-                            q.rndv.len(),
-                            q.chunked.len()
-                        )
+        let mut engine = Engine::new(n)
+            .time_scale(self.time_scale)
+            .crash_plan(self.crash.clone())
+            .diagnostics(
+                // Runs inside the scheduler's deadlock panic, where a rank
+                // may still hold the state lock — try_lock, never lock
+                // (flight_tail uses try_lock internally for the same
+                // reason).
+                move |r| {
+                    let mut line = match diag_shared.try_lock() {
+                        Some(s) => {
+                            let q = &s.queues[r];
+                            format!(
+                                "unexpected={} posted={} rndv={} chunked={}",
+                                q.unexpected.len(),
+                                q.posted.len(),
+                                q.rndv.len(),
+                                q.chunked.len()
+                            )
+                        }
+                        None => "state locked".to_string(),
+                    };
+                    if let Some(tail) = diag_metrics.as_ref().and_then(|m| m.flight_tail(r, 4)) {
+                        line.push_str("; ");
+                        line.push_str(&tail);
                     }
-                    None => "state locked".to_string(),
-                };
-                if let Some(tail) = diag_metrics.as_ref().and_then(|m| m.flight_tail(r, 4)) {
-                    line.push_str("; ");
-                    line.push_str(&tail);
-                }
-                line
-            },
-        );
+                    line
+                },
+            );
         if let Some(t) = &tracer {
             engine = engine.tracer(t.clone());
         }
@@ -185,12 +236,47 @@ impl World {
                 h,
                 shared: Arc::clone(&shared),
                 coll_seq: Cell::new(0),
+                ftol: self.ftol.map(FtolState::new),
             };
             f(&comm)
         })?;
         let fabric = shared_for_stats.lock().fabric.stats();
         Ok(WorldOutcome {
             results: out.results,
+            end_time: out.end_time,
+            fabric,
+            yields: out.yields,
+            trace: out.trace,
+            metrics: out.metrics,
+        })
+    }
+
+    /// Run `f` on every rank under the installed crash plan: ranks the
+    /// plan kills simply stop (their result is `None`), survivors keep
+    /// running and see the death through the ft verbs as typed
+    /// [`crate::RankFailed`] errors. This is the only runner that
+    /// tolerates executed deaths — [`World::run`] and
+    /// [`World::try_run`] treat a killed rank as fatal.
+    pub fn try_run_ft<T, F>(&self, f: F) -> Result<FtWorldOutcome<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        let (shared, engine) = self.prepare();
+        let shared_for_stats = Arc::clone(&shared);
+        let out = engine.try_run_ft(|h| {
+            let comm = Comm {
+                h,
+                shared: Arc::clone(&shared),
+                coll_seq: Cell::new(0),
+                ftol: self.ftol.map(FtolState::new),
+            };
+            f(&comm)
+        })?;
+        let fabric = shared_for_stats.lock().fabric.stats();
+        Ok(FtWorldOutcome {
+            results: out.results,
+            deaths: out.deaths,
             end_time: out.end_time,
             fabric,
             yields: out.yields,
@@ -288,7 +374,9 @@ mod tests {
                 c.waitall(reqs);
                 0usize
             } else {
-                let reqs: Vec<_> = (0..n_msgs).map(|i| c.irecv(Src::Is(0), TagSel::Is(i as u32))).collect();
+                let reqs: Vec<_> = (0..n_msgs)
+                    .map(|i| c.irecv(Src::Is(0), TagSel::Is(i as u32)))
+                    .collect();
                 let res = c.waitall(reqs);
                 res.iter()
                     .map(|(st, data)| {
@@ -340,7 +428,11 @@ mod tests {
             }
         });
         // The sender must have blocked until the receiver showed up.
-        assert!(out.results[0] > 2_000_000, "sender finished at {}", out.results[0]);
+        assert!(
+            out.results[0] > 2_000_000,
+            "sender finished at {}",
+            out.results[0]
+        );
     }
 
     #[test]

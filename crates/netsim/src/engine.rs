@@ -21,9 +21,10 @@
 //! [`SimHandle::block_on`] parks the rank until a peer calls
 //! [`SimHandle::notify_rank`].
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
 use std::time::Instant;
 
 use empi_metrics::{Metric, Metrics, MetricsSnapshot};
@@ -32,6 +33,7 @@ use empi_trace::{TraceReport, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 use crate::cores::CorePool;
+use crate::fault::{CrashKind, CrashPlan};
 use crate::time::{VDur, VTime};
 
 /// Why a rank is parked (for deadlock diagnostics).
@@ -52,11 +54,49 @@ enum Status {
     Blocked,
     /// Rank closure returned.
     Done,
+    /// Killed by the crash plan: the coroutine was parked at its death
+    /// time and will never run again. Unlike `Done`, there is no
+    /// result, and the rank still appears in deadlock reports so
+    /// survivors' stuck waits name the corpse they were waiting on.
+    Dead,
 }
 
 struct RankState {
     status: Status,
     reason: BlockReason,
+    /// Armed ft-wait deadline (ns) while `Blocked`, if any. When no
+    /// rank is runnable the scheduler fires the earliest such deadline
+    /// instead of declaring a deadlock — the failure detector's timer.
+    deadline: Option<u64>,
+}
+
+/// Sentinel panic payload used to unwind a crashed rank's coroutine
+/// out of arbitrarily deep user code. Never observed by callers: the
+/// engine catches and swallows it (death bookkeeping happens before
+/// the unwind starts).
+struct CrashUnwind;
+
+thread_local! {
+    /// Set just before a [`CrashUnwind`] so the panic hook stays quiet
+    /// for this deliberate unwind (and only this one).
+    static SILENT_UNWIND: Cell<bool> = const { Cell::new(false) };
+}
+
+static SILENT_HOOK: Once = Once::new();
+
+/// Install (once, process-wide) a panic-hook wrapper that suppresses
+/// output for deliberate crash unwinds and delegates everything else
+/// to the previous hook. Thread-local gating keeps real panics in
+/// concurrently running tests fully reported.
+fn install_silent_hook() {
+    SILENT_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENT_UNWIND.with(|f| f.get()) {
+                prev(info);
+            }
+        }));
+    });
 }
 
 struct Sched {
@@ -154,66 +194,113 @@ struct Shared {
     /// frames cross ranks in-process: the receiver reclaims the very
     /// allocation the sender drew, closing the recycle loop.
     buf_pool: BufferPool,
+    /// Scheduled process-level faults (empty = nobody dies).
+    crash: CrashPlan,
+    /// Executed death times (ns); `u64::MAX` = still alive. Written
+    /// once, by the dying rank while it holds the token.
+    deaths: Vec<AtomicU64>,
+    /// Set when a rank's closure returns cleanly. A rank that exits
+    /// before its scheduled death survived; the liveness oracle must
+    /// not report it dead.
+    finished: Vec<AtomicBool>,
 }
 
 impl Shared {
     /// Grant the token to the minimum-clock Ready rank. Must be called
     /// with the sched lock held and `running == None`.
+    ///
+    /// When no rank is runnable, the world is quiescent: before
+    /// declaring a deadlock, fire the earliest armed event on a
+    /// blocked rank — an ft-wait deadline (the failure detector's
+    /// lease timer) or a scheduled crash — by advancing that rank's
+    /// clock to the event time and making it Ready. Healthy runs never
+    /// reach this branch (some rank is always runnable), which is what
+    /// keeps an armed-but-idle detector free: its deadlines are
+    /// bookkeeping until the moment the world would otherwise hang.
     fn grant(&self, s: &mut Sched) {
         debug_assert!(s.running.is_none());
-        let mut best: Option<(u64, usize)> = None;
-        for (r, st) in s.ranks.iter().enumerate() {
-            if st.status == Status::Ready {
-                let c = self.clocks[r].load(Ordering::Relaxed);
-                if best.is_none_or(|(bc, _)| c < bc) {
-                    best = Some((c, r));
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (r, st) in s.ranks.iter().enumerate() {
+                if st.status == Status::Ready {
+                    let c = self.clocks[r].load(Ordering::Relaxed);
+                    if best.is_none_or(|(bc, _)| c < bc) {
+                        best = Some((c, r));
+                    }
                 }
             }
-        }
-        match best {
-            Some((_, r)) => {
+            if let Some((_, r)) = best {
                 s.running = Some(r);
                 self.cvs[r].notify_one();
+                return;
             }
-            None => {
-                if s.active > 0 && s.poisoned.is_none() {
-                    // Every live rank is Blocked: deadlock.
-                    let mut msg = String::from("virtual-time deadlock; all ranks blocked:\n");
-                    let mut ranks = Vec::new();
-                    for (r, st) in s.ranks.iter().enumerate() {
-                        if st.status != Status::Done {
-                            let clock_ns = self.clocks[r].load(Ordering::Relaxed);
-                            msg.push_str(&format!(
-                                "  rank {r}: {:?} ({}) at t={clock_ns}ns",
-                                st.status, st.reason,
-                            ));
-                            let mut detail = String::new();
-                            if let Some(diag) = &self.diag {
-                                detail = diag(r);
-                                if !detail.is_empty() {
-                                    msg.push_str(&format!(" [{detail}]"));
-                                }
-                            }
-                            msg.push('\n');
-                            ranks.push(RankDiag {
-                                rank: r,
-                                status: format!("{:?}", st.status),
-                                reason: st.reason,
-                                clock_ns,
-                                detail,
-                            });
-                        }
-                    }
-                    s.poisoned = Some(SimError::Deadlock { report: msg, ranks });
-                    for cv in &self.cvs {
-                        cv.notify_all();
+            if s.active == 0 || s.poisoned.is_some() {
+                return;
+            }
+            // Quiescent. Earliest pending timer or crash on a blocked
+            // rank, if any (ties: lowest rank).
+            let mut ev: Option<(u64, usize)> = None;
+            for (r, st) in s.ranks.iter().enumerate() {
+                if st.status != Status::Blocked {
+                    continue;
+                }
+                let mut t = st.deadline;
+                if let Some((ct, _)) = self.crash.fate(r) {
+                    t = Some(t.map_or(ct.0, |d| d.min(ct.0)));
+                }
+                if let Some(t) = t {
+                    if ev.is_none_or(|(bt, _)| t < bt) {
+                        ev = Some((t, r));
                     }
                 }
             }
+            if let Some((t, r)) = ev {
+                let c = self.clocks[r].load(Ordering::Relaxed);
+                self.clocks[r].store(c.max(t), Ordering::Relaxed);
+                s.ranks[r].status = Status::Ready;
+                s.ranks[r].reason = "timer";
+                s.ranks[r].deadline = None;
+                continue; // re-run the min-clock pick
+            }
+            // Every live rank is Blocked with nothing armed: deadlock.
+            let mut msg = String::from("virtual-time deadlock; all ranks blocked:\n");
+            let mut ranks = Vec::new();
+            for (r, st) in s.ranks.iter().enumerate() {
+                if st.status != Status::Done {
+                    let clock_ns = self.clocks[r].load(Ordering::Relaxed);
+                    msg.push_str(&format!(
+                        "  rank {r}: {:?} ({}) at t={clock_ns}ns",
+                        st.status, st.reason,
+                    ));
+                    let mut detail = String::new();
+                    if let Some(diag) = &self.diag {
+                        detail = diag(r);
+                        if !detail.is_empty() {
+                            msg.push_str(&format!(" [{detail}]"));
+                        }
+                    }
+                    msg.push('\n');
+                    ranks.push(RankDiag {
+                        rank: r,
+                        status: format!("{:?}", st.status),
+                        reason: st.reason,
+                        clock_ns,
+                        detail,
+                    });
+                }
+            }
+            s.poisoned = Some(SimError::Deadlock { report: msg, ranks });
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+            return;
         }
     }
 
-    /// Park until this rank holds the token.
+    /// Park until this rank holds the token. If the rank's clock has
+    /// reached its scheduled death, the rank dies here instead of
+    /// running: bookkeeping under the lock, then a sentinel unwind out
+    /// of the rank closure ([`CrashUnwind`], swallowed by `run_impl`).
     fn wait_for_token(&self, rank: usize) {
         let mut s = self.sched.lock();
         loop {
@@ -223,7 +310,24 @@ impl Shared {
                 panic!("simulation aborted: {p}");
             }
             if s.running == Some(rank) {
+                if let Some((t, kind)) = self.crash.fate(rank) {
+                    if self.clocks[rank].load(Ordering::Relaxed) >= t.0
+                        && self.deaths[rank].load(Ordering::Relaxed) == u64::MAX
+                    {
+                        self.deaths[rank].store(t.0, Ordering::Relaxed);
+                        s.ranks[rank].status = Status::Dead;
+                        s.ranks[rank].reason = kind.label();
+                        s.ranks[rank].deadline = None;
+                        s.active -= 1;
+                        s.running = None;
+                        self.grant(&mut s);
+                        drop(s);
+                        SILENT_UNWIND.with(|f| f.set(true));
+                        std::panic::panic_any(CrashUnwind);
+                    }
+                }
                 s.ranks[rank].status = Status::Running;
+                s.ranks[rank].deadline = None;
                 return;
             }
             if s.running.is_none() {
@@ -237,12 +341,27 @@ impl Shared {
     /// Release the token with this rank in `status`, then re-acquire it
     /// if `status` is Ready/Blocked (Done releases permanently).
     fn release(&self, rank: usize, status: Status, reason: BlockReason) {
+        self.release_with_deadline(rank, status, reason, None);
+    }
+
+    /// [`Shared::release`] with an armed wake-up deadline (only
+    /// meaningful with `Status::Blocked`): if the world quiesces, the
+    /// scheduler advances this rank to the deadline and wakes it.
+    fn release_with_deadline(
+        &self,
+        rank: usize,
+        status: Status,
+        reason: BlockReason,
+        deadline: Option<u64>,
+    ) {
         self.yields.fetch_add(1, Ordering::Relaxed);
         let mut s = self.sched.lock();
         s.ranks[rank].status = status;
         s.ranks[rank].reason = reason;
+        s.ranks[rank].deadline = deadline;
         if status == Status::Done {
             s.active -= 1;
+            self.finished[rank].store(true, Ordering::Relaxed);
         }
         s.running = None;
         self.grant(&mut s);
@@ -258,6 +377,7 @@ pub struct Engine {
     tracer: Option<Tracer>,
     metrics: Option<Metrics>,
     diag: Option<DiagFn>,
+    crash: CrashPlan,
 }
 
 impl Engine {
@@ -270,7 +390,18 @@ impl Engine {
             tracer: None,
             metrics: None,
             diag: None,
+            crash: CrashPlan::new(),
         }
+    }
+
+    /// Install a process-level fault schedule. Ranks named by the plan
+    /// stop executing at their scheduled virtual times; use
+    /// [`Engine::try_run_ft`] to run a world where deaths are expected
+    /// ([`Engine::run`]/[`Engine::try_run`] treat a missing rank
+    /// result as a bug).
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash = plan;
+        self
     }
 
     /// Set the multiplier applied to measured wall time by
@@ -324,7 +455,7 @@ impl Engine {
         F: Fn(&SimHandle) -> T + Sync,
     {
         match self.run_impl(f, true) {
-            Ok(out) => out,
+            Ok(out) => out.expect_all(),
             Err(e) => panic!("simulation aborted: {e}"),
         }
     }
@@ -339,20 +470,36 @@ impl Engine {
         T: Send,
         F: Fn(&SimHandle) -> T + Sync,
     {
-        self.run_impl(f, false)
+        self.run_impl(f, false).map(FtOutcome::expect_all)
     }
 
-    fn run_impl<T, F>(&self, f: F, propagate_panics: bool) -> Result<RunOutcome<T>, SimError>
+    /// Fault-tolerant run: like [`Engine::try_run`], but ranks killed
+    /// by the installed [`Engine::crash_plan`] are expected — their
+    /// results come back as `None` alongside their death records,
+    /// instead of aborting the outcome.
+    pub fn try_run_ft<T, F>(&self, f: F) -> Result<FtOutcome<T>, SimError>
     where
         T: Send,
         F: Fn(&SimHandle) -> T + Sync,
     {
+        self.run_impl(f, false)
+    }
+
+    fn run_impl<T, F>(&self, f: F, propagate_panics: bool) -> Result<FtOutcome<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&SimHandle) -> T + Sync,
+    {
+        if !self.crash.is_empty() {
+            install_silent_hook();
+        }
         let shared = Arc::new(Shared {
             sched: Mutex::new(Sched {
                 ranks: (0..self.n_ranks)
                     .map(|_| RankState {
                         status: Status::Ready,
                         reason: "startup",
+                        deadline: None,
                     })
                     .collect(),
                 running: None,
@@ -369,6 +516,11 @@ impl Engine {
             diag: self.diag.clone(),
             pools: (0..self.n_ranks).map(|_| Mutex::new(None)).collect(),
             buf_pool: BufferPool::new(),
+            crash: self.crash.clone(),
+            deaths: (0..self.n_ranks)
+                .map(|_| AtomicU64::new(u64::MAX))
+                .collect(),
+            finished: (0..self.n_ranks).map(|_| AtomicBool::new(false)).collect(),
         });
 
         let mut results: Vec<Option<T>> = (0..self.n_ranks).map(|_| None).collect();
@@ -385,12 +537,19 @@ impl Engine {
                             rank,
                             n_ranks: self.n_ranks,
                         };
-                        shared.wait_for_token(rank);
-                        let out = catch_unwind(AssertUnwindSafe(|| f(&handle)));
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            shared.wait_for_token(rank);
+                            f(&handle)
+                        }));
                         match out {
                             Ok(v) => {
                                 *slot = Some(v);
                                 shared.release(rank, Status::Done, "finished");
+                            }
+                            Err(payload) if payload.is::<CrashUnwind>() => {
+                                // Deliberate death: bookkeeping already
+                                // done under the lock in wait_for_token.
+                                SILENT_UNWIND.with(|fl| fl.set(false));
                             }
                             Err(payload) => {
                                 let msg = panic_message(payload.as_ref());
@@ -441,11 +600,24 @@ impl Engine {
                 .max()
                 .unwrap_or(0),
         );
-        Ok(RunOutcome {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("rank result"))
-                .collect(),
+        let deaths = (0..self.n_ranks)
+            .map(|r| {
+                let t = shared.deaths[r].load(Ordering::Relaxed);
+                if t == u64::MAX {
+                    None
+                } else {
+                    let kind = self
+                        .crash
+                        .fate(r)
+                        .map(|(_, k)| k)
+                        .unwrap_or(CrashKind::Crash);
+                    Some((VTime(t), kind))
+                }
+            })
+            .collect();
+        Ok(FtOutcome {
+            results,
+            deaths,
             end_time,
             yields: shared.yields.load(Ordering::Relaxed),
             notifies: shared.notifies.load(Ordering::Relaxed),
@@ -471,6 +643,51 @@ pub struct RunOutcome<T> {
     /// Metrics snapshot (merged at `end_time`), when a recorder was
     /// installed via [`Engine::metrics`].
     pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Results of a fault-tolerant run ([`Engine::try_run_ft`]): ranks
+/// killed by the crash plan come back with no result and a death
+/// record instead of aborting the world.
+#[derive(Debug)]
+pub struct FtOutcome<T> {
+    /// Per-rank return values in rank order; `None` for ranks that
+    /// died before their closure returned.
+    pub results: Vec<Option<T>>,
+    /// Executed deaths in rank order: `Some((time, kind))` for ranks
+    /// the crash plan actually killed.
+    pub deaths: Vec<Option<(VTime, CrashKind)>>,
+    /// The largest virtual clock reached by any rank.
+    pub end_time: VTime,
+    /// Scheduler yield operations performed.
+    pub yields: u64,
+    /// Notify operations performed.
+    pub notifies: u64,
+    /// Trace data, when a collector was installed via [`Engine::tracer`].
+    pub trace: Option<TraceReport>,
+    /// Metrics snapshot (merged at `end_time`), when a recorder was
+    /// installed via [`Engine::metrics`].
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl<T> FtOutcome<T> {
+    /// Convert into a [`RunOutcome`], requiring every rank to have
+    /// survived. Panics if any rank died — [`Engine::run`] /
+    /// [`Engine::try_run`] use this, so a crash plan on those entry
+    /// points is a usage bug with a clear message.
+    fn expect_all(self) -> RunOutcome<T> {
+        RunOutcome {
+            results: self
+                .results
+                .into_iter()
+                .map(|r| r.expect("rank died under a crash plan; use try_run_ft"))
+                .collect(),
+            end_time: self.end_time,
+            yields: self.yields,
+            notifies: self.notifies,
+            trace: self.trace,
+            metrics: self.metrics,
+        }
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -524,7 +741,15 @@ impl SimHandle {
     /// Move the clock forward to `t` (no-op move if already past) and
     /// yield so lower-clock ranks can run.
     pub fn advance_to(&self, t: VTime) {
-        let new_t = self.now().max(t);
+        let mut new_t = self.now().max(t);
+        // A doomed rank never executes past its scheduled death: clamp
+        // the advance to the death instant; re-acquiring the token at
+        // that clock kills the rank (see `wait_for_token`).
+        if let Some((ct, _)) = self.shared.crash.fate(self.rank) {
+            if new_t >= ct && self.shared.deaths[self.rank].load(Ordering::Relaxed) == u64::MAX {
+                new_t = ct;
+            }
+        }
         self.set_clock(new_t);
         self.shared.release(self.rank, Status::Ready, "advance");
         self.shared.wait_for_token(self.rank);
@@ -575,6 +800,88 @@ impl SimHandle {
             self.shared.release(self.rank, Status::Blocked, reason);
             self.shared.wait_for_token(self.rank);
         }
+    }
+
+    /// Park this rank until `check` produces a completion **or** the
+    /// virtual clock reaches `deadline` with the whole world quiescent
+    /// (every other live rank parked too) — the failure detector's
+    /// lease timer. Returns `None` when the deadline fired.
+    ///
+    /// The timer is conservative: it can only fire when no rank is
+    /// runnable, so on a healthy run where traffic keeps arriving it
+    /// costs nothing — no wire bytes, no virtual time, no wake-ups. A
+    /// completion always beats the timer (data wins ties).
+    pub fn block_on_deadline<T>(
+        &self,
+        reason: &'static str,
+        deadline: VTime,
+        mut check: impl FnMut() -> Option<(VTime, T)>,
+    ) -> Option<T> {
+        let entered = self.now();
+        let finish = |got: bool| {
+            if let Some(tracer) = &self.shared.tracer {
+                tracer.wait_span(self.rank, entered.0, self.now().0, reason);
+            }
+            if let Some(m) = &self.shared.metrics {
+                let now = self.now().0;
+                m.record(self.rank, Metric::Wait, reason, -1, 0, now, now - entered.0);
+            }
+            got
+        };
+        loop {
+            if let Some((t, v)) = check() {
+                self.advance_to(t);
+                finish(true);
+                return Some(v);
+            }
+            if self.now() >= deadline {
+                finish(false);
+                return None;
+            }
+            self.shared
+                .release_with_deadline(self.rank, Status::Blocked, reason, Some(deadline.0));
+            self.shared.wait_for_token(self.rank);
+        }
+    }
+
+    /// Has `target` actually died? Returns the executed death time.
+    /// Unlike [`SimHandle::peer_dead`] this reports only deaths the
+    /// engine has already carried out, regardless of this rank's
+    /// clock — diagnostics, not protocol input.
+    pub fn dead_since(&self, target: usize) -> Option<VTime> {
+        let t = self.shared.deaths[target].load(Ordering::Relaxed);
+        (t != u64::MAX).then_some(VTime(t))
+    }
+
+    /// The liveness oracle a probe consults: is `target` dead *as of
+    /// this rank's current virtual time*?
+    ///
+    /// This models the per-node OS daemon a real failure detector
+    /// probes (procfs / process lease), not gossip: a live rank is
+    /// never reported dead (probes of live peers always answer
+    /// "alive", so the detector has zero false positives by
+    /// construction), and a rank whose scheduled death lies at or
+    /// before this rank's clock is reported dead even if the engine
+    /// has not yet parked its coroutine — conservative min-clock
+    /// scheduling may let a doomed rank's final pre-death instructions
+    /// run in the observer's past, which is causally unobservable.
+    /// [`CrashKind`] tells the caller whether the daemon saw the
+    /// process exit ([`CrashKind::Crash`] — definitive) or the process
+    /// is wedged but still holds its lease ([`CrashKind::Hang`] — the
+    /// probe goes unanswered and the detector must count missed
+    /// rounds).
+    pub fn peer_dead(&self, target: usize) -> Option<(VTime, CrashKind)> {
+        let (t, kind) = self.shared.crash.fate(target)?;
+        if t > self.now() || self.shared.finished[target].load(Ordering::Relaxed) {
+            return None;
+        }
+        Some((t, kind))
+    }
+
+    /// The scheduled fate of `target` under the installed crash plan
+    /// (regardless of whether it has executed yet).
+    pub fn planned_fate(&self, target: usize) -> Option<(VTime, CrashKind)> {
+        self.shared.crash.fate(target)
     }
 
     /// The trace collector installed on this engine, if any.
@@ -871,5 +1178,196 @@ mod tests {
         });
         assert!(out.results.iter().all(|t| *t == VTime(500)));
         assert!(out.yields >= 32 * 50);
+    }
+
+    #[test]
+    fn crash_plan_kills_rank_and_survivors_finish() {
+        let plan = CrashPlan::new().crash_at(1, VTime(100));
+        let out = Engine::new(3)
+            .crash_plan(plan)
+            .try_run_ft(|h| {
+                // Everyone tries to compute past t=100; rank 1 never
+                // makes it.
+                for _ in 0..10 {
+                    h.advance(VDur(20));
+                }
+                h.now()
+            })
+            .expect("survivors complete");
+        assert_eq!(out.results[0], Some(VTime(200)));
+        assert_eq!(out.results[1], None, "rank 1 died, no result");
+        assert_eq!(out.results[2], Some(VTime(200)));
+        assert_eq!(out.deaths[1], Some((VTime(100), CrashKind::Crash)));
+        assert!(out.deaths[0].is_none() && out.deaths[2].is_none());
+    }
+
+    #[test]
+    fn doomed_rank_clock_clamps_at_death_time() {
+        // A single big advance across the death instant must not let
+        // the rank act "after" dying.
+        let plan = CrashPlan::new().crash_at(0, VTime(50));
+        let reached = PlMutex::new(VTime(0));
+        let out = Engine::new(2)
+            .crash_plan(plan)
+            .try_run_ft(|h| {
+                if h.rank() == 0 {
+                    h.advance(VDur::from_micros(1)); // 1000ns >> 50ns
+                    *reached.lock() = h.now(); // unreachable
+                }
+                h.advance(VDur(10));
+            })
+            .expect("run completes");
+        assert_eq!(out.deaths[0], Some((VTime(50), CrashKind::Crash)));
+        assert_eq!(*reached.lock(), VTime(0), "rank 0 executed past death");
+        assert_eq!(out.results[1], Some(()));
+    }
+
+    #[test]
+    fn deadline_fires_when_world_quiesces() {
+        // Rank 1 dies; rank 0 waits on it with a lease deadline. The
+        // wait must time out at exactly the deadline instead of
+        // deadlocking the world.
+        let plan = CrashPlan::new().crash_at(1, VTime(50));
+        let out = Engine::new(2)
+            .crash_plan(plan)
+            .try_run_ft(|h| {
+                if h.rank() == 0 {
+                    let got = h.block_on_deadline::<()>("lease", VTime(500), || None);
+                    assert!(got.is_none(), "nothing could complete this wait");
+                    h.now()
+                } else {
+                    h.block_on::<()>("never", || None); // dies at t=50
+                    unreachable!()
+                }
+            })
+            .expect("deadline resolves the wait");
+        assert_eq!(out.results[0], Some(VTime(500)));
+        assert_eq!(out.deaths[1], Some((VTime(50), CrashKind::Crash)));
+    }
+
+    #[test]
+    fn data_beats_deadline() {
+        // The deadline only fires on a quiescent world; a completion
+        // arriving first wins and the clock lands on the data time.
+        let slot: PlMutex<Option<(VTime, u32)>> = PlMutex::new(None);
+        let out = Engine::new(2).run(|h| {
+            if h.rank() == 0 {
+                h.advance(VDur(70));
+                *slot.lock() = Some((h.now(), 42));
+                h.notify_rank(1);
+                0
+            } else {
+                let v = h
+                    .block_on_deadline("value", VTime(10_000), || *slot.lock())
+                    .expect("data arrives well before the lease expires");
+                assert_eq!(h.now(), VTime(70));
+                v
+            }
+        });
+        assert_eq!(out.results, vec![0, 42]);
+        // On this healthy run the timer never fired: end time is the
+        // data time, not the deadline.
+        assert_eq!(out.end_time, VTime(70));
+    }
+
+    #[test]
+    fn liveness_oracle_is_sound() {
+        let plan = CrashPlan::new().hang_at(2, VTime(300));
+        let out = Engine::new(3)
+            .crash_plan(plan)
+            .try_run_ft(|h| {
+                if h.rank() == 0 {
+                    // Before the death instant: everyone looks alive.
+                    h.advance(VDur(100));
+                    assert!(h.peer_dead(1).is_none());
+                    assert!(h.peer_dead(2).is_none());
+                    // Past it: the doomed rank is reported, live peers
+                    // never are.
+                    h.advance(VDur(400));
+                    assert!(h.peer_dead(1).is_none());
+                    assert_eq!(h.peer_dead(2), Some((VTime(300), CrashKind::Hang)));
+                } else {
+                    h.advance(VDur(500));
+                }
+            })
+            .expect("run completes");
+        assert_eq!(out.deaths[2], Some((VTime(300), CrashKind::Hang)));
+    }
+
+    #[test]
+    fn rank_finishing_before_its_fate_survives() {
+        // Scheduled to die at t=1000 but the closure returns at t=10:
+        // the process exited cleanly first, so the oracle must never
+        // report it dead.
+        let plan = CrashPlan::new().crash_at(1, VTime(1000));
+        let out = Engine::new(2)
+            .crash_plan(plan)
+            .try_run_ft(|h| {
+                if h.rank() == 0 {
+                    h.advance(VDur(5000));
+                    assert!(h.peer_dead(1).is_none(), "clean exit is not a death");
+                } else {
+                    h.advance(VDur(10));
+                }
+            })
+            .expect("run completes");
+        assert!(out.deaths[1].is_none());
+        assert_eq!(out.results[1], Some(()));
+    }
+
+    #[test]
+    fn run_panics_when_crash_plan_kills_a_rank() {
+        let result = std::panic::catch_unwind(|| {
+            Engine::new(2)
+                .crash_plan(CrashPlan::new().crash_at(0, VTime(10)))
+                .run(|h| h.advance(VDur(100)));
+        });
+        let err = result.unwrap_err();
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("try_run_ft"), "got: {msg}");
+    }
+
+    #[test]
+    fn clean_run_identical_with_empty_crash_plan() {
+        let baseline = Engine::new(4).run(|h| {
+            for _ in 0..5 {
+                h.advance(VDur(17));
+            }
+            h.now()
+        });
+        let with_plan = Engine::new(4).crash_plan(CrashPlan::new()).run(|h| {
+            for _ in 0..5 {
+                h.advance(VDur(17));
+            }
+            h.now()
+        });
+        assert_eq!(baseline.results, with_plan.results);
+        assert_eq!(baseline.end_time, with_plan.end_time);
+        assert_eq!(baseline.yields, with_plan.yields);
+    }
+
+    #[test]
+    fn survivor_deadlock_still_reported_and_names_the_corpse() {
+        // Rank 1 dies; rank 0 then blocks forever with no deadline
+        // armed. That is still an application deadlock, and the report
+        // must name the dead rank so the stuck wait is explicable.
+        let err = Engine::new(2)
+            .crash_plan(CrashPlan::new().crash_at(1, VTime(10)))
+            .try_run_ft(|h| {
+                if h.rank() == 0 {
+                    h.block_on::<()>("recv-from-1", || None);
+                } else {
+                    h.block_on::<()>("never", || None);
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { report, ranks } => {
+                assert!(report.contains("Dead"), "got: {report}");
+                assert!(report.contains("recv-from-1"), "got: {report}");
+                assert_eq!(ranks.len(), 2, "corpse appears in diagnostics");
+            }
+            e => panic!("expected deadlock, got {e}"),
+        }
     }
 }

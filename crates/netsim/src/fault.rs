@@ -273,6 +273,101 @@ impl FaultPlan {
     }
 }
 
+/// How a rank leaves the world under a [`CrashPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// Process death (crash-stop): the rank's coroutine is parked at
+    /// the scheduled instant and never runs again. The node's OS
+    /// daemon observes the exit, so a liveness probe gets a definitive
+    /// "dead" answer immediately.
+    Crash,
+    /// Wedged process: the rank stops servicing its queues at the
+    /// scheduled instant, but the OS still holds its process lease, so
+    /// probes go unanswered and a detector needs several missed-probe
+    /// rounds before it may declare the rank dead.
+    Hang,
+}
+
+impl CrashKind {
+    /// Scheduler-status label (`"crashed"` / `"hung"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashKind::Crash => "crashed",
+            CrashKind::Hang => "hung",
+        }
+    }
+}
+
+/// One scheduled process-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Virtual time of death. The rank executes normally strictly
+    /// before `at` and never at or after it.
+    pub at: crate::time::VTime,
+    /// Crash-stop or wedge (see [`CrashKind`]).
+    pub kind: CrashKind,
+}
+
+/// A schedule of process-level faults: which ranks die, when, and how.
+///
+/// Unlike the message-level [`FaultPlan`] (a probability field), a
+/// crash plan is an explicit event list — the fault-tolerance tests
+/// need to kill a *specific* rank at a *specific* virtual time and
+/// assert on what every survivor observes. Plans are deterministic by
+/// construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    events: Vec<CrashEvent>,
+}
+
+impl CrashPlan {
+    /// An empty plan (nobody dies).
+    pub fn new() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Schedule a crash-stop death of `rank` at virtual time `at`.
+    pub fn crash_at(mut self, rank: usize, at: crate::time::VTime) -> Self {
+        self.events.push(CrashEvent {
+            rank,
+            at,
+            kind: CrashKind::Crash,
+        });
+        self
+    }
+
+    /// Schedule a wedge of `rank` at virtual time `at`.
+    pub fn hang_at(mut self, rank: usize, at: crate::time::VTime) -> Self {
+        self.events.push(CrashEvent {
+            rank,
+            at,
+            kind: CrashKind::Hang,
+        });
+        self
+    }
+
+    /// No events scheduled?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[CrashEvent] {
+        &self.events
+    }
+
+    /// The earliest scheduled fate of `rank`, if any.
+    pub fn fate(&self, rank: usize) -> Option<(crate::time::VTime, CrashKind)> {
+        self.events
+            .iter()
+            .filter(|e| e.rank == rank)
+            .map(|e| (e.at, e.kind))
+            .min_by_key(|&(t, _)| t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

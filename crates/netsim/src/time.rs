@@ -186,7 +186,11 @@ mod tests {
         let s = Schedule::every(VDur::from_micros(10));
         assert_eq!(s.index_at(VTime::ZERO), 0);
         assert_eq!(s.index_at(VTime(9_999)), 0);
-        assert_eq!(s.index_at(VTime(10_000)), 1, "boundary belongs to the next interval");
+        assert_eq!(
+            s.index_at(VTime(10_000)),
+            1,
+            "boundary belongs to the next interval"
+        );
         assert_eq!(s.boundary(3), VTime(30_000));
         assert_eq!(s.next_boundary(VTime(10_000)), VTime(20_000));
         assert_eq!(s.next_boundary(VTime(10_001)), VTime(20_000));

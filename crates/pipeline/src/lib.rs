@@ -35,7 +35,7 @@ use empi_aead::chunked::{
 use empi_aead::gcm::AesGcm;
 use empi_aead::{NONCE_LEN, TAG_LEN};
 use empi_mpi::chunk::{
-    ChunkError, ChunkFrame, ChunkedMessage, FrameHeader, Reassembly, FRAME_HEADER_LEN,
+    ChunkError, ChunkFrame, ChunkedMessage, FrameHeader, Reassembly, RecvPayload, FRAME_HEADER_LEN,
     FRAME_NONCE_LEN, FRAME_OVERHEAD,
 };
 use empi_mpi::{Comm, Request, Tag};
@@ -153,10 +153,18 @@ pub enum PipelineError {
     Crypto(empi_aead::Error),
     /// A specific chunk failed authentication or decryption — carries
     /// the chunk index so the recovery layer can NACK just that frame.
-    Chunk { index: u32, source: empi_aead::Error },
+    Chunk {
+        index: u32,
+        source: empi_aead::Error,
+    },
     /// Reassembled plaintext length disagrees with the declared
     /// `total_len`.
     Length { expect: u64, got: usize },
+    /// A pipelined open was handed a plain (sequential) wire record
+    /// where a chunked frame train was expected — a peer wire-format
+    /// mismatch, typed so mixed-configuration callers can branch on
+    /// it instead of panicking.
+    NotChunked,
 }
 
 impl PipelineError {
@@ -180,6 +188,12 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Length { expect, got } => {
                 write!(f, "reassembled {got} bytes, header declared {expect}")
             }
+            PipelineError::NotChunked => {
+                write!(
+                    f,
+                    "expected a chunked frame train, peer sent a plain record"
+                )
+            }
         }
     }
 }
@@ -190,8 +204,18 @@ impl std::error::Error for PipelineError {
             PipelineError::Protocol(e) => Some(e),
             PipelineError::Crypto(e) => Some(e),
             PipelineError::Chunk { source, .. } => Some(source),
-            PipelineError::Length { .. } => None,
+            PipelineError::Length { .. } | PipelineError::NotChunked => None,
         }
+    }
+}
+
+/// Narrow a transport payload to the chunked wire format the pipeline
+/// opens: a plain record yields the typed [`PipelineError::NotChunked`]
+/// instead of a panic.
+pub fn expect_chunked(payload: RecvPayload) -> Result<ChunkedMessage, PipelineError> {
+    match payload {
+        RecvPayload::Chunked(m) => Ok(m),
+        RecvPayload::Plain(..) => Err(PipelineError::NotChunked),
     }
 }
 
@@ -335,7 +359,10 @@ pub fn open_frames(cipher: &AesGcm, frames: &[Vec<u8>]) -> Result<Vec<u8>, Pipel
     for (i, (_, record)) in parsed.records.iter().enumerate() {
         let plain = opener
             .open_chunk(i as u32, record)
-            .map_err(|source| PipelineError::Chunk { index: i as u32, source })?;
+            .map_err(|source| PipelineError::Chunk {
+                index: i as u32,
+                source,
+            })?;
         out.extend_from_slice(&plain);
     }
     if out.len() as u64 != parsed.total_len {
@@ -565,7 +592,10 @@ impl Pipeline {
                 "alloc/fresh",
                 h.now().as_nanos(),
                 parsed.total_len as usize,
-                format!("chunked reassembly buffer ({} frames)", parsed.records.len()),
+                format!(
+                    "chunked reassembly buffer ({} frames)",
+                    parsed.records.len()
+                ),
             );
         }
         let mut done = h.now();
@@ -618,7 +648,6 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use empi_mpi::chunk::RecvPayload;
     use empi_mpi::{Src, TagSel, World};
     use empi_netsim::NetModel;
 
@@ -721,13 +750,10 @@ mod tests {
                 } else if pipelined {
                     let pipe = Pipeline::new(PipelineConfig::enabled().with_workers(4), c.rank());
                     let cost = ChunkCost::Calibrated(&cost_ns);
-                    match c.recv_maybe_chunked(Src::Is(0), TagSel::Is(0)) {
-                        RecvPayload::Chunked(m) => {
-                            let out = pipe.open(c, &cipher, &cost, "test", &m).unwrap();
-                            assert_eq!(out, msg);
-                        }
-                        RecvPayload::Plain(..) => panic!("expected chunked message"),
-                    }
+                    let m = expect_chunked(c.recv_maybe_chunked(Src::Is(0), TagSel::Is(0)))
+                        .expect("pipelined sender must emit a frame train");
+                    let out = pipe.open(c, &cipher, &cost, "test", &m).unwrap();
+                    assert_eq!(out, msg);
                 } else {
                     let (_, wire) = c.recv(Src::Is(0), TagSel::Is(0));
                     c.compute(VDur(cost_ns(len)));
@@ -773,16 +799,12 @@ mod tests {
                 let cost = ChunkCost::Calibrated(&cost_ns);
                 pipe.send(c, &cipher, &cost, "test", [1u8; 12], &msg, 1, 0);
             } else {
-                match c.recv_maybe_chunked(Src::Is(0), TagSel::Is(0)) {
-                    RecvPayload::Chunked(m) => {
-                        assert_eq!(m.frames.len(), 8);
-                        let arrivals: Vec<u64> =
-                            m.frames.iter().map(|(at, _)| at.as_nanos()).collect();
-                        for pair in arrivals.windows(2) {
-                            assert!(pair[0] < pair[1], "NIC must serialize frames: {arrivals:?}");
-                        }
-                    }
-                    RecvPayload::Plain(..) => panic!("expected chunked message"),
+                let m = expect_chunked(c.recv_maybe_chunked(Src::Is(0), TagSel::Is(0)))
+                    .expect("pipelined sender must emit a frame train");
+                assert_eq!(m.frames.len(), 8);
+                let arrivals: Vec<u64> = m.frames.iter().map(|(at, _)| at.as_nanos()).collect();
+                for pair in arrivals.windows(2) {
+                    assert!(pair[0] < pair[1], "NIC must serialize frames: {arrivals:?}");
                 }
             }
         });

@@ -76,6 +76,10 @@ pub enum Cat {
     /// Key-lifecycle activity (`key/handshake`, `key/rotate`,
     /// `key/revoke`, `key/reject`) on the acting rank's lane.
     Key,
+    /// Fault-tolerance activity (`ftol/detect`, `ftol/notice`,
+    /// `ftol/probe`, `ftol/shrink`, `ftol/rekey`) on the acting rank's
+    /// lane.
+    Ftol,
 }
 
 impl Cat {
@@ -92,6 +96,7 @@ impl Cat {
             Cat::Alloc => "alloc",
             Cat::Health => "health",
             Cat::Key => "key",
+            Cat::Ftol => "ftol",
         }
     }
 }
@@ -172,6 +177,12 @@ pub struct RankMetrics {
     pub rekeys: u64,
     /// Peers this rank revoked and re-keyed away from.
     pub revocations: u64,
+    /// Rank failures this rank confirmed locally (lease + probe).
+    pub ft_detected: u64,
+    /// Rank failures this rank learned of via a peer's notice.
+    pub ft_notices: u64,
+    /// Communicator shrinks this rank completed.
+    pub ft_shrinks: u64,
 }
 
 /// Byte/message ledger for one ordered (src, dst) rank pair.
@@ -204,7 +215,9 @@ impl EngineCounters {
     /// Counter-wise `self - baseline` (saturating).
     pub fn since(&self, baseline: &EngineCounters) -> EngineCounters {
         EngineCounters {
-            aes_blocks_soft: self.aes_blocks_soft.saturating_sub(baseline.aes_blocks_soft),
+            aes_blocks_soft: self
+                .aes_blocks_soft
+                .saturating_sub(baseline.aes_blocks_soft),
             aes_blocks_ni: self.aes_blocks_ni.saturating_sub(baseline.aes_blocks_ni),
             aes_blocks_pipelined: self
                 .aes_blocks_pipelined
@@ -443,7 +456,9 @@ mod imp {
         }
 
         fn rank(&self, r: usize) -> std::sync::MutexGuard<'_, RankCell> {
-            self.inner.ranks[r].lock().unwrap_or_else(|e| e.into_inner())
+            self.inner.ranks[r]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
         }
 
         /// Record a `block_on` park interval.
@@ -599,6 +614,39 @@ mod imp {
             c.events.push(Event {
                 name: label.to_string(),
                 cat: Cat::Key,
+                ts_ns: t0_ns,
+                dur_ns: dur_ns.max(1),
+                tid: rank as u32,
+                bytes: bytes as u64,
+                detail,
+            });
+        }
+
+        /// Record fault-tolerance activity on `rank`'s lane and bump
+        /// the matching counter: `ftol/detect` → failures confirmed
+        /// locally, `ftol/notice` → failures learned from a peer,
+        /// `ftol/shrink` → communicator shrinks (`ftol/probe` and
+        /// `ftol/rekey` spans count nothing here — probes are tracked
+        /// by the metrics plane, re-keys by the key plane).
+        pub fn ftol_span(
+            &self,
+            rank: usize,
+            label: &'static str,
+            t0_ns: u64,
+            dur_ns: u64,
+            bytes: usize,
+            detail: String,
+        ) {
+            let mut c = self.rank(rank);
+            match label {
+                "ftol/detect" => c.m.ft_detected += 1,
+                "ftol/notice" => c.m.ft_notices += 1,
+                "ftol/shrink" => c.m.ft_shrinks += 1,
+                _ => {}
+            }
+            c.events.push(Event {
+                name: label.to_string(),
+                cat: Cat::Ftol,
                 ts_ns: t0_ns,
                 dur_ns: dur_ns.max(1),
                 tid: rank as u32,
@@ -769,7 +817,11 @@ mod imp {
 
         /// Record a NIC port busy interval. `dir`: 0 = tx, 1 = rx.
         pub fn nic_busy(&self, node: usize, dir: u8, t0_ns: u64, t1_ns: u64) {
-            let mut ring = self.inner.nic_events.lock().unwrap_or_else(|e| e.into_inner());
+            let mut ring = self
+                .inner
+                .nic_events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             ring.push(Event {
                 name: if dir == 0 { "nic-tx" } else { "nic-rx" }.to_string(),
                 cat: Cat::Nic,
@@ -796,7 +848,11 @@ mod imp {
                 events.extend(std::mem::take(&mut c.events.buf));
             }
             {
-                let mut ring = self.inner.nic_events.lock().unwrap_or_else(|e| e.into_inner());
+                let mut ring = self
+                    .inner
+                    .nic_events
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
                 dropped += ring.dropped;
                 ring.dropped = 0;
                 events.extend(std::mem::take(&mut ring.buf));
@@ -916,6 +972,18 @@ mod imp {
         }
 
         pub fn retry_span(
+            &self,
+            _rank: usize,
+            _label: &'static str,
+            _t0: u64,
+            _dur: u64,
+            _bytes: usize,
+            _detail: String,
+        ) {
+        }
+
+        #[inline]
+        pub fn ftol_span(
             &self,
             _rank: usize,
             _label: &'static str,
@@ -1164,7 +1232,7 @@ mod tests {
         t.count_alloc(0, false, 4096);
         t.count_reclaim(1, true);
         t.count_reclaim(1, false); // retained by ARQ — not recovered
-        // One per-op marker summarizing the seal.
+                                   // One per-op marker summarizing the seal.
         t.alloc_span(0, "alloc/pooled", 500, 4096, "seal 0->1".into());
         let r = t.take_report();
         assert_eq!(r.per_rank[0].allocs_fresh, 2);

@@ -57,6 +57,7 @@ fn err_kind(e: &Error) -> String {
         Error::DeliveryFailed { .. } => "delivery".into(),
         Error::Timeout { .. } => "timeout".into(),
         Error::Key(_) => "key".into(),
+        Error::RankFailed { .. } => "rank-failed".into(),
     }
 }
 

@@ -13,8 +13,7 @@ use empi::secure::{Error, FaultRates, PipelineConfig, SecureComm, SecurityConfig
 use proptest::prelude::*;
 
 fn cfg(pooled: bool, pipelined: bool, chunk_size: usize, nonce_seed: u64) -> SecurityConfig {
-    let mut c =
-        SecurityConfig::new(CryptoLibrary::BoringSsl).with_deterministic_nonces(nonce_seed);
+    let mut c = SecurityConfig::new(CryptoLibrary::BoringSsl).with_deterministic_nonces(nonce_seed);
     if pipelined {
         c = c.with_pipeline(
             PipelineConfig::enabled()
@@ -38,9 +37,11 @@ fn raw_wire(msg: Vec<u8>, c: SecurityConfig) -> Vec<u8> {
         } else {
             match comm.recv_maybe_chunked(Src::Is(0), TagSel::Is(0)) {
                 RecvPayload::Plain(_, wire) => wire.to_vec(),
-                RecvPayload::Chunked(m) => {
-                    m.frames.iter().flat_map(|(_, b)| b.iter().copied()).collect()
-                }
+                RecvPayload::Chunked(m) => m
+                    .frames
+                    .iter()
+                    .flat_map(|(_, b)| b.iter().copied())
+                    .collect(),
             }
         }
     });
@@ -228,6 +229,11 @@ proptest! {
                     | Error::Timeout { .. }
                     | Error::Key(_),
                 ) => {}
+                // No crash plan is armed here, so a rank failure would
+                // be a detector false positive — never acceptable.
+                Err(Error::RankFailed { .. }) => {
+                    prop_assert!(false, "{}: rank failure without a crash plan", tag)
+                }
             }
             Ok(())
         };
