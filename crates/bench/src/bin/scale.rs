@@ -6,5 +6,6 @@ fn main() {
     for net in opts.nets.clone() {
         emit(&[extensions::scale_table(net, &opts)], &opts.out_dir);
         emit(&[extensions::keysize_table(net, &opts)], &opts.out_dir);
+        emit(&[extensions::rankscale_table(net, &opts)], &opts.out_dir);
     }
 }

@@ -98,6 +98,10 @@ pub struct BenchOpts {
     pub trace: bool,
     /// Size-group filter for harnesses that split small vs large.
     pub sizes: SizeSel,
+    /// Scheduler shards for every world the harness builds
+    /// (`--shards N`, default `EMPI_SHARDS`, then 1). Changes
+    /// wall-clock only: virtual results are bit-identical.
+    pub shards: usize,
 }
 
 impl Default for BenchOpts {
@@ -113,14 +117,18 @@ impl Default for BenchOpts {
                 Ok("1") | Ok("true") | Ok("on")
             ),
             sizes: SizeSel::All,
+            shards: std::env::var("EMPI_SHARDS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .map_or(1, |s| s.max(1)),
         }
     }
 }
 
 /// One line of flag documentation, shared by `--help` and error paths.
 const USAGE: &str = "flags: --quick  --net ethernet|infiniband|both  --out DIR  \
-                     --reps MIN,MAX  --trace  --sizes small|large|all\n\
-                     env: EMPI_TRACE=1 implies --trace";
+                     --reps MIN,MAX  --trace  --sizes small|large|all  --shards N\n\
+                     env: EMPI_TRACE=1 implies --trace; EMPI_SHARDS=N is the --shards default";
 
 /// Print a parse error plus the usage line to stderr and exit nonzero.
 /// A bad flag is operator error, not a program bug — no backtrace.
@@ -137,7 +145,13 @@ impl BenchOpts {
     /// status 2 instead of panicking.
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
         match Self::try_parse(args) {
-            Ok(opts) => opts,
+            Ok(opts) => {
+                // Export the resolved shard count so every world the
+                // binary builds (directly or deep inside a harness)
+                // inherits it via the `EMPI_SHARDS` fallback.
+                std::env::set_var("EMPI_SHARDS", opts.shards.to_string());
+                opts
+            }
             Err(msg) => usage_err(&msg),
         }
     }
@@ -169,6 +183,13 @@ impl BenchOpts {
                     opts.reps_max = hi.parse().map_err(|_| format!("--reps: bad MAX '{hi}'"))?;
                 }
                 "--trace" => opts.trace = true,
+                "--shards" => {
+                    let v = args.next().ok_or("--shards needs a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--shards: bad count '{v}'"))?;
+                    opts.shards = n.max(1);
+                }
                 "--sizes" => {
                     let v = args.next().ok_or("--sizes needs a value")?;
                     opts.sizes = match v.as_str() {
@@ -226,7 +247,18 @@ mod tests {
         assert!(parse(&["--net"]).unwrap_err().contains("needs a value"));
         assert!(parse(&["--reps", "3"]).unwrap_err().contains("MIN,MAX"));
         assert!(parse(&["--reps", "x,7"]).unwrap_err().contains("bad MIN"));
+        assert!(parse(&["--shards"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--shards", "many"])
+            .unwrap_err()
+            .contains("bad count"));
         assert!(parse(&["--quick"]).is_ok());
+    }
+
+    #[test]
+    fn shards_flag_parses_and_clamps() {
+        let parse = |v: &[&str]| BenchOpts::try_parse(v.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["--shards", "8"]).unwrap().shards, 8);
+        assert_eq!(parse(&["--shards", "0"]).unwrap().shards, 1, "clamped");
     }
 
     #[test]

@@ -9,12 +9,18 @@
 //!   is measured by the `crypto` Criterion bench's `key_size` group.)
 //! * **EXT-SCALE** — the paper's four scalability settings (4r/4n,
 //!   16r/4n, 16r/8n, 64r/8n) for the NAS suite, baseline vs BoringSSL.
+//! * **EXT-SCALE-RANKS** — rank counts far beyond the paper's 64-rank
+//!   testbed (256/1024/4096), runnable because the sharded engine
+//!   executes rank groups on real cores. Virtual-time results are
+//!   shard-count-invariant; sharding only buys wall-clock.
 
 use empi_aead::profile::{CryptoLibrary, KeySize};
 use empi_core::{SecureComm, TimingMode};
 use empi_mpi::{Src, TagSel, World};
+use empi_netsim::Topology;
 
-use crate::common::{security_config, BenchOpts, Net};
+use crate::collectives::{collective_us, CollOp};
+use crate::common::{reported_rows, row_label, security_config, BenchOpts, Net};
 use crate::nasbench;
 use crate::stats::measure_until_stable;
 use crate::table::{fmt_value, size_label, Table};
@@ -85,6 +91,95 @@ pub fn keysize_table(net: Net, opts: &BenchOpts) -> Table {
 /// spend minutes of wall time on per-rank data generation alone.
 pub fn scale_table(net: Net, _opts: &BenchOpts) -> Table {
     nasbench::scalability(net, empi_nas::Class::S)
+}
+
+/// Ping-pong round-trip latency between the two most distant ranks of
+/// an `ranks`-rank world (virtual µs). All other ranks participate in
+/// world construction and teardown but stay idle — the measurement is
+/// the paper's pingpong stretched to a world size its 64-rank testbed
+/// could not host.
+fn pingpong_at_scale_us(net: Net, lib: Option<CryptoLibrary>, ranks: usize, iters: usize) -> f64 {
+    let nodes = (ranks / 32).max(2);
+    let world = World::new(net.model(), Topology::block(ranks, nodes));
+    let size = 4 << 10;
+    let out = world.run(move |c| {
+        let me = c.rank();
+        let peer = c.size() - 1;
+        let sc = lib.map(|l| SecureComm::new(c, security_config(l, net)).unwrap());
+        if me != 0 && me != peer {
+            return 0.0;
+        }
+        let buf = vec![0x5au8; size];
+        let t0 = c.now();
+        for _ in 0..iters {
+            match (&sc, me) {
+                (None, 0) => {
+                    c.send(&buf, peer, 0);
+                    let _ = c.recv(Src::Is(peer), TagSel::Is(1));
+                }
+                (None, _) => {
+                    let (_, m) = c.recv(Src::Is(0), TagSel::Is(0));
+                    c.send(m.as_ref(), 0, 1);
+                }
+                (Some(sc), 0) => {
+                    sc.send(&buf, peer, 0);
+                    let _ = sc.recv(Src::Is(peer), TagSel::Is(1)).unwrap();
+                }
+                (Some(sc), _) => {
+                    let (_, m) = sc.recv(Src::Is(0), TagSel::Is(0)).unwrap();
+                    sc.send(&m, 0, 1);
+                }
+            }
+        }
+        (c.now() - t0).as_micros_f64()
+    });
+    out.results[0] / iters as f64
+}
+
+/// EXT-SCALE-RANKS: per-operation time at 256/1024/4096 ranks across
+/// the four backends. Alltoall stops at 1024 ranks (4096² ≈ 16.7 M
+/// messages per operation is beyond a CI budget — recorded as `-`
+/// rather than silently omitted); pingpong covers all three counts.
+pub fn rankscale_table(net: Net, opts: &BenchOpts) -> Table {
+    let full = !opts.quick;
+    let pp_ranks: &[usize] = if full { &[256, 1024, 4096] } else { &[256] };
+    let a2a_ranks: &[usize] = if full { &[256, 1024] } else { &[256] };
+    let mut columns: Vec<String> = pp_ranks.iter().map(|r| format!("pp {r}r")).collect();
+    columns.extend(a2a_ranks.iter().map(|r| format!("a2a {r}r")));
+    if full {
+        columns.push("a2a 4096r".into());
+    }
+    let mut t = Table::new(
+        format!(
+            "EXT-SCALE-RANKS-{}: 4 KiB pingpong RTT and 64 B alltoall (virtual µs/op) \
+             at rank counts beyond the paper's testbed",
+            net.name()
+        ),
+        "",
+        columns,
+    );
+    for lib in reported_rows() {
+        let mut cells: Vec<String> = pp_ranks
+            .iter()
+            .map(|&r| fmt_value(pingpong_at_scale_us(net, lib, r, if full { 4 } else { 2 })))
+            .collect();
+        cells.extend(a2a_ranks.iter().map(|&r| {
+            fmt_value(collective_us(
+                net,
+                lib,
+                CollOp::Alltoall,
+                64,
+                r,
+                (r / 32).max(2),
+                1,
+            ))
+        }));
+        if full {
+            cells.push("-".into());
+        }
+        t.push_row(row_label(lib), cells);
+    }
+    t
 }
 
 #[cfg(test)]

@@ -778,10 +778,16 @@ impl<'a, 'h> SecureComm<'a, 'h> {
         let t0 = self.comm.sim().now();
         let out = match self.cfg.timing {
             TimingMode::Measured => self.comm.sim().charge_measured(f),
-            TimingMode::Calibrated(_) => {
-                let out = f();
-                self.charge(bytes, dir);
-                out
+            TimingMode::Calibrated(build) => {
+                // Cost is known before the call, so the crypto work can
+                // run detached: under a sharded world other ranks
+                // proceed on real cores while this one seals/opens.
+                // Encryption and decryption cost the same in AES-GCM
+                // (§V-A). The closure touches only rank-local cipher
+                // state and pre-allocated buffers, as charge_overlapped
+                // requires.
+                let ns = self.cfg.library.enc_time_ns(build, bytes);
+                self.comm.sim().charge_overlapped(VDur(ns), f)
             }
         };
         if let Some(t) = self.comm.sim().tracer() {

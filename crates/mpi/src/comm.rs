@@ -162,6 +162,15 @@ impl<'h> Comm<'h> {
         self.h.advance(d);
     }
 
+    /// Charge `d` of modeled compute time while running `f` — real
+    /// host work (kernel arithmetic, crypto) that touches no
+    /// simulation state. Under a sharded world the closure overlaps
+    /// with other ranks on real cores; results stay bit-identical to
+    /// the serial schedule (see [`empi_netsim::SimHandle::charge_overlapped`]).
+    pub fn compute_with<T>(&self, d: VDur, f: impl FnOnce() -> T) -> T {
+        self.h.charge_overlapped(d, f)
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> VTime {
         self.h.now()

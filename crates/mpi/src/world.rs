@@ -17,6 +17,7 @@ use crate::state::SharedState;
 pub struct World {
     model: NetModel,
     topology: Topology,
+    shards: Option<usize>,
     time_scale: f64,
     traced: bool,
     metered: bool,
@@ -68,12 +69,21 @@ pub struct FtWorldOutcome<T> {
     pub metrics: Option<MetricsSnapshot>,
 }
 
+/// The `EMPI_SHARDS` fallback: unset, empty, or unparsable means 1.
+fn shards_from_env() -> usize {
+    std::env::var("EMPI_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |s| s.max(1))
+}
+
 impl World {
     /// A world with the given placement and network model.
     pub fn new(model: NetModel, topology: Topology) -> Self {
         World {
             model,
             topology,
+            shards: None,
             time_scale: 1.0,
             traced: false,
             metered: false,
@@ -86,6 +96,23 @@ impl World {
     /// Convenience: `n` ranks, one per node, on the given model.
     pub fn flat(model: NetModel, n: usize) -> Self {
         World::new(model, Topology::one_per_node(n))
+    }
+
+    /// Partition the ranks into `s` scheduler shards, letting up to
+    /// `s` ranks' heavy host work (crypto, kernel math) run
+    /// concurrently on real cores. Results are bit-identical for every
+    /// shard count — sharding changes wall-clock time only (see
+    /// DESIGN.md §15). Defaults to the `EMPI_SHARDS` environment
+    /// variable, then 1 (fully serial).
+    pub fn with_shards(mut self, s: usize) -> Self {
+        self.shards = Some(s.max(1));
+        self
+    }
+
+    /// The shard count this world will run with: explicit
+    /// [`World::with_shards`] first, then `EMPI_SHARDS`, then 1.
+    pub fn shards(&self) -> usize {
+        self.shards.unwrap_or_else(shards_from_env)
     }
 
     /// Multiplier for measured-time charging (models a slower CPU).
@@ -171,6 +198,7 @@ impl World {
         let diag_shared = Arc::clone(&shared);
         let diag_metrics = metrics.clone();
         let mut engine = Engine::new(n)
+            .shards(self.shards())
             .time_scale(self.time_scale)
             .crash_plan(self.crash.clone())
             .diagnostics(

@@ -1,0 +1,46 @@
+//! Cross-shard causality at the MPI layer: a message sent from one
+//! shard can never be observed by another shard earlier than its send
+//! time plus the fabric's conservative lookahead (the per-link minimum
+//! latency the engine uses to bound cross-shard interactions), and the
+//! arrival schedule itself must not depend on the shard count.
+
+use empi_mpi::World;
+use empi_netsim::NetModel;
+
+/// Every rank sends its own send-timestamp 3 ranks ahead (with 4
+/// shards of 2 that always crosses a shard boundary) and checks the
+/// lookahead bound on what it receives. Returns per-rank
+/// `(send_time, arrival_time)` pairs for cross-count comparison.
+fn run(shards: usize) -> Vec<(u64, u64)> {
+    let model = NetModel::ethernet_10g();
+    let lookahead = model.min_latency().as_nanos();
+    let out = World::flat(model, 8).with_shards(shards).run(move |c| {
+        let me = c.rank();
+        let n = c.size();
+        // Stagger clocks so ranks sit at genuinely different
+        // virtual times when they send.
+        c.compute(empi_netsim::VDur((me as u64 + 1) * 1_700));
+        let sent_at = c.now().as_nanos();
+        c.send(&sent_at.to_le_bytes(), (me + 3) % n, 7);
+        let (st, data) = c.recv(empi_mpi::Src::Any, empi_mpi::TagSel::Is(7));
+        assert_eq!(st.source, (me + n - 3) % n);
+        let their_send = u64::from_le_bytes(data.as_ref().try_into().unwrap());
+        let arrival = c.now().as_nanos();
+        assert!(
+            arrival >= their_send + lookahead,
+            "rank {me}: message from {} arrived at {arrival} ns, before \
+                 its send time {their_send} ns + lookahead {lookahead} ns",
+            st.source,
+        );
+        (their_send, arrival)
+    });
+    out.results
+}
+
+#[test]
+fn cross_shard_arrivals_respect_lookahead_and_match_serial() {
+    let serial = run(1);
+    for s in [2usize, 4, 8] {
+        assert_eq!(serial, run(s), "shards={s} changed the arrival schedule");
+    }
+}

@@ -211,35 +211,37 @@ pub fn run(layer: &impl CommLayer, class: Class, kind: AdiKind) -> KernelReport 
 
     for iter in 0..p.iters {
         for v in 0..p.nvar {
-            // x sweep (rows contiguous).
-            for z in 0..nzl {
-                for y in 0..p.n {
-                    let base = Grid::idx(p.n, z, y, 0);
-                    let line = &mut g.u[v][base..base + p.n];
-                    match kind {
-                        AdiKind::Bt => thomas_tridiag(line),
-                        AdiKind::Sp => penta_solve(line),
-                    }
-                }
-            }
-            // y sweep (strided).
-            let mut tmp = vec![0.0f64; p.n];
-            for z in 0..nzl {
-                for x in 0..p.n {
-                    for y in 0..p.n {
-                        tmp[y] = g.u[v][Grid::idx(p.n, z, y, x)];
-                    }
-                    match kind {
-                        AdiKind::Bt => thomas_tridiag(&mut tmp),
-                        AdiKind::Sp => penta_solve(&mut tmp),
-                    }
-                    for y in 0..p.n {
-                        g.u[v][Grid::idx(p.n, z, y, x)] = tmp[y];
-                    }
-                }
-            }
+            // x and y sweeps: pure local math, detached.
             let units = (2 * nzl * p.n * p.n * 9) as u64;
-            model.charge(layer, units);
+            model.charge_with(layer, units, &mut || {
+                // x sweep (rows contiguous).
+                for z in 0..nzl {
+                    for y in 0..p.n {
+                        let base = Grid::idx(p.n, z, y, 0);
+                        let line = &mut g.u[v][base..base + p.n];
+                        match kind {
+                            AdiKind::Bt => thomas_tridiag(line),
+                            AdiKind::Sp => penta_solve(line),
+                        }
+                    }
+                }
+                // y sweep (strided).
+                let mut tmp = vec![0.0f64; p.n];
+                for z in 0..nzl {
+                    for x in 0..p.n {
+                        for y in 0..p.n {
+                            tmp[y] = g.u[v][Grid::idx(p.n, z, y, x)];
+                        }
+                        match kind {
+                            AdiKind::Bt => thomas_tridiag(&mut tmp),
+                            AdiKind::Sp => penta_solve(&mut tmp),
+                        }
+                        for y in 0..p.n {
+                            g.u[v][Grid::idx(p.n, z, y, x)] = tmp[y];
+                        }
+                    }
+                }
+            });
             work += units;
 
             // z sweep: pipelined Thomas across the rank chain.
@@ -261,21 +263,22 @@ pub fn run(layer: &impl CommLayer, class: Class, kind: AdiKind) -> KernelReport 
                 m
             };
             let vol = nzl * p.n * p.n;
-            let mut cell = [0.0f64; 5];
-            for i in 0..vol {
-                for (v, c) in cell.iter_mut().enumerate() {
-                    *c = g.u[v][i];
-                }
-                for v in 0..5 {
-                    let mut acc = 0.0;
-                    for (w, c) in cell.iter().enumerate() {
-                        acc += m[v][w] * c;
-                    }
-                    g.u[v][i] = acc;
-                }
-            }
             let units = (vol * 50) as u64;
-            model.charge(layer, units);
+            model.charge_with(layer, units, &mut || {
+                let mut cell = [0.0f64; 5];
+                for i in 0..vol {
+                    for (v, c) in cell.iter_mut().enumerate() {
+                        *c = g.u[v][i];
+                    }
+                    for v in 0..5 {
+                        let mut acc = 0.0;
+                        for (w, c) in cell.iter().enumerate() {
+                            acc += m[v][w] * c;
+                        }
+                        g.u[v][i] = acc;
+                    }
+                }
+            });
             work += units;
         }
 

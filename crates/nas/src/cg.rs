@@ -178,9 +178,8 @@ pub fn run(layer: &impl CommLayer, class: Class) -> KernelReport {
             // Assemble the full direction vector.
             let p_full = to_f64s(&layer.allgather(f64s(&p)));
             let mut q = vec![0.0f64; local_n];
-            a.matvec(&p_full, &mut q);
             let units = (2 * a.nnz() + 10 * local_n) as u64;
-            model.charge(layer, units);
+            model.charge_with(layer, units, &mut || a.matvec(&p_full, &mut q));
             work_units += units;
 
             let pq = layer.allreduce_sum(&[dot(&p, &q)])[0];
@@ -203,7 +202,11 @@ pub fn run(layer: &impl CommLayer, class: Class) -> KernelReport {
     let z_full = to_f64s(&layer.allgather(f64s(&z)));
     let mut az = vec![0.0f64; local_n];
     a.matvec(&z_full, &mut az);
-    let local_res: f64 = az.iter().zip(b.iter()).map(|(a, b)| (b - a) * (b - a)).sum();
+    let local_res: f64 = az
+        .iter()
+        .zip(b.iter())
+        .map(|(a, b)| (b - a) * (b - a))
+        .sum();
     let res = layer.allreduce_sum(&[local_res])[0].sqrt();
     let bnorm = (n as f64).sqrt();
 
@@ -252,10 +255,7 @@ mod tests {
         let w = World::flat(NetModel::instant(), 4);
         let plain = w.run(|c| run(&PlainLayer::new(c), Class::S));
         let enc = w.run(|c| {
-            let l = SecureLayer::new(
-                c,
-                SecurityConfig::new(empi_aead::CryptoLibrary::BoringSsl),
-            );
+            let l = SecureLayer::new(c, SecurityConfig::new(empi_aead::CryptoLibrary::BoringSsl));
             run(&l, Class::S)
         });
         assert!(enc.results[0].verified);

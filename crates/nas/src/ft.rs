@@ -172,35 +172,44 @@ impl<'l, L: CommLayer> FtState<'l, L> {
         (y * self.p.nz + z) * self.p.nx + x
     }
 
-    fn charge_fft(&mut self, lines: usize, len: usize) {
-        let units = (lines * 5 * len * len.trailing_zeros() as usize) as u64 / 4;
-        self.model.charge(self.layer, units);
-        self.work_units += units;
+    /// Work units of `lines` FFT lines of length `len` (5·n·log n
+    /// flops per line, 4 flops per unit).
+    fn fft_units(lines: usize, len: usize) -> u64 {
+        (lines * 5 * len * len.trailing_zeros() as usize) as u64 / 4
     }
 
-    /// Local x FFTs then y FFTs on a z-slab buffer.
+    /// Local x FFTs then y FFTs on a z-slab buffer. The arithmetic
+    /// runs through `compute_with`, so a sharded world overlaps it
+    /// across ranks on real cores.
     fn fft_xy(&mut self, u: &mut [C64], inverse: bool) {
-        let (nx, ny) = (self.p.nx, self.p.ny);
-        for z in 0..self.nz_local {
-            for y in 0..ny {
-                let base = self.zi(z, y, 0);
-                fft_line(&mut u[base..base + nx], inverse);
-            }
-        }
-        self.charge_fft(self.nz_local * ny, nx);
-        let mut tmp = vec![C64::default(); ny];
-        for z in 0..self.nz_local {
-            for x in 0..nx {
+        let (nx, ny, nzl) = (self.p.nx, self.p.ny, self.nz_local);
+        let zi = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
+        let units_x = Self::fft_units(nzl * ny, nx);
+        self.model.charge_with(self.layer, units_x, &mut || {
+            for z in 0..nzl {
                 for y in 0..ny {
-                    tmp[y] = u[self.zi(z, y, x)];
-                }
-                fft_line(&mut tmp, inverse);
-                for y in 0..ny {
-                    u[self.zi(z, y, x)] = tmp[y];
+                    let base = zi(z, y, 0);
+                    fft_line(&mut u[base..base + nx], inverse);
                 }
             }
-        }
-        self.charge_fft(self.nz_local * nx, ny);
+        });
+        self.work_units += units_x;
+        let units_y = Self::fft_units(nzl * nx, ny);
+        self.model.charge_with(self.layer, units_y, &mut || {
+            let mut tmp = vec![C64::default(); ny];
+            for z in 0..nzl {
+                for x in 0..nx {
+                    for y in 0..ny {
+                        tmp[y] = u[zi(z, y, x)];
+                    }
+                    fft_line(&mut tmp, inverse);
+                    for y in 0..ny {
+                        u[zi(z, y, x)] = tmp[y];
+                    }
+                }
+            }
+        });
+        self.work_units += units_y;
     }
 
     /// z-slab → y-slab transpose via alltoall.
@@ -273,22 +282,26 @@ impl<'l, L: CommLayer> FtState<'l, L> {
         out
     }
 
-    /// z FFTs in the y-slab layout.
+    /// z FFTs in the y-slab layout, detached like [`Self::fft_xy`].
     fn fft_z(&mut self, v: &mut [C64], inverse: bool) {
-        let (nx, nz) = (self.p.nx, self.p.nz);
-        let mut tmp = vec![C64::default(); nz];
-        for y in 0..self.ny_local {
-            for x in 0..nx {
-                for z in 0..nz {
-                    tmp[z] = v[self.yi(y, z, x)];
-                }
-                fft_line(&mut tmp, inverse);
-                for z in 0..nz {
-                    v[self.yi(y, z, x)] = tmp[z];
+        let (nx, nz, nyl) = (self.p.nx, self.p.nz, self.ny_local);
+        let yi = |y: usize, z: usize, x: usize| (y * nz + z) * nx + x;
+        let units = Self::fft_units(nyl * nx, nz);
+        self.model.charge_with(self.layer, units, &mut || {
+            let mut tmp = vec![C64::default(); nz];
+            for y in 0..nyl {
+                for x in 0..nx {
+                    for z in 0..nz {
+                        tmp[z] = v[yi(y, z, x)];
+                    }
+                    fft_line(&mut tmp, inverse);
+                    for z in 0..nz {
+                        v[yi(y, z, x)] = tmp[z];
+                    }
                 }
             }
-        }
-        self.charge_fft(self.ny_local * nx, nz);
+        });
+        self.work_units += units;
     }
 }
 
@@ -348,25 +361,29 @@ pub fn run(layer: &impl CommLayer, class: Class) -> KernelReport {
     for t in 1..=p.niter {
         // Evolve in spectral space (y-slab layout).
         let y0 = rank * st.ny_local;
-        for yy in 0..st.ny_local {
-            let ky = kbar(y0 + yy, p.ny);
-            for z in 0..p.nz {
-                let kz = kbar(z, p.nz);
-                for x in 0..p.nx {
-                    let kx = kbar(x, p.nx);
-                    let k2 = kx * kx + ky * ky + kz * kz;
-                    let f = (-4.0 * std::f64::consts::PI * std::f64::consts::PI
-                        * alpha
-                        * t as f64
-                        * k2)
-                        .exp();
-                    let idx = st.yi(yy, z, x);
-                    spec[idx] = spec[idx].scale(f);
+        let units = (st.ny_local * p.nz * p.nx) as u64 * 4;
+        let ny_local = st.ny_local;
+        st.model.charge_with(st.layer, units, &mut || {
+            for yy in 0..ny_local {
+                let ky = kbar(y0 + yy, p.ny);
+                for z in 0..p.nz {
+                    let kz = kbar(z, p.nz);
+                    for x in 0..p.nx {
+                        let kx = kbar(x, p.nx);
+                        let k2 = kx * kx + ky * ky + kz * kz;
+                        let f = (-4.0
+                            * std::f64::consts::PI
+                            * std::f64::consts::PI
+                            * alpha
+                            * t as f64
+                            * k2)
+                            .exp();
+                        let idx = (yy * p.nz + z) * p.nx + x;
+                        spec[idx] = spec[idx].scale(f);
+                    }
                 }
             }
-        }
-        let units = (st.ny_local * p.nz * p.nx) as u64 * 4;
-        st.model.charge(st.layer, units);
+        });
         st.work_units += units;
 
         // Inverse transform back to a z-slab field.

@@ -62,17 +62,20 @@ pub fn run(layer: &impl CommLayer, class: Class) -> KernelReport {
     for iter in 0..p.iters {
         // 1. Generate keys (deterministic per rank and iteration).
         let mut rng = NasRandom::new((rank as u64 + 1) * 2654435761 + iter as u64 * 97);
-        let keys: Vec<u32> = (0..p.keys_per_rank).map(|_| rng.next_u32(max_key)).collect();
+        let keys: Vec<u32> = (0..p.keys_per_rank)
+            .map(|_| rng.next_u32(max_key))
+            .collect();
         let key_sum_before: f64 = keys.iter().map(|&k| k as f64).sum();
 
         // 2. Coarse histogram + allreduce, then balanced boundaries.
         let shift = p.log2_max - (p.hist_bins as u32).trailing_zeros();
         let mut hist = vec![0.0f64; p.hist_bins];
-        for &k in &keys {
-            hist[(k >> shift) as usize] += 1.0;
-        }
         let units = (p.keys_per_rank * 2) as u64;
-        model.charge(layer, units);
+        model.charge_with(layer, units, &mut || {
+            for &k in &keys {
+                hist[(k >> shift) as usize] += 1.0;
+            }
+        });
         work += units;
         let global_hist = layer.allreduce_sum(&hist);
         let total_keys: f64 = global_hist.iter().sum();
@@ -117,18 +120,19 @@ pub fn run(layer: &impl CommLayer, class: Class) -> KernelReport {
         let lo_key = (lo_bin as u32) << shift;
         let hi_key = ((hi_bin as u32) << shift).min(max_key);
         let mut counts = vec![0u32; (hi_key - lo_key) as usize + 1];
-        for &k in &incoming {
-            assert!(k >= lo_key && k < hi_key.max(lo_key + 1), "misrouted key");
-            counts[(k - lo_key) as usize] += 1;
-        }
         let mut sorted = Vec::with_capacity(incoming.len());
-        for (off, &c) in counts.iter().enumerate() {
-            for _ in 0..c {
-                sorted.push(lo_key + off as u32);
-            }
-        }
         let units = (incoming.len() * 4 + counts.len()) as u64;
-        model.charge(layer, units);
+        model.charge_with(layer, units, &mut || {
+            for &k in &incoming {
+                assert!(k >= lo_key && k < hi_key.max(lo_key + 1), "misrouted key");
+                counts[(k - lo_key) as usize] += 1;
+            }
+            for (off, &c) in counts.iter().enumerate() {
+                for _ in 0..c {
+                    sorted.push(lo_key + off as u32);
+                }
+            }
+        });
         work += units;
 
         // 5. Verification.
@@ -192,10 +196,7 @@ mod tests {
         let w = World::flat(NetModel::instant(), 4);
         let plain = w.run(|c| run(&PlainLayer::new(c), Class::S));
         let enc = w.run(|c| {
-            let l = SecureLayer::new(
-                c,
-                SecurityConfig::new(empi_aead::CryptoLibrary::CryptoPp),
-            );
+            let l = SecureLayer::new(c, SecurityConfig::new(empi_aead::CryptoLibrary::CryptoPp));
             run(&l, Class::S)
         });
         assert!(enc.results[0].verified);

@@ -19,6 +19,15 @@ pub trait CommLayer {
     fn size(&self) -> usize;
     /// Charge compute time to this rank's virtual core.
     fn compute(&self, d: VDur);
+    /// Charge `d` of modeled compute time while running `f` — the
+    /// kernel's real arithmetic. Under a sharded world the closure
+    /// overlaps with other ranks on real cores; the default simply
+    /// runs `f` then charges (the serial behaviour). `&mut dyn FnMut`
+    /// keeps the trait dyn-compatible for the `&dyn CommLayer` blanket.
+    fn compute_with(&self, d: VDur, f: &mut dyn FnMut()) {
+        f();
+        self.compute(d);
+    }
     /// Barrier (plain in both layers).
     fn barrier(&self);
     /// Elementwise sum allreduce (plain in both layers, per §IV).
@@ -62,6 +71,9 @@ impl CommLayer for PlainLayer<'_, '_> {
     }
     fn compute(&self, d: VDur) {
         self.comm.compute(d);
+    }
+    fn compute_with(&self, d: VDur, f: &mut dyn FnMut()) {
+        self.comm.compute_with(d, f);
     }
     fn barrier(&self) {
         self.comm.barrier();
@@ -122,6 +134,9 @@ impl CommLayer for SecureLayer<'_, '_> {
     fn compute(&self, d: VDur) {
         self.sc.inner().compute(d);
     }
+    fn compute_with(&self, d: VDur, f: &mut dyn FnMut()) {
+        self.sc.inner().compute_with(d, f);
+    }
     fn barrier(&self) {
         self.sc.barrier();
     }
@@ -174,6 +189,9 @@ impl CommLayer for &dyn CommLayer {
     }
     fn compute(&self, d: VDur) {
         (**self).compute(d)
+    }
+    fn compute_with(&self, d: VDur, f: &mut dyn FnMut()) {
+        (**self).compute_with(d, f)
     }
     fn barrier(&self) {
         (**self).barrier()

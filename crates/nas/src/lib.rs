@@ -147,6 +147,14 @@ impl ComputeModel {
     pub fn charge(&self, layer: &impl CommLayer, units: u64) {
         layer.compute(VDur((units as f64 * self.ns_per_unit) as u64));
     }
+
+    /// Charge `units` of work while running `f`, the arithmetic those
+    /// units model. Under a sharded world the closure executes
+    /// concurrently with other ranks (see
+    /// [`CommLayer::compute_with`]); serially it is `f()` + charge.
+    pub fn charge_with(&self, layer: &impl CommLayer, units: u64, f: &mut dyn FnMut()) {
+        layer.compute_with(VDur((units as f64 * self.ns_per_unit) as u64), f);
+    }
 }
 
 /// Deterministic pseudo-random stream (NAS-style LCG, 2^46 modulus) so

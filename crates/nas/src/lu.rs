@@ -152,27 +152,30 @@ pub fn run(layer: &impl CommLayer, class: Class) -> KernelReport {
                     t.u[id] = col[i];
                 }
             }
-            for i in 0..nxl as isize {
-                for j in 0..nyl as isize {
-                    let nb = t.u[t.idx(z, i - 1, j)]
-                        + t.u[t.idx(z, i, j - 1)]
-                        + t.u[t.idx(z, i + 1, j)]
-                        + t.u[t.idx(z, i, j + 1)];
-                    let id = t.idx(z, i, j);
-                    t.u[id] = (t.v[id] + nb) / 4.0;
-                }
-            }
             let units = (nxl * nyl * 6) as u64;
-            model.charge(layer, units);
+            model.charge_with(layer, units, &mut || {
+                for i in 0..nxl as isize {
+                    for j in 0..nyl as isize {
+                        let nb = t.u[t.idx(z, i - 1, j)]
+                            + t.u[t.idx(z, i, j - 1)]
+                            + t.u[t.idx(z, i + 1, j)]
+                            + t.u[t.idx(z, i, j + 1)];
+                        let id = t.idx(z, i, j);
+                        t.u[id] = (t.v[id] + nb) / 4.0;
+                    }
+                }
+            });
             work += units;
             if let Some(s) = south {
-                let row: Vec<f64> =
-                    (0..nyl).map(|j| t.u[t.idx(z, nxl as isize - 1, j as isize)]).collect();
+                let row: Vec<f64> = (0..nyl)
+                    .map(|j| t.u[t.idx(z, nxl as isize - 1, j as isize)])
+                    .collect();
                 layer.send(f64s(&row), s, tag);
             }
             if let Some(e) = east {
-                let col: Vec<f64> =
-                    (0..nxl).map(|i| t.u[t.idx(z, i as isize, nyl as isize - 1)]).collect();
+                let col: Vec<f64> = (0..nxl)
+                    .map(|i| t.u[t.idx(z, i as isize, nyl as isize - 1)])
+                    .collect();
                 layer.send(f64s(&col), e, tag + 5);
             }
         }
@@ -193,18 +196,19 @@ pub fn run(layer: &impl CommLayer, class: Class) -> KernelReport {
                     t.u[id] = col[i];
                 }
             }
-            for i in (0..nxl as isize).rev() {
-                for j in (0..nyl as isize).rev() {
-                    let nb = t.u[t.idx(z, i - 1, j)]
-                        + t.u[t.idx(z, i, j - 1)]
-                        + t.u[t.idx(z, i + 1, j)]
-                        + t.u[t.idx(z, i, j + 1)];
-                    let id = t.idx(z, i, j);
-                    t.u[id] = (t.v[id] + nb) / 4.0;
-                }
-            }
             let units = (nxl * nyl * 6) as u64;
-            model.charge(layer, units);
+            model.charge_with(layer, units, &mut || {
+                for i in (0..nxl as isize).rev() {
+                    for j in (0..nyl as isize).rev() {
+                        let nb = t.u[t.idx(z, i - 1, j)]
+                            + t.u[t.idx(z, i, j - 1)]
+                            + t.u[t.idx(z, i + 1, j)]
+                            + t.u[t.idx(z, i, j + 1)];
+                        let id = t.idx(z, i, j);
+                        t.u[id] = (t.v[id] + nb) / 4.0;
+                    }
+                }
+            });
             work += units;
             if let Some(n) = north {
                 let row: Vec<f64> = (0..nyl).map(|j| t.u[t.idx(z, 0, j as isize)]).collect();
@@ -258,8 +262,9 @@ fn residual_norm(
     for z in 0..nz {
         // North/south pair.
         let my_top: Vec<f64> = (0..t.nyl).map(|j| t.u[t.idx(z, 0, j as isize)]).collect();
-        let my_bot: Vec<f64> =
-            (0..t.nyl).map(|j| t.u[t.idx(z, t.nxl as isize - 1, j as isize)]).collect();
+        let my_bot: Vec<f64> = (0..t.nyl)
+            .map(|j| t.u[t.idx(z, t.nxl as isize - 1, j as isize)])
+            .collect();
         if let Some(n) = north {
             let ghost = to_f64s(&layer.sendrecv(f64s(&my_top), n, n, tag));
             for j in 0..t.nyl {
@@ -274,8 +279,9 @@ fn residual_norm(
         }
         // West/east pair.
         let my_w: Vec<f64> = (0..t.nxl).map(|i| t.u[t.idx(z, i as isize, 0)]).collect();
-        let my_e: Vec<f64> =
-            (0..t.nxl).map(|i| t.u[t.idx(z, i as isize, t.nyl as isize - 1)]).collect();
+        let my_e: Vec<f64> = (0..t.nxl)
+            .map(|i| t.u[t.idx(z, i as isize, t.nyl as isize - 1)])
+            .collect();
         if let Some(w) = west {
             let ghost = to_f64s(&layer.sendrecv(f64s(&my_w), w, w, tag + 1));
             for i in 0..t.nxl {
@@ -290,20 +296,21 @@ fn residual_norm(
         }
     }
     let mut acc = 0.0;
-    for z in 0..nz {
-        for i in 0..t.nxl as isize {
-            for j in 0..t.nyl as isize {
-                let nb = u[t.idx(z, i - 1, j)]
-                    + u[t.idx(z, i, j - 1)]
-                    + u[t.idx(z, i + 1, j)]
-                    + u[t.idx(z, i, j + 1)];
-                let r = t.v[t.idx(z, i, j)] - (4.0 * u[t.idx(z, i, j)] - nb);
-                acc += r * r;
+    let units = (nz * t.nxl * t.nyl * 8) as u64;
+    model.charge_with(layer, units, &mut || {
+        for z in 0..nz {
+            for i in 0..t.nxl as isize {
+                for j in 0..t.nyl as isize {
+                    let nb = u[t.idx(z, i - 1, j)]
+                        + u[t.idx(z, i, j - 1)]
+                        + u[t.idx(z, i + 1, j)]
+                        + u[t.idx(z, i, j + 1)];
+                    let r = t.v[t.idx(z, i, j)] - (4.0 * u[t.idx(z, i, j)] - nb);
+                    acc += r * r;
+                }
             }
         }
-    }
-    let units = (nz * t.nxl * t.nyl * 8) as u64;
-    model.charge(layer, units);
+    });
     *work += units;
     layer.allreduce_sum(&[acc])[0].sqrt()
 }

@@ -95,26 +95,27 @@ fn smooth(layer: &impl CommLayer, u: &mut Slab, v: &Slab, model: &ComputeModel, 
     halo(layer, u);
     let n = u.n;
     let mut new = u.u.clone();
-    for z in 1..=u.nzl {
-        for y in 0..n {
-            let (yp, ym) = ((y + 1) % n, (y + n - 1) % n);
-            for x in 0..n {
-                let (xp, xm) = ((x + 1) % n, (x + n - 1) % n);
-                let nb = u.u[gi(n, z + 1, y, x)]
-                    + u.u[gi(n, z - 1, y, x)]
-                    + u.u[gi(n, z, yp, x)]
-                    + u.u[gi(n, z, ym, x)]
-                    + u.u[gi(n, z, y, xp)]
-                    + u.u[gi(n, z, y, xm)];
-                let au = 6.0 * u.u[gi(n, z, y, x)] - nb;
-                let r = v.u[gi(n, z, y, x)] - au;
-                new[gi(n, z, y, x)] = u.u[gi(n, z, y, x)] + OMEGA * r / 6.0;
+    let units = (u.nzl * n * n * 10) as u64;
+    model.charge_with(layer, units, &mut || {
+        for z in 1..=u.nzl {
+            for y in 0..n {
+                let (yp, ym) = ((y + 1) % n, (y + n - 1) % n);
+                for x in 0..n {
+                    let (xp, xm) = ((x + 1) % n, (x + n - 1) % n);
+                    let nb = u.u[gi(n, z + 1, y, x)]
+                        + u.u[gi(n, z - 1, y, x)]
+                        + u.u[gi(n, z, yp, x)]
+                        + u.u[gi(n, z, ym, x)]
+                        + u.u[gi(n, z, y, xp)]
+                        + u.u[gi(n, z, y, xm)];
+                    let au = 6.0 * u.u[gi(n, z, y, x)] - nb;
+                    let r = v.u[gi(n, z, y, x)] - au;
+                    new[gi(n, z, y, x)] = u.u[gi(n, z, y, x)] + OMEGA * r / 6.0;
+                }
             }
         }
-    }
+    });
     u.u = new;
-    let units = (u.nzl * n * n * 10) as u64;
-    model.charge(layer, units);
     *work += units;
 }
 
@@ -129,23 +130,24 @@ fn residual(
     halo(layer, u);
     let n = u.n;
     let mut r = Slab::zeros(n, u.nzl);
-    for z in 1..=u.nzl {
-        for y in 0..n {
-            let (yp, ym) = ((y + 1) % n, (y + n - 1) % n);
-            for x in 0..n {
-                let (xp, xm) = ((x + 1) % n, (x + n - 1) % n);
-                let nb = u.u[gi(n, z + 1, y, x)]
-                    + u.u[gi(n, z - 1, y, x)]
-                    + u.u[gi(n, z, yp, x)]
-                    + u.u[gi(n, z, ym, x)]
-                    + u.u[gi(n, z, y, xp)]
-                    + u.u[gi(n, z, y, xm)];
-                r.u[gi(n, z, y, x)] = v.u[gi(n, z, y, x)] - (6.0 * u.u[gi(n, z, y, x)] - nb);
+    let units = (u.nzl * n * n * 9) as u64;
+    model.charge_with(layer, units, &mut || {
+        for z in 1..=u.nzl {
+            for y in 0..n {
+                let (yp, ym) = ((y + 1) % n, (y + n - 1) % n);
+                for x in 0..n {
+                    let (xp, xm) = ((x + 1) % n, (x + n - 1) % n);
+                    let nb = u.u[gi(n, z + 1, y, x)]
+                        + u.u[gi(n, z - 1, y, x)]
+                        + u.u[gi(n, z, yp, x)]
+                        + u.u[gi(n, z, ym, x)]
+                        + u.u[gi(n, z, y, xp)]
+                        + u.u[gi(n, z, y, xm)];
+                    r.u[gi(n, z, y, x)] = v.u[gi(n, z, y, x)] - (6.0 * u.u[gi(n, z, y, x)] - nb);
+                }
             }
         }
-    }
-    let units = (u.nzl * n * n * 9) as u64;
-    model.charge(layer, units);
+    });
     *work += units;
     r
 }
@@ -203,13 +205,7 @@ fn prolong_add(u: &mut Slab, e: &Slab) {
 /// Distributed V-cycle. Coarsens while each rank keeps ≥2 planes; below
 /// that, gathers the grid and recurses replicated (p = 1 semantics via
 /// the same code path on a conceptually-serial slab).
-fn vcycle(
-    layer: &impl CommLayer,
-    u: &mut Slab,
-    v: &Slab,
-    model: &ComputeModel,
-    work: &mut u64,
-) {
+fn vcycle(layer: &impl CommLayer, u: &mut Slab, v: &Slab, model: &ComputeModel, work: &mut u64) {
     let n = u.n;
     if n <= 4 {
         for _ in 0..10 {
@@ -231,9 +227,7 @@ fn vcycle(
         } else {
             // Too thin to keep distributed: gather and solve replicated.
             let interior: Vec<f64> = (1..=rc.nzl)
-                .flat_map(|z| {
-                    r_interior_plane(&rc, z)
-                })
+                .flat_map(|z| r_interior_plane(&rc, z))
                 .collect();
             let all = to_f64s(&layer.allgather(f64s(&interior)));
             let nzc_total = rc.n; // full cube
@@ -317,8 +311,7 @@ fn serial_vcycle(
                         + u.u[gi(n, z, ym, x)]
                         + u.u[gi(n, z, y, xp)]
                         + u.u[gi(n, z, y, xm)];
-                    r.u[gi(n, z, y, x)] =
-                        v.u[gi(n, z, y, x)] - (6.0 * u.u[gi(n, z, y, x)] - nb);
+                    r.u[gi(n, z, y, x)] = v.u[gi(n, z, y, x)] - (6.0 * u.u[gi(n, z, y, x)] - nb);
                 }
             }
         }

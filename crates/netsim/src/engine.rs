@@ -1,9 +1,12 @@
-//! Conservative virtual-time execution engine.
+//! Conservative virtual-time execution engine with sharded run queues
+//! and detached compute.
 //!
-//! Each simulated rank runs real Rust code on its own OS thread, but a
-//! scheduler token guarantees **exactly one rank executes at a time**,
-//! and the token always goes to the runnable rank with the smallest
-//! virtual clock. That gives three properties the benchmarks rely on:
+//! Each simulated rank runs real Rust code on its own OS thread. State
+//! interactions are serialized into **tenures**: a scheduler token
+//! guarantees exactly one rank executes a tenure at a time, and the
+//! token always goes to the grantable rank with the smallest key
+//! `(virtual clock, rank)`. That gives three properties the benchmarks
+//! rely on:
 //!
 //! 1. *Causality*: when a rank executes at virtual time `t`, every other
 //!    rank has logically reached `t`, so no message can later arrive
@@ -14,14 +17,43 @@
 //! 3. *Determinism of structure*: message-matching order depends only on
 //!    virtual timestamps, not host thread scheduling.
 //!
+//! # Shards and detached compute
+//!
+//! The engine partitions ranks into `S` contiguous **shards**
+//! ([`Engine::shards`]), each with its own min-key run queue (a binary
+//! heap over `(clock, rank)`), and grants the token to the minimum over
+//! the shard heads — the LBTS (lower bound on time stamp) of the world.
+//! A shard's **watermark** is the smallest key it could next interact
+//! at ([`SimHandle::shard_watermark`]); the grant key is always ≤ every
+//! shard watermark, and a message transmitted by the granted tenure
+//! arrives no earlier than that LBTS plus the fabric's minimum link
+//! latency (the lookahead, `Fabric::lookahead`).
+//!
+//! Real host work (crypto, kernel arithmetic) escapes the token without
+//! breaking determinism: [`SimHandle::charge_overlapped`] charges a
+//! *known* model cost `d`, then runs the closure **detached** — the
+//! rank's clock moves to `now + d` and the token is released first, so
+//! tenures with smaller keys proceed on other host cores while the
+//! closure runs. Because the closure performs no simulation-state
+//! operations and the rank's next tenure keeps exactly the key it would
+//! have had serially, the tenure sequence — and therefore every virtual
+//! time, wire byte, and trace event — is bit-identical to the `S = 1`
+//! schedule. [`SimHandle::charge_measured`] does the same for
+//! *measured* work with a conservative floor: the rank parks in a
+//! `Computing` state keyed at its current clock, only strictly smaller
+//! keys may run meanwhile, and the wall time of the closure (a
+//! per-thread `Instant` delta, valid under concurrency) is charged on
+//! rejoin. At `S = 1` both paths degrade to the historical serial
+//! behaviour, with identical yield counts.
+//!
 //! Rank code interacts with the engine through [`SimHandle`]:
-//! [`SimHandle::advance`] charges virtual compute time,
-//! [`SimHandle::charge_measured`] charges the *measured* wall time of a
-//! real computation (valid because execution is exclusive), and
+//! [`SimHandle::advance`] charges virtual compute time and
 //! [`SimHandle::block_on`] parks the rank until a peer calls
 //! [`SimHandle::notify_rank`].
 
 use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
@@ -44,14 +76,28 @@ type BlockReason = &'static str;
 /// higher layers that know what a rank was waiting for.
 type DiagFn = Arc<dyn Fn(usize) -> String + Send + Sync>;
 
+/// Above this many live ranks the all-blocked deadlock report switches
+/// from one line per rank to offenders + a block-reason histogram
+/// (printing 4096 diag callbacks would bury the culprit).
+const REPORT_FULL_CAP: usize = 16;
+
+/// How many earliest-clock offenders (and how many corpses) the capped
+/// report shows.
+const REPORT_OFFENDERS: usize = 8;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
-    /// Eligible to receive the token.
+    /// Eligible to receive the token (has a run-queue entry).
     Ready,
     /// Currently holds the token.
     Running,
     /// Parked until a peer calls `notify_rank`.
     Blocked,
+    /// Off running a detached *measured* computation
+    /// ([`SimHandle::charge_measured`]): holds no token, but its floor
+    /// key gates the scheduler — only strictly smaller keys may run
+    /// until it rejoins.
+    Computing,
     /// Rank closure returned.
     Done,
     /// Killed by the crash plan: the coroutine was parked at its death
@@ -101,6 +147,16 @@ fn install_silent_hook() {
 
 struct Sched {
     ranks: Vec<RankState>,
+    /// Per-shard min-key run queues over `Ready` ranks: entries are
+    /// `(clock, rank)` and lazily validated at pop time (an entry is
+    /// live iff its rank is still `Ready` at exactly that clock; a
+    /// rank's clock cannot change while it is `Ready`, so stale entries
+    /// are only ever left behind by status transitions).
+    heaps: Vec<BinaryHeap<Reverse<(u64, usize)>>>,
+    /// Floor keys of ranks in detached measured compute: the scheduler
+    /// grants only keys strictly below the smallest floor, because a
+    /// computing rank rejoins at or above its floor.
+    computing: BTreeSet<(u64, usize)>,
     /// Which rank currently holds (or was just granted) the token.
     running: Option<usize>,
     /// Ranks not yet `Done`.
@@ -134,9 +190,14 @@ pub struct RankDiag {
 pub enum SimError {
     /// Every live rank was parked with nothing left to wake it.
     Deadlock {
-        /// The rendered all-blocked report (one line per live rank).
+        /// The rendered all-blocked report: one line per live rank in
+        /// small worlds; above [`REPORT_FULL_CAP`] live ranks, a
+        /// block-reason histogram plus the earliest-clock offenders
+        /// and any corpses.
         report: String,
-        /// Per-rank diagnostics, one entry per live rank.
+        /// Per-rank diagnostics: every live rank in small worlds, the
+        /// offender subset (earliest clocks + dead ranks) in capped
+        /// reports.
         ranks: Vec<RankDiag>,
     },
     /// A rank's closure panicked.
@@ -168,8 +229,21 @@ struct Shared {
     /// all N ranks awake on every yield.
     cvs: Vec<Condvar>,
     /// Per-rank virtual clocks (ns). Written only by the owning rank
-    /// while holding the token; read freely.
+    /// while it holds the token (or, for detached compute, before
+    /// releasing / while rejoining under the sched lock); read freely.
     clocks: Vec<AtomicU64>,
+    /// Number of scheduler shards = number of compute lanes.
+    shards: usize,
+    /// Ranks per shard (`ceil(n / shards)`); rank `r` lives in shard
+    /// `r / shard_size`.
+    shard_size: usize,
+    /// Free detached-compute lanes: at most `shards` detached closures
+    /// run concurrently, so `--shards N` bounds host-core use.
+    lanes: Mutex<usize>,
+    lanes_cv: Condvar,
+    /// Set with `poisoned`: lets lane waiters bail out instead of
+    /// sleeping through an abort.
+    aborted: AtomicBool,
     /// Multiplier applied to measured wall time in `charge_measured`.
     time_scale: f64,
     /// Total yield operations (scheduler-overhead metric).
@@ -186,8 +260,9 @@ struct Shared {
     /// Per-rank shared crypto worker pool (see
     /// [`SimHandle::with_core_pool`]): one set of physical core
     /// timelines per rank, shared by every communicator on that rank.
-    /// Lazily created on first use. The lock is uncontended (execution
-    /// is exclusive); it only satisfies `Sync`.
+    /// Lazily created on first use. The lock is per rank and a rank's
+    /// operations are sequential, so it is uncontended; it only
+    /// satisfies `Sync`.
     pools: Vec<Mutex<Option<CorePool>>>,
     /// Engine-wide reusable wire-buffer pool (see
     /// [`SimHandle::buffer_pool`]). One pool for all ranks because
@@ -206,35 +281,92 @@ struct Shared {
 }
 
 impl Shared {
-    /// Grant the token to the minimum-clock Ready rank. Must be called
-    /// with the sched lock held and `running == None`.
+    fn shard_of(&self, rank: usize) -> usize {
+        rank / self.shard_size
+    }
+
+    /// Make `rank` grantable: status `Ready` plus a run-queue entry
+    /// keyed by its current clock. Every path into `Ready` goes
+    /// through here so the heaps always cover the ready set.
+    fn mark_ready(&self, s: &mut Sched, rank: usize, reason: BlockReason) {
+        s.ranks[rank].status = Status::Ready;
+        s.ranks[rank].reason = reason;
+        s.ranks[rank].deadline = None;
+        let c = self.clocks[rank].load(Ordering::Relaxed);
+        s.heaps[self.shard_of(rank)].push(Reverse((c, rank)));
+    }
+
+    /// The minimum live `(clock, rank)` across the shard heads, popping
+    /// stale entries on the way. Returns `(clock, rank, shard)`.
+    fn min_ready(&self, s: &mut Sched) -> Option<(u64, usize, usize)> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for sh in 0..s.heaps.len() {
+            while let Some(&Reverse((c, r))) = s.heaps[sh].peek() {
+                if s.ranks[r].status == Status::Ready && self.clocks[r].load(Ordering::Relaxed) == c
+                {
+                    if best.is_none_or(|(bc, br, _)| (c, r) < (bc, br)) {
+                        best = Some((c, r, sh));
+                    }
+                    break;
+                }
+                s.heaps[sh].pop();
+            }
+        }
+        best
+    }
+
+    /// Record a fatal condition and wake every sleeper (rank condvars
+    /// and lane waiters) so all threads can observe it and unwind.
+    fn poison(&self, s: &mut Sched, e: SimError) {
+        if s.poisoned.is_none() {
+            s.poisoned = Some(e);
+        }
+        self.aborted.store(true, Ordering::Relaxed);
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+        self.lanes_cv.notify_all();
+    }
+
+    /// Grant the token to the minimum-key grantable rank. Must be
+    /// called with the sched lock held and `running == None`.
     ///
-    /// When no rank is runnable, the world is quiescent: before
-    /// declaring a deadlock, fire the earliest armed event on a
-    /// blocked rank — an ft-wait deadline (the failure detector's
-    /// lease timer) or a scheduled crash — by advancing that rank's
-    /// clock to the event time and making it Ready. Healthy runs never
-    /// reach this branch (some rank is always runnable), which is what
-    /// keeps an armed-but-idle detector free: its deadlines are
+    /// The grant key is the world's LBTS: it is ≤ every shard
+    /// watermark, and detached measured computations gate it — a rank
+    /// computing with floor key `f` rejoins at a key ≥ `f`, so only
+    /// keys strictly below `f` may run meanwhile (the serial schedule
+    /// would have run them before the computing rank's next tenure no
+    /// matter how long the computation charges).
+    ///
+    /// When no rank is grantable and nothing is computing, the world is
+    /// quiescent: before declaring a deadlock, fire the earliest armed
+    /// event on a blocked rank — an ft-wait deadline (the failure
+    /// detector's lease timer) or a scheduled crash — by advancing that
+    /// rank's clock to the event time and making it Ready. Healthy runs
+    /// never reach this branch (some rank is always runnable), which is
+    /// what keeps an armed-but-idle detector free: its deadlines are
     /// bookkeeping until the moment the world would otherwise hang.
     fn grant(&self, s: &mut Sched) {
         debug_assert!(s.running.is_none());
         loop {
-            let mut best: Option<(u64, usize)> = None;
-            for (r, st) in s.ranks.iter().enumerate() {
-                if st.status == Status::Ready {
-                    let c = self.clocks[r].load(Ordering::Relaxed);
-                    if best.is_none_or(|(bc, _)| c < bc) {
-                        best = Some((c, r));
-                    }
+            if let Some((c, r, sh)) = self.min_ready(s) {
+                if s.computing.first().is_some_and(|&floor| floor < (c, r)) {
+                    // A detached computation must rejoin first; its
+                    // rejoin calls grant again.
+                    return;
                 }
-            }
-            if let Some((_, r)) = best {
+                s.heaps[sh].pop();
                 s.running = Some(r);
                 self.cvs[r].notify_one();
                 return;
             }
             if s.active == 0 || s.poisoned.is_some() {
+                return;
+            }
+            if !s.computing.is_empty() {
+                // Not quiescent: a detached computation is in flight
+                // and will rejoin. Deadline firing must wait for every
+                // shard's watermark to clear.
                 return;
             }
             // Quiescent. Earliest pending timer or crash on a blocked
@@ -257,44 +389,98 @@ impl Shared {
             if let Some((t, r)) = ev {
                 let c = self.clocks[r].load(Ordering::Relaxed);
                 self.clocks[r].store(c.max(t), Ordering::Relaxed);
-                s.ranks[r].status = Status::Ready;
-                s.ranks[r].reason = "timer";
-                s.ranks[r].deadline = None;
-                continue; // re-run the min-clock pick
+                self.mark_ready(s, r, "timer");
+                continue; // re-run the min-key pick
             }
             // Every live rank is Blocked with nothing armed: deadlock.
-            let mut msg = String::from("virtual-time deadlock; all ranks blocked:\n");
-            let mut ranks = Vec::new();
-            for (r, st) in s.ranks.iter().enumerate() {
-                if st.status != Status::Done {
-                    let clock_ns = self.clocks[r].load(Ordering::Relaxed);
-                    msg.push_str(&format!(
-                        "  rank {r}: {:?} ({}) at t={clock_ns}ns",
-                        st.status, st.reason,
-                    ));
-                    let mut detail = String::new();
-                    if let Some(diag) = &self.diag {
-                        detail = diag(r);
-                        if !detail.is_empty() {
-                            msg.push_str(&format!(" [{detail}]"));
-                        }
-                    }
-                    msg.push('\n');
-                    ranks.push(RankDiag {
-                        rank: r,
-                        status: format!("{:?}", st.status),
-                        reason: st.reason,
-                        clock_ns,
-                        detail,
-                    });
-                }
-            }
-            s.poisoned = Some(SimError::Deadlock { report: msg, ranks });
-            for cv in &self.cvs {
-                cv.notify_all();
-            }
+            let (report, ranks) = self.deadlock_report(s);
+            self.poison(s, SimError::Deadlock { report, ranks });
             return;
         }
+    }
+
+    /// Render the all-blocked report. Small worlds get the historical
+    /// one-line-per-rank form; above [`REPORT_FULL_CAP`] live ranks the
+    /// report is capped to a block-reason histogram plus the
+    /// earliest-clock offenders and any corpses, and the diag callback
+    /// runs only for the offenders.
+    fn deadlock_report(&self, s: &Sched) -> (String, Vec<RankDiag>) {
+        let live: Vec<usize> = (0..s.ranks.len())
+            .filter(|&r| s.ranks[r].status != Status::Done)
+            .collect();
+        let diag_of = |r: usize| -> RankDiag {
+            let detail = self.diag.as_ref().map(|d| d(r)).unwrap_or_default();
+            RankDiag {
+                rank: r,
+                status: format!("{:?}", s.ranks[r].status),
+                reason: s.ranks[r].reason,
+                clock_ns: self.clocks[r].load(Ordering::Relaxed),
+                detail,
+            }
+        };
+        let line = |d: &RankDiag| {
+            let mut l = format!(
+                "  rank {}: {} ({}) at t={}ns",
+                d.rank, d.status, d.reason, d.clock_ns
+            );
+            if !d.detail.is_empty() {
+                l.push_str(&format!(" [{}]", d.detail));
+            }
+            l.push('\n');
+            l
+        };
+        if live.len() <= REPORT_FULL_CAP {
+            let mut msg = String::from("virtual-time deadlock; all ranks blocked:\n");
+            let ranks: Vec<RankDiag> = live.iter().map(|&r| diag_of(r)).collect();
+            for d in &ranks {
+                msg.push_str(&line(d));
+            }
+            return (msg, ranks);
+        }
+        // Capped form: histogram of (status, reason), then offenders.
+        let mut msg = format!(
+            "virtual-time deadlock; all {} live ranks blocked (report capped):\n  block reasons:\n",
+            live.len()
+        );
+        let mut hist: BTreeMap<(&'static str, BlockReason), usize> = BTreeMap::new();
+        for &r in &live {
+            let status: &'static str = match s.ranks[r].status {
+                Status::Ready => "Ready",
+                Status::Running => "Running",
+                Status::Blocked => "Blocked",
+                Status::Computing => "Computing",
+                Status::Done => "Done",
+                Status::Dead => "Dead",
+            };
+            *hist.entry((status, s.ranks[r].reason)).or_default() += 1;
+        }
+        for ((status, reason), n) in &hist {
+            msg.push_str(&format!("    {n} x {status} ({reason})\n"));
+        }
+        // Offenders: the corpses survivors may be stuck on, then the
+        // earliest-clock live ranks (the causally first stuck waits).
+        let mut offenders: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&r| s.ranks[r].status == Status::Dead)
+            .take(REPORT_OFFENDERS)
+            .collect();
+        let mut by_clock: Vec<(u64, usize)> = live
+            .iter()
+            .copied()
+            .filter(|&r| s.ranks[r].status != Status::Dead)
+            .map(|r| (self.clocks[r].load(Ordering::Relaxed), r))
+            .collect();
+        by_clock.sort_unstable();
+        offenders.extend(by_clock.iter().take(REPORT_OFFENDERS).map(|&(_, r)| r));
+        let ranks: Vec<RankDiag> = offenders.iter().map(|&r| diag_of(r)).collect();
+        msg.push_str(&format!(
+            "  offenders (dead + {REPORT_OFFENDERS} earliest clocks):\n"
+        ));
+        for d in &ranks {
+            msg.push_str(&line(d));
+        }
+        (msg, ranks)
     }
 
     /// Park until this rank holds the token. If the rank's clock has
@@ -332,7 +518,12 @@ impl Shared {
             }
             if s.running.is_none() {
                 self.grant(&mut s);
-                continue;
+                if s.running.is_some() {
+                    continue;
+                }
+                // grant declined (a computing floor gates every
+                // candidate, or a rejoin is pending): park — the
+                // rejoining rank re-grants and notifies.
             }
             self.cvs[rank].wait(&mut s);
         }
@@ -356,15 +547,86 @@ impl Shared {
     ) {
         self.yields.fetch_add(1, Ordering::Relaxed);
         let mut s = self.sched.lock();
-        s.ranks[rank].status = status;
-        s.ranks[rank].reason = reason;
-        s.ranks[rank].deadline = deadline;
-        if status == Status::Done {
-            s.active -= 1;
-            self.finished[rank].store(true, Ordering::Relaxed);
+        match status {
+            Status::Ready => self.mark_ready(&mut s, rank, reason),
+            Status::Done => {
+                s.ranks[rank].status = Status::Done;
+                s.ranks[rank].reason = reason;
+                s.ranks[rank].deadline = None;
+                s.active -= 1;
+                self.finished[rank].store(true, Ordering::Relaxed);
+            }
+            _ => {
+                s.ranks[rank].status = status;
+                s.ranks[rank].reason = reason;
+                s.ranks[rank].deadline = deadline;
+            }
         }
         s.running = None;
         self.grant(&mut s);
+    }
+
+    /// Begin a detached measured computation: give up the token with a
+    /// conservative floor at the current key. Counts as this rank's
+    /// yield for the segment (parity with the serial `advance`).
+    fn detach_measured_begin(&self, rank: usize) {
+        self.yields.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.sched.lock();
+        s.ranks[rank].status = Status::Computing;
+        s.ranks[rank].reason = "computing";
+        s.ranks[rank].deadline = None;
+        let c = self.clocks[rank].load(Ordering::Relaxed);
+        s.computing.insert((c, rank));
+        s.running = None;
+        self.grant(&mut s);
+    }
+
+    /// Rejoin after a detached measured computation: lift the floor,
+    /// move the clock to `new_clock`, and contend for the token again.
+    fn detach_measured_end(&self, rank: usize, new_clock: u64) {
+        {
+            let mut s = self.sched.lock();
+            let c = self.clocks[rank].load(Ordering::Relaxed);
+            s.computing.remove(&(c, rank));
+            self.clocks[rank].store(new_clock.max(c), Ordering::Relaxed);
+            self.mark_ready(&mut s, rank, "computed");
+            if s.running.is_none() {
+                self.grant(&mut s);
+            }
+        }
+        self.wait_for_token(rank);
+    }
+}
+
+/// Holds one of the engine's `shards` detached-compute lanes; dropping
+/// it returns the lane (also on unwind, so a panicking closure cannot
+/// leak a lane).
+struct LaneGuard<'a>(&'a Shared);
+
+impl<'a> LaneGuard<'a> {
+    /// Take a lane, parking until one frees up. Returns `None` if the
+    /// world aborted while waiting — the caller must then re-enter the
+    /// scheduler (which surfaces the abort) instead of computing.
+    fn acquire(shared: &'a Shared) -> Option<LaneGuard<'a>> {
+        let mut free = shared.lanes.lock();
+        loop {
+            if shared.aborted.load(Ordering::Relaxed) {
+                return None;
+            }
+            if *free > 0 {
+                *free -= 1;
+                return Some(LaneGuard(shared));
+            }
+            shared.lanes_cv.wait(&mut free);
+        }
+    }
+}
+
+impl Drop for LaneGuard<'_> {
+    fn drop(&mut self) {
+        let mut free = self.0.lanes.lock();
+        *free += 1;
+        self.0.lanes_cv.notify_one();
     }
 }
 
@@ -373,6 +635,7 @@ impl Shared {
 /// Construct with [`Engine::new`], then call [`Engine::run`].
 pub struct Engine {
     n_ranks: usize,
+    shards: usize,
     time_scale: f64,
     tracer: Option<Tracer>,
     metrics: Option<Metrics>,
@@ -386,12 +649,23 @@ impl Engine {
         assert!(n_ranks > 0, "need at least one rank");
         Engine {
             n_ranks,
+            shards: 1,
             time_scale: 1.0,
             tracer: None,
             metrics: None,
             diag: None,
             crash: CrashPlan::new(),
         }
+    }
+
+    /// Partition the ranks into `s` scheduler shards and allow up to
+    /// `s` detached computations ([`SimHandle::charge_overlapped`],
+    /// [`SimHandle::charge_measured`]) to run concurrently on host
+    /// cores. Clamped to `[1, n_ranks]`. Virtual results are
+    /// bit-identical for every `s`: sharding changes wall-clock only.
+    pub fn shards(mut self, s: usize) -> Self {
+        self.shards = s.max(1);
+        self
     }
 
     /// Install a process-level fault schedule. Ranks named by the plan
@@ -493,6 +767,13 @@ impl Engine {
         if !self.crash.is_empty() {
             install_silent_hook();
         }
+        let shards = self.shards.clamp(1, self.n_ranks);
+        let shard_size = self.n_ranks.div_ceil(shards);
+        let mut heaps: Vec<BinaryHeap<Reverse<(u64, usize)>>> =
+            (0..shards).map(|_| BinaryHeap::new()).collect();
+        for r in 0..self.n_ranks {
+            heaps[r / shard_size].push(Reverse((0, r)));
+        }
         let shared = Arc::new(Shared {
             sched: Mutex::new(Sched {
                 ranks: (0..self.n_ranks)
@@ -502,12 +783,19 @@ impl Engine {
                         deadline: None,
                     })
                     .collect(),
+                heaps,
+                computing: BTreeSet::new(),
                 running: None,
                 active: self.n_ranks,
                 poisoned: None,
             }),
             cvs: (0..self.n_ranks).map(|_| Condvar::new()).collect(),
             clocks: (0..self.n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            shards,
+            shard_size,
+            lanes: Mutex::new(shards),
+            lanes_cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
             time_scale: self.time_scale,
             yields: AtomicU64::new(0),
             notifies: AtomicU64::new(0),
@@ -555,16 +843,22 @@ impl Engine {
                                 let msg = panic_message(payload.as_ref());
                                 {
                                     let mut s = shared.sched.lock();
-                                    if s.poisoned.is_none() {
-                                        s.poisoned =
-                                            Some(SimError::RankPanic { rank, message: msg });
+                                    // A detached closure may be the
+                                    // panic source: drop any compute
+                                    // floor so the gate cannot wedge,
+                                    // and only clear the token if this
+                                    // rank actually holds it.
+                                    s.computing.retain(|&(_, r)| r != rank);
+                                    if !matches!(s.ranks[rank].status, Status::Done | Status::Dead)
+                                    {
+                                        s.ranks[rank].status = Status::Done;
+                                        s.active -= 1;
                                     }
-                                    s.ranks[rank].status = Status::Done;
-                                    s.active -= 1;
-                                    s.running = None;
-                                    for cv in &shared.cvs {
-                                        cv.notify_all();
+                                    if s.running == Some(rank) {
+                                        s.running = None;
                                     }
+                                    shared
+                                        .poison(&mut s, SimError::RankPanic { rank, message: msg });
                                 }
                                 if propagate_panics {
                                     std::panic::resume_unwind(payload);
@@ -718,6 +1012,58 @@ impl SimHandle {
         self.n_ranks
     }
 
+    /// The engine's shard count (= detached-compute lane count).
+    pub fn shards(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// The shard `rank` belongs to (contiguous blocks of
+    /// `ceil(n_ranks / shards)` ranks).
+    pub fn shard_of(&self, rank: usize) -> usize {
+        self.shared.shard_of(rank)
+    }
+
+    /// The smallest key at which `shard` could next interact with
+    /// simulation state: the minimum clock over its `Ready` /
+    /// `Running` ranks and detached-compute floors. `None` means the
+    /// shard is entirely parked (or finished) — it can only be woken
+    /// by another shard's tenure, at that tenure's (larger) key.
+    pub fn shard_watermark(&self, shard: usize) -> Option<VTime> {
+        let s = self.shared.sched.lock();
+        let lo = shard * self.shared.shard_size;
+        let hi = (lo + self.shared.shard_size).min(self.n_ranks);
+        (lo..hi)
+            .filter(|&r| {
+                matches!(
+                    s.ranks[r].status,
+                    Status::Ready | Status::Running | Status::Computing
+                )
+            })
+            .map(|r| self.shared.clocks[r].load(Ordering::Relaxed))
+            .min()
+            .map(VTime)
+    }
+
+    /// The world's LBTS from this tenure's viewpoint: the minimum over
+    /// every shard's watermark and this rank's own clock. No future
+    /// state interaction — in particular no message transmission — can
+    /// happen at a smaller virtual time, so a message sent now arrives
+    /// no earlier than `lbts() + lookahead` (the fabric's minimum link
+    /// latency).
+    pub fn lbts(&self) -> VTime {
+        let s = self.shared.sched.lock();
+        let mut lb = self.shared.clocks[self.rank].load(Ordering::Relaxed);
+        for (r, st) in s.ranks.iter().enumerate() {
+            if matches!(
+                st.status,
+                Status::Ready | Status::Running | Status::Computing
+            ) {
+                lb = lb.min(self.shared.clocks[r].load(Ordering::Relaxed));
+            }
+        }
+        VTime(lb)
+    }
+
     /// This rank's current virtual time.
     pub fn now(&self) -> VTime {
         VTime(self.shared.clocks[self.rank].load(Ordering::Relaxed))
@@ -733,6 +1079,20 @@ impl SimHandle {
         self.shared.clocks[self.rank].store(t.0, Ordering::Relaxed);
     }
 
+    /// The target clock for an advance to `t`: never backwards, and a
+    /// doomed rank never executes past its scheduled death — the
+    /// advance clamps to the death instant, and re-acquiring the token
+    /// at that clock kills the rank (see `wait_for_token`).
+    fn clamped_target(&self, t: VTime) -> VTime {
+        let mut new_t = self.now().max(t);
+        if let Some((ct, _)) = self.shared.crash.fate(self.rank) {
+            if new_t >= ct && self.shared.deaths[self.rank].load(Ordering::Relaxed) == u64::MAX {
+                new_t = ct;
+            }
+        }
+        new_t
+    }
+
     /// Charge `d` of virtual compute time and yield.
     pub fn advance(&self, d: VDur) {
         self.advance_to(self.now() + d);
@@ -741,28 +1101,83 @@ impl SimHandle {
     /// Move the clock forward to `t` (no-op move if already past) and
     /// yield so lower-clock ranks can run.
     pub fn advance_to(&self, t: VTime) {
-        let mut new_t = self.now().max(t);
-        // A doomed rank never executes past its scheduled death: clamp
-        // the advance to the death instant; re-acquiring the token at
-        // that clock kills the rank (see `wait_for_token`).
-        if let Some((ct, _)) = self.shared.crash.fate(self.rank) {
-            if new_t >= ct && self.shared.deaths[self.rank].load(Ordering::Relaxed) == u64::MAX {
-                new_t = ct;
-            }
-        }
-        self.set_clock(new_t);
+        self.set_clock(self.clamped_target(t));
         self.shared.release(self.rank, Status::Ready, "advance");
         self.shared.wait_for_token(self.rank);
     }
 
-    /// Run `f` exclusively, measure its wall time, charge it (scaled by
-    /// the engine's `time_scale`) as virtual compute, and return its
-    /// result.
+    /// Charge `d` of *modeled* compute time and run `f` — real host
+    /// work whose virtual cost is already known (a calibrated crypto
+    /// curve, a kernel cost model) — overlapped with other ranks.
+    ///
+    /// The clock moves to `now + d` and the token is released before
+    /// `f` runs, so tenures with keys below `(now + d, rank)` — exactly
+    /// the ones the serial schedule would run before this rank's next
+    /// tenure — proceed on other host cores meanwhile. `f` runs on this
+    /// rank's own thread and MUST NOT touch simulation state (no
+    /// sends, notifies, trace emission, or pool allocation; allocate
+    /// before detaching): under that contract the tenure sequence, and
+    /// with it every virtual result, is bit-identical to `shards = 1`.
+    /// At `shards = 1` this is exactly `f()` followed by `advance(d)`.
+    pub fn charge_overlapped<T>(&self, d: VDur, f: impl FnOnce() -> T) -> T {
+        if self.shared.shards == 1 {
+            let out = f();
+            self.advance(d);
+            return out;
+        }
+        self.set_clock(self.clamped_target(self.now() + d));
+        self.shared.release(self.rank, Status::Ready, "compute");
+        let out = match LaneGuard::acquire(&self.shared) {
+            Some(_lane) => f(),
+            None => {
+                // Aborted while waiting for a lane: re-enter the
+                // scheduler, which surfaces the poisoned error.
+                self.shared.wait_for_token(self.rank);
+                unreachable!("wait_for_token returns on a poisoned world");
+            }
+        };
+        self.shared.wait_for_token(self.rank);
+        out
+    }
+
+    /// Run `f`, measure its wall time (a per-thread `Instant` delta —
+    /// valid even while other ranks execute concurrently), charge it
+    /// (scaled by the engine's `time_scale`) as virtual compute, and
+    /// return its result.
+    ///
+    /// With `shards > 1` the closure runs detached under a
+    /// conservative floor: only tenures with keys strictly below this
+    /// rank's current key proceed meanwhile (the charge is unknown
+    /// until `f` finishes, so the floor cannot be raised the way
+    /// [`Self::charge_overlapped`] raises it). Measured charges are
+    /// inherently wall-clock-dependent, so unlike modeled charges they
+    /// vary run to run — sharding adds contention jitter but no new
+    /// nondeterminism class.
     pub fn charge_measured<T>(&self, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        let elapsed = start.elapsed().as_nanos() as f64 * self.shared.time_scale;
-        self.advance(VDur(elapsed as u64));
+        if self.shared.shards == 1 {
+            let start = Instant::now();
+            let out = f();
+            let elapsed = start.elapsed().as_nanos() as f64 * self.shared.time_scale;
+            self.advance(VDur(elapsed as u64));
+            return out;
+        }
+        self.shared.detach_measured_begin(self.rank);
+        let (out, elapsed) = match LaneGuard::acquire(&self.shared) {
+            Some(_lane) => {
+                let start = Instant::now();
+                let out = f();
+                (
+                    out,
+                    start.elapsed().as_nanos() as f64 * self.shared.time_scale,
+                )
+            }
+            None => {
+                self.shared.wait_for_token(self.rank);
+                unreachable!("wait_for_token returns on a poisoned world");
+            }
+        };
+        let target = self.clamped_target(self.now() + VDur(elapsed as u64));
+        self.shared.detach_measured_end(self.rank, target.0);
         out
     }
 
@@ -774,8 +1189,9 @@ impl SimHandle {
     /// `ready_at` is the virtual time at which it became true (the clock
     /// jumps to `max(now, ready_at)`).
     ///
-    /// Exclusive execution makes the check-then-park sequence atomic
-    /// with respect to all other ranks, so no wakeup can be lost.
+    /// Exclusive tenure execution makes the check-then-park sequence
+    /// atomic with respect to all other ranks, so no wakeup can be
+    /// lost.
     pub fn block_on<T>(
         &self,
         reason: &'static str,
@@ -808,9 +1224,11 @@ impl SimHandle {
     /// lease timer. Returns `None` when the deadline fired.
     ///
     /// The timer is conservative: it can only fire when no rank is
-    /// runnable, so on a healthy run where traffic keeps arriving it
-    /// costs nothing — no wire bytes, no virtual time, no wake-ups. A
-    /// completion always beats the timer (data wins ties).
+    /// runnable *and no shard has a detached computation in flight*
+    /// (every shard watermark must clear first), so on a healthy run
+    /// where traffic keeps arriving it costs nothing — no wire bytes,
+    /// no virtual time, no wake-ups. A completion always beats the
+    /// timer (data wins ties).
     pub fn block_on_deadline<T>(
         &self,
         reason: &'static str,
@@ -931,14 +1349,12 @@ impl SimHandle {
         self.shared.notifies.fetch_add(1, Ordering::Relaxed);
         let mut s = self.shared.sched.lock();
         if s.ranks[target].status == Status::Blocked {
-            s.ranks[target].status = Status::Ready;
-            s.ranks[target].reason = "notified";
+            self.shared.mark_ready(&mut s, target, "notified");
             // The waker still holds the token; the target will be
             // considered at the waker's next yield.
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1368,6 +1784,315 @@ mod tests {
                 assert_eq!(ranks.len(), 2, "corpse appears in diagnostics");
             }
             e => panic!("expected deadlock, got {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A mixed workload: staggered advances, ping/pong notifies, and
+    /// overlapped charges. Returns (per-rank final clocks, event log,
+    /// yields) so shard counts can be compared bit-for-bit.
+    fn mixed_world(shards: usize, n: usize) -> (Vec<u64>, Vec<(u64, usize, u32)>, u64) {
+        let log = PlMutex::new(Vec::new());
+        let out = Engine::new(n).shards(shards).run(|h| {
+            let r = h.rank();
+            for step in 0..4u32 {
+                let d = VDur::from_micros(((r * 7 + step as usize * 3) % 11 + 1) as u64);
+                let x = h.charge_overlapped(d, || (r as u64 + 1) * (step as u64 + 1));
+                assert_eq!(x, (r as u64 + 1) * (step as u64 + 1));
+                log.lock().push((h.now().as_nanos(), r, step));
+                // Ping the next rank so blocking paths get exercised.
+                if step == 1 && r + 1 < h.n_ranks() {
+                    h.notify_rank(r + 1);
+                }
+                h.advance(VDur::from_nanos((r as u64 * 13 + 5) % 17 + 1));
+            }
+            h.now().as_nanos()
+        });
+        let mut events = log.into_inner();
+        events.sort_unstable();
+        (out.results, events, out.yields)
+    }
+
+    #[test]
+    fn shards_preserve_results_and_schedule() {
+        let (c1, e1, y1) = mixed_world(1, 12);
+        for s in [2, 4, 7] {
+            let (cs, es, ys) = mixed_world(s, 12);
+            assert_eq!(c1, cs, "clocks differ at shards={s}");
+            assert_eq!(e1, es, "event log differs at shards={s}");
+            assert_eq!(y1, ys, "yield count differs at shards={s}");
+        }
+    }
+
+    #[test]
+    fn shards_clamp_to_rank_count() {
+        let out = Engine::new(2).shards(64).run(|h| {
+            h.advance(VDur::from_micros(1));
+            h.shards()
+        });
+        assert_eq!(out.results, vec![2, 2], "shards clamp to n_ranks");
+    }
+
+    #[test]
+    fn charge_overlapped_is_bit_identical_across_shards() {
+        let run = |s: usize| {
+            Engine::new(6)
+                .shards(s)
+                .run(|h| {
+                    let mut acc = 0u64;
+                    for i in 0..8 {
+                        acc = h.charge_overlapped(VDur::from_micros(i + 1), || {
+                            acc.wrapping_mul(31).wrapping_add(h.rank() as u64 + i)
+                        });
+                    }
+                    (h.now().as_nanos(), acc)
+                })
+                .results
+        };
+        let base = run(1);
+        assert_eq!(base, run(2));
+        assert_eq!(base, run(4));
+    }
+
+    #[test]
+    fn charge_overlapped_overlaps_wall_clock() {
+        // 8 ranks each burn ~30ms of real time inside a modeled charge.
+        // Serial must pay ~240ms; 8 shards should overlap most of it.
+        let wall = |s: usize| {
+            let t0 = Instant::now();
+            Engine::new(8).shards(s).run(|h| {
+                h.charge_overlapped(VDur::from_micros(10), || {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                });
+                h.now()
+            });
+            t0.elapsed()
+        };
+        let serial = wall(1);
+        let sharded = wall(8);
+        assert!(
+            sharded < serial / 2,
+            "expected ≥2x overlap: serial={serial:?} sharded={sharded:?}"
+        );
+    }
+
+    #[test]
+    fn charge_measured_under_shards_moves_clock() {
+        let out = Engine::new(4).shards(4).run(|h| {
+            let v = h.charge_measured(|| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                h.rank() * 10
+            });
+            assert_eq!(v, h.rank() * 10);
+            assert!(h.now().as_nanos() >= 1_000_000, "≥1ms charged");
+            h.now()
+        });
+        assert!(out.end_time.as_nanos() >= 1_000_000);
+    }
+
+    #[test]
+    fn computing_rank_gates_higher_keys() {
+        // Rank 0 computes (measured) from t=0 with a floor at (0,0).
+        // Rank 1 starts at t=1000 — a higher key — and must not run a
+        // tenure until rank 0's computation rejoins.
+        let done = AtomicBool::new(false);
+        Engine::new(2).shards(2).run(|h| {
+            if h.rank() == 0 {
+                h.charge_measured(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    done.store(true, Ordering::SeqCst);
+                });
+            } else {
+                h.advance_to(VTime(1_000));
+                // This tenure's key (1000, 1) is above the floor (0, 0):
+                // it can only have been granted after rank 0 rejoined.
+                assert!(
+                    done.load(Ordering::SeqCst),
+                    "tenure above a computing floor ran before the floor lifted"
+                );
+            }
+            h.now()
+        });
+    }
+
+    #[test]
+    fn lower_keys_run_while_higher_rank_computes() {
+        // Rank 1 detaches at t=10000; rank 0's tenures at t<10000 are
+        // below the floor and must proceed during the computation.
+        let progressed = AtomicUsize::new(0);
+        Engine::new(2).shards(2).run(|h| {
+            if h.rank() == 1 {
+                h.advance_to(VTime(10_000));
+                h.charge_measured(|| {
+                    let t0 = Instant::now();
+                    while progressed.load(Ordering::SeqCst) < 5 {
+                        if t0.elapsed() > std::time::Duration::from_secs(5) {
+                            panic!("lower-key tenures starved under a computing floor");
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            } else {
+                for _ in 0..5 {
+                    h.advance(VDur::from_nanos(100));
+                    progressed.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            h.now()
+        });
+    }
+
+    #[test]
+    fn watermarks_and_lbts_bound_future_interactions() {
+        // 4 ranks, 2 shards. Each rank observes, during its own tenure,
+        // that the LBTS never exceeds its own clock and that every
+        // shard watermark is ≥ the LBTS.
+        Engine::new(4).shards(2).run(|h| {
+            for i in 0..5u64 {
+                h.advance(VDur::from_micros(i * (h.rank() as u64 + 1) + 1));
+                let lbts = h.lbts();
+                assert!(lbts <= h.now(), "LBTS above the running rank's clock");
+                for sh in 0..h.shards() {
+                    if let Some(w) = h.shard_watermark(sh) {
+                        assert!(w >= lbts, "shard {sh} watermark below LBTS");
+                    }
+                }
+            }
+            h.now()
+        });
+    }
+
+    #[test]
+    fn deadline_waits_for_computing_shards_before_firing() {
+        // Rank 0 arms a deadline at t=1ms and parks. Rank 1 detaches a
+        // measured computation that completes the handshake afterwards.
+        // The deadline must NOT fire while rank 1's floor is live: the
+        // notify beats the timer, exactly as in a serial run.
+        let flag = PlMutex::new(None::<u64>);
+        Engine::new(2).shards(2).run(|h| {
+            if h.rank() == 0 {
+                let got = h.block_on_deadline("lease", VTime(1_000_000), || {
+                    flag.lock().map(|t| (VTime(t), t))
+                });
+                assert!(
+                    got.is_some(),
+                    "deadline fired even though a computing shard still had the data in flight"
+                );
+            } else {
+                h.charge_measured(|| std::thread::sleep(std::time::Duration::from_millis(3)));
+                *flag.lock() = Some(h.now().as_nanos());
+                h.notify_rank(0);
+                h.advance(VDur::from_nanos(1));
+            }
+            h.now()
+        });
+    }
+
+    #[test]
+    fn deadlock_report_capped_for_big_worlds() {
+        let n = 24; // above REPORT_FULL_CAP
+        let err = Engine::new(n)
+            .shards(4)
+            .try_run(|h| {
+                h.advance(VDur::from_nanos(h.rank() as u64));
+                h.block_on::<()>("stuck-forever", || None)
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { report, ranks } => {
+                assert!(
+                    report.contains("report capped"),
+                    "capped form expected:\n{report}"
+                );
+                assert!(
+                    report.contains(&format!("{n} x Blocked (stuck-forever)")),
+                    "histogram line missing:\n{report}"
+                );
+                assert!(
+                    ranks.len() <= REPORT_OFFENDERS * 2,
+                    "diag list not capped: {} entries",
+                    ranks.len()
+                );
+                // Offenders are the earliest clocks: ranks 0..8.
+                let mut ids: Vec<usize> = ranks.iter().map(|d| d.rank).collect();
+                ids.sort_unstable();
+                assert_eq!(ids, (0..REPORT_OFFENDERS).collect::<Vec<_>>());
+            }
+            e => panic!("expected deadlock, got {e}"),
+        }
+    }
+
+    #[test]
+    fn small_world_deadlock_report_keeps_full_form() {
+        let err = Engine::new(3)
+            .shards(2)
+            .try_run(|h| h.block_on::<()>("waiting-on-nothing", || None))
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { report, ranks } => {
+                assert!(!report.contains("report capped"));
+                assert_eq!(ranks.len(), 3, "full per-rank diagnostics in small worlds");
+            }
+            e => panic!("expected deadlock, got {e}"),
+        }
+    }
+
+    #[test]
+    fn crash_plans_are_bit_identical_across_shards() {
+        use crate::fault::CrashPlan;
+        let run = |s: usize| {
+            let plan = CrashPlan::new().crash_at(2, VTime(5_000));
+            let out = Engine::new(6)
+                .shards(s)
+                .crash_plan(plan)
+                .try_run_ft(|h| {
+                    for _ in 0..6 {
+                        h.charge_overlapped(VDur::from_micros(1), || ());
+                    }
+                    h.now().as_nanos()
+                })
+                .unwrap();
+            (out.results, out.deaths, out.end_time, out.yields)
+        };
+        let (r1, d1, e1, y1) = run(1);
+        for s in [2, 4] {
+            let (rs, ds, es, ys) = run(s);
+            assert_eq!(r1, rs, "results differ at shards={s}");
+            assert_eq!(
+                d1.iter().map(|d| d.map(|(t, _)| t)).collect::<Vec<_>>(),
+                ds.iter().map(|d| d.map(|(t, _)| t)).collect::<Vec<_>>()
+            );
+            assert_eq!(e1, es);
+            assert_eq!(y1, ys, "yield parity broken at shards={s}");
+        }
+    }
+
+    #[test]
+    fn panic_in_detached_closure_poisons_cleanly() {
+        let err = Engine::new(4)
+            .shards(2)
+            .try_run(|h| {
+                if h.rank() == 3 {
+                    h.charge_overlapped(VDur::from_micros(1), || panic!("boom in detached compute"))
+                } else {
+                    for _ in 0..100 {
+                        h.advance(VDur::from_nanos(10));
+                    }
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::RankPanic { rank, message } => {
+                assert_eq!(rank, 3);
+                assert!(message.contains("boom in detached compute"));
+            }
+            e => panic!("expected rank panic, got {e}"),
         }
     }
 }

@@ -202,6 +202,17 @@ impl NetModel {
         self.bw_curve.time_ns(s)
     }
 
+    /// The model's **lookahead**: the minimum latency any message can
+    /// experience on any link — `min(inter-node, intra-node)` one-way
+    /// latency, and at least 1 ns. A conservative parallel scheduler
+    /// may execute two ranks concurrently whenever their clocks are
+    /// within this bound, because neither can affect the other sooner;
+    /// equivalently, a message sent at LBTS `t` arrives no earlier
+    /// than `t + min_latency()`.
+    pub fn min_latency(&self) -> VDur {
+        VDur(self.latency.0.min(self.intra_latency.0).max(1))
+    }
+
     /// Per-side host overhead of a blocking transfer, from the ping-pong
     /// decomposition.
     pub fn pp_overhead_ns(&self, s: usize) -> u64 {
@@ -290,6 +301,13 @@ impl Fabric {
     /// Transport statistics so far.
     pub fn stats(&self) -> FabricStats {
         self.stats
+    }
+
+    /// The fabric's conservative lookahead (see
+    /// [`NetModel::min_latency`]): no transmit completes in less than
+    /// this, whatever the link or load.
+    pub fn lookahead(&self) -> VDur {
+        self.model.min_latency()
     }
 
     /// Inject a `wire_bytes`-byte message from `src_rank` to `dst_rank`
@@ -477,5 +495,31 @@ mod tests {
         assert_eq!(port.touch_flow(3, FLOW_WINDOW_NS - 100), 3);
         // Far past the window, stale flows are pruned.
         assert_eq!(port.touch_flow(4, 3 * FLOW_WINDOW_NS), 1);
+    }
+
+    #[test]
+    fn lookahead_lower_bounds_every_transmit() {
+        for model in [
+            NetModel::ethernet_10g(),
+            NetModel::infiniband_40g(),
+            NetModel::instant(),
+        ] {
+            let la = model.min_latency();
+            assert!(la.as_nanos() >= 1, "lookahead must be nonzero");
+            // Both placements: cross-node and same-node (intra link).
+            for topo in [Topology::one_per_node(4), Topology::block(4, 1)] {
+                let mut f = Fabric::new(model.clone(), topo);
+                assert_eq!(f.lookahead(), la);
+                for size in [0usize, 1, 64, 1 << 20] {
+                    let start = VTime(12_345);
+                    let arrive = f.transmit(0, 3, size, start);
+                    assert!(
+                        arrive >= start + la,
+                        "{}: {size}B arrived at {arrive} < start+lookahead",
+                        f.model().name
+                    );
+                }
+            }
+        }
     }
 }
